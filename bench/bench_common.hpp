@@ -1,0 +1,55 @@
+// Shared console reporting for the experiment-reproduction benches. Every
+// bench prints rows of "what the paper reports" vs "what we measure" so
+// EXPERIMENTS.md can be assembled straight from `for b in build/bench/*`.
+#pragma once
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace ldmsxx::bench {
+
+inline void Banner(const char* experiment_id, const char* title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("============================================================\n");
+}
+
+inline void PaperRow(const char* fmt, ...) {
+  std::printf("  paper    : ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void MeasuredRow(const char* fmt, ...) {
+  std::printf("  measured : ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void NoteRow(const char* fmt, ...) {
+  std::printf("  note     : ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Wall-clock a callable, seconds.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace ldmsxx::bench

@@ -1,0 +1,101 @@
+// Figure 9 (§VI-A1): percent of time spent in credit stalls in the X+
+// direction, per node at 1-minute samples over a 24-hour day, plus a torus
+// snapshot at the worst moment. Paper features to reproduce:
+//   * maximum ~85% time stalled;
+//   * persistent features: 40-60% stalls lasting many hours (up to ~20 h),
+//     60+% episodes lasting ~1.5 h;
+//   * congested regions have extent in X (dimension-ordered routing) and
+//     wrap through the torus boundary.
+// Writes bench_out/fig9_grid.csv (node-vs-time) and fig9_snapshot.csv.
+#include <algorithm>
+#include <filesystem>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/bw_day.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace ldmsxx;
+  using namespace ldmsxx::bench;
+
+  Banner("Figure 9", "HSN credit stalls (X+) over a 24 h simulated day");
+  PaperRow("max ~85%% stalled; 40-60%% features persist for hours (up to");
+  PaperRow("20 h); 60+%% for ~1.5 h; features extend and wrap in X");
+
+  BwDayConfig config;
+  if (std::getenv("LDMSXX_FULL_TORUS") != nullptr) {
+    config.dims = {24, 24, 24};  // full Blue Waters scale (slow)
+  }
+  const BwDayResult day = RunBlueWatersDay(config);
+
+  MeasuredRow("max %%time stalled (X+): %.1f%% at minute %llu (node %llu)",
+              day.max_stall,
+              static_cast<unsigned long long>(day.max_stall_time / kNsPerMin),
+              static_cast<unsigned long long>(day.max_stall_node));
+
+  // Persistence analysis: longest continuous runs above 40% and above 60%.
+  DurationNs longest40 = 0;
+  DurationNs longest60 = 0;
+  std::size_t nodes_with_hours_above_40 = 0;
+  for (const auto& [node, series] : day.stall_xplus) {
+    const DurationNs run40 = analysis::LongestPersistence(series, 40.0);
+    const DurationNs run60 = analysis::LongestPersistence(series, 60.0);
+    longest40 = std::max(longest40, run40);
+    longest60 = std::max(longest60, run60);
+    if (run40 >= kNsPerHour) ++nodes_with_hours_above_40;
+  }
+  MeasuredRow("longest 40+%% stall feature: %.1f h (paper: up to ~20 h)",
+              static_cast<double>(longest40) / kNsPerHour);
+  MeasuredRow("longest 60+%% stall feature: %.1f h (paper: ~1.5 h)",
+              static_cast<double>(longest60) / kNsPerHour);
+  MeasuredRow("nodes with 40+%% features lasting >= 1 h: %zu of %zu",
+              nodes_with_hours_above_40, day.stall_xplus.size());
+
+  // Snapshot at the worst minute: check the X-extent of hot features.
+  auto points =
+      analysis::TorusSnapshot(day.rows, 0, day.max_stall_time, day.dims, 20.0);
+  // X-extent: for each (y,z) row count hot Geminis sharing it.
+  std::map<std::pair<int, int>, int> row_counts;
+  for (const auto& p : points) ++row_counts[{p.y, p.z}];
+  int max_x_extent = 0;
+  for (const auto& [yz, count] : row_counts) {
+    max_x_extent = std::max(max_x_extent, count);
+  }
+  MeasuredRow("snapshot: %zu hot Geminis (>=20%%); max X-extent within one "
+              "(y,z) row: %d of %d",
+              points.size(), max_x_extent, day.dims.x);
+
+  // Artifacts for plotting.
+  std::filesystem::create_directories("bench_out");
+  {
+    CsvWriter grid("bench_out/fig9_grid.csv", true);
+    grid.Field(std::string_view("minute"));
+    grid.Field(std::string_view("node"));
+    grid.Field(std::string_view("pct_stalled_xplus"));
+    grid.EndRow();
+    for (const auto& cell : analysis::NodeTimeGrid(day.rows, 0, 1.0)) {
+      grid.Field(static_cast<std::uint64_t>(cell.time / kNsPerMin));
+      grid.Field(cell.component_id);
+      grid.Field(cell.value);
+      grid.EndRow();
+    }
+  }
+  {
+    CsvWriter snap("bench_out/fig9_snapshot.csv", true);
+    snap.Field(std::string_view("x"));
+    snap.Field(std::string_view("y"));
+    snap.Field(std::string_view("z"));
+    snap.Field(std::string_view("pct_stalled_xplus"));
+    snap.EndRow();
+    for (const auto& p : points) {
+      snap.Field(static_cast<std::int64_t>(p.x));
+      snap.Field(static_cast<std::int64_t>(p.y));
+      snap.Field(static_cast<std::int64_t>(p.z));
+      snap.Field(p.value);
+      snap.EndRow();
+    }
+  }
+  NoteRow("wrote bench_out/fig9_grid.csv and bench_out/fig9_snapshot.csv");
+  NoteRow("set LDMSXX_FULL_TORUS=1 for the full 24x24x24 system");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7 (§V-B): Chama application ensemble under {NM (unmonitored),
+// LM (20 s sampling), HM (1 s sampling)}. The paper's finding is again a
+// null result: for Nalu, CTH, and Adagio "LDMS monitoring appears to have
+// no practical impact on the run time", with run-to-run variation dwarfing
+// any monitoring effect. Kernels approximate the three application shapes:
+// Nalu (implicit CG + MPI sync heavy), CTH (large-message halo + AMR), and
+// Adagio (contact mechanics compute + I/O dumps -> CG shape).
+#include <algorithm>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/impact.hpp"
+#include "bench_support/psnap.hpp"
+
+int main() {
+  using namespace ldmsxx;
+  using namespace ldmsxx::bench;
+
+  Banner("Figure 7", "Chama application runtimes under NM / 20 s / 1 s");
+  PaperRow("no appreciable impact from LDMS compared to run-to-run noise");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = hw >= 4 ? 4 : (hw >= 2 ? 2 : 1);
+  constexpr std::uint64_t kSteps = 250;
+  const std::uint64_t work =
+      CalibrateLoop(1500 * kNsPerMs / kSteps / threads);
+  struct App {
+    const char* name;
+    AppKernel kernel;
+  };
+  const App apps[] = {
+      {"Nalu-like(1536PE)", MakeCgKernel(threads, kSteps, work)},
+      {"CTH-like(1024PE)", MakeHaloKernel(threads, kSteps, work)},
+      {"Adagio-like(512PE)", MakeCgKernel(threads, kSteps / 2, work * 2)},
+  };
+  const MonitorConfig configs[] = {
+      {"NM", false, 0, false, 6, true},
+      {"LM-20s", true, 20 * kNsPerSec, true, 6, true},
+      {"HM-1s", true, kNsPerSec, true, 6, true},
+  };
+  constexpr unsigned kReps = 3;
+
+  std::printf("\n  %-20s %-8s %10s %18s\n", "app", "config", "norm_mean",
+              "range[min,max] s");
+  for (const App& app : apps) {
+    double base_mean = 0.0;
+    for (const MonitorConfig& config : configs) {
+      ImpactResult result =
+          RunUnderMonitoring(app.name, app.kernel, config, kReps);
+      if (config.label == std::string("NM")) base_mean = result.Mean();
+      std::printf("  %-20s %-8s %10.4f   [%7.3f, %7.3f]\n", app.name,
+                  config.label.c_str(), result.Mean() / base_mean,
+                  result.Min(), result.Max());
+    }
+  }
+  NoteRow("expected: normalized means ~1.0 for all configs (null result).");
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldmsxx::analysis {
+
+double TimeSeries::MaxValue() const {
+  double best = -1e300;
+  for (double v : values) best = std::max(best, v);
+  return values.empty() ? 0.0 : best;
+}
+
+double TimeSeries::MeanValue() const {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::optional<std::size_t> MetricIndex(const std::vector<std::string>& names,
+                                       std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::map<std::uint64_t, TimeSeries> PerComponentSeries(
+    const std::vector<MemRow>& rows, std::size_t metric_idx) {
+  std::map<std::uint64_t, TimeSeries> out;
+  for (const MemRow& row : rows) {
+    if (metric_idx >= row.values.size()) continue;
+    TimeSeries& series = out[row.component_id];
+    series.times.push_back(row.timestamp);
+    series.values.push_back(row.values[metric_idx]);
+  }
+  return out;
+}
+
+std::vector<GridCell> NodeTimeGrid(const std::vector<MemRow>& rows,
+                                   std::size_t metric_idx, double threshold) {
+  std::vector<GridCell> cells;
+  for (const MemRow& row : rows) {
+    if (metric_idx >= row.values.size()) continue;
+    const double v = row.values[metric_idx];
+    if (v < threshold) continue;
+    cells.push_back({row.timestamp, row.component_id, v});
+  }
+  return cells;
+}
+
+std::vector<TorusPoint> TorusSnapshot(const std::vector<MemRow>& rows,
+                                      std::size_t metric_idx, TimeNs when,
+                                      const sim::TorusDims& dims,
+                                      double threshold) {
+  // Nearest sample time per component.
+  std::map<std::uint64_t, std::pair<DurationNs, double>> best;
+  for (const MemRow& row : rows) {
+    if (metric_idx >= row.values.size()) continue;
+    const DurationNs dist = row.timestamp > when ? row.timestamp - when
+                                                 : when - row.timestamp;
+    auto it = best.find(row.component_id);
+    if (it == best.end() || dist < it->second.first) {
+      best[row.component_id] = {dist, row.values[metric_idx]};
+    }
+  }
+  sim::GeminiTorus geometry(dims, Rng(0));
+  std::vector<TorusPoint> points;
+  for (const auto& [component, entry] : best) {
+    if (entry.second < threshold) continue;
+    // Component IDs are node IDs; two nodes share a Gemini.
+    const int gemini =
+        sim::GeminiTorus::GeminiOfNode(static_cast<int>(component));
+    const sim::Coord c = geometry.CoordOf(gemini);
+    points.push_back({c.x, c.y, c.z, entry.second});
+  }
+  return points;
+}
+
+DurationNs LongestPersistence(const TimeSeries& series, double level) {
+  DurationNs best = 0;
+  std::optional<TimeNs> run_start;
+  TimeNs last_time = 0;
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    if (series.values[i] >= level) {
+      if (!run_start) run_start = series.times[i];
+      last_time = series.times[i];
+      best = std::max(best, last_time - *run_start);
+    } else {
+      run_start.reset();
+    }
+  }
+  return best;
+}
+
+double JobProfile::ImbalanceSpread() const {
+  double spread = 0.0;
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& [node, series] : per_node) {
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+      if (series.times[i] < job.start_time ||
+          series.times[i] > job.end_time) {
+        continue;
+      }
+      lo = std::min(lo, series.values[i]);
+      hi = std::max(hi, series.values[i]);
+    }
+  }
+  if (hi > lo) spread = hi - lo;
+  return spread;
+}
+
+JobProfile BuildJobProfile(const sim::JobRecord& job,
+                           const std::vector<MemRow>& rows,
+                           std::size_t metric_idx, const std::string& metric,
+                           DurationNs pre, DurationNs post) {
+  JobProfile profile;
+  profile.job = job;
+  profile.metric = metric;
+  const TimeNs lo = job.start_time > pre ? job.start_time - pre : 0;
+  const TimeNs hi = job.end_time + post;
+  for (const MemRow& row : rows) {
+    if (row.timestamp < lo || row.timestamp > hi) continue;
+    if (metric_idx >= row.values.size()) continue;
+    const bool on_job_node =
+        std::find(job.nodes.begin(), job.nodes.end(),
+                  static_cast<int>(row.component_id)) != job.nodes.end();
+    if (!on_job_node) continue;
+    TimeSeries& series = profile.per_node[row.component_id];
+    series.times.push_back(row.timestamp);
+    series.values.push_back(row.values[metric_idx]);
+  }
+  return profile;
+}
+
+JobCongestionReport AttributeCongestion(
+    const sim::JobRecord& job, const sim::GeminiTorus& torus,
+    const std::function<double(int gemini, sim::LinkDir dir)>&
+        link_congestion) {
+  JobCongestionReport report;
+  // Count flow traversals per link for ring-neighbour traffic in rank
+  // order (the deterministic routes of §VI-A).
+  std::map<std::pair<int, int>, int> traversals;  // (gemini, dir) -> flows
+  std::vector<std::pair<int, sim::LinkDir>> hops;
+  const auto n = job.nodes.size();
+  for (std::size_t rank = 0; n >= 2 && rank < n; ++rank) {
+    const int src =
+        sim::GeminiTorus::GeminiOfNode(job.nodes[rank]);
+    const int dst =
+        sim::GeminiTorus::GeminiOfNode(job.nodes[(rank + 1) % n]);
+    if (src == dst) continue;
+    hops.clear();
+    torus.Route(src, dst, &hops);
+    for (const auto& [gemini, dir] : hops) {
+      ++traversals[{gemini, static_cast<int>(dir)}];
+    }
+  }
+
+  double weighted_sum = 0.0;
+  int total_flows = 0;
+  report.links.reserve(traversals.size());
+  for (const auto& [key, flows] : traversals) {
+    LinkExposure exposure;
+    exposure.gemini = key.first;
+    exposure.dir = static_cast<sim::LinkDir>(key.second);
+    exposure.flows = flows;
+    exposure.congestion = link_congestion(exposure.gemini, exposure.dir);
+    weighted_sum += exposure.congestion * flows;
+    total_flows += flows;
+    report.max_exposure = std::max(report.max_exposure, exposure.congestion);
+    report.links.push_back(exposure);
+  }
+  if (total_flows > 0) {
+    report.mean_exposure = weighted_sum / total_flows;
+  }
+  std::sort(report.links.begin(), report.links.end(),
+            [](const LinkExposure& a, const LinkExposure& b) {
+              return a.congestion > b.congestion;
+            });
+  return report;
+}
+
+}  // namespace ldmsxx::analysis

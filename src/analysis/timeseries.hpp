@@ -1,0 +1,111 @@
+// Post-processing helpers for the characterization figures (§VI): turn
+// stored samples into per-node time series, node-vs-time grids (Figures 9
+// top, 10, 11), torus-coordinate snapshots (Figure 9 bottom), and job
+// profiles joined with scheduler data (Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/gemini.hpp"
+#include "sim/workload.hpp"
+#include "store/memory_store.hpp"
+
+namespace ldmsxx::analysis {
+
+struct TimeSeries {
+  std::vector<TimeNs> times;
+  std::vector<double> values;
+
+  double MaxValue() const;
+  double MeanValue() const;
+};
+
+/// Index of @p name in a store's metric-name list.
+std::optional<std::size_t> MetricIndex(const std::vector<std::string>& names,
+                                       std::string_view name);
+
+/// Split rows into one series per component id for metric @p metric_idx.
+std::map<std::uint64_t, TimeSeries> PerComponentSeries(
+    const std::vector<MemRow>& rows, std::size_t metric_idx);
+
+/// One cell of a node-vs-time grid.
+struct GridCell {
+  TimeNs time;
+  std::uint64_t component_id;
+  double value;
+};
+
+/// Flatten rows into grid cells for one metric, dropping values below
+/// @p threshold (the paper's figures "eliminate quantities under a
+/// threshold value of 1" so features stand out).
+std::vector<GridCell> NodeTimeGrid(const std::vector<MemRow>& rows,
+                                   std::size_t metric_idx, double threshold);
+
+/// Per-Gemini value snapshot at the sample time nearest @p when.
+struct TorusPoint {
+  int x, y, z;
+  double value;
+};
+std::vector<TorusPoint> TorusSnapshot(const std::vector<MemRow>& rows,
+                                      std::size_t metric_idx, TimeNs when,
+                                      const sim::TorusDims& dims,
+                                      double threshold);
+
+/// Longest run of consecutive samples >= @p level in a series; returns the
+/// duration (used to verify Figure 9's multi-hour persistent congestion).
+DurationNs LongestPersistence(const TimeSeries& series, double level);
+
+/// Figure 12: per-node metric series for one job, including @p pre/@p post
+/// margins around the job window ("grey shaded areas" in the figure).
+struct JobProfile {
+  sim::JobRecord job;
+  std::string metric;
+  std::map<std::uint64_t, TimeSeries> per_node;
+
+  /// Max over nodes of (max - min) of the metric during the job: the
+  /// imbalance the figure makes visible.
+  double ImbalanceSpread() const;
+};
+JobProfile BuildJobProfile(const sim::JobRecord& job,
+                           const std::vector<MemRow>& rows,
+                           std::size_t metric_idx, const std::string& metric,
+                           DurationNs pre, DurationNs post);
+
+/// §VI-A: "The routing algorithm between any 2 Gemini is well-defined; thus
+/// the links that are involved in an application's communication paths can
+/// be statically determined." Given a job's placement and a communication
+/// pattern, enumerate the links its traffic traverses and score the job's
+/// congestion exposure from the observed per-link stall levels.
+struct LinkExposure {
+  int gemini = 0;
+  sim::LinkDir dir = sim::LinkDir::kXPlus;
+  /// How many of the job's flows traverse this link.
+  int flows = 0;
+  /// Observed congestion on this link (e.g. % time stalled), filled by the
+  /// caller's metric of choice.
+  double congestion = 0.0;
+};
+
+struct JobCongestionReport {
+  std::vector<LinkExposure> links;  ///< sorted by congestion, descending
+  /// Flow-weighted mean congestion over all traversed links.
+  double mean_exposure = 0.0;
+  double max_exposure = 0.0;
+};
+
+/// Enumerate the links traversed by ring-neighbour traffic between the
+/// job's nodes in rank order (the dominant pattern for contiguous
+/// placements) and score each against @p link_congestion, a callback
+/// returning the observed congestion level for (gemini, dir).
+JobCongestionReport AttributeCongestion(
+    const sim::JobRecord& job, const sim::GeminiTorus& torus,
+    const std::function<double(int gemini, sim::LinkDir dir)>&
+        link_congestion);
+
+}  // namespace ldmsxx::analysis

@@ -1,0 +1,44 @@
+#include "baseline/collectl_sim.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldmsxx::baseline {
+
+CollectlSim::CollectlSim(NodeDataSourcePtr source, const std::string& output)
+    : source_(std::move(source)), discard_(output.empty()) {
+  if (!discard_) out_.open(output, std::ios::trunc);
+}
+
+Status CollectlSim::RecordOnce(TimeNs now) {
+  std::string stat;
+  std::string meminfo;
+  Status st = source_->Read("/proc/stat", &stat);
+  if (!st.ok()) return st;
+  st = source_->Read("/proc/meminfo", &meminfo);
+  if (!st.ok()) return st;
+
+  std::string line = std::to_string(now / kNsPerSec) + "." +
+                     std::to_string((now % kNsPerSec) / kNsPerMs);
+  for (std::string_view l : Split(stat, '\n')) {
+    if (StartsWith(l, "cpu ")) {
+      for (auto field : SplitWhitespace(l.substr(4))) {
+        line += " ";
+        line += field;
+      }
+      break;
+    }
+  }
+  for (std::string_view l : Split(meminfo, '\n')) {
+    auto fields = SplitWhitespace(l);
+    if (fields.size() >= 2) {
+      line += " ";
+      line += fields[1];
+    }
+  }
+  line += "\n";
+  ++records_;
+  if (!discard_) out_ << line;
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx::baseline

@@ -1,0 +1,35 @@
+// collectl/sar-like single-host recorder (§IV-E "Profiling systems"):
+// collects from the same data sources but writes locally and has no
+// transport/aggregation layer. Exists as the paper's second comparison
+// point and to demonstrate what LDMS adds (transport, aggregation,
+// generation-number consistency, pluggable stores).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/data_source.hpp"
+#include "util/clock.hpp"
+
+namespace ldmsxx::baseline {
+
+class CollectlSim {
+ public:
+  /// @param output path of the flat text record ("" = discard)
+  CollectlSim(NodeDataSourcePtr source, const std::string& output);
+
+  /// Record one line with CPU + memory values at @p now. Subsecond
+  /// intervals supported (collectl's differentiator over sar).
+  Status RecordOnce(TimeNs now);
+
+  std::uint64_t records() const { return records_; }
+
+ private:
+  NodeDataSourcePtr source_;
+  std::ofstream out_;
+  bool discard_ = false;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace ldmsxx::baseline

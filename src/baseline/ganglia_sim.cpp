@@ -1,0 +1,119 @@
+#include "baseline/ganglia_sim.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace ldmsxx::baseline {
+
+GangliaSimCollector::GangliaSimCollector(NodeDataSourcePtr source,
+                                         GangliaOptions options)
+    : source_(std::move(source)), options_(options) {
+  if (options_.udp_transmit) {
+    udp_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+    if (udp_fd_ >= 0) {
+      // gmond sends to a multicast channel; we point at the local discard
+      // port so each metric still pays the datagram syscall.
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(9);  // discard
+      inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(udp_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof addr) != 0) {
+        ::close(udp_fd_);
+        udp_fd_ = -1;
+      }
+    }
+  }
+}
+
+GangliaSimCollector::~GangliaSimCollector() {
+  if (udp_fd_ >= 0) ::close(udp_fd_);
+}
+
+void GangliaSimCollector::UseDefaultMetrics() {
+  const char* mem_fields[] = {"MemTotal", "MemFree", "Buffers",
+                              "Cached",   "Active",  "Inactive"};
+  for (const char* field : mem_fields) {
+    AddMetric({std::string("mem_") + field, "/proc/meminfo",
+               std::string(field) + ":", 0, "KB", "uint32"});
+  }
+  const char* cpu_names[] = {"cpu_user", "cpu_nice", "cpu_system", "cpu_idle",
+                             "cpu_wio"};
+  for (std::size_t i = 0; i < std::size(cpu_names); ++i) {
+    AddMetric({cpu_names[i], "/proc/stat", "cpu", i, "jiffies", "float"});
+  }
+}
+
+void GangliaSimCollector::AddMetric(GangliaMetricDef def) {
+  metrics_.push_back(std::move(def));
+  state_.emplace_back();
+}
+
+std::size_t GangliaSimCollector::CollectOnce(
+    TimeNs now, std::vector<std::string>* packets) {
+  std::size_t sent = 0;
+  ++collections_;
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const GangliaMetricDef& def = metrics_[i];
+    MetricState& st = state_[i];
+
+    // Per-metric source read + parse: gmond metric modules don't share a
+    // parsed snapshot the way an LDMS metric set does.
+    std::string content;
+    if (!source_->Read(def.source_path, &content).ok()) continue;
+    double value = 0.0;
+    for (std::string_view line : Split(content, '\n')) {
+      auto fields = SplitWhitespace(line);
+      if (fields.empty() || fields[0] != def.key) continue;
+      if (def.field + 1 < fields.size()) {
+        if (auto v = ParseDouble(fields[def.field + 1])) value = *v;
+      }
+      break;
+    }
+
+    // Thresholding: send when the relative change exceeds the threshold or
+    // the time threshold expired.
+    const bool time_due =
+        !st.ever_sent || now - st.last_sent >= options_.time_threshold;
+    const double rel_change =
+        st.last_value != 0.0
+            ? std::fabs(value - st.last_value) / std::fabs(st.last_value)
+            : (value != 0.0 ? 1.0 : 0.0);
+    if (!time_due && rel_change <= options_.value_threshold) continue;
+
+    // Metadata + value serialized per transmission (Ganglia XML telemetry).
+    std::string packet;
+    packet.reserve(256);
+    packet += "<METRIC NAME=\"";
+    packet += def.name;
+    packet += "\" VAL=\"";
+    packet += std::to_string(value);
+    packet += "\" TYPE=\"";
+    packet += def.type_string;
+    packet += "\" UNITS=\"";
+    packet += def.units;
+    packet += "\" TN=\"0\" TMAX=\"";
+    packet += std::to_string(options_.time_threshold / kNsPerSec);
+    packet += "\" DMAX=\"0\" SLOPE=\"both\" SOURCE=\"gmond\"/>";
+    bytes_sent_ += packet.size();
+    if (udp_fd_ >= 0) {
+      // One datagram per metric, like gmond's metric channel.
+      (void)::send(udp_fd_, packet.data(), packet.size(), MSG_DONTWAIT);
+    }
+    if (packets != nullptr) packets->push_back(std::move(packet));
+
+    st.last_value = value;
+    st.last_sent = now;
+    st.ever_sent = true;
+    ++sent;
+  }
+  return sent;
+}
+
+}  // namespace ldmsxx::baseline

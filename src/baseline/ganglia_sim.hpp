@@ -1,0 +1,82 @@
+// Ganglia-like baseline collector for the §IV-E comparison ("126 usec per
+// metric for Ganglia vs 1.3 usec per metric for LDMS"). The gap is
+// structural, and we reproduce the structure rather than the constant:
+//
+//  * gmond modules collect each metric independently — the /proc source is
+//    re-read and re-parsed once per metric, not once per set;
+//  * every transmission carries the metric's metadata (name, type string,
+//    units, host) serialized in Ganglia's XML telemetry format, so each
+//    sample does per-metric string formatting and heap allocation;
+//  * values travel as formatted text, not fixed-offset binary.
+//
+// The collector also implements gmond's value/time thresholding
+// (send only when the value moved by > value_threshold or time_threshold
+// expired) — the feature the paper notes "can reduce behavioral
+// understanding if set too high".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/data_source.hpp"
+#include "util/clock.hpp"
+
+namespace ldmsxx::baseline {
+
+struct GangliaMetricDef {
+  std::string name;
+  std::string source_path;  ///< /proc file to (re-)read
+  std::string key;          ///< line key within the file
+  std::size_t field = 0;    ///< whitespace field index after the key
+  std::string units;
+  std::string type_string = "uint32";
+};
+
+struct GangliaOptions {
+  /// Relative change required to retransmit early (0 = always send).
+  double value_threshold = 0.0;
+  /// Retransmit at least this often even if unchanged.
+  DurationNs time_threshold = 60 * kNsPerSec;
+  /// Transmit each metric as its own UDP datagram (gmond's channel; each
+  /// metric pays a syscall, where LDMS ships one binary chunk per set).
+  /// Disabled in environments without loopback UDP.
+  bool udp_transmit = true;
+};
+
+class GangliaSimCollector {
+ public:
+  GangliaSimCollector(NodeDataSourcePtr source, GangliaOptions options = {});
+  ~GangliaSimCollector();
+
+  /// The default metric list mirrors what the paper timed: everything LDMS's
+  /// meminfo + procstat samplers collect from /proc/meminfo and /proc/stat.
+  void UseDefaultMetrics();
+  void AddMetric(GangliaMetricDef def);
+  std::size_t metric_count() const { return metrics_.size(); }
+
+  /// Collect every metric once at time @p now. Returns the number of
+  /// metrics *transmitted* (thresholding may suppress some); @p packets, if
+  /// non-null, receives the serialized XML messages.
+  std::size_t CollectOnce(TimeNs now, std::vector<std::string>* packets);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t collections() const { return collections_; }
+
+ private:
+  struct MetricState {
+    double last_value = 0.0;
+    TimeNs last_sent = 0;
+    bool ever_sent = false;
+  };
+
+  NodeDataSourcePtr source_;
+  GangliaOptions options_;
+  std::vector<GangliaMetricDef> metrics_;
+  std::vector<MetricState> state_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t collections_ = 0;
+  int udp_fd_ = -1;
+};
+
+}  // namespace ldmsxx::baseline

@@ -1,0 +1,42 @@
+// Shared harness for the Figure 9/10 characterizations: simulate a day of a
+// Blue-Waters-like torus system under a production-shaped job mix, sample
+// every Gemini's gpcdr metrics at 1-minute intervals through real
+// GpcdrSampler plugins, and collect the derived per-direction series
+// (percent time stalled, percent peak bandwidth).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "sim/cluster.hpp"
+
+namespace ldmsxx::bench {
+
+struct BwDayConfig {
+  sim::TorusDims dims{8, 8, 8};
+  int hours = 24;
+  DurationNs sample_interval = kNsPerMin;
+  std::uint64_t seed = 2014;
+};
+
+struct BwDayResult {
+  sim::TorusDims dims;
+  /// Per even-node series of percent-time-stalled in X+ (Figure 9) and
+  /// percent-bandwidth in Y+ (Figure 10).
+  std::map<std::uint64_t, analysis::TimeSeries> stall_xplus;
+  std::map<std::uint64_t, analysis::TimeSeries> bw_yplus;
+  /// Flat rows (component, time, {stall_x+, bw_y+}) for grids/snapshots.
+  std::vector<MemRow> rows;
+
+  double max_stall = 0.0;
+  TimeNs max_stall_time = 0;
+  std::uint64_t max_stall_node = 0;
+  double max_bw = 0.0;
+  TimeNs max_bw_time = 0;
+};
+
+/// Run the simulated day. Deterministic for a given config.
+BwDayResult RunBlueWatersDay(const BwDayConfig& config);
+
+}  // namespace ldmsxx::bench

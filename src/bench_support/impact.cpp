@@ -1,0 +1,225 @@
+#include "bench_support/impact.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "daemon/ldmsd.hpp"
+#include "sampler/samplers.hpp"
+#include "store/memory_store.hpp"
+
+namespace ldmsxx::bench {
+namespace {
+
+inline std::uint64_t SpinWork(std::uint64_t reps, std::uint64_t seed) {
+  std::uint64_t acc = seed | 1;
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    asm volatile("" : "+r"(acc));
+  }
+  return acc;
+}
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+AppKernel MakeHaloKernel(unsigned threads, std::uint64_t steps,
+                         std::uint64_t work_per_step) {
+  return [=] {
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+    // Shared halo cells: each thread writes its boundary, reads neighbours'.
+    std::vector<std::atomic<std::uint64_t>> halo(threads);
+    auto body = [&](unsigned tid) {
+      std::uint64_t acc = tid;
+      for (std::uint64_t s = 0; s < steps; ++s) {
+        acc = SpinWork(work_per_step, acc);
+        halo[tid].store(acc, std::memory_order_release);
+        sync.arrive_and_wait();
+        const unsigned left = (tid + threads - 1) % threads;
+        const unsigned right = (tid + 1) % threads;
+        acc ^= halo[left].load(std::memory_order_acquire) +
+               halo[right].load(std::memory_order_acquire);
+        sync.arrive_and_wait();
+      }
+      asm volatile("" : "+r"(acc));
+    };
+    return WallSeconds([&] {
+      std::vector<std::thread> pool;
+      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(body, t);
+      for (auto& t : pool) t.join();
+    });
+  };
+}
+
+AppKernel MakeCgKernel(unsigned threads, std::uint64_t steps,
+                       std::uint64_t work_per_step) {
+  return [=] {
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+    std::vector<std::atomic<std::uint64_t>> partial(threads);
+    std::atomic<std::uint64_t> global{0};
+    auto body = [&](unsigned tid) {
+      std::uint64_t acc = tid + 1;
+      for (std::uint64_t s = 0; s < steps; ++s) {
+        // CG iteration: long compute, small reduction (64 B payload shape).
+        acc = SpinWork(work_per_step, acc);
+        partial[tid].store(acc, std::memory_order_release);
+        sync.arrive_and_wait();
+        if (tid == 0) {
+          std::uint64_t sum = 0;
+          for (auto& p : partial) sum += p.load(std::memory_order_acquire);
+          global.store(sum, std::memory_order_release);
+        }
+        sync.arrive_and_wait();
+        acc ^= global.load(std::memory_order_acquire);
+      }
+      asm volatile("" : "+r"(acc));
+    };
+    return WallSeconds([&] {
+      std::vector<std::thread> pool;
+      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(body, t);
+      for (auto& t : pool) t.join();
+    });
+  };
+}
+
+AppKernel MakeAllReduceKernel(unsigned threads, std::uint64_t iterations) {
+  // All synchronization, minimal compute: the most noise-sensitive shape.
+  return MakeCgKernel(threads, iterations, 200);
+}
+
+AppKernel MakeLinkTestKernel(std::uint64_t iterations) {
+  return [=] {
+    std::atomic<std::uint64_t> ping{0};
+    std::atomic<std::uint64_t> pong{0};
+    // Spin with a yield so the partner makes progress even when both
+    // threads share one core (otherwise each burns its whole timeslice).
+    auto a = [&] {
+      for (std::uint64_t i = 1; i <= iterations; ++i) {
+        ping.store(i, std::memory_order_release);
+        while (pong.load(std::memory_order_acquire) != i) {
+          std::this_thread::yield();
+        }
+      }
+    };
+    auto b = [&] {
+      for (std::uint64_t i = 1; i <= iterations; ++i) {
+        while (ping.load(std::memory_order_acquire) != i) {
+          std::this_thread::yield();
+        }
+        pong.store(i, std::memory_order_release);
+      }
+    };
+    return WallSeconds([&] {
+      std::thread ta(a);
+      std::thread tb(b);
+      ta.join();
+      tb.join();
+    });
+  };
+}
+
+double ImpactResult::Mean() const {
+  double sum = 0.0;
+  for (double w : wall_seconds) sum += w;
+  return wall_seconds.empty() ? 0.0
+                              : sum / static_cast<double>(wall_seconds.size());
+}
+
+double ImpactResult::Min() const {
+  return wall_seconds.empty()
+             ? 0.0
+             : *std::min_element(wall_seconds.begin(), wall_seconds.end());
+}
+
+double ImpactResult::Max() const {
+  return wall_seconds.empty()
+             ? 0.0
+             : *std::max_element(wall_seconds.begin(), wall_seconds.end());
+}
+
+ImpactResult RunUnderMonitoring(const std::string& app_name,
+                                const AppKernel& kernel,
+                                const MonitorConfig& config,
+                                unsigned repetitions) {
+  ImpactResult result;
+  result.app = app_name;
+  result.config = config.label;
+
+  std::unique_ptr<Ldmsd> sampler_daemon;
+  std::unique_ptr<Ldmsd> aggregator;
+  auto store = std::make_shared<MemoryStore>();
+
+  if (config.monitored) {
+    LdmsdOptions opts;
+    opts.name = "impact-sampler";
+    opts.worker_threads = 1;
+    opts.set_memory = 4 << 20;
+    if (config.with_network) {
+      opts.listen_transport = "local";
+      opts.listen_address = "impact/sampler";
+    }
+    sampler_daemon = std::make_unique<Ldmsd>(opts);
+
+    // The real machine's /proc is the data source: sampling cost is genuine.
+    auto source = std::make_shared<RealFsDataSource>();
+    SamplerConfig sc;
+    sc.interval = config.interval;
+    sc.synchronous = config.synchronous;
+    std::vector<SamplerPluginPtr> plugins = {
+        std::make_shared<MeminfoSampler>(source),
+        std::make_shared<ProcStatSampler>(source),
+        std::make_shared<LoadAvgSampler>(source),
+        std::make_shared<NetDevSampler>(source),
+    };
+    // Pad with synthetic samplers up to the requested count (some paper
+    // sources, e.g. Lustre, do not exist on a dev box).
+    for (unsigned i = static_cast<unsigned>(plugins.size());
+         i < config.sampler_count; ++i) {
+      sc.params["metrics"] = "64";
+      plugins.push_back(std::make_shared<SyntheticSampler>(source));
+      break;  // synthetic plugin name collides; one padding set suffices
+    }
+    for (unsigned i = 0; i < plugins.size() && i < config.sampler_count; ++i) {
+      (void)sampler_daemon->AddSampler(plugins[i], sc);
+    }
+    (void)sampler_daemon->Start();
+
+    if (config.with_network) {
+      LdmsdOptions agg_opts;
+      agg_opts.name = "impact-aggregator";
+      agg_opts.worker_threads = 1;
+      agg_opts.set_memory = 8 << 20;
+      aggregator = std::make_unique<Ldmsd>(agg_opts);
+      ProducerConfig pc;
+      pc.name = "impact-sampler";
+      pc.transport = "local";
+      pc.address = "impact/sampler";
+      pc.interval = config.interval;
+      pc.synchronous = config.synchronous;
+      (void)aggregator->AddProducer(pc);
+      (void)aggregator->AddStorePolicy({store, "", ""});
+      (void)aggregator->Start();
+    }
+    // Let the monitoring reach steady state (connections + first lookups).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  for (unsigned rep = 0; rep < repetitions; ++rep) {
+    result.wall_seconds.push_back(kernel());
+  }
+
+  if (aggregator != nullptr) aggregator->Stop();
+  if (sampler_daemon != nullptr) sampler_daemon->Stop();
+  return result;
+}
+
+}  // namespace ldmsxx::bench

@@ -1,0 +1,72 @@
+// Application-impact harness for Figures 6 and 7: run fixed-work kernels
+// shaped like the paper's benchmark applications while real LDMS sampler
+// daemons (and optionally aggregation + storage) run in the same process,
+// then compare wall times across monitoring configurations:
+//   unmonitored | interval sampling, no net | interval sampling + aggregation
+//
+// Kernels expose the two coupling channels LDMS could perturb: CPU time on
+// the node (compute phases) and synchronization waits (barrier/reduce
+// phases, where one delayed thread delays all — the paper's discussion of
+// why random sampling across nodes can amplify impact).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace ldmsxx::bench {
+
+/// A fixed-work application kernel; returns elapsed wall seconds.
+using AppKernel = std::function<double()>;
+
+/// Halo-exchange stencil: compute + neighbour copies + barrier per step
+/// (MiniGhost, CTH shape).
+AppKernel MakeHaloKernel(unsigned threads, std::uint64_t steps,
+                         std::uint64_t work_per_step);
+
+/// CG-like phase loop: compute-heavy iterations punctuated by small
+/// allreduce-style reductions (MILC shape).
+AppKernel MakeCgKernel(unsigned threads, std::uint64_t steps,
+                       std::uint64_t work_per_step);
+
+/// Pure synchronization benchmark: allreduce over a 64-byte payload per
+/// iteration (IMB MPI_Allreduce shape).
+AppKernel MakeAllReduceKernel(unsigned threads, std::uint64_t iterations);
+
+/// Ping-pong message latency between two threads (Cray LinkTest shape).
+AppKernel MakeLinkTestKernel(std::uint64_t iterations);
+
+/// Monitoring configuration applied while a kernel runs.
+struct MonitorConfig {
+  std::string label = "unmonitored";
+  bool monitored = false;
+  DurationNs interval = kNsPerSec;
+  /// Also run an aggregator pulling + storing over the local transport
+  /// (the paper's "no net" variants disable exactly this part).
+  bool with_network = false;
+  /// Number of sampler plugins to run (Figure 8's HM_HALF halves this).
+  unsigned sampler_count = 7;
+  /// Wall-aligned synchronous sampling.
+  bool synchronous = true;
+};
+
+struct ImpactResult {
+  std::string app;
+  std::string config;
+  std::vector<double> wall_seconds;  ///< one entry per repetition
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+};
+
+/// Run @p kernel @p repetitions times under @p config; monitoring daemons
+/// are brought up before the first repetition and torn down after the last.
+ImpactResult RunUnderMonitoring(const std::string& app_name,
+                                const AppKernel& kernel,
+                                const MonitorConfig& config,
+                                unsigned repetitions);
+
+}  // namespace ldmsxx::bench

@@ -1,0 +1,49 @@
+// PSNAP reimplementation (§V-A1, §V-B4): "an OS and network noise profiling
+// tool which performs multiple iterations of a loop calibrated to run for a
+// given amount of time. On an unloaded system, variation from the ideal
+// amount of time can be attributed to system noise." We run the calibrated
+// loop on several threads (the paper used 32 tasks/node), histogram each
+// iteration's duration, and look at the tail that sampler activity adds.
+// No barrier mode, matching the runs in both Figure 5 and Figure 8.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+namespace ldmsxx::bench {
+
+struct PsnapConfig {
+  /// Target loop duration (the paper used 100 us).
+  DurationNs loop_target = 100 * kNsPerUs;
+  /// Iterations per thread.
+  std::uint64_t iterations = 100000;
+  /// Concurrent loop threads ("tasks per node").
+  unsigned threads = 4;
+  /// Histogram range [lo, hi) in microseconds; 1 us bins.
+  double hist_lo_us = 50.0;
+  double hist_hi_us = 1050.0;
+};
+
+struct PsnapResult {
+  Histogram histogram;  ///< loop durations, microseconds
+  RunningStats stats;   ///< same data, streaming moments
+  std::uint64_t total_iterations = 0;
+
+  /// Iterations delayed beyond target + slack (the "tail events" Figure 5
+  /// counts: ~1,400 of 16M at 25-200 us extra delay).
+  std::uint64_t TailEvents(double extra_us) const;
+
+  PsnapResult() : histogram(50.0, 1050.0, 1000) {}
+};
+
+/// Calibrate the spin-work repetition count whose execution takes
+/// @p target on the current machine.
+std::uint64_t CalibrateLoop(DurationNs target);
+
+/// Run PSNAP with the given configuration. Monitoring (if any) must already
+/// be running in this process; the probe only measures.
+PsnapResult RunPsnap(const PsnapConfig& config);
+
+}  // namespace ldmsxx::bench

@@ -1,0 +1,144 @@
+#include "core/mem_manager.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace ldmsxx {
+
+// Every block (free or allocated) starts with a header. Free blocks form an
+// address-ordered implicit list: we walk headers by size, which makes
+// coalescing adjacent free blocks trivial.
+struct MemPool::BlockHeader {
+  std::size_t size;  // payload size, excluding header
+  bool free;
+  std::uint32_t magic;  // guards double-free / stray pointers
+};
+
+namespace {
+constexpr std::uint32_t kBlockMagic = 0x4c444d53;  // "LDMS"
+constexpr std::size_t kRawHeaderSize = sizeof(std::size_t) + sizeof(bool) +
+                                       sizeof(std::uint32_t);
+constexpr std::size_t kHeaderSize = (kRawHeaderSize + 15) / 16 * 16;
+
+std::size_t RoundUp(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+static_assert(kHeaderSize == 16);
+
+MemPool::MemPool(std::size_t pool_size)
+    : pool_size_(RoundUp(pool_size, 16)),
+      pool_(new std::byte[pool_size_]) {
+  static_assert(sizeof(BlockHeader) <= kHeaderSize);
+  auto* first = reinterpret_cast<BlockHeader*>(pool_.get());
+  first->size = pool_size_ - kHeaderSize;
+  first->free = true;
+  first->magic = kBlockMagic;
+}
+
+MemPool::~MemPool() = default;
+
+void* MemPool::Allocate(std::size_t size, std::size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0 && align <= 64);
+  // Headers are 16-byte aligned, so payloads are too; larger alignments are
+  // satisfied by padding the request.
+  std::size_t need = RoundUp(size, 16);
+  if (align > 16) need = RoundUp(need + align, 16);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::byte* cursor = pool_.get();
+  std::byte* pool_end = pool_.get() + pool_size_;
+  while (cursor < pool_end) {
+    auto* block = reinterpret_cast<BlockHeader*>(cursor);
+    assert(block->magic == kBlockMagic);
+    if (block->free && block->size >= need) {
+      // Split when the remainder can hold another block.
+      if (block->size >= need + kHeaderSize + 16) {
+        auto* rest = reinterpret_cast<BlockHeader*>(cursor + kHeaderSize + need);
+        rest->size = block->size - need - kHeaderSize;
+        rest->free = true;
+        rest->magic = kBlockMagic;
+        block->size = need;
+      }
+      block->free = false;
+      in_use_ += block->size + kHeaderSize;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
+      ++live_allocations_;
+      void* payload = cursor + kHeaderSize;
+      if (align > 16) {
+        payload = reinterpret_cast<void*>(
+            RoundUp(reinterpret_cast<std::uintptr_t>(payload), align));
+      }
+      return payload;
+    }
+    cursor += kHeaderSize + block->size;
+  }
+  return nullptr;
+}
+
+void MemPool::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  assert(Contains(ptr));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Find the owning block by walking the list: alignment padding means ptr
+  // may not sit exactly at header+kHeaderSize, so locate the block whose
+  // payload range contains ptr.
+  std::byte* cursor = pool_.get();
+  std::byte* pool_end = pool_.get() + pool_size_;
+  auto* target = static_cast<std::byte*>(ptr);
+  BlockHeader* owner = nullptr;
+  while (cursor < pool_end) {
+    auto* block = reinterpret_cast<BlockHeader*>(cursor);
+    assert(block->magic == kBlockMagic);
+    std::byte* payload = cursor + kHeaderSize;
+    if (!block->free && target >= payload && target < payload + block->size) {
+      owner = block;
+      break;
+    }
+    cursor += kHeaderSize + block->size;
+  }
+  assert(owner != nullptr && "Free of pointer not allocated from this pool");
+  if (owner == nullptr) return;
+  owner->free = true;
+  in_use_ -= owner->size + kHeaderSize;
+  --live_allocations_;
+
+  // Full coalescing pass over adjacent free blocks. Pool sizes are small
+  // (megabytes) and Free is far off the sampling hot path, so O(n) is fine
+  // and keeps the allocator easy to audit.
+  cursor = pool_.get();
+  while (cursor < pool_end) {
+    auto* block = reinterpret_cast<BlockHeader*>(cursor);
+    std::byte* next = cursor + kHeaderSize + block->size;
+    while (block->free && next < pool_end) {
+      auto* next_block = reinterpret_cast<BlockHeader*>(next);
+      if (!next_block->free) break;
+      block->size += kHeaderSize + next_block->size;
+      next = cursor + kHeaderSize + block->size;
+    }
+    cursor = next;
+  }
+}
+
+bool MemPool::Contains(const void* ptr) const {
+  const auto* p = static_cast<const std::byte*>(ptr);
+  return p >= pool_.get() && p < pool_.get() + pool_size_;
+}
+
+std::size_t MemPool::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+std::size_t MemPool::peak_bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_use_;
+}
+
+std::size_t MemPool::allocation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_allocations_;
+}
+
+}  // namespace ldmsxx

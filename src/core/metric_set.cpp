@@ -1,0 +1,400 @@
+#include "core/metric_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "core/wire.hpp"
+
+namespace ldmsxx {
+namespace {
+
+/// FNV-1a over the serialized metadata with the MGN field zeroed, reduced to
+/// 32 bits. Content addressing means a restarted sampler with an unchanged
+/// schema presents the same MGN, so aggregators keep their mirrors.
+std::uint32_t HashMetadata(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  std::uint32_t folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1 : folded;  // 0 is reserved for "unset"
+}
+
+constexpr std::size_t kMgnFieldOffset = 4;  // after magic
+
+// Per-metric name field width in the serialized metadata. Fixed-width, like
+// the C implementation's metric descriptors — this is what puts the paper's
+// set sizes at ~124 B/metric (24 kB for the 194-metric Blue Waters set) and
+// the data chunk at "roughly 10%" of the set.
+constexpr std::size_t kNameFieldWidth = 80;
+
+void WriteFixedName(ByteWriter& w, const std::string& name) {
+  const auto len =
+      static_cast<std::uint16_t>(std::min(name.size(), kNameFieldWidth - 2));
+  w.U16(len);
+  w.Raw(name.data(), len);
+  static const char kZeros[kNameFieldWidth] = {};
+  w.Raw(kZeros, kNameFieldWidth - 2 - len);
+}
+
+std::string ReadFixedName(ByteReader& r) {
+  std::string field(kNameFieldWidth - 2, '\0');
+  const std::uint16_t len = r.U16();
+  if (len > kNameFieldWidth - 2) return {};
+  for (auto& c : field) c = static_cast<char>(r.U8());
+  field.resize(len);
+  return field;
+}
+
+}  // namespace
+
+MetricSet::MetricSet(MemPoolPtr mem, Schema schema, std::string instance,
+                     std::string producer, std::uint64_t component_id)
+    : mem_(std::move(mem)),
+      schema_(std::move(schema)),
+      instance_(std::move(instance)),
+      producer_(std::move(producer)),
+      component_id_(component_id) {}
+
+MetricSet::~MetricSet() {
+  mem_->Free(meta_);
+  mem_->Free(data_);
+}
+
+std::vector<std::byte> MetricSet::SerializeMetadata(
+    const Schema& schema, const std::string& instance,
+    const std::string& producer, std::uint64_t component_id) {
+  ByteWriter w;
+  w.U32(kMetaMagic);
+  w.U32(0);  // MGN patched below
+  w.U32(static_cast<std::uint32_t>(schema.metric_count()));
+  w.U32(static_cast<std::uint32_t>(sizeof(DataHeader)) +
+        schema.value_area_size());
+  w.U64(component_id);
+  w.Str(instance);
+  w.Str(producer);
+  w.Str(schema.name());
+  for (std::size_t i = 0; i < schema.metric_count(); ++i) {
+    const MetricDef& def = schema.metric(i);
+    w.U8(static_cast<std::uint8_t>(def.type));
+    w.U64(def.component_id);
+    w.U32(def.data_offset);
+    WriteFixedName(w, def.name);
+  }
+  auto bytes = w.Take();
+  const std::uint32_t mgn = HashMetadata(bytes);
+  std::memcpy(bytes.data() + kMgnFieldOffset, &mgn, sizeof mgn);
+  return bytes;
+}
+
+Status MetricSet::AllocateChunks(std::span<const std::byte> serialized_meta) {
+  meta_size_ = serialized_meta.size();
+  data_size_ = sizeof(DataHeader) + schema_.value_area_size();
+  meta_ = static_cast<std::byte*>(mem_->Allocate(meta_size_, 8));
+  data_ = static_cast<std::byte*>(mem_->Allocate(data_size_, 8));
+  if (meta_ == nullptr || data_ == nullptr) {
+    mem_->Free(meta_);
+    mem_->Free(data_);
+    meta_ = data_ = nullptr;
+    return {ErrorCode::kOutOfMemory,
+            "set memory pool exhausted creating " + instance_};
+  }
+  std::memcpy(meta_, serialized_meta.data(), meta_size_);
+  std::memset(data_, 0, data_size_);
+  std::uint32_t mgn;
+  std::memcpy(&mgn, meta_ + kMgnFieldOffset, sizeof mgn);
+  auto* hdr = header();
+  hdr->magic = kDataMagic;
+  hdr->meta_gn = mgn;
+  hdr->data_gn = 0;
+  hdr->consistent = 0;
+  return Status::Ok();
+}
+
+MetricSetPtr MetricSet::Create(MemManager& mem, const Schema& schema,
+                               std::string instance, std::string producer,
+                               std::uint64_t component_id, Status* status) {
+  // Force layout computation before serializing offsets.
+  (void)schema.value_area_size();
+  auto meta_bytes =
+      SerializeMetadata(schema, instance, producer, component_id);
+  // shared_ptr with private ctor: wrap manually.
+  MetricSetPtr set(new MetricSet(mem.pool(), schema, std::move(instance),
+                                 std::move(producer), component_id));
+  Status st = set->AllocateChunks(meta_bytes);
+  if (status != nullptr) *status = st;
+  if (!st.ok()) return nullptr;
+  return set;
+}
+
+MetricSetPtr MetricSet::CreateMirror(MemManager& mem,
+                                     std::span<const std::byte> metadata,
+                                     Status* status) {
+  ByteReader r(metadata);
+  const std::uint32_t magic = r.U32();
+  const std::uint32_t mgn = r.U32();
+  const std::uint32_t card = r.U32();
+  const std::uint32_t data_size = r.U32();
+  const std::uint64_t component_id = r.U64();
+  std::string instance = r.Str();
+  std::string producer = r.Str();
+  std::string schema_name = r.Str();
+  if (!r.ok() || magic != kMetaMagic || mgn == 0) {
+    if (status != nullptr)
+      *status = {ErrorCode::kInvalidArgument, "malformed set metadata"};
+    return nullptr;
+  }
+  Schema schema(schema_name);
+  for (std::uint32_t i = 0; i < card; ++i) {
+    const auto type = static_cast<MetricType>(r.U8());
+    const std::uint64_t comp = r.U64();
+    const std::uint32_t offset = r.U32();
+    std::string name = ReadFixedName(r);
+    if (!r.ok()) {
+      if (status != nullptr)
+        *status = {ErrorCode::kInvalidArgument, "truncated metric record"};
+      return nullptr;
+    }
+    const std::size_t idx = schema.AddMetric(name, type, comp);
+    (void)idx;
+    (void)offset;  // recomputed deterministically below
+  }
+  // The layout algorithm is deterministic, so recomputed offsets match the
+  // producer's; verify the data size as a cross-check.
+  if (sizeof(DataHeader) + schema.value_area_size() != data_size) {
+    if (status != nullptr)
+      *status = {ErrorCode::kInvalidArgument, "metadata layout mismatch"};
+    return nullptr;
+  }
+  MetricSetPtr set(new MetricSet(mem.pool(), std::move(schema),
+                                 std::move(instance), std::move(producer),
+                                 component_id));
+  Status st = set->AllocateChunks(metadata);
+  if (status != nullptr) *status = st;
+  if (!st.ok()) return nullptr;
+  return set;
+}
+
+std::uint32_t MetricSet::meta_gn() const { return header()->meta_gn; }
+
+std::uint64_t MetricSet::data_gn() const {
+  return std::atomic_ref<const std::uint64_t>(header()->data_gn)
+      .load(std::memory_order_acquire);
+}
+
+bool MetricSet::consistent() const {
+  return std::atomic_ref<const std::uint32_t>(header()->consistent)
+             .load(std::memory_order_acquire) != 0;
+}
+
+TimeNs MetricSet::timestamp() const {
+  const auto* hdr = header();
+  return static_cast<TimeNs>(hdr->ts_sec) * kNsPerSec +
+         static_cast<TimeNs>(hdr->ts_usec) * kNsPerUs;
+}
+
+void MetricSet::BeginTransaction() {
+  auto* hdr = header();
+  std::atomic_ref<std::uint32_t>(hdr->consistent)
+      .store(0, std::memory_order_release);
+  // Make the inconsistent mark visible before any value writes.
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void MetricSet::EndTransaction(TimeNs ts) {
+  auto* hdr = header();
+  hdr->ts_sec = static_cast<std::uint32_t>(ts / kNsPerSec);
+  hdr->ts_usec = static_cast<std::uint32_t>((ts % kNsPerSec) / kNsPerUs);
+  // Publish values before bumping the DGN and consistent flag.
+  std::atomic_thread_fence(std::memory_order_release);
+  std::atomic_ref<std::uint64_t>(hdr->data_gn)
+      .fetch_add(1, std::memory_order_acq_rel);
+  std::atomic_ref<std::uint32_t>(hdr->consistent)
+      .store(1, std::memory_order_release);
+}
+
+void MetricSet::StoreScalar(std::size_t idx, const void* src) {
+  const MetricDef& def = schema_.metric(idx);
+  std::memcpy(value_area() + def.data_offset, src, MetricTypeSize(def.type));
+}
+
+void MetricSet::SetValue(std::size_t idx, const MetricValue& v) {
+  const MetricDef& def = schema_.metric(idx);
+  switch (def.type) {
+    case MetricType::kU8: {
+      auto x = static_cast<std::uint8_t>(v.v.u64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kS8: {
+      auto x = static_cast<std::int8_t>(v.v.s64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kU16: {
+      auto x = static_cast<std::uint16_t>(v.v.u64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kS16: {
+      auto x = static_cast<std::int16_t>(v.v.s64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kU32: {
+      auto x = static_cast<std::uint32_t>(v.v.u64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kS32: {
+      auto x = static_cast<std::int32_t>(v.v.s64);
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kU64:
+      StoreScalar(idx, &v.v.u64);
+      break;
+    case MetricType::kS64:
+      StoreScalar(idx, &v.v.s64);
+      break;
+    case MetricType::kF32: {
+      float x = v.type == MetricType::kF32 ? v.v.f32
+                                           : static_cast<float>(v.AsDouble());
+      StoreScalar(idx, &x);
+      break;
+    }
+    case MetricType::kD64: {
+      double x = v.AsDouble();
+      StoreScalar(idx, &x);
+      break;
+    }
+  }
+}
+
+std::uint64_t MetricSet::GetU64(std::size_t idx) const {
+  const MetricDef& def = schema_.metric(idx);
+  std::uint64_t v = 0;
+  std::memcpy(&v, value_area() + def.data_offset, MetricTypeSize(def.type));
+  return v;
+}
+
+std::int64_t MetricSet::GetS64(std::size_t idx) const {
+  return GetValue(idx).v.s64;
+}
+
+double MetricSet::GetD64(std::size_t idx) const {
+  const MetricDef& def = schema_.metric(idx);
+  if (def.type == MetricType::kD64) {
+    double v;
+    std::memcpy(&v, value_area() + def.data_offset, sizeof v);
+    return v;
+  }
+  return GetValue(idx).AsDouble();
+}
+
+MetricValue MetricSet::GetValue(std::size_t idx) const {
+  const MetricDef& def = schema_.metric(idx);
+  const std::byte* src = value_area() + def.data_offset;
+  MetricValue out;
+  out.type = def.type;
+  switch (def.type) {
+    case MetricType::kU8: {
+      std::uint8_t x;
+      std::memcpy(&x, src, 1);
+      out.v.u64 = x;
+      break;
+    }
+    case MetricType::kS8: {
+      std::int8_t x;
+      std::memcpy(&x, src, 1);
+      out.v.s64 = x;
+      break;
+    }
+    case MetricType::kU16: {
+      std::uint16_t x;
+      std::memcpy(&x, src, 2);
+      out.v.u64 = x;
+      break;
+    }
+    case MetricType::kS16: {
+      std::int16_t x;
+      std::memcpy(&x, src, 2);
+      out.v.s64 = x;
+      break;
+    }
+    case MetricType::kU32: {
+      std::uint32_t x;
+      std::memcpy(&x, src, 4);
+      out.v.u64 = x;
+      break;
+    }
+    case MetricType::kS32: {
+      std::int32_t x;
+      std::memcpy(&x, src, 4);
+      out.v.s64 = x;
+      break;
+    }
+    case MetricType::kU64:
+      std::memcpy(&out.v.u64, src, 8);
+      break;
+    case MetricType::kS64:
+      std::memcpy(&out.v.s64, src, 8);
+      break;
+    case MetricType::kF32:
+      std::memcpy(&out.v.f32, src, 4);
+      break;
+    case MetricType::kD64:
+      std::memcpy(&out.v.d64, src, 8);
+      break;
+  }
+  return out;
+}
+
+Status MetricSet::SnapshotData(std::span<std::byte> out) const {
+  if (out.size() < data_size_) {
+    return {ErrorCode::kInvalidArgument, "snapshot buffer too small"};
+  }
+  const auto* hdr = header();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t gn_before =
+        std::atomic_ref<const std::uint64_t>(hdr->data_gn)
+            .load(std::memory_order_acquire);
+    const bool consistent_before =
+        std::atomic_ref<const std::uint32_t>(hdr->consistent)
+            .load(std::memory_order_acquire) != 0;
+    if (!consistent_before) continue;  // writer active; retry
+    std::memcpy(out.data(), data_, data_size_);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t gn_after =
+        std::atomic_ref<const std::uint64_t>(hdr->data_gn)
+            .load(std::memory_order_acquire);
+    const bool consistent_after =
+        std::atomic_ref<const std::uint32_t>(hdr->consistent)
+            .load(std::memory_order_acquire) != 0;
+    if (gn_before == gn_after && consistent_after) return Status::Ok();
+  }
+  return {ErrorCode::kInconsistent, "could not obtain stable snapshot"};
+}
+
+Status MetricSet::ApplyData(std::span<const std::byte> data) {
+  if (data.size() != data_size_) {
+    return {ErrorCode::kInvalidArgument, "data chunk size mismatch"};
+  }
+  DataHeader incoming;
+  std::memcpy(&incoming, data.data(), sizeof incoming);
+  if (incoming.magic != kDataMagic) {
+    return {ErrorCode::kInvalidArgument, "bad data chunk magic"};
+  }
+  if (incoming.meta_gn != meta_gn()) {
+    return {ErrorCode::kInvalidArgument, "metadata generation mismatch"};
+  }
+  if (incoming.consistent == 0) {
+    return {ErrorCode::kInconsistent, "peer sample was torn"};
+  }
+  std::memcpy(data_, data.data(), data_size_);
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,176 @@
+// The metric set: LDMS's unit of collection. Two contiguous chunks live in
+// the daemon's MemManager pool (§IV-B):
+//
+//   metadata chunk — serialized set/schema description plus a metadata
+//     generation number (MGN); sent once per lookup.
+//   data chunk — header {MGN copy, data generation number (DGN), timestamp,
+//     consistent flag} followed by the packed metric values; this is the only
+//     part pulled on each update (~10% of the set size, §IV-B).
+//
+// Writers use Begin/EndTransaction around a sampling pass; readers take
+// seqlock-style snapshots so a torn concurrent read is detected, never
+// silently stored (§IV-B "Storage").
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/mem_manager.hpp"
+#include "core/schema.hpp"
+#include "core/value.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+class MetricSet;
+using MetricSetPtr = std::shared_ptr<MetricSet>;
+
+/// A metric set resident in a daemon's memory pool. Local sets are created
+/// from a Schema by samplers; mirror sets are reconstructed on aggregators
+/// from a peer's serialized metadata.
+class MetricSet {
+ public:
+  /// Header prepended to the data chunk. Standard layout; data_gn is accessed
+  /// through std::atomic_ref for the seqlock protocol.
+  struct DataHeader {
+    std::uint32_t magic;
+    std::uint32_t meta_gn;
+    std::uint64_t data_gn;
+    std::uint32_t ts_sec;
+    std::uint32_t ts_usec;
+    std::uint32_t consistent;
+    std::uint32_t reserved;
+  };
+  static_assert(sizeof(DataHeader) == 32);
+
+  /// Create a local (writable) set.
+  /// @param mem       pool the chunks are carved from
+  /// @param schema    metric definitions (layout is finalized here; do not
+  ///                  add metrics to @p schema afterwards)
+  /// @param instance  set instance name, e.g. "nid00042/meminfo"
+  /// @param producer  producer (host) name stored with the set
+  /// @param component_id default component ID for metrics defined with 0
+  /// Returns nullptr and sets @p status on pool exhaustion.
+  static MetricSetPtr Create(MemManager& mem, const Schema& schema,
+                             std::string instance, std::string producer,
+                             std::uint64_t component_id, Status* status);
+
+  /// Reconstruct a read-mostly mirror from serialized metadata received in a
+  /// lookup reply. The mirror's data chunk is overwritten by ApplyData().
+  static MetricSetPtr CreateMirror(MemManager& mem,
+                                   std::span<const std::byte> metadata,
+                                   Status* status);
+
+  ~MetricSet();
+
+  MetricSet(const MetricSet&) = delete;
+  MetricSet& operator=(const MetricSet&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  const std::string& instance_name() const { return instance_; }
+  const std::string& producer_name() const { return producer_; }
+  std::uint64_t component_id() const { return component_id_; }
+
+  std::uint32_t meta_gn() const;
+  std::uint64_t data_gn() const;
+  bool consistent() const;
+  /// Timestamp of the last completed transaction.
+  TimeNs timestamp() const;
+
+  std::size_t meta_size() const { return meta_size_; }
+  std::size_t data_size() const { return data_size_; }
+  /// Total pool bytes this set occupies.
+  std::size_t total_size() const { return meta_size_ + data_size_; }
+
+  // --- writer side (sampling plugins) ---------------------------------
+
+  /// Mark the set inconsistent and open a write pass.
+  void BeginTransaction();
+  /// Stamp @p ts, bump the DGN, and mark the set consistent.
+  void EndTransaction(TimeNs ts);
+
+  void SetU64(std::size_t idx, std::uint64_t v) { StoreScalar(idx, &v); }
+  void SetS64(std::size_t idx, std::int64_t v) { StoreScalar(idx, &v); }
+  void SetD64(std::size_t idx, double v) { StoreScalar(idx, &v); }
+  void SetU32(std::size_t idx, std::uint32_t v) { StoreScalar(idx, &v); }
+  void SetValue(std::size_t idx, const MetricValue& v);
+
+  // --- reader side ------------------------------------------------------
+
+  std::uint64_t GetU64(std::size_t idx) const;
+  std::int64_t GetS64(std::size_t idx) const;
+  double GetD64(std::size_t idx) const;
+  /// Type-erased read honoring the metric's declared type.
+  MetricValue GetValue(std::size_t idx) const;
+
+  /// Serialized metadata (the lookup-reply payload).
+  std::span<const std::byte> metadata_bytes() const {
+    return {meta_, meta_size_};
+  }
+  /// Raw data chunk (header + values). Reading this while a writer is active
+  /// can tear; use SnapshotData() when consistency matters.
+  std::span<const std::byte> data_bytes() const { return {data_, data_size_}; }
+
+  /// Copy the data chunk into @p out with a seqlock retry loop. Fails with
+  /// kInconsistent if a stable, consistent snapshot cannot be obtained in a
+  /// bounded number of retries (writer continuously active).
+  Status SnapshotData(std::span<std::byte> out) const;
+
+  /// Overwrite this mirror's data chunk with @p data pulled from a peer.
+  /// Rejects wrong-size chunks, MGN mismatches (kInvalidArgument), torn or
+  /// stale payloads (kInconsistent) — the aggregator then skips the store and
+  /// retries next interval, exactly the paper's behaviour.
+  Status ApplyData(std::span<const std::byte> data);
+
+  /// DGN value of the last ApplyData/EndTransaction the caller consumed;
+  /// aggregator bookkeeping uses this to detect "no new sample".
+  std::uint64_t last_consumed_gn() const {
+    return last_consumed_gn_.load(std::memory_order_relaxed);
+  }
+  void set_last_consumed_gn(std::uint64_t gn) {
+    last_consumed_gn_.store(gn, std::memory_order_relaxed);
+  }
+
+  static constexpr std::uint32_t kDataMagic = 0x4c444d44;  // "LDMD"
+  static constexpr std::uint32_t kMetaMagic = 0x4c444d4d;  // "LDMM"
+
+ private:
+  MetricSet(MemPoolPtr mem, Schema schema, std::string instance,
+            std::string producer, std::uint64_t component_id);
+
+  Status AllocateChunks(std::span<const std::byte> serialized_meta);
+  DataHeader* header() { return reinterpret_cast<DataHeader*>(data_); }
+  const DataHeader* header() const {
+    return reinterpret_cast<const DataHeader*>(data_);
+  }
+  std::byte* value_area() { return data_ + sizeof(DataHeader); }
+  const std::byte* value_area() const { return data_ + sizeof(DataHeader); }
+
+  void StoreScalar(std::size_t idx, const void* src);
+
+  /// Serialize header+schema into metadata bytes; MGN is a content hash so
+  /// identical schemas produce identical MGNs across restarts.
+  static std::vector<std::byte> SerializeMetadata(
+      const Schema& schema, const std::string& instance,
+      const std::string& producer, std::uint64_t component_id);
+
+  /// Shared: keeps the pool alive while this set (or a remote pin of it)
+  /// exists, regardless of daemon teardown order.
+  MemPoolPtr mem_;
+  Schema schema_;
+  std::string instance_;
+  std::string producer_;
+  std::uint64_t component_id_ = 0;
+
+  std::byte* meta_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t meta_size_ = 0;
+  std::size_t data_size_ = 0;
+
+  std::atomic<std::uint64_t> last_consumed_gn_{0};
+};
+
+}  // namespace ldmsxx

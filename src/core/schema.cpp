@@ -1,0 +1,41 @@
+#include "core/schema.hpp"
+
+namespace ldmsxx {
+
+std::size_t Schema::AddMetric(std::string_view metric_name, MetricType type,
+                              std::uint64_t component_id) {
+  MetricDef def;
+  def.name = std::string(metric_name);
+  def.type = type;
+  def.component_id = component_id;
+  metrics_.push_back(std::move(def));
+  index_.emplace(metrics_.back().name, metrics_.size() - 1);
+  layout_valid_ = false;
+  return metrics_.size() - 1;
+}
+
+std::optional<std::size_t> Schema::FindMetric(
+    std::string_view metric_name) const {
+  auto it = index_.find(std::string(metric_name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t Schema::value_area_size() const {
+  if (!layout_valid_) ComputeLayout();
+  return value_area_size_;
+}
+
+void Schema::ComputeLayout() const {
+  std::uint32_t offset = 0;
+  for (auto& def : metrics_) {
+    const auto align = static_cast<std::uint32_t>(MetricTypeAlign(def.type));
+    offset = (offset + align - 1) / align * align;
+    def.data_offset = offset;
+    offset += static_cast<std::uint32_t>(MetricTypeSize(def.type));
+  }
+  value_area_size_ = offset;
+  layout_valid_ = true;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,63 @@
+// A Schema defines the metrics of a metric set: names, types, per-metric
+// component IDs, and the byte offset of each value in the data chunk
+// (§IV-B: metadata records "name, user-defined component ID, data type,
+// offset of the element from the beginning of the data chunk").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace ldmsxx {
+
+/// One metric's definition within a schema.
+struct MetricDef {
+  std::string name;
+  MetricType type = MetricType::kU64;
+  /// User-defined component ID associated with this metric (typically the
+  /// node ID the value describes); written alongside every stored value.
+  std::uint64_t component_id = 0;
+  /// Byte offset of the value from the start of the data chunk's value area.
+  std::uint32_t data_offset = 0;
+};
+
+/// Ordered collection of metric definitions plus computed layout. Build with
+/// AddMetric() then hand to MetricSet::Create; layout is finalized lazily.
+class Schema {
+ public:
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  /// Append a metric; returns its index. Duplicate names are allowed by LDMS
+  /// (different component IDs can share a name); lookup-by-name returns the
+  /// first.
+  std::size_t AddMetric(std::string_view metric_name, MetricType type,
+                        std::uint64_t component_id = 0);
+
+  const std::string& name() const { return name_; }
+  std::size_t metric_count() const { return metrics_.size(); }
+  const MetricDef& metric(std::size_t i) const { return metrics_[i]; }
+
+  /// Index of the first metric with @p metric_name, if any.
+  std::optional<std::size_t> FindMetric(std::string_view metric_name) const;
+
+  /// Total bytes of the value area (excludes the data-chunk header).
+  /// Computes offsets on first call; adding metrics afterwards recomputes.
+  std::uint32_t value_area_size() const;
+
+ private:
+  void ComputeLayout() const;
+
+  std::string name_;
+  mutable std::vector<MetricDef> metrics_;
+  mutable std::unordered_map<std::string, std::size_t> index_;
+  mutable std::uint32_t value_area_size_ = 0;
+  mutable bool layout_valid_ = false;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,60 @@
+#include "core/set_registry.hpp"
+
+#include <algorithm>
+
+namespace ldmsxx {
+
+Status SetRegistry::Add(MetricSetPtr set) {
+  if (set == nullptr) {
+    return {ErrorCode::kInvalidArgument, "null set"};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sets_.emplace(set->instance_name(), std::move(set));
+  if (!inserted) {
+    return {ErrorCode::kAlreadyExists,
+            "set already registered: " + it->first};
+  }
+  return Status::Ok();
+}
+
+Status SetRegistry::Remove(std::string_view instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sets_.find(std::string(instance));
+  if (it == sets_.end()) {
+    return {ErrorCode::kNotFound, "no such set: " + std::string(instance)};
+  }
+  sets_.erase(it);
+  return Status::Ok();
+}
+
+MetricSetPtr SetRegistry::Find(std::string_view instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sets_.find(std::string(instance));
+  if (it == sets_.end()) return nullptr;
+  return it->second;
+}
+
+std::vector<std::string> SetRegistry::List() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(sets_.size());
+    for (const auto& [name, set] : sets_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::size_t SetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sets_.size();
+}
+
+std::size_t SetRegistry::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, set] : sets_) total += set->total_size();
+  return total;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,44 @@
+// Per-daemon directory of metric sets keyed by instance name. Transport
+// listeners resolve lookup requests against this; sampler plugins register
+// the sets they create (the "set directory" a real ldmsd exposes via
+// ldms_ls).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metric_set.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Thread-safe name -> set map.
+class SetRegistry {
+ public:
+  /// Register @p set under its instance name.
+  Status Add(MetricSetPtr set);
+
+  /// Remove by instance name; returns kNotFound if absent.
+  Status Remove(std::string_view instance);
+
+  /// Find by instance name; nullptr if absent.
+  MetricSetPtr Find(std::string_view instance) const;
+
+  /// All registered instance names, sorted (a stable `ldms_ls`).
+  std::vector<std::string> List() const;
+
+  std::size_t size() const;
+
+  /// Sum of total_size() over all sets (footprint accounting).
+  std::size_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, MetricSetPtr> sets_;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,140 @@
+// Metric value types. LDMS metric sets are strongly typed: each metric in a
+// set has a fixed scalar type chosen at schema-definition time so that the
+// data chunk has a fixed binary layout and samplers never format text on the
+// hot path (§IV-B; the "U64" column in the paper's Lustre metric listing is
+// this type tag).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ldmsxx {
+
+/// Scalar metric types supported in metric-set data chunks.
+enum class MetricType : std::uint8_t {
+  kU8 = 0,
+  kS8,
+  kU16,
+  kS16,
+  kU32,
+  kS32,
+  kU64,
+  kS64,
+  kF32,
+  kD64,
+};
+
+/// Size in bytes of a value of @p type in the data chunk.
+constexpr std::size_t MetricTypeSize(MetricType type) {
+  switch (type) {
+    case MetricType::kU8:
+    case MetricType::kS8:
+      return 1;
+    case MetricType::kU16:
+    case MetricType::kS16:
+      return 2;
+    case MetricType::kU32:
+    case MetricType::kS32:
+    case MetricType::kF32:
+      return 4;
+    case MetricType::kU64:
+    case MetricType::kS64:
+    case MetricType::kD64:
+      return 8;
+  }
+  return 0;
+}
+
+/// Natural alignment equals size for all supported scalars.
+constexpr std::size_t MetricTypeAlign(MetricType type) {
+  return MetricTypeSize(type);
+}
+
+const char* MetricTypeName(MetricType type);
+
+/// Tagged scalar used by the generic (type-erased) accessors, the stores,
+/// and the configuration layer. Hot paths use the typed accessors instead.
+struct MetricValue {
+  MetricType type = MetricType::kU64;
+  union {
+    std::uint64_t u64;
+    std::int64_t s64;
+    double d64;
+    float f32;
+  } v{};
+
+  static MetricValue U64(std::uint64_t x) {
+    MetricValue mv;
+    mv.type = MetricType::kU64;
+    mv.v.u64 = x;
+    return mv;
+  }
+  static MetricValue S64(std::int64_t x) {
+    MetricValue mv;
+    mv.type = MetricType::kS64;
+    mv.v.s64 = x;
+    return mv;
+  }
+  static MetricValue D64(double x) {
+    MetricValue mv;
+    mv.type = MetricType::kD64;
+    mv.v.d64 = x;
+    return mv;
+  }
+
+  /// Lossy conversion to double (stores and plots).
+  double AsDouble() const;
+  /// Render for CSV output.
+  std::string ToString() const;
+};
+
+inline const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kU8: return "U8";
+    case MetricType::kS8: return "S8";
+    case MetricType::kU16: return "U16";
+    case MetricType::kS16: return "S16";
+    case MetricType::kU32: return "U32";
+    case MetricType::kS32: return "S32";
+    case MetricType::kU64: return "U64";
+    case MetricType::kS64: return "S64";
+    case MetricType::kF32: return "F32";
+    case MetricType::kD64: return "D64";
+  }
+  return "?";
+}
+
+inline double MetricValue::AsDouble() const {
+  switch (type) {
+    case MetricType::kF32:
+      return static_cast<double>(v.f32);
+    case MetricType::kD64:
+      return v.d64;
+    case MetricType::kS8:
+    case MetricType::kS16:
+    case MetricType::kS32:
+    case MetricType::kS64:
+      return static_cast<double>(v.s64);
+    default:
+      return static_cast<double>(v.u64);
+  }
+}
+
+inline std::string MetricValue::ToString() const {
+  switch (type) {
+    case MetricType::kF32:
+      return std::to_string(v.f32);
+    case MetricType::kD64:
+      return std::to_string(v.d64);
+    case MetricType::kS8:
+    case MetricType::kS16:
+    case MetricType::kS32:
+    case MetricType::kS64:
+      return std::to_string(v.s64);
+    default:
+      return std::to_string(v.u64);
+  }
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,111 @@
+// Byte-buffer writer/reader for the serialized metadata chunk and the
+// transport wire protocol. Little-endian host order: LDMS peers in one
+// deployment share architecture (and we only target x86-64/ARM64 LE), the
+// same assumption the C implementation makes for its binary sets.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldmsxx {
+
+/// Append-only binary writer.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U16(std::uint16_t v) { Raw(&v, 2); }
+  void U32(std::uint32_t v) { Raw(&v, 4); }
+  void U64(std::uint64_t v) { Raw(&v, 8); }
+  void D64(double v) { Raw(&v, 8); }
+
+  /// Length-prefixed (u16) string.
+  void Str(std::string_view s) {
+    U16(static_cast<std::uint16_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void Bytes(std::span<const std::byte> data) {
+    U32(static_cast<std::uint32_t>(data.size()));
+    Raw(data.data(), data.size());
+  }
+
+  void Raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  const std::vector<std::byte>& buffer() const { return buf_; }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  /// Overwrite 4 bytes at @p offset (for back-patched length fields).
+  void PatchU32(std::size_t offset, std::uint32_t v) {
+    std::memcpy(buf_.data() + offset, &v, 4);
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential binary reader over a borrowed span. Out-of-bounds reads set a
+/// sticky failure flag rather than throwing; callers check ok() once at the
+/// end of a parse.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t U8() { return Scalar<std::uint8_t>(); }
+  std::uint16_t U16() { return Scalar<std::uint16_t>(); }
+  std::uint32_t U32() { return Scalar<std::uint32_t>(); }
+  std::uint64_t U64() { return Scalar<std::uint64_t>(); }
+  double D64() { return Scalar<double>(); }
+
+  std::string Str() {
+    const std::size_t len = U16();
+    if (!Ensure(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<std::byte> Bytes() {
+    const std::size_t len = U32();
+    if (!Ensure(len)) return {};
+    std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T Scalar() {
+    if (!Ensure(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Ensure(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,186 @@
+#include "daemon/config.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+namespace {
+
+PluginParams ToParams(
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    std::size_t skip) {
+  PluginParams params;
+  for (std::size_t i = skip; i < kvs.size(); ++i) {
+    params[kvs[i].first] = kvs[i].second;
+  }
+  return params;
+}
+
+std::optional<DurationNs> IntervalUsParam(const PluginParams& args,
+                                          const std::string& key) {
+  auto it = args.find(key);
+  if (it == args.end()) return std::nullopt;
+  auto us = ParseU64(it->second);
+  if (!us) return std::nullopt;
+  return *us * kNsPerUs;
+}
+
+}  // namespace
+
+ConfigProcessor::ConfigProcessor(Ldmsd& daemon, PluginRegistry* registry)
+    : daemon_(daemon),
+      registry_(registry != nullptr ? registry : &PluginRegistry::Instance()) {}
+
+Status ConfigProcessor::Execute(std::string_view line) {
+  line = Trim(line);
+  if (line.empty() || line.front() == '#') return Status::Ok();
+  auto kvs = ParseKeyValues(line);
+  if (kvs.empty()) return Status::Ok();
+  const std::string& verb = kvs[0].first;
+  PluginParams args = ToParams(kvs, 1);
+
+  if (verb == "load") return CmdLoad(args);
+  if (verb == "config") return CmdConfig(args);
+  if (verb == "start") return CmdStart(args);
+  if (verb == "stop") return CmdStop(args);
+  if (verb == "interval") return CmdInterval(args);
+  if (verb == "prdcr_add") return CmdPrdcrAdd(args);
+  if (verb == "strgp_add") return CmdStrgpAdd(args);
+  return {ErrorCode::kInvalidArgument, "unknown command: " + verb};
+}
+
+Status ConfigProcessor::ExecuteScript(std::string_view script) {
+  std::size_t line_no = 0;
+  for (std::string_view line : Split(script, '\n')) {
+    ++line_no;
+    Status st = Execute(line);
+    if (!st.ok()) {
+      return {st.code(),
+              "line " + std::to_string(line_no) + ": " + st.message()};
+    }
+  }
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdLoad(const PluginParams& args) {
+  auto it = args.find("name");
+  if (it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "load requires name="};
+  }
+  if (!registry_->HasSampler(it->second)) {
+    return {ErrorCode::kNotFound, "unknown sampler plugin: " + it->second};
+  }
+  pending_[it->second];  // create empty pending config
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdConfig(const PluginParams& args) {
+  auto it = args.find("name");
+  if (it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "config requires name="};
+  }
+  auto pending = pending_.find(it->second);
+  if (pending == pending_.end()) {
+    return {ErrorCode::kNotFound, "plugin not loaded: " + it->second};
+  }
+  for (const auto& [key, value] : args) {
+    if (key != "name") pending->second[key] = value;
+  }
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdStart(const PluginParams& args) {
+  auto it = args.find("name");
+  if (it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "start requires name="};
+  }
+  auto pending = pending_.find(it->second);
+  if (pending == pending_.end()) {
+    return {ErrorCode::kNotFound, "plugin not loaded: " + it->second};
+  }
+  SamplerConfig config;
+  config.params = pending->second;
+  if (auto interval = IntervalUsParam(args, "interval")) {
+    config.interval = *interval;
+  } else {
+    return {ErrorCode::kInvalidArgument, "start requires interval=<usec>"};
+  }
+  if (auto offset = IntervalUsParam(args, "offset")) config.offset = *offset;
+  if (auto sync = args.find("sync"); sync != args.end()) {
+    config.synchronous = sync->second == "1";
+  }
+  SamplerPluginPtr plugin = registry_->MakeSampler(it->second, config.params);
+  if (plugin == nullptr) {
+    return {ErrorCode::kNotFound, "unknown sampler plugin: " + it->second};
+  }
+  Status st = daemon_.AddSampler(std::move(plugin), config);
+  if (st.ok()) pending_.erase(pending);
+  return st;
+}
+
+Status ConfigProcessor::CmdStop(const PluginParams& args) {
+  auto it = args.find("name");
+  if (it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "stop requires name="};
+  }
+  return daemon_.RemoveSampler(it->second);
+}
+
+Status ConfigProcessor::CmdInterval(const PluginParams& args) {
+  auto it = args.find("name");
+  auto interval = IntervalUsParam(args, "interval");
+  if (it == args.end() || !interval) {
+    return {ErrorCode::kInvalidArgument,
+            "interval requires name= and interval=<usec>"};
+  }
+  return daemon_.SetSamplingInterval(it->second, *interval);
+}
+
+Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
+  ProducerConfig config;
+  if (auto it = args.find("name"); it != args.end()) {
+    config.name = it->second;
+  } else {
+    return {ErrorCode::kInvalidArgument, "prdcr_add requires name="};
+  }
+  if (auto it = args.find("xprt"); it != args.end())
+    config.transport = it->second;
+  if (auto it = args.find("host"); it != args.end())
+    config.address = it->second;
+  if (auto interval = IntervalUsParam(args, "interval")) {
+    config.interval = *interval;
+  }
+  if (auto offset = IntervalUsParam(args, "offset")) config.offset = *offset;
+  if (auto it = args.find("sync"); it != args.end())
+    config.synchronous = it->second == "1";
+  if (auto it = args.find("sets"); it != args.end()) {
+    for (auto inst : Split(it->second, ',')) {
+      if (!inst.empty()) config.set_instances.emplace_back(inst);
+    }
+  }
+  if (auto it = args.find("standby"); it != args.end())
+    config.standby = it->second == "1";
+  if (auto it = args.find("standby_for"); it != args.end())
+    config.standby_for = it->second;
+  return daemon_.AddProducer(config);
+}
+
+Status ConfigProcessor::CmdStrgpAdd(const PluginParams& args) {
+  auto plugin_it = args.find("plugin");
+  if (plugin_it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "strgp_add requires plugin="};
+  }
+  auto store = registry_->MakeStore(plugin_it->second, args);
+  if (store == nullptr) {
+    return {ErrorCode::kNotFound,
+            "unknown store plugin: " + plugin_it->second};
+  }
+  StorePolicy policy;
+  policy.store = std::move(store);
+  if (auto it = args.find("schema"); it != args.end())
+    policy.schema_filter = it->second;
+  if (auto it = args.find("producer"); it != args.end())
+    policy.producer_filter = it->second;
+  return daemon_.AddStorePolicy(std::move(policy));
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,57 @@
+// ldmsd configuration command language. The real daemon is driven by
+// "process-owner issued configuration commands" over a UNIX domain socket
+// (§IV-B); we implement the command set as a text processor so deployments
+// are descriptions, not code:
+//
+//   load       name=<sampler plugin>
+//   config     name=<plugin> [producer=<p>] [instance=<i>] [component_id=<n>]
+//              [plugin-specific params...]
+//   start      name=<plugin> interval=<usec> [offset=<usec>] [sync=1]
+//   stop       name=<plugin>
+//   prdcr_add  name=<producer> xprt=<transport> host=<address>
+//              interval=<usec> [offset=<usec>] [sync=1]
+//              [sets=<a,b,c>] [standby=1] [standby_for=<primary>]
+//   strgp_add  name=<policy> plugin=<store plugin> [path=<dir>]
+//              [schema=<filter>] [producer=<filter>] [altheader=1]
+//   interval   name=<plugin> interval=<usec>       (on-the-fly change)
+//
+// Intervals are microseconds, matching ldmsd's convention. Lines starting
+// with '#' and blank lines are ignored.
+#pragma once
+
+#include <string_view>
+
+#include "daemon/ldmsd.hpp"
+#include "daemon/plugin_registry.hpp"
+
+namespace ldmsxx {
+
+class ConfigProcessor {
+ public:
+  /// @param daemon daemon to configure
+  /// @param registry plugin factories; nullptr = PluginRegistry::Instance()
+  explicit ConfigProcessor(Ldmsd& daemon, PluginRegistry* registry = nullptr);
+
+  /// Execute a single command line.
+  Status Execute(std::string_view line);
+
+  /// Execute a multi-line script; stops at the first failing command and
+  /// returns its status annotated with the line number.
+  Status ExecuteScript(std::string_view script);
+
+ private:
+  Status CmdLoad(const PluginParams& args);
+  Status CmdConfig(const PluginParams& args);
+  Status CmdStart(const PluginParams& args);
+  Status CmdStop(const PluginParams& args);
+  Status CmdInterval(const PluginParams& args);
+  Status CmdPrdcrAdd(const PluginParams& args);
+  Status CmdStrgpAdd(const PluginParams& args);
+
+  Ldmsd& daemon_;
+  PluginRegistry* registry_;
+  /// Plugins loaded but not yet started: name -> accumulated config params.
+  std::map<std::string, PluginParams> pending_;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,147 @@
+#include "daemon/control.hpp"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ldmsxx {
+namespace {
+
+Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() + 1 > sizeof(addr->sun_path)) {
+    return {ErrorCode::kInvalidArgument, "socket path too long: " + path};
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+/// Read until '\n' or EOF (commands and replies are single lines).
+Status ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 0) {
+      return line->empty() ? Status{ErrorCode::kDisconnected, "EOF"}
+                           : Status::Ok();
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {ErrorCode::kDisconnected, std::strerror(errno)};
+    }
+    if (c == '\n') return Status::Ok();
+    line->push_back(c);
+  }
+}
+
+Status WriteLine(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {ErrorCode::kDisconnected, std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ControlServer::ControlServer(Ldmsd& daemon, std::string socket_path)
+    : daemon_(daemon),
+      processor_(daemon),
+      socket_path_(std::move(socket_path)) {}
+
+ControlServer::~ControlServer() { Stop(); }
+
+Status ControlServer::Start() {
+  sockaddr_un addr{};
+  Status st = FillSockaddr(socket_path_, &addr);
+  if (!st.ok()) return st;
+  ::unlink(socket_path_.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return {ErrorCode::kInternal, std::strerror(errno)};
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    return {ErrorCode::kInvalidArgument,
+            "bind " + socket_path_ + ": " + std::strerror(errno)};
+  }
+  // Owner-only: the paper's access control.
+  ::chmod(socket_path_.c_str(), 0600);
+  if (::listen(listen_fd_, 16) < 0) {
+    return {ErrorCode::kInternal, std::strerror(errno)};
+  }
+  running_ = true;
+  server_ = std::thread([this] { ServeLoop(); });
+  daemon_.log().Info("control socket at ", socket_path_);
+  return Status::Ok();
+}
+
+void ControlServer::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (server_.joinable()) server_.join();
+  ::unlink(socket_path_.c_str());
+}
+
+void ControlServer::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    // Control traffic is rare and tiny; serve inline.
+    ServeClient(fd);
+    ::close(fd);
+  }
+}
+
+void ControlServer::ServeClient(int fd) {
+  std::string line;
+  while (ReadLine(fd, &line).ok()) {
+    if (line.empty()) continue;
+    commands_.fetch_add(1, std::memory_order_relaxed);
+    Status st = processor_.Execute(line);
+    Status wst = WriteLine(fd, st.ok() ? "OK" : "ERROR: " + st.ToString());
+    if (!wst.ok()) return;
+  }
+}
+
+Status ControlServer::SendCommand(const std::string& socket_path,
+                                  const std::string& command,
+                                  std::string* reply) {
+  sockaddr_un addr{};
+  Status st = FillSockaddr(socket_path, &addr);
+  if (!st.ok()) return st;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return {ErrorCode::kInternal, std::strerror(errno)};
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return {ErrorCode::kDisconnected, "connect " + socket_path + ": " + err};
+  }
+  st = WriteLine(fd, command);
+  if (st.ok()) st = ReadLine(fd, reply);
+  ::close(fd);
+  if (!st.ok()) return st;
+  if (reply->rfind("ERROR", 0) == 0) {
+    return {ErrorCode::kInvalidArgument, *reply};
+  }
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,57 @@
+// Runtime control channel: "Access is controlled via permissions on a UNIX
+// Domain Socket ... The owner of an LDMS instance controls it through a
+// local UNIX Domain socket" (§IV-B, §IV-G). One line per command in the
+// ldmsd configuration language; the reply is "OK" or "ERROR: <detail>".
+// This is what lets users reconfigure sampling (including the on-the-fly
+// interval change) on a live daemon without restarting it.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/config.hpp"
+
+namespace ldmsxx {
+
+class ControlServer {
+ public:
+  /// @param daemon daemon the commands apply to
+  /// @param socket_path filesystem path of the UNIX domain socket; an
+  ///        existing file at the path is replaced
+  ControlServer(Ldmsd& daemon, std::string socket_path);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Bind, listen, and start serving. The socket is created with owner-only
+  /// permissions (0600), the paper's access-control mechanism.
+  Status Start();
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  std::uint64_t commands_served() const {
+    return commands_.load(std::memory_order_relaxed);
+  }
+
+  /// Client helper: send one command line to a control socket and return
+  /// the daemon's reply ("OK" or "ERROR: ...").
+  static Status SendCommand(const std::string& socket_path,
+                            const std::string& command, std::string* reply);
+
+ private:
+  void ServeLoop();
+  void ServeClient(int fd);
+
+  Ldmsd& daemon_;
+  ConfigProcessor processor_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::thread server_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> commands_{0};
+};
+
+}  // namespace ldmsxx

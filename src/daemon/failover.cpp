@@ -1,0 +1,49 @@
+#include "daemon/failover.hpp"
+
+#include <chrono>
+
+namespace ldmsxx {
+
+void FailoverWatchdog::AddRule(FailoverRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+}
+
+std::size_t FailoverWatchdog::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t triggered_now = 0;
+  for (auto& state : rules_) {
+    if (state.triggered) continue;
+    if (state.rule.primary_alive()) {
+      state.consecutive_failures = 0;
+      continue;
+    }
+    if (++state.consecutive_failures < state.rule.failure_threshold) continue;
+    state.triggered = true;
+    ++triggered_now;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& producer : state.rule.standby_producers) {
+      (void)state.rule.standby_daemon->ActivateStandby(producer);
+    }
+  }
+  return triggered_now;
+}
+
+void FailoverWatchdog::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      Poll();
+      std::this_thread::sleep_for(std::chrono::nanoseconds(poll_interval_));
+    }
+  });
+}
+
+void FailoverWatchdog::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ldmsxx

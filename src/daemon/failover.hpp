@@ -1,0 +1,66 @@
+// Failover watchdog. The paper: "there is currently no internal mechanism
+// for a standby aggregator to detect a primary has gone down automatically.
+// This is accomplished either manually or by an external watchdog program
+// that provides notification" (§IV-B). This is that external watchdog: it
+// polls a liveness predicate for each primary aggregator and, on failure,
+// activates the corresponding standby producers on the backup aggregator.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/ldmsd.hpp"
+
+namespace ldmsxx {
+
+struct FailoverRule {
+  /// Returns true while the primary aggregator is healthy.
+  std::function<bool()> primary_alive;
+  /// Aggregator holding the standby connections.
+  Ldmsd* standby_daemon = nullptr;
+  /// Standby producer names on @p standby_daemon to activate on failure.
+  std::vector<std::string> standby_producers;
+  /// Consecutive failed polls required before declaring the primary dead.
+  std::uint64_t failure_threshold = 2;
+};
+
+class FailoverWatchdog {
+ public:
+  explicit FailoverWatchdog(DurationNs poll_interval = kNsPerSec)
+      : poll_interval_(poll_interval) {}
+  ~FailoverWatchdog() { Stop(); }
+
+  void AddRule(FailoverRule rule);
+
+  /// Evaluate all rules once (tests and simulation drive this directly).
+  /// Returns the number of failovers triggered by this poll.
+  std::size_t Poll();
+
+  /// Background polling thread (production mode).
+  void Start();
+  void Stop();
+
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RuleState {
+    FailoverRule rule;
+    std::uint64_t consecutive_failures = 0;
+    bool triggered = false;
+  };
+
+  DurationNs poll_interval_;
+  std::mutex mu_;
+  std::vector<RuleState> rules_;
+  std::atomic<std::uint64_t> failovers_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace ldmsxx

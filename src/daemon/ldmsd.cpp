@@ -1,0 +1,492 @@
+#include "daemon/ldmsd.hpp"
+
+#include <chrono>
+
+namespace ldmsxx {
+namespace {
+
+std::uint64_t NowSteadyNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Ldmsd::Ldmsd(LdmsdOptions options)
+    : options_(std::move(options)),
+      log_(options_.name, options_.log_path),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &RealClock::Instance()),
+      transports_(options_.transports != nullptr
+                      ? options_.transports
+                      : &TransportRegistry::Default()),
+      mem_(options_.set_memory),
+      workers_(options_.worker_threads > 0
+                   ? std::make_unique<ThreadPool>(options_.worker_threads,
+                                                  options_.name + "/work")
+                   : nullptr),
+      connectors_(options_.connection_threads > 0
+                      ? std::make_unique<ThreadPool>(
+                            options_.connection_threads,
+                            options_.name + "/conn")
+                      : nullptr),
+      storers_(options_.store_threads > 0
+                   ? std::make_unique<ThreadPool>(options_.store_threads,
+                                                  options_.name + "/store")
+                   : nullptr),
+      scheduler_(*clock_, workers_.get()) {
+  log_.set_level(options_.log_level);
+}
+
+Ldmsd::~Ldmsd() { Stop(); }
+
+Status Ldmsd::Start() {
+  if (started_.exchange(true)) return Status::Ok();
+  if (!options_.listen_transport.empty()) {
+    auto transport = transports_->Get(options_.listen_transport);
+    if (transport == nullptr) {
+      return {ErrorCode::kNotFound,
+              "unknown transport: " + options_.listen_transport};
+    }
+    Status st = transport->Listen(options_.listen_address, this, &listener_);
+    if (!st.ok()) return st;
+    log_.Info("listening on ", options_.listen_transport, "://",
+              listener_->address());
+  }
+  // Threaded timing only makes sense on a real clock; SimClock users drive
+  // via RunUntil().
+  if (dynamic_cast<SimClock*>(clock_) == nullptr) scheduler_.Start();
+  return Status::Ok();
+}
+
+void Ldmsd::Stop() {
+  if (!started_.exchange(false)) return;
+  scheduler_.Stop();
+  if (workers_ != nullptr) workers_->Shutdown();
+  if (connectors_ != nullptr) connectors_->Shutdown();
+  if (storers_ != nullptr) storers_->Shutdown();
+  listener_.reset();
+  // Flush stores so nothing buffered is lost on shutdown.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (auto& policy : store_policies_) policy.store->Flush();
+}
+
+std::string Ldmsd::listen_address() const {
+  return listener_ != nullptr ? listener_->address()
+                              : options_.listen_address;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler mode
+// ---------------------------------------------------------------------------
+
+Status Ldmsd::AddSampler(SamplerPluginPtr plugin,
+                         const SamplerConfig& config) {
+  if (plugin == nullptr) {
+    return {ErrorCode::kInvalidArgument, "null plugin"};
+  }
+  PluginParams params = config.params;
+  params.try_emplace("producer", options_.name);
+  Status st = plugin->Init(mem_, sets_, params);
+  if (!st.ok()) {
+    log_.Error("sampler ", plugin->name(), " init failed: ", st.ToString());
+    return st;
+  }
+  SamplerEntry entry;
+  entry.plugin = std::move(plugin);
+  entry.config = config;
+  const std::string name = entry.plugin->name();
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto [it, inserted] = samplers_.emplace(name, std::move(entry));
+  if (!inserted) {
+    return {ErrorCode::kAlreadyExists, "sampler already loaded: " + name};
+  }
+  TimerScheduler::TaskOptions topts;
+  topts.interval = config.interval;
+  topts.offset = config.offset;
+  topts.synchronous = config.synchronous;
+  SamplerEntry* raw = &it->second;
+  it->second.task = scheduler_.Schedule([this, raw] { SampleOnce(*raw); },
+                                        topts);
+  log_.Info("sampler ", name, " started, interval ",
+            config.interval / kNsPerUs, "us");
+  return Status::Ok();
+}
+
+void Ldmsd::SampleOnce(SamplerEntry& entry) {
+  const std::uint64_t t0 = NowSteadyNs();
+  Status st = entry.plugin->Sample(clock_->Now());
+  const std::uint64_t dt = NowSteadyNs() - t0;
+  counters_.samples.fetch_add(1, std::memory_order_relaxed);
+  counters_.sample_ns.fetch_add(dt, std::memory_order_relaxed);
+  if (!st.ok()) {
+    log_.Warn("sampler ", entry.plugin->name(), " failed: ", st.ToString());
+  }
+}
+
+Status Ldmsd::SetSamplingInterval(const std::string& plugin_name,
+                                  DurationNs interval) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = samplers_.find(plugin_name);
+  if (it == samplers_.end()) {
+    return {ErrorCode::kNotFound, "no such sampler: " + plugin_name};
+  }
+  it->second.config.interval = interval;
+  return scheduler_.Reschedule(it->second.task, interval);
+}
+
+Status Ldmsd::RemoveSampler(const std::string& plugin_name) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = samplers_.find(plugin_name);
+  if (it == samplers_.end()) {
+    return {ErrorCode::kNotFound, "no such sampler: " + plugin_name};
+  }
+  scheduler_.Cancel(it->second.task);
+  for (const auto& set : it->second.plugin->Sets()) {
+    (void)sets_.Remove(set->instance_name());
+  }
+  samplers_.erase(it);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator mode
+// ---------------------------------------------------------------------------
+
+Status Ldmsd::AddProducer(const ProducerConfig& config) {
+  if (transports_->Get(config.transport) == nullptr) {
+    return {ErrorCode::kNotFound, "unknown transport: " + config.transport};
+  }
+  auto producer = std::make_shared<Producer>();
+  producer->config = config;
+  producer->active = !config.standby;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto [it, inserted] = producers_.emplace(config.name, producer);
+    if (!inserted) {
+      return {ErrorCode::kAlreadyExists,
+              "producer already added: " + config.name};
+    }
+  }
+  TimerScheduler::TaskOptions topts;
+  topts.interval = config.interval;
+  topts.offset = config.offset;
+  topts.synchronous = config.synchronous;
+  std::weak_ptr<Producer> weak = producer;
+  producer->task = scheduler_.Schedule(
+      [this, weak] {
+        if (auto p = weak.lock()) CollectCycle(p);
+      },
+      topts);
+  log_.Info("producer ", config.name, " added (", config.transport, "://",
+            config.address, config.standby ? ", standby)" : ")");
+  return Status::Ok();
+}
+
+Status Ldmsd::ActivateStandby(const std::string& producer_name) {
+  std::shared_ptr<Producer> producer;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = producers_.find(producer_name);
+    if (it == producers_.end()) {
+      return {ErrorCode::kNotFound, "no such producer: " + producer_name};
+    }
+    producer = it->second;
+  }
+  std::lock_guard<std::mutex> lock(producer->mu);
+  producer->active = true;
+  log_.Info("standby producer ", producer_name, " activated");
+  return Status::Ok();
+}
+
+Status Ldmsd::DeactivateProducer(const std::string& producer_name) {
+  std::shared_ptr<Producer> producer;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = producers_.find(producer_name);
+    if (it == producers_.end()) {
+      return {ErrorCode::kNotFound, "no such producer: " + producer_name};
+    }
+    producer = it->second;
+  }
+  std::lock_guard<std::mutex> lock(producer->mu);
+  producer->active = false;
+  return Status::Ok();
+}
+
+Status Ldmsd::AddStorePolicy(StorePolicy policy) {
+  if (policy.store == nullptr) {
+    return {ErrorCode::kInvalidArgument, "null store"};
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  store_policies_.push_back(std::move(policy));
+  return Status::Ok();
+}
+
+Ldmsd::ProducerStatus Ldmsd::producer_status(
+    const std::string& producer_name) const {
+  ProducerStatus status;
+  std::shared_ptr<Producer> producer;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = producers_.find(producer_name);
+    if (it == producers_.end()) return status;
+    producer = it->second;
+  }
+  std::lock_guard<std::mutex> lock(producer->mu);
+  status.known = true;
+  status.connected = producer->connected;
+  status.active = producer->active;
+  status.consecutive_failures = producer->consecutive_failures;
+  status.sets_ready = producer->mirrors.size();
+  return status;
+}
+
+void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
+  // Runs on the connection pool (or inline when connection_threads == 0).
+  auto transport = transports_->Get(producer->config.transport);
+  std::unique_ptr<Endpoint> endpoint;
+  Status st = transport->Connect(producer->config.address, &endpoint);
+  std::lock_guard<std::mutex> lock(producer->mu);
+  producer->connecting = false;
+  if (!st.ok()) {
+    counters_.connects_failed.fetch_add(1, std::memory_order_relaxed);
+    ++producer->consecutive_failures;
+    log_.Debug("connect to ", producer->config.name, " failed: ",
+               st.ToString());
+    return;
+  }
+  producer->endpoint = std::move(endpoint);
+  producer->connected = true;
+  counters_.connects_ok.fetch_add(1, std::memory_order_relaxed);
+  Status lst = LookupSets(*producer);
+  if (!lst.ok()) {
+    log_.Warn("lookup on ", producer->config.name, " failed: ",
+              lst.ToString());
+  }
+}
+
+Status Ldmsd::LookupSets(Producer& producer) {
+  std::vector<std::string> instances = producer.config.set_instances;
+  if (instances.empty()) {
+    Status st = producer.endpoint->Dir(&instances);
+    if (!st.ok()) return st;
+  }
+  for (const auto& instance : instances) {
+    // Lookup runs even when a mirror already exists: after a reconnect the
+    // new endpoint must re-register (pin) the peer's set memory for
+    // one-sided transports.
+    std::vector<std::byte> metadata;
+    Status st = producer.endpoint->Lookup(instance, &metadata);
+    counters_.lookups.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) {
+      // Set may not exist yet on the peer; retried next cycle ({a} loop in
+      // Figure 2).
+      log_.Debug("lookup ", instance, " on ", producer.config.name,
+                 " failed: ", st.ToString());
+      continue;
+    }
+    if (producer.mirrors.contains(instance)) continue;  // mirror retained
+    Status mirror_st;
+    MetricSetPtr mirror = MetricSet::CreateMirror(mem_, metadata, &mirror_st);
+    if (mirror == nullptr) {
+      log_.Error("mirror creation for ", instance, " failed: ",
+                 mirror_st.ToString());
+      continue;
+    }
+    MirrorEntry entry;
+    entry.set = mirror;
+    producer.mirrors.emplace(instance, std::move(entry));
+    // Re-export for higher-level aggregators (daisy chaining).
+    (void)sets_.Add(mirror);
+  }
+  return Status::Ok();
+}
+
+void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
+  Producer& producer = *producer_ptr;
+  bool need_connect = false;
+  {
+    std::lock_guard<std::mutex> lock(producer.mu);
+    if (!producer.active) return;
+    if (!producer.connected && !producer.connecting) {
+      producer.connecting = true;
+      need_connect = true;
+    }
+  }
+  if (need_connect) {
+    if (connectors_ != nullptr) {
+      // Connection setup runs on its own pool so a connect hung in timeout
+      // cannot starve collection threads (§IV-B).
+      connectors_->Submit(
+          [this, producer_ptr] { ConnectProducer(producer_ptr); });
+      return;  // collection resumes next cycle once connected
+    }
+    ConnectProducer(producer_ptr);  // inline (deterministic simulations)
+  }
+
+  std::lock_guard<std::mutex> lock(producer.mu);
+  if (!producer.connected) return;
+  // Pick up sets that appeared since connect, or re-lookup after a schema
+  // change dropped a mirror.
+  if (producer.mirrors.empty() || producer.need_lookup ||
+      (!producer.config.set_instances.empty() &&
+       producer.mirrors.size() < producer.config.set_instances.size())) {
+    producer.need_lookup = false;
+    (void)LookupSets(producer);
+  }
+  const std::uint64_t t0 = NowSteadyNs();
+  bool any_failure = false;
+  std::vector<std::string> stale_mirrors;
+  for (auto& [instance, mirror] : producer.mirrors) {
+    Status st;
+    {
+      std::lock_guard<std::mutex> set_lock(*mirror.mu);
+      st = producer.endpoint->Update(instance, *mirror.set);
+    }
+    if (!st.ok()) {
+      counters_.updates_failed.fetch_add(1, std::memory_order_relaxed);
+      any_failure = true;
+      if (st.code() == ErrorCode::kDisconnected) {
+        producer.connected = false;
+        producer.endpoint.reset();
+        log_.Warn("producer ", producer.config.name, " disconnected");
+        break;
+      }
+      if (st.code() == ErrorCode::kInvalidArgument) {
+        // Metadata generation mismatch: the peer restarted with a changed
+        // schema. Drop the mirror; the next cycle looks it up fresh.
+        log_.Warn("set ", instance, " changed schema on ",
+                  producer.config.name, "; re-looking up");
+        stale_mirrors.push_back(instance);
+      }
+      continue;
+    }
+    const std::uint64_t gn = mirror.set->data_gn();
+    if (gn == mirror.last_gn || !mirror.set->consistent()) {
+      // No new sample since last pull, or torn: skip the store and retry
+      // next interval (§IV-B "Storage").
+      counters_.updates_no_new_data.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    mirror.last_gn = gn;
+    counters_.updates_ok.fetch_add(1, std::memory_order_relaxed);
+    StoreMirror(mirror);
+  }
+  for (const auto& instance : stale_mirrors) {
+    (void)sets_.Remove(instance);
+    producer.mirrors.erase(instance);
+    producer.need_lookup = true;
+  }
+  producer.consecutive_failures =
+      any_failure ? producer.consecutive_failures + 1 : 0;
+  counters_.update_ns.fetch_add(NowSteadyNs() - t0, std::memory_order_relaxed);
+}
+
+void Ldmsd::StoreMirror(const MirrorEntry& mirror) {
+  std::vector<StorePolicy> policies;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    policies = store_policies_;
+  }
+  if (policies.empty()) return;
+  MetricSetPtr set = mirror.set;
+  auto mu = mirror.mu;
+  auto work = [this, set, mu, policies = std::move(policies)] {
+    const std::uint64_t t0 = NowSteadyNs();
+    for (const auto& policy : policies) {
+      if (!policy.schema_filter.empty() &&
+          policy.schema_filter != set->schema().name()) {
+        continue;
+      }
+      if (!policy.producer_filter.empty() &&
+          policy.producer_filter != set->producer_name()) {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(*mu);
+      Status st = policy.store->StoreSet(*set);
+      if (!st.ok()) {
+        log_.Error("store ", policy.store->name(), " failed: ",
+                   st.ToString());
+      } else {
+        counters_.stores.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    counters_.store_ns.fetch_add(NowSteadyNs() - t0,
+                                 std::memory_order_relaxed);
+  };
+  if (storers_ != nullptr) {
+    storers_->Submit(std::move(work));
+  } else {
+    work();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHandler: requests from peers
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Ldmsd::HandleDir() { return sets_.List(); }
+
+Status Ldmsd::HandleLookup(const std::string& instance,
+                           std::vector<std::byte>* metadata) {
+  MetricSetPtr set = sets_.Find(instance);
+  if (set == nullptr) {
+    return {ErrorCode::kNotFound, "no such set: " + instance};
+  }
+  auto bytes = set->metadata_bytes();
+  metadata->assign(bytes.begin(), bytes.end());
+  return Status::Ok();
+}
+
+Status Ldmsd::HandleUpdate(const std::string& instance,
+                           std::vector<std::byte>* data) {
+  MetricSetPtr set = sets_.Find(instance);
+  if (set == nullptr) {
+    return {ErrorCode::kNotFound, "no such set: " + instance};
+  }
+  data->resize(set->data_size());
+  return set->SnapshotData(*data);
+}
+
+void Ldmsd::HandleAdvertise(const AdvertiseMsg& msg) {
+  if (!options_.accept_advertised_producers) {
+    log_.Debug("ignoring advertise from ", msg.producer);
+    return;
+  }
+  ProducerConfig config;
+  config.name = msg.producer;
+  config.transport = msg.transport;
+  config.address = msg.dialback_address;
+  config.interval = options_.advertised_interval;
+  Status st = AddProducer(config);
+  if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) {
+    log_.Warn("advertised producer ", msg.producer, " rejected: ",
+              st.ToString());
+  }
+}
+
+MetricSetPtr Ldmsd::HandleRdmaExpose(const std::string& instance) {
+  return sets_.Find(instance);
+}
+
+Status Ldmsd::AdvertiseTo(const std::string& transport,
+                          const std::string& address) {
+  auto t = transports_->Get(transport);
+  if (t == nullptr) {
+    return {ErrorCode::kNotFound, "unknown transport: " + transport};
+  }
+  std::unique_ptr<Endpoint> endpoint;
+  Status st = t->Connect(address, &endpoint);
+  if (!st.ok()) return st;
+  AdvertiseMsg msg;
+  msg.producer = options_.name;
+  msg.transport = options_.listen_transport;
+  msg.dialback_address = listen_address();
+  return endpoint->Advertise(msg);
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,251 @@
+// ldmsd: the LDMS daemon. "The base LDMS component is the multi-threaded
+// ldmsd daemon which is run in either sampler or aggregator mode and
+// supports the store functionality when run in aggregator mode" (§IV-B).
+// One class covers both modes; behaviour is purely configuration:
+//
+//   sampler mode    — AddSampler() plugins, Listen() for collectors
+//   aggregator mode — AddProducer() targets to pull from, AddStorePolicy()
+//                     to persist what arrives; mirrors are re-exported in
+//                     the local set registry, which is what makes multi-
+//                     level daisy-chained aggregation work.
+//
+// Thread pools, per the paper: a worker pool runs sampling and collection;
+// a separate connection pool runs connection setup so connects hung in
+// timeout cannot starve collection; a dedicated storage pool flushes to
+// stable storage. Setting a pool's size to 0 runs that work inline, which
+// the deterministic simulation mode uses.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mem_manager.hpp"
+#include "core/set_registry.hpp"
+#include "daemon/plugin.hpp"
+#include "daemon/scheduler.hpp"
+#include "store/store.hpp"
+#include "transport/registry.hpp"
+#include "transport/transport.hpp"
+#include "util/logging.hpp"
+
+namespace ldmsxx {
+
+struct LdmsdOptions {
+  /// Daemon name; also the default producer name stamped on local sets.
+  std::string name = "ldmsd";
+  /// Transport plugin + address to listen on; empty transport = no listener.
+  std::string listen_transport;
+  std::string listen_address;
+  /// Metric-set memory pool size (the real ldmsd's -m flag).
+  std::size_t set_memory = 1 << 20;
+  /// Worker pool (sampling + collection). 0 = run inline.
+  std::size_t worker_threads = 2;
+  /// Connection-setup pool. 0 = connect inline.
+  std::size_t connection_threads = 1;
+  /// Storage flush pool. 0 = store inline.
+  std::size_t store_threads = 1;
+  std::string log_path;
+  LogLevel log_level = LogLevel::kWarn;
+  /// Time source; nullptr = RealClock.
+  Clock* clock = nullptr;
+  /// Transport plugins; nullptr = TransportRegistry::Default().
+  TransportRegistry* transports = nullptr;
+  /// Accept advertise messages by auto-adding the announcing producer.
+  bool accept_advertised_producers = false;
+  /// Collection interval used for advertised producers.
+  DurationNs advertised_interval = kNsPerSec;
+};
+
+/// Per-sampler schedule (the `start name=X interval=...` command).
+struct SamplerConfig {
+  DurationNs interval = kNsPerSec;
+  DurationNs offset = 0;
+  bool synchronous = false;
+  PluginParams params;
+};
+
+/// One collection target (the `prdcr_add` + `updtr_add` commands). The
+/// aggregation schedule cannot be altered once set — restart the producer
+/// to change it, matching the paper's stated limitation.
+struct ProducerConfig {
+  std::string name;
+  std::string transport = "local";
+  std::string address;
+  DurationNs interval = kNsPerSec;
+  DurationNs offset = 0;
+  bool synchronous = false;
+  /// Set instances to collect; empty = discover all via dir().
+  std::vector<std::string> set_instances;
+  /// Standby connections are established (connect + lookup) but not pulled
+  /// from until ActivateStandby() — fast failover (§IV-B).
+  bool standby = false;
+  /// Name of the primary producer this standby covers (bookkeeping only).
+  std::string standby_for;
+};
+
+/// Routes stored sets to a storage plugin (the `strgp_add` command).
+struct StorePolicy {
+  std::shared_ptr<Store> store;
+  /// Only store sets whose schema name matches; empty = all.
+  std::string schema_filter;
+  /// Only store sets from this producer; empty = all.
+  std::string producer_filter;
+};
+
+class Ldmsd final : public ServiceHandler {
+ public:
+  /// Aggregate activity counters (CPU/footprint accounting for §IV-D).
+  struct Counters {
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> sample_ns{0};
+    std::atomic<std::uint64_t> updates_ok{0};
+    std::atomic<std::uint64_t> updates_no_new_data{0};
+    std::atomic<std::uint64_t> updates_failed{0};
+    std::atomic<std::uint64_t> update_ns{0};
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> store_ns{0};
+    std::atomic<std::uint64_t> connects_ok{0};
+    std::atomic<std::uint64_t> connects_failed{0};
+  };
+
+  /// Health of one producer connection.
+  struct ProducerStatus {
+    bool known = false;
+    bool connected = false;
+    bool active = false;  // standby producers are inactive until failover
+    std::uint64_t consecutive_failures = 0;
+    std::uint64_t sets_ready = 0;
+  };
+
+  explicit Ldmsd(LdmsdOptions options);
+  ~Ldmsd() override;
+
+  Ldmsd(const Ldmsd&) = delete;
+  Ldmsd& operator=(const Ldmsd&) = delete;
+
+  /// Bring up the listener (if configured) and the timer thread when using
+  /// a real clock. With a SimClock, use RunUntil() instead of Start().
+  Status Start();
+  void Stop();
+
+  // --- sampler mode -------------------------------------------------------
+
+  /// Load + config + start a sampling plugin.
+  Status AddSampler(SamplerPluginPtr plugin, const SamplerConfig& config);
+
+  /// Change a running sampler's interval on the fly.
+  Status SetSamplingInterval(const std::string& plugin_name,
+                             DurationNs interval);
+
+  /// Stop a sampler plugin and deregister its sets.
+  Status RemoveSampler(const std::string& plugin_name);
+
+  // --- aggregator mode ----------------------------------------------------
+
+  Status AddProducer(const ProducerConfig& config);
+
+  /// Begin pulling from a standby producer (manual or watchdog failover).
+  Status ActivateStandby(const std::string& producer_name);
+
+  /// Stop pulling from a producer (does not drop the connection).
+  Status DeactivateProducer(const std::string& producer_name);
+
+  Status AddStorePolicy(StorePolicy policy);
+
+  ProducerStatus producer_status(const std::string& producer_name) const;
+
+  // --- simulation drive ---------------------------------------------------
+
+  /// Deterministically run all schedules up to @p until. Requires
+  /// options.clock to be @p sim and pools sized 0 for full determinism.
+  void RunUntil(SimClock& sim, TimeNs until) { scheduler_.RunUntil(sim, until); }
+
+  // --- ServiceHandler (requests arriving from peers) ----------------------
+
+  std::vector<std::string> HandleDir() override;
+  Status HandleLookup(const std::string& instance,
+                      std::vector<std::byte>* metadata) override;
+  Status HandleUpdate(const std::string& instance,
+                      std::vector<std::byte>* data) override;
+  void HandleAdvertise(const AdvertiseMsg& msg) override;
+  MetricSetPtr HandleRdmaExpose(const std::string& instance) override;
+
+  // --- introspection ------------------------------------------------------
+
+  const std::string& name() const { return options_.name; }
+  SetRegistry& sets() { return sets_; }
+  const SetRegistry& sets() const { return sets_; }
+  MemManager& memory() { return mem_; }
+  const Counters& counters() const { return counters_; }
+  Logger& log() { return log_; }
+  Clock& clock() const { return *clock_; }
+  TimerScheduler& scheduler() { return scheduler_; }
+  /// Actual listener address (resolves ephemeral ports).
+  std::string listen_address() const;
+  /// Announce this daemon to an aggregator and ask it to connect back.
+  Status AdvertiseTo(const std::string& transport, const std::string& address);
+
+ private:
+  struct SamplerEntry {
+    SamplerPluginPtr plugin;
+    SamplerConfig config;
+    TimerScheduler::TaskId task = 0;
+  };
+
+  struct MirrorEntry {
+    MetricSetPtr set;
+    std::uint64_t last_gn = 0;
+    /// Serializes ApplyData against StoreSet.
+    std::shared_ptr<std::mutex> mu = std::make_shared<std::mutex>();
+  };
+
+  struct Producer {
+    ProducerConfig config;
+    std::unique_ptr<Endpoint> endpoint;
+    std::map<std::string, MirrorEntry> mirrors;
+    bool connected = false;
+    bool connecting = false;
+    bool active = false;
+    /// Set when a mirror was dropped (schema change) and must be re-looked
+    /// up on the next cycle.
+    bool need_lookup = false;
+    std::uint64_t consecutive_failures = 0;
+    TimerScheduler::TaskId task = 0;
+    std::mutex mu;  // guards all mutable state above
+  };
+
+  void SampleOnce(SamplerEntry& entry);
+  void CollectCycle(const std::shared_ptr<Producer>& producer);
+  void ConnectProducer(const std::shared_ptr<Producer>& producer);
+  Status LookupSets(Producer& producer);  // caller holds producer.mu
+  void StoreMirror(const MirrorEntry& mirror);
+
+  LdmsdOptions options_;
+  Logger log_;
+  Clock* clock_;
+  TransportRegistry* transports_;
+  MemManager mem_;
+  SetRegistry sets_;
+
+  std::unique_ptr<ThreadPool> workers_;     // may be null (inline)
+  std::unique_ptr<ThreadPool> connectors_;  // may be null (inline)
+  std::unique_ptr<ThreadPool> storers_;     // may be null (inline)
+  TimerScheduler scheduler_;
+
+  std::unique_ptr<Listener> listener_;
+
+  mutable std::mutex state_mu_;  // guards the maps below
+  std::map<std::string, SamplerEntry> samplers_;
+  std::map<std::string, std::shared_ptr<Producer>> producers_;
+  std::vector<StorePolicy> store_policies_;
+
+  Counters counters_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace ldmsxx

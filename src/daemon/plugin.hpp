@@ -1,0 +1,49 @@
+// Sampler plugin API. "Sampling plugins are written in C. Each plugin
+// defines a collection of metrics called a metric set" (§IV). Ours are C++
+// classes: Init() creates the plugin's metric set(s) in the daemon's memory
+// pool; Sample() refreshes the values inside a Begin/EndTransaction pair.
+// The hosting ldmsd schedules Sample() on its worker pool at the configured
+// interval; plugins never block on I/O longer than a read of their source.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "core/set_registry.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Key=value configuration handed to a plugin's Init (the `config name=...`
+/// command line of a real ldmsd).
+using PluginParams = std::map<std::string, std::string>;
+
+class SamplerPlugin {
+ public:
+  virtual ~SamplerPlugin() = default;
+
+  /// Plugin name, e.g. "meminfo".
+  virtual const std::string& name() const = 0;
+
+  /// Create metric set(s) in @p mem and register them in @p sets.
+  /// Standard params every plugin honors: "producer" (host name),
+  /// "instance" (set instance name; defaults to "<producer>/<plugin>"),
+  /// "component_id".
+  virtual Status Init(MemManager& mem, SetRegistry& sets,
+                      const PluginParams& params) = 0;
+
+  /// Take one sample at time @p now.
+  virtual Status Sample(TimeNs now) = 0;
+
+  /// The sets this plugin fills (for accounting and tests).
+  virtual std::vector<MetricSetPtr> Sets() const = 0;
+};
+
+using SamplerPluginPtr = std::shared_ptr<SamplerPlugin>;
+
+}  // namespace ldmsxx

@@ -1,0 +1,82 @@
+#include "daemon/plugin_registry.hpp"
+
+#include "store/csv_store.hpp"
+#include "store/flatfile_store.hpp"
+#include "store/memory_store.hpp"
+#include "store/sos_store.hpp"
+
+namespace ldmsxx {
+
+PluginRegistry& PluginRegistry::Instance() {
+  static PluginRegistry registry;
+  return registry;
+}
+
+void PluginRegistry::AddSampler(const std::string& name,
+                                SamplerFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samplers_[name] = std::move(factory);
+}
+
+void PluginRegistry::AddStore(const std::string& name, StoreFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_[name] = std::move(factory);
+}
+
+SamplerPluginPtr PluginRegistry::MakeSampler(const std::string& name,
+                                             const PluginParams& params) const {
+  SamplerFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = samplers_.find(name);
+    if (it == samplers_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(params);
+}
+
+std::shared_ptr<Store> PluginRegistry::MakeStore(
+    const std::string& name, const PluginParams& params) const {
+  StoreFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stores_.find(name);
+    if (it == stores_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(params);
+}
+
+bool PluginRegistry::HasSampler(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samplers_.contains(name);
+}
+
+void RegisterBuiltinStores() {
+  auto& registry = PluginRegistry::Instance();
+  registry.AddStore("store_csv", [](const PluginParams& params) {
+    CsvStoreOptions opts;
+    if (auto it = params.find("path"); it != params.end())
+      opts.root_path = it->second;
+    if (auto it = params.find("altheader"); it != params.end())
+      opts.header_in_separate_file = it->second == "1";
+    return std::make_shared<CsvStore>(std::move(opts));
+  });
+  registry.AddStore("store_flatfile", [](const PluginParams& params) {
+    FlatFileStoreOptions opts;
+    if (auto it = params.find("path"); it != params.end())
+      opts.root_path = it->second;
+    return std::make_shared<FlatFileStore>(std::move(opts));
+  });
+  registry.AddStore("store_sos", [](const PluginParams& params) {
+    SosStoreOptions opts;
+    if (auto it = params.find("path"); it != params.end())
+      opts.root_path = it->second;
+    return std::make_shared<SosStore>(std::move(opts));
+  });
+  registry.AddStore("store_mem", [](const PluginParams&) {
+    return std::make_shared<MemoryStore>();
+  });
+}
+
+}  // namespace ldmsxx

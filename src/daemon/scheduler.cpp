@@ -1,0 +1,183 @@
+#include "daemon/scheduler.hpp"
+
+#include <cassert>
+
+namespace ldmsxx {
+
+TimerScheduler::TimerScheduler(Clock& clock, ThreadPool* pool)
+    : clock_(clock), pool_(pool) {}
+
+TimerScheduler::~TimerScheduler() { Stop(); }
+
+TimeNs TimerScheduler::FirstDeadline(const TaskOptions& options,
+                                     TimeNs now) const {
+  if (options.synchronous) {
+    // Next wall-aligned boundary strictly after now.
+    const TimeNs base = (now / options.interval + 1) * options.interval;
+    return base + options.offset;
+  }
+  return now + options.interval;
+}
+
+TimeNs TimerScheduler::NextPeriodic(const TaskOptions& options,
+                                    TimeNs prev_deadline, TimeNs now) const {
+  TimeNs next = prev_deadline + options.interval;
+  if (next <= now) {
+    // Fell behind (slow task or suspended process): skip missed firings but
+    // keep alignment for synchronous tasks.
+    if (options.synchronous) {
+      next = (now / options.interval + 1) * options.interval + options.offset;
+    } else {
+      next = now + options.interval;
+    }
+  }
+  return next;
+}
+
+TimerScheduler::TaskId TimerScheduler::Schedule(std::function<void()> fn,
+                                                const TaskOptions& options) {
+  assert(options.interval > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const TaskId id = next_id_++;
+  Task task;
+  task.fn = std::move(fn);
+  task.options = options;
+  tasks_.emplace(id, std::move(task));
+  heap_.push({FirstDeadline(options, clock_.Now()), id, 0});
+  cv_.notify_all();
+  return id;
+}
+
+Status TimerScheduler::Reschedule(TaskId id, DurationNs new_interval) {
+  if (new_interval == 0) {
+    return {ErrorCode::kInvalidArgument, "interval must be positive"};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.canceled) {
+    return {ErrorCode::kNotFound, "no such task"};
+  }
+  it->second.options.interval = new_interval;
+  ++it->second.generation;  // invalidate queued heap entries
+  heap_.push({FirstDeadline(it->second.options, clock_.Now()), id,
+              it->second.generation});
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void TimerScheduler::Cancel(TaskId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(id);
+  if (it != tasks_.end()) it->second.canceled = true;
+}
+
+TimeNs TimerScheduler::NextDeadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Stale heap entries (canceled / rescheduled) may sit on top; peeking past
+  // them would need a pop, so report the raw top — RunUntil and TimerLoop
+  // handle staleness correctly on pop.
+  if (heap_.empty()) return ~TimeNs{0};
+  return heap_.top().deadline;
+}
+
+std::size_t TimerScheduler::task_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, task] : tasks_) {
+    if (!task.canceled) ++n;
+  }
+  return n;
+}
+
+void TimerScheduler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void TimerScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+void TimerScheduler::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return !running_ || !heap_.empty(); });
+      continue;
+    }
+    const HeapEntry top = heap_.top();
+    auto it = tasks_.find(top.id);
+    const bool stale = it == tasks_.end() || it->second.canceled ||
+                       it->second.generation != top.generation;
+    if (stale) {
+      heap_.pop();
+      if (it != tasks_.end() && it->second.canceled) tasks_.erase(it);
+      continue;
+    }
+    const TimeNs now = clock_.Now();
+    if (top.deadline > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(top.deadline - now));
+      continue;  // re-evaluate: heap may have changed
+    }
+    heap_.pop();
+    heap_.push({NextPeriodic(it->second.options, top.deadline, now), top.id,
+                top.generation});
+    auto running = it->second.running;
+    if (running->exchange(true)) continue;  // previous execution in flight
+    auto fn = it->second.fn;  // copy: task may be canceled while running
+    lock.unlock();
+    auto guarded = [fn = std::move(fn), running] {
+      fn();
+      running->store(false, std::memory_order_release);
+    };
+    if (pool_ != nullptr) {
+      pool_->Submit(std::move(guarded));
+    } else {
+      guarded();
+    }
+    lock.lock();
+  }
+}
+
+void TimerScheduler::RunUntil(SimClock& sim, TimeNs until) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Drop stale entries.
+      while (!heap_.empty()) {
+        const HeapEntry top = heap_.top();
+        auto it = tasks_.find(top.id);
+        if (it == tasks_.end() || it->second.canceled ||
+            it->second.generation != top.generation) {
+          heap_.pop();
+          if (it != tasks_.end() && it->second.canceled) tasks_.erase(it);
+          continue;
+        }
+        break;
+      }
+      if (heap_.empty() || heap_.top().deadline > until) break;
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      auto it = tasks_.find(top.id);
+      sim.SetTime(top.deadline);
+      heap_.push({top.deadline + it->second.options.interval, top.id,
+                  top.generation});
+      fn = it->second.fn;
+    }
+    fn();
+  }
+  if (sim.Now() < until) sim.SetTime(until);
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,150 @@
+// meminfo, procstat, loadavg, netdev, nfs: the /proc text parsers.
+#include "sampler/samplers.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+namespace {
+
+constexpr const char* kMeminfoFields[] = {"MemTotal", "MemFree", "Buffers",
+                                          "Cached",   "Active",  "Inactive"};
+constexpr std::size_t kMeminfoCount = std::size(kMeminfoFields);
+
+constexpr const char* kCpuFields[] = {"user", "nice", "sys", "idle", "iowait"};
+constexpr std::size_t kCpuCount = std::size(kCpuFields);
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// meminfo
+// --------------------------------------------------------------------------
+
+Status MeminfoSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  for (const char* field : kMeminfoFields) {
+    schema.AddMetric(field, MetricType::kU64);
+  }
+  return Status::Ok();
+}
+
+Status MeminfoSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/meminfo");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view key = line.substr(0, colon);
+    for (std::size_t i = 0; i < kMeminfoCount; ++i) {
+      if (key != kMeminfoFields[i]) continue;
+      auto fields = SplitWhitespace(line.substr(colon + 1));
+      if (!fields.empty()) {
+        if (auto v = ParseU64(fields[0])) set().SetU64(i, *v);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// procstat
+// --------------------------------------------------------------------------
+
+Status ProcStatSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  for (const char* field : kCpuFields) {
+    schema.AddMetric(field, MetricType::kU64);
+  }
+  return Status::Ok();
+}
+
+Status ProcStatSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/stat");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    if (!StartsWith(line, "cpu ")) continue;
+    auto fields = SplitWhitespace(line);
+    // "cpu user nice system idle iowait ..."
+    for (std::size_t i = 0; i < kCpuCount && i + 1 < fields.size(); ++i) {
+      if (auto v = ParseU64(fields[i + 1])) set().SetU64(i, *v);
+    }
+    break;
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// loadavg
+// --------------------------------------------------------------------------
+
+Status LoadAvgSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  schema.AddMetric("load1", MetricType::kD64);
+  schema.AddMetric("load5", MetricType::kD64);
+  schema.AddMetric("load15", MetricType::kD64);
+  return Status::Ok();
+}
+
+Status LoadAvgSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/loadavg");
+  if (!st.ok()) return st;
+  auto fields = SplitWhitespace(buffer());
+  for (std::size_t i = 0; i < 3 && i < fields.size(); ++i) {
+    if (auto v = ParseDouble(fields[i])) set().SetD64(i, *v);
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// netdev (eth0)
+// --------------------------------------------------------------------------
+
+Status NetDevSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  schema.AddMetric("rx_bytes#eth0", MetricType::kU64);
+  schema.AddMetric("rx_packets#eth0", MetricType::kU64);
+  schema.AddMetric("tx_bytes#eth0", MetricType::kU64);
+  schema.AddMetric("tx_packets#eth0", MetricType::kU64);
+  return Status::Ok();
+}
+
+Status NetDevSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/net/dev");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (Trim(line.substr(0, colon)) != "eth0") continue;
+    auto fields = SplitWhitespace(line.substr(colon + 1));
+    // rx: bytes packets ... (8 fields), then tx: bytes packets ...
+    if (fields.size() >= 10) {
+      if (auto v = ParseU64(fields[0])) set().SetU64(0, *v);
+      if (auto v = ParseU64(fields[1])) set().SetU64(1, *v);
+      if (auto v = ParseU64(fields[8])) set().SetU64(2, *v);
+      if (auto v = ParseU64(fields[9])) set().SetU64(3, *v);
+    }
+    break;
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// nfs
+// --------------------------------------------------------------------------
+
+Status NfsSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  schema.AddMetric("rpc_ops", MetricType::kU64);
+  return Status::Ok();
+}
+
+Status NfsSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/net/rpc/nfs");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    if (!StartsWith(line, "rpc ")) continue;
+    auto fields = SplitWhitespace(line);
+    if (fields.size() >= 2) {
+      if (auto v = ParseU64(fields[1])) set().SetU64(0, *v);
+    }
+    break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,55 @@
+#include "sampler/samplers.hpp"
+
+#include "daemon/plugin_registry.hpp"
+
+namespace ldmsxx {
+
+void RegisterBuiltinSamplers(NodeDataSourcePtr default_source) {
+  if (default_source == nullptr) {
+    default_source = std::make_shared<RealFsDataSource>();
+  }
+  auto& registry = PluginRegistry::Instance();
+  auto add = [&](const std::string& name, auto make) {
+    registry.AddSampler(name, [default_source, make](const PluginParams&) {
+      return make(default_source);
+    });
+  };
+  add("meminfo", [](NodeDataSourcePtr s) {
+    return std::make_shared<MeminfoSampler>(std::move(s));
+  });
+  add("procstat", [](NodeDataSourcePtr s) {
+    return std::make_shared<ProcStatSampler>(std::move(s));
+  });
+  add("loadavg", [](NodeDataSourcePtr s) {
+    return std::make_shared<LoadAvgSampler>(std::move(s));
+  });
+  add("lustre", [](NodeDataSourcePtr s) {
+    return std::make_shared<LustreSampler>(std::move(s));
+  });
+  add("nfs", [](NodeDataSourcePtr s) {
+    return std::make_shared<NfsSampler>(std::move(s));
+  });
+  add("netdev", [](NodeDataSourcePtr s) {
+    return std::make_shared<NetDevSampler>(std::move(s));
+  });
+  add("sysclassib", [](NodeDataSourcePtr s) {
+    return std::make_shared<IbnetSampler>(std::move(s));
+  });
+  add("gpcdr", [](NodeDataSourcePtr s) {
+    return std::make_shared<GpcdrSampler>(std::move(s));
+  });
+  add("vmstat", [](NodeDataSourcePtr s) {
+    return std::make_shared<VmstatSampler>(std::move(s));
+  });
+  add("diskstats", [](NodeDataSourcePtr s) {
+    return std::make_shared<DiskstatsSampler>(std::move(s));
+  });
+  add("cray_power", [](NodeDataSourcePtr s) {
+    return std::make_shared<PowerSampler>(std::move(s));
+  });
+  add("synthetic", [](NodeDataSourcePtr s) {
+    return std::make_shared<SyntheticSampler>(std::move(s));
+  });
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,51 @@
+#include "sampler/sampler_base.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+
+SamplerBase::SamplerBase(std::string plugin_name, NodeDataSourcePtr source)
+    : name_(std::move(plugin_name)), source_(std::move(source)) {}
+
+Status SamplerBase::Init(MemManager& mem, SetRegistry& sets,
+                         const PluginParams& params) {
+  std::string producer = "localhost";
+  if (auto it = params.find("producer"); it != params.end())
+    producer = it->second;
+  std::string instance = producer + "/" + name_;
+  if (auto it = params.find("instance"); it != params.end())
+    instance = it->second;
+  std::uint64_t component_id = 0;
+  if (auto it = params.find("component_id"); it != params.end()) {
+    if (auto v = ParseU64(it->second)) component_id = *v;
+  }
+
+  Schema schema(name_);
+  Status st = DefineSchema(schema, params);
+  if (!st.ok()) return st;
+
+  Status create_st;
+  set_ = MetricSet::Create(mem, schema, instance, producer, component_id,
+                           &create_st);
+  if (set_ == nullptr) return create_st;
+  return sets.Add(set_);
+}
+
+Status SamplerBase::Sample(TimeNs now) {
+  set_->BeginTransaction();
+  Status st = UpdateMetrics(now);
+  set_->EndTransaction(now);
+  return st;
+}
+
+std::vector<MetricSetPtr> SamplerBase::Sets() const {
+  if (set_ == nullptr) return {};
+  return {set_};
+}
+
+Status SamplerBase::ReadSource(const std::string& path) {
+  buf_.clear();
+  return source_->Read(path, &buf_);
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,52 @@
+// Common machinery for sampler plugins: set creation at Init, transaction
+// wrapping around each sample, and buffered data-source reads. Subclasses
+// define their schema once and refresh values on every Sample() — memory for
+// the metric set "is overwritten by each successive sampling and no sample
+// history is retained within a plugin or the host daemon" (§IV).
+#pragma once
+
+#include <string>
+
+#include "daemon/plugin.hpp"
+#include "sim/data_source.hpp"
+
+namespace ldmsxx {
+
+class SamplerBase : public SamplerPlugin {
+ public:
+  /// @param plugin_name plugin ("meminfo", "procstat", ...)
+  /// @param source      where Read()s are served from (real fs or sim node)
+  SamplerBase(std::string plugin_name, NodeDataSourcePtr source);
+
+  const std::string& name() const override { return name_; }
+
+  Status Init(MemManager& mem, SetRegistry& sets,
+              const PluginParams& params) final;
+
+  Status Sample(TimeNs now) final;
+
+  std::vector<MetricSetPtr> Sets() const override;
+
+ protected:
+  /// Add this plugin's metrics to @p schema (called once from Init).
+  virtual Status DefineSchema(Schema& schema, const PluginParams& params) = 0;
+
+  /// Refresh the metric values; runs inside a Begin/EndTransaction pair.
+  virtual Status UpdateMetrics(TimeNs now) = 0;
+
+  MetricSet& set() { return *set_; }
+  NodeDataSource& source() { return *source_; }
+
+  /// Read @p path into the reusable buffer (no per-sample allocation once
+  /// the buffer has grown to its working size).
+  Status ReadSource(const std::string& path);
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string name_;
+  NodeDataSourcePtr source_;
+  MetricSetPtr set_;
+  std::string buf_;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,176 @@
+// Concrete sampler plugins. Metric names and source formats follow the real
+// plugins: meminfo and procstat read /proc text, the Lustre sampler's metric
+// names carry the "#stats.<filesystem>" suffix shown in §IV-B, the
+// Infiniband sampler reads one /sys counter file per metric, and the gpcdr
+// sampler consumes the Cray gpcdr module's link metrics and derives the
+// percent-stalled / percent-bandwidth values described in §IV-F.
+#pragma once
+
+#include <array>
+
+#include "sampler/sampler_base.hpp"
+#include "sim/gemini.hpp"
+
+namespace ldmsxx {
+
+/// /proc/meminfo: MemTotal, MemFree, Buffers, Cached, Active, Inactive (kB).
+class MeminfoSampler final : public SamplerBase {
+ public:
+  explicit MeminfoSampler(NodeDataSourcePtr source)
+      : SamplerBase("meminfo", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// /proc/stat aggregate CPU jiffies: user, nice, sys, idle, iowait.
+class ProcStatSampler final : public SamplerBase {
+ public:
+  explicit ProcStatSampler(NodeDataSourcePtr source)
+      : SamplerBase("procstat", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// /proc/loadavg: load1, load5, load15.
+class LoadAvgSampler final : public SamplerBase {
+ public:
+  explicit LoadAvgSampler(NodeDataSourcePtr source)
+      : SamplerBase("loadavg", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// Lustre llite stats; param "fs" selects the filesystem suffix
+/// (default "snx11024", the Blue Waters scratch name used in the paper).
+class LustreSampler final : public SamplerBase {
+ public:
+  explicit LustreSampler(NodeDataSourcePtr source)
+      : SamplerBase("lustre", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+
+ private:
+  std::string fs_ = "snx11024";
+};
+
+/// /proc/net/rpc/nfs total RPC operations.
+class NfsSampler final : public SamplerBase {
+ public:
+  explicit NfsSampler(NodeDataSourcePtr source)
+      : SamplerBase("nfs", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// /proc/net/dev eth0 byte/packet counters.
+class NetDevSampler final : public SamplerBase {
+ public:
+  explicit NetDevSampler(NodeDataSourcePtr source)
+      : SamplerBase("netdev", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// Infiniband port counters (one /sys file per metric, like sysclassib).
+class IbnetSampler final : public SamplerBase {
+ public:
+  explicit IbnetSampler(NodeDataSourcePtr source)
+      : SamplerBase("sysclassib", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// Cray Gemini HSN metrics via the gpcdr module: per-direction traffic,
+/// packets, stall time and link status, plus derived percent-of-time-stalled
+/// and percent-of-peak-bandwidth over the sample period (§IV-F).
+class GpcdrSampler final : public SamplerBase {
+ public:
+  explicit GpcdrSampler(NodeDataSourcePtr source)
+      : SamplerBase("gpcdr", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+
+ private:
+  struct DirState {
+    std::uint64_t traffic = 0;
+    std::uint64_t stalled = 0;
+  };
+  std::array<DirState, sim::kLinkDirs> prev_{};
+  TimeNs prev_time_ = 0;
+  bool have_prev_ = false;
+};
+
+/// /proc/vmstat paging counters: pgpgin/pgpgout/pgfault/pgmajfault.
+class VmstatSampler final : public SamplerBase {
+ public:
+  explicit VmstatSampler(NodeDataSourcePtr source)
+      : SamplerBase("vmstat", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// /proc/diskstats for the node-local scratch device (sda).
+class DiskstatsSampler final : public SamplerBase {
+ public:
+  explicit DiskstatsSampler(NodeDataSourcePtr source)
+      : SamplerBase("diskstats", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// Node power/energy (Cray pm_counters shape): instantaneous watts and
+/// cumulative joules — the "power" resource class of §I.
+class PowerSampler final : public SamplerBase {
+ public:
+  explicit PowerSampler(NodeDataSourcePtr source)
+      : SamplerBase("cray_power", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+};
+
+/// Synthetic sampler with a configurable metric count (param "metrics=N");
+/// fills values from a running counter. Used by the footprint and fan-in
+/// benches to reproduce the paper's set shapes (194-metric Blue Waters set,
+/// 467-metric Chama aggregate) without inventing fake kernel sources.
+class SyntheticSampler final : public SamplerBase {
+ public:
+  explicit SyntheticSampler(NodeDataSourcePtr source)
+      : SamplerBase("synthetic", std::move(source)) {}
+
+ protected:
+  Status DefineSchema(Schema& schema, const PluginParams& params) override;
+  Status UpdateMetrics(TimeNs now) override;
+
+ private:
+  std::uint64_t counter_ = 0;
+  std::size_t metric_count_ = 0;
+};
+
+/// Register all samplers above in the global PluginRegistry, creating them
+/// with @p default_source (RealFsDataSource when null). Call once at
+/// startup; later calls rebind the default source.
+void RegisterBuiltinSamplers(NodeDataSourcePtr default_source = nullptr);
+
+}  // namespace ldmsxx

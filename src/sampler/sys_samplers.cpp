@@ -1,0 +1,97 @@
+// vmstat, diskstats, cray_power samplers.
+#include "sampler/samplers.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+namespace {
+
+constexpr const char* kVmstatFields[] = {"pgpgin", "pgpgout", "pgfault",
+                                         "pgmajfault"};
+constexpr std::size_t kVmstatCount = std::size(kVmstatFields);
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// vmstat
+// --------------------------------------------------------------------------
+
+Status VmstatSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  for (const char* field : kVmstatFields) {
+    schema.AddMetric(field, MetricType::kU64);
+  }
+  return Status::Ok();
+}
+
+Status VmstatSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/vmstat");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    auto fields = SplitWhitespace(line);
+    if (fields.size() < 2) continue;
+    for (std::size_t i = 0; i < kVmstatCount; ++i) {
+      if (fields[0] != kVmstatFields[i]) continue;
+      if (auto v = ParseU64(fields[1])) set().SetU64(i, *v);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// diskstats
+// --------------------------------------------------------------------------
+
+Status DiskstatsSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  schema.AddMetric("reads_completed#sda", MetricType::kU64);
+  schema.AddMetric("sectors_read#sda", MetricType::kU64);
+  schema.AddMetric("writes_completed#sda", MetricType::kU64);
+  schema.AddMetric("sectors_written#sda", MetricType::kU64);
+  return Status::Ok();
+}
+
+Status DiskstatsSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/proc/diskstats");
+  if (!st.ok()) return st;
+  for (std::string_view line : Split(buffer(), '\n')) {
+    auto fields = SplitWhitespace(line);
+    // major minor name reads merges sectors ms writes merges sectors ms...
+    if (fields.size() < 10 || fields[2] != "sda") continue;
+    if (auto v = ParseU64(fields[3])) set().SetU64(0, *v);
+    if (auto v = ParseU64(fields[5])) set().SetU64(1, *v);
+    if (auto v = ParseU64(fields[7])) set().SetU64(2, *v);
+    if (auto v = ParseU64(fields[9])) set().SetU64(3, *v);
+    break;
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// cray_power
+// --------------------------------------------------------------------------
+
+Status PowerSampler::DefineSchema(Schema& schema, const PluginParams&) {
+  schema.AddMetric("power", MetricType::kD64);   // watts, instantaneous
+  schema.AddMetric("energy", MetricType::kU64);  // joules, cumulative
+  return Status::Ok();
+}
+
+Status PowerSampler::UpdateMetrics(TimeNs) {
+  Status st = ReadSource("/sys/cray/pm_counters/power");
+  if (!st.ok()) return st;
+  {
+    auto fields = SplitWhitespace(buffer());
+    if (!fields.empty()) {
+      if (auto v = ParseDouble(fields[0])) set().SetD64(0, *v);
+    }
+  }
+  st = ReadSource("/sys/cray/pm_counters/energy");
+  if (!st.ok()) return st;
+  auto fields = SplitWhitespace(buffer());
+  if (!fields.empty()) {
+    if (auto v = ParseU64(fields[0])) set().SetU64(1, *v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

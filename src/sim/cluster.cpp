@@ -1,0 +1,328 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ldmsxx::sim {
+
+ClusterConfig ClusterConfig::Chama(int nodes) {
+  ClusterConfig config;
+  config.name = "chama";
+  config.hostname_prefix = "ch";
+  config.node_count = nodes;
+  config.has_torus = false;
+  config.node_template.mem_total_kb = 64ull * 1024 * 1024;
+  config.node_template.cores = 16;
+  return config;
+}
+
+ClusterConfig ClusterConfig::BlueWaters(TorusDims dims) {
+  ClusterConfig config;
+  config.name = "bluewaters";
+  config.hostname_prefix = "nid";
+  config.has_torus = true;
+  config.torus_dims = dims;
+  config.node_template.mem_total_kb = 64ull * 1024 * 1024;
+  config.node_template.cores = 32;
+  return config;
+}
+
+SimCluster::SimCluster(ClusterConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.has_torus) {
+    torus_.emplace(config_.torus_dims, rng_.Split(1));
+    config_.node_count = config_.torus_dims.node_count();
+  }
+  nodes_.reserve(static_cast<std::size_t>(config_.node_count));
+  for (int i = 0; i < config_.node_count; ++i) {
+    SimNodeConfig nc = config_.node_template;
+    nc.node_id = static_cast<std::uint64_t>(i);
+    nc.hostname = Hostname(i);
+    nodes_.emplace_back(nc, rng_.Split(1000 + static_cast<std::uint64_t>(i)));
+  }
+  node_busy_.assign(nodes_.size(), false);
+}
+
+std::string SimCluster::Hostname(int node_id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%05d", config_.hostname_prefix.c_str(),
+                node_id);
+  return buf;
+}
+
+Status SimCluster::Submit(JobSpec spec) {
+  if (spec.fixed_nodes.empty() &&
+      (spec.node_count <= 0 || spec.node_count > node_count())) {
+    return {ErrorCode::kInvalidArgument, "bad node count"};
+  }
+  for (int n : spec.fixed_nodes) {
+    if (n < 0 || n >= node_count()) {
+      return {ErrorCode::kInvalidArgument, "fixed node out of range"};
+    }
+  }
+  JobRecord record;
+  record.spec = std::move(spec);
+  jobs_.push_back(std::move(record));
+  pending_.push_back(jobs_.size() - 1);
+  return Status::Ok();
+}
+
+void SimCluster::StartPendingJobs() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    JobRecord& job = jobs_[*it];
+    if (job.spec.arrival > now_) {
+      ++it;
+      continue;
+    }
+    if (!job.spec.fixed_nodes.empty()) {
+      // Explicit placement: may deliberately overlap running jobs.
+      job.nodes = job.spec.fixed_nodes;
+    } else {
+      // First-fit contiguous block, falling back to scattered free nodes —
+      // both placements occur in production and both shapes matter for the
+      // network figures.
+      const int want = job.spec.node_count;
+      int run_start = -1;
+      int run_len = 0;
+      for (int i = 0; i < node_count(); ++i) {
+        if (!node_busy_[static_cast<std::size_t>(i)]) {
+          if (run_len == 0) run_start = i;
+          if (++run_len == want) break;
+        } else {
+          run_len = 0;
+        }
+      }
+      if (run_len == want) {
+        for (int i = run_start; i < run_start + want; ++i) {
+          job.nodes.push_back(i);
+        }
+      } else {
+        for (int i = 0; i < node_count() &&
+                        static_cast<int>(job.nodes.size()) < want;
+             ++i) {
+          if (!node_busy_[static_cast<std::size_t>(i)]) job.nodes.push_back(i);
+        }
+        if (static_cast<int>(job.nodes.size()) < want) {
+          job.nodes.clear();
+          ++it;  // not enough free nodes; stay pending
+          continue;
+        }
+      }
+      for (int n : job.nodes) node_busy_[static_cast<std::size_t>(n)] = true;
+    }
+    job.started = true;
+    job.start_time = now_;
+    running_.push_back(*it);
+    it = pending_.erase(it);
+  }
+}
+
+double SimCluster::ImbalanceFactor(const JobRecord& job, int rank) const {
+  // Deterministic hash -> [-0.5, 1.0); rank 0 is biased high so imbalance
+  // has a visible leader (Figure 12's outlier node).
+  std::uint64_t h = job.spec.job_id * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(rank) * 0xd1342543de82ef95ull;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  double spread = u * 1.5 - 0.5;
+  if (rank == 0) spread = 1.0;
+  return 1.0 + job.spec.profile.mem_imbalance * spread;
+}
+
+void SimCluster::ApplyJobDemands(JobRecord& job, DurationNs dt) {
+  const JobProfile& p = job.spec.profile;
+  const double elapsed_s =
+      static_cast<double>(now_ - job.start_time) / static_cast<double>(kNsPerSec);
+  (void)dt;
+
+  // Metadata storm this tick?
+  double open_factor = 1.0;
+  if (p.lustre_storm_period_s > 0.0) {
+    const double period_ns = p.lustre_storm_period_s * 1e9;
+    const auto phase = static_cast<double>((now_ - job.start_time) %
+                                           static_cast<DurationNs>(period_ns));
+    if (phase < static_cast<double>(dt)) open_factor = p.lustre_storm_factor;
+  }
+
+  for (std::size_t rank = 0; rank < job.nodes.size(); ++rank) {
+    SimNode& n = nodes_[static_cast<std::size_t>(job.nodes[rank])];
+    NodeDemand d = n.demand();  // accumulate across overlapping jobs
+    const double cores = static_cast<double>(n.config().cores);
+    d.cpu_user_cores += p.cpu_user_frac * cores;
+    d.cpu_sys_cores += p.cpu_sys_frac * cores;
+    d.cpu_wait_cores += p.cpu_wait_frac * cores;
+    const double factor = ImbalanceFactor(job, static_cast<int>(rank));
+    d.mem_active_kb += static_cast<std::uint64_t>(
+        (static_cast<double>(p.mem_per_node_kb) +
+         p.mem_growth_kb_per_s * elapsed_s) *
+        factor);
+    d.lustre_opens_per_s += p.lustre_opens_per_s * open_factor;
+    d.lustre_closes_per_s += p.lustre_closes_per_s * open_factor;
+    d.lustre_reads_per_s += p.lustre_reads_per_s;
+    d.lustre_writes_per_s += p.lustre_writes_per_s;
+    d.lustre_read_bps += p.lustre_read_bps;
+    d.lustre_write_bps += p.lustre_write_bps;
+    d.nfs_ops_per_s += p.nfs_ops_per_s;
+    d.disk_read_bps += p.disk_read_bps;
+    d.disk_write_bps += p.disk_write_bps;
+    d.page_faults_per_s += p.page_faults_per_s;
+    if (torus_) {
+      // HSN injection is modeled by flows in BuildFlows().
+    } else {
+      d.ib_tx_bps += p.net_bytes_per_s;
+      d.ib_rx_bps += p.net_bytes_per_s;
+    }
+    d.eth_tx_bps += 1.0e5;
+    d.eth_rx_bps += 1.0e5;
+    n.SetDemand(d);
+  }
+}
+
+void SimCluster::BuildFlows(const JobRecord& job) {
+  if (!torus_) return;
+  const JobProfile& p = job.spec.profile;
+  const auto n = static_cast<int>(job.nodes.size());
+  if (n < 2 || p.net_bytes_per_s <= 0.0) return;
+
+  // Slow application-phase modulation of the injection rate.
+  double phase_factor = 1.0;
+  if (p.net_phase_period_s > 0.0 && p.net_phase_depth > 0.0) {
+    const double elapsed_s = static_cast<double>(now_ - job.start_time) /
+                             static_cast<double>(kNsPerSec);
+    const double phase0 =
+        static_cast<double>(job.spec.job_id % 16) * 0.3926990816987241;
+    phase_factor = 1.0 + p.net_phase_depth *
+                             std::sin(6.283185307179586 * elapsed_s /
+                                          p.net_phase_period_s +
+                                      phase0);
+  }
+
+  auto rank_factor = [&](int rank) {
+    if (p.net_rank_jitter <= 0.0) return 1.0;
+    std::uint64_t h = job.spec.job_id * 0x9e3779b97f4a7c15ull +
+                      static_cast<std::uint64_t>(rank) * 0x2545f4914f6cdd1dull;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    return 1.0 + p.net_rank_jitter * (u - 0.5);
+  };
+
+  auto add = [&](int from_rank, int to_rank, double bps) {
+    const int src = GeminiTorus::GeminiOfNode(job.nodes[from_rank]);
+    const int dst = GeminiTorus::GeminiOfNode(job.nodes[to_rank]);
+    if (src == dst) return;
+    torus_->AddFlow({src, dst, bps * phase_factor * rank_factor(from_rank)});
+  };
+
+  switch (p.comm) {
+    case CommPattern::kNone:
+      break;
+    case CommPattern::kNeighbor:
+      for (int i = 0; i < n; ++i) add(i, (i + 1) % n, p.net_bytes_per_s);
+      break;
+    case CommPattern::kHalo3D: {
+      const int nx = std::max(1, static_cast<int>(std::cbrt(n)));
+      const int strides[3] = {1, nx, nx * nx};
+      for (int i = 0; i < n; ++i) {
+        for (int stride : strides) {
+          if (i + stride < n) add(i, i + stride, p.net_bytes_per_s / 3.0);
+        }
+      }
+      break;
+    }
+    case CommPattern::kAllReduce: {
+      int levels = 0;
+      for (int k = 1; k < n; k <<= 1) ++levels;
+      if (levels == 0) break;
+      const double per_level = p.net_bytes_per_s / levels;
+      for (int k = 1; k < n; k <<= 1) {
+        for (int i = 0; i < n; ++i) {
+          const int peer = i ^ k;
+          if (peer < n && peer > i) {
+            add(i, peer, per_level);
+            add(peer, i, per_level);
+          }
+        }
+      }
+      break;
+    }
+    case CommPattern::kIoService:
+      for (int i = 0; i < n; ++i) {
+        const int src = GeminiTorus::GeminiOfNode(
+            job.nodes[static_cast<std::size_t>(i)]);
+        Coord c = torus_->CoordOf(src);
+        c.x = 0;  // the row's I/O-router Gemini
+        const int dst = torus_->IndexOf(c);
+        if (src != dst) {
+          torus_->AddFlow(
+              {src, dst, p.net_bytes_per_s * rank_factor(i) * phase_factor});
+        }
+      }
+      break;
+  }
+}
+
+void SimCluster::Tick(DurationNs dt) {
+  StartPendingJobs();
+
+  // Reset all node demands, then accumulate running jobs.
+  for (SimNode& n : nodes_) n.SetDemand(NodeDemand{});
+  if (torus_) torus_->ClearFlows();
+  for (std::size_t idx : running_) {
+    ApplyJobDemands(jobs_[idx], dt);
+    BuildFlows(jobs_[idx]);
+  }
+
+  if (torus_) torus_->Tick(dt);
+  for (SimNode& n : nodes_) n.Tick(dt);
+
+  now_ += dt;
+
+  // Completion and OOM enforcement.
+  for (auto it = running_.begin(); it != running_.end();) {
+    JobRecord& job = jobs_[*it];
+    bool oom = false;
+    for (int node_id : job.nodes) {
+      if (nodes_[static_cast<std::size_t>(node_id)].OomCondition()) {
+        oom = true;
+        break;
+      }
+    }
+    const bool done =
+        now_ >= job.start_time + job.spec.duration || oom;
+    if (!done) {
+      ++it;
+      continue;
+    }
+    job.finished = true;
+    job.oom_killed = oom;
+    job.end_time = now_;
+    if (job.spec.fixed_nodes.empty()) {
+      for (int n : job.nodes) node_busy_[static_cast<std::size_t>(n)] = false;
+    }
+    it = running_.erase(it);
+  }
+}
+
+void SimCluster::RunFor(DurationNs duration, DurationNs step) {
+  const TimeNs end = now_ + duration;
+  while (now_ < end) Tick(std::min(step, end - now_));
+}
+
+std::vector<const JobRecord*> SimCluster::running_jobs() const {
+  std::vector<const JobRecord*> out;
+  out.reserve(running_.size());
+  for (std::size_t idx : running_) out.push_back(&jobs_[idx]);
+  return out;
+}
+
+NodeDataSourcePtr SimCluster::MakeDataSource(int node_id) {
+  return std::make_shared<SimNodeDataSource>(this, node_id);
+}
+
+}  // namespace ldmsxx::sim

@@ -1,0 +1,105 @@
+// SimCluster ties the substrate together: nodes, the optional Gemini torus,
+// a job scheduler with first-fit contiguous placement, and the per-tick
+// demand pipeline (jobs -> node demands + network flows -> counter
+// integration -> OOM enforcement). Factory configs approximate the paper's
+// two production systems: Blue Waters (torus, 2 nodes/Gemini, 194-metric
+// sets at 1-minute intervals) and Chama (1296 IB nodes, 467 metrics at 20 s).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/data_source.hpp"
+#include "sim/gemini.hpp"
+#include "sim/node.hpp"
+#include "sim/workload.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx::sim {
+
+struct ClusterConfig {
+  std::string name = "cluster";
+  std::string hostname_prefix = "nid";
+  /// Node count for flat (non-torus) clusters; ignored when has_torus.
+  int node_count = 128;
+  bool has_torus = false;
+  TorusDims torus_dims{};
+  SimNodeConfig node_template;
+  std::uint64_t seed = 42;
+
+  /// Chama-like capacity cluster: @p nodes Infiniband-connected nodes.
+  static ClusterConfig Chama(int nodes = 1296);
+  /// Blue-Waters-like torus system; default scaled to 8x8x8 (1024 nodes) so
+  /// tests are fast — pass {24,24,24} for full scale.
+  static ClusterConfig BlueWaters(TorusDims dims = {8, 8, 8});
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  TimeNs now() const { return now_; }
+
+  SimNode& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const SimNode& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  /// nullptr for flat clusters.
+  GeminiTorus* torus() { return torus_ ? &*torus_ : nullptr; }
+  const GeminiTorus* torus() const { return torus_ ? &*torus_ : nullptr; }
+
+  /// Queue a job; it starts at spec.arrival (or when nodes free up).
+  Status Submit(JobSpec spec);
+
+  /// Advance the simulation by @p dt.
+  void Tick(DurationNs dt);
+
+  /// Convenience: Tick repeatedly with @p step until @p duration elapsed.
+  void RunFor(DurationNs duration, DurationNs step);
+
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  /// Records of jobs currently running.
+  std::vector<const JobRecord*> running_jobs() const;
+
+  /// Data source bound to one node (hand to sampler plugins).
+  NodeDataSourcePtr MakeDataSource(int node_id);
+
+  std::string Hostname(int node_id) const;
+
+ private:
+  void StartPendingJobs();
+  void ApplyJobDemands(JobRecord& job, DurationNs dt);
+  void BuildFlows(const JobRecord& job);
+  /// Deterministic per-(job,node-rank) imbalance factor in [1-i/2, 1+1.5i].
+  double ImbalanceFactor(const JobRecord& job, int rank) const;
+
+  ClusterConfig config_;
+  Rng rng_;
+  TimeNs now_ = 0;
+  std::vector<SimNode> nodes_;
+  std::optional<GeminiTorus> torus_;
+  std::vector<JobRecord> jobs_;
+  std::vector<std::size_t> pending_;  // indices into jobs_
+  std::vector<std::size_t> running_;
+  std::vector<bool> node_busy_;
+};
+
+/// NodeDataSource rendering /proc- and /sys-style text from a SimCluster
+/// node. The formats match what the corresponding sampler plugins parse.
+class SimNodeDataSource final : public NodeDataSource {
+ public:
+  SimNodeDataSource(SimCluster* cluster, int node_id)
+      : cluster_(cluster), node_id_(node_id) {}
+
+  Status Read(const std::string& path, std::string* out) override;
+
+ private:
+  SimCluster* cluster_;
+  int node_id_;
+};
+
+}  // namespace ldmsxx::sim

@@ -1,0 +1,19 @@
+#include "sim/data_source.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ldmsxx {
+
+Status RealFsDataSource::Read(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return {ErrorCode::kNotFound, "cannot open " + path};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,32 @@
+// Data-source abstraction for sampler plugins. Real LDMS samplers read
+// /proc and /sys files; ours read the same text formats through this
+// interface so a plugin is byte-for-byte the same parser whether it samples
+// the real machine (RealFsDataSource) or a simulated node
+// (SimNodeDataSource). This preserves the per-metric sampling cost that the
+// Ganglia comparison (§IV-E) and the footprint table (§IV-D) measure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+class NodeDataSource {
+ public:
+  virtual ~NodeDataSource() = default;
+
+  /// Read the full contents of @p path into @p out.
+  virtual Status Read(const std::string& path, std::string* out) = 0;
+};
+
+using NodeDataSourcePtr = std::shared_ptr<NodeDataSource>;
+
+/// Reads the actual filesystem (deploying on a real Linux host).
+class RealFsDataSource final : public NodeDataSource {
+ public:
+  Status Read(const std::string& path, std::string* out) override;
+};
+
+}  // namespace ldmsxx

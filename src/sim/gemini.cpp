@@ -1,0 +1,159 @@
+#include "sim/gemini.hpp"
+
+#include <cassert>
+
+namespace ldmsxx::sim {
+
+const char* LinkDirName(LinkDir dir) {
+  switch (dir) {
+    case LinkDir::kXPlus: return "X+";
+    case LinkDir::kXMinus: return "X-";
+    case LinkDir::kYPlus: return "Y+";
+    case LinkDir::kYMinus: return "Y-";
+    case LinkDir::kZPlus: return "Z+";
+    case LinkDir::kZMinus: return "Z-";
+  }
+  return "?";
+}
+
+GeminiTorus::GeminiTorus(TorusDims dims, Rng rng)
+    : dims_(dims),
+      rng_(rng),
+      links_(static_cast<std::size_t>(dims.gemini_count()) * kLinkDirs),
+      demand_(links_.size(), 0.0) {}
+
+Coord GeminiTorus::CoordOf(int gemini) const {
+  Coord c;
+  c.x = gemini % dims_.x;
+  c.y = (gemini / dims_.x) % dims_.y;
+  c.z = gemini / (dims_.x * dims_.y);
+  return c;
+}
+
+int GeminiTorus::IndexOf(const Coord& c) const {
+  return c.x + dims_.x * (c.y + dims_.y * c.z);
+}
+
+double GeminiTorus::LinkCapacity(LinkDir dir) const {
+  // Approximate Gemini media bandwidths: X and Z use faster backplane/cable
+  // links than Y (bytes/second).
+  switch (dir) {
+    case LinkDir::kXPlus:
+    case LinkDir::kXMinus:
+    case LinkDir::kZPlus:
+    case LinkDir::kZMinus:
+      return 9.375e9;
+    case LinkDir::kYPlus:
+    case LinkDir::kYMinus:
+      return 4.6875e9;
+  }
+  return 9.375e9;
+}
+
+int GeminiTorus::Neighbor(int gemini, LinkDir dir) const {
+  Coord c = CoordOf(gemini);
+  switch (dir) {
+    case LinkDir::kXPlus: c.x = (c.x + 1) % dims_.x; break;
+    case LinkDir::kXMinus: c.x = (c.x + dims_.x - 1) % dims_.x; break;
+    case LinkDir::kYPlus: c.y = (c.y + 1) % dims_.y; break;
+    case LinkDir::kYMinus: c.y = (c.y + dims_.y - 1) % dims_.y; break;
+    case LinkDir::kZPlus: c.z = (c.z + 1) % dims_.z; break;
+    case LinkDir::kZMinus: c.z = (c.z + dims_.z - 1) % dims_.z; break;
+  }
+  return IndexOf(c);
+}
+
+namespace {
+
+/// Steps and direction along one dimension with torus wrap; positive
+/// distance ties choose the plus direction (deterministic routing).
+std::pair<int, bool> WrapSteps(int from, int to, int extent) {
+  int forward = to - from;
+  if (forward < 0) forward += extent;
+  const int backward = extent - forward;
+  if (forward == 0) return {0, true};
+  if (forward <= backward) return {forward, true};
+  return {backward, false};
+}
+
+}  // namespace
+
+void GeminiTorus::Route(int src_gemini, int dst_gemini,
+                        std::vector<std::pair<int, LinkDir>>* hops) const {
+  Coord cur = CoordOf(src_gemini);
+  const Coord dst = CoordOf(dst_gemini);
+
+  struct Dim {
+    int Coord::*member;
+    int extent;
+    LinkDir plus;
+    LinkDir minus;
+  };
+  const Dim dims[3] = {
+      {&Coord::x, dims_.x, LinkDir::kXPlus, LinkDir::kXMinus},
+      {&Coord::y, dims_.y, LinkDir::kYPlus, LinkDir::kYMinus},
+      {&Coord::z, dims_.z, LinkDir::kZPlus, LinkDir::kZMinus},
+  };
+  for (const Dim& dim : dims) {
+    auto [steps, plus] = WrapSteps(cur.*dim.member, dst.*dim.member, dim.extent);
+    const LinkDir dir = plus ? dim.plus : dim.minus;
+    for (int s = 0; s < steps; ++s) {
+      hops->emplace_back(IndexOf(cur), dir);
+      cur.*dim.member =
+          plus ? (cur.*dim.member + 1) % dim.extent
+               : (cur.*dim.member + dim.extent - 1) % dim.extent;
+    }
+  }
+  assert(IndexOf(cur) == dst_gemini);
+}
+
+void GeminiTorus::SetLinkUp(int gemini, LinkDir dir, bool up) {
+  links_[LinkIndex(gemini, dir)].up = up;
+}
+
+void GeminiTorus::Tick(DurationNs dt) {
+  const double seconds = static_cast<double>(dt) / static_cast<double>(kNsPerSec);
+  std::fill(demand_.begin(), demand_.end(), 0.0);
+
+  // OS/background traffic: a trickle on every link so counters are never
+  // perfectly silent (the paper separates "Operating System Traffic
+  // Bandwidth" as its own metric).
+  constexpr double kOsBps = 2.0e5;
+  for (double& d : demand_) d = kOsBps * (0.5 + rng_.NextDouble());
+
+  std::vector<std::pair<int, LinkDir>> hops;
+  for (const Flow& flow : flows_) {
+    hops.clear();
+    Route(flow.src_gemini, flow.dst_gemini, &hops);
+    for (const auto& [gemini, dir] : hops) {
+      demand_[LinkIndex(gemini, dir)] += flow.bytes_per_s;
+    }
+  }
+
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkCounters& link = links_[i];
+    const auto dir = static_cast<LinkDir>(i % kLinkDirs);
+    const double capacity = LinkCapacity(dir);
+    link.elapsed_ns += dt;
+    if (!link.up) {
+      // Down link: nothing delivered; senders stall the whole tick.
+      link.last_utilization = 0.0;
+      link.last_stall_fraction = demand_[i] > 0.0 ? 1.0 : 0.0;
+      link.stalled_ns += demand_[i] > 0.0 ? dt : 0;
+      continue;
+    }
+    const double demanded = demand_[i];
+    const double delivered = std::min(demanded, capacity);
+    const double stall_fraction =
+        demanded > capacity ? (demanded - capacity) / demanded : 0.0;
+    link.traffic_bytes +=
+        static_cast<std::uint64_t>(delivered * seconds);
+    link.packets += static_cast<std::uint64_t>(delivered * seconds / 64.0);
+    link.stalled_ns +=
+        static_cast<std::uint64_t>(stall_fraction * static_cast<double>(dt));
+    link.last_utilization = delivered / capacity;
+    link.last_stall_fraction = stall_fraction;
+  }
+}
+
+}  // namespace ldmsxx::sim

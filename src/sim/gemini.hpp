@@ -1,0 +1,125 @@
+// Simulated Cray Gemini 3-D torus HSN. This is the substrate behind the
+// paper's Figures 9 and 10: per-link traffic and credit-stall accounting on
+// a 24x24x24 torus (dimensions configurable so tests run on small tori).
+//
+// Model notes, matched to the real Gemini (§II, §VI-A):
+//  * Two nodes share one Gemini router; node 2g and 2g+1 live on Gemini g.
+//  * Six link directions per Gemini (X+, X-, Y+, Y-, Z+, Z-), torus wrap.
+//  * Link media differ by dimension: X and Z links are faster than Y
+//    (the paper derives %bandwidth from "estimated theoretical maximum
+//    bandwidth figures based on link type").
+//  * Routing is deterministic dimension-ordered (X, then Y, then Z),
+//    shortest wrap direction — "the routing algorithm between any 2 Gemini
+//    is well-defined", which is why congestion features have extent in X.
+//  * Credit-based flow control: when per-tick demand on a link exceeds its
+//    capacity, sources stall; we account the stalled fraction of the tick
+//    into a cumulative stall-time counter per link, which is exactly what
+//    the gpcdr-exposed performance counters aggregate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace ldmsxx::sim {
+
+enum class LinkDir : std::uint8_t {
+  kXPlus = 0,
+  kXMinus,
+  kYPlus,
+  kYMinus,
+  kZPlus,
+  kZMinus,
+};
+constexpr std::size_t kLinkDirs = 6;
+const char* LinkDirName(LinkDir dir);
+
+struct TorusDims {
+  int x = 24;
+  int y = 24;
+  int z = 24;
+  int gemini_count() const { return x * y * z; }
+  int node_count() const { return 2 * gemini_count(); }
+};
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+};
+
+/// Cumulative per-link counters (what gpcdr exposes to samplers).
+struct LinkCounters {
+  std::uint64_t traffic_bytes = 0;  ///< delivered bytes
+  std::uint64_t packets = 0;
+  std::uint64_t stalled_ns = 0;  ///< cumulative time spent in credit stalls
+  std::uint64_t elapsed_ns = 0;
+  bool up = true;
+  // Last-tick instantaneous values (analysis convenience).
+  double last_utilization = 0.0;
+  double last_stall_fraction = 0.0;
+};
+
+/// A steady traffic demand between two Geminis for the current tick set.
+struct Flow {
+  int src_gemini = 0;
+  int dst_gemini = 0;
+  double bytes_per_s = 0.0;
+};
+
+class GeminiTorus {
+ public:
+  GeminiTorus(TorusDims dims, Rng rng);
+
+  const TorusDims& dims() const { return dims_; }
+  int gemini_count() const { return dims_.gemini_count(); }
+  int node_count() const { return dims_.node_count(); }
+
+  static int GeminiOfNode(int node_id) { return node_id / 2; }
+  Coord CoordOf(int gemini) const;
+  int IndexOf(const Coord& c) const;
+
+  /// Theoretical max bandwidth of a link in @p dir, bytes/second.
+  double LinkCapacity(LinkDir dir) const;
+
+  /// Dimension-ordered route; appends (gemini, direction) hops.
+  void Route(int src_gemini, int dst_gemini,
+             std::vector<std::pair<int, LinkDir>>* hops) const;
+
+  /// Replace the flow set for subsequent ticks.
+  void ClearFlows() { flows_.clear(); }
+  void AddFlow(const Flow& flow) { flows_.push_back(flow); }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Mark a link up/down (failure injection; down links drop traffic and
+  /// stall their sources completely).
+  void SetLinkUp(int gemini, LinkDir dir, bool up);
+
+  /// Advance the network @p dt: apply flows, accumulate per-link traffic
+  /// and stall counters.
+  void Tick(DurationNs dt);
+
+  const LinkCounters& link(int gemini, LinkDir dir) const {
+    return links_[LinkIndex(gemini, dir)];
+  }
+
+  /// Gemini on the other end of (gemini, dir).
+  int Neighbor(int gemini, LinkDir dir) const;
+
+ private:
+  std::size_t LinkIndex(int gemini, LinkDir dir) const {
+    return static_cast<std::size_t>(gemini) * kLinkDirs +
+           static_cast<std::size_t>(dir);
+  }
+
+  TorusDims dims_;
+  Rng rng_;
+  std::vector<LinkCounters> links_;
+  std::vector<Flow> flows_;
+  std::vector<double> demand_;  // scratch: bytes/s per link this tick
+};
+
+}  // namespace ldmsxx::sim

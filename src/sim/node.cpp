@@ -1,0 +1,147 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldmsxx::sim {
+namespace {
+
+constexpr double kUserHz = 100.0;  // jiffies per second
+
+std::uint64_t Jiffies(double cores, double seconds, Rng& rng) {
+  const double exact = cores * seconds * kUserHz;
+  // Stochastic rounding keeps long-run rates exact at coarse ticks.
+  const auto whole = static_cast<std::uint64_t>(exact);
+  return whole + (rng.NextDouble() < (exact - static_cast<double>(whole)) ? 1 : 0);
+}
+
+std::uint64_t Events(double rate_per_s, double seconds, Rng& rng) {
+  const double exact = rate_per_s * seconds;
+  const auto whole = static_cast<std::uint64_t>(exact);
+  return whole + (rng.NextDouble() < (exact - static_cast<double>(whole)) ? 1 : 0);
+}
+
+}  // namespace
+
+SimNode::SimNode(SimNodeConfig config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  // An idle node still runs an OS: ~1.5 GB kernel/cache resident on a big
+  // node, proportionally less on small (test-sized) nodes.
+  counters_.mem_cached_kb =
+      std::min<std::uint64_t>(1200 * 1024, config_.mem_total_kb / 8);
+  counters_.mem_buffers_kb =
+      std::min<std::uint64_t>(80 * 1024, config_.mem_total_kb / 64);
+  os_active_base_kb_ =
+      std::min<std::uint64_t>(300 * 1024, config_.mem_total_kb / 32);
+  counters_.mem_active_kb = os_active_base_kb_;
+  counters_.mem_free_kb =
+      config_.mem_total_kb - counters_.mem_cached_kb -
+      counters_.mem_buffers_kb - counters_.mem_active_kb;
+}
+
+void SimNode::Tick(DurationNs dt) {
+  const double seconds = static_cast<double>(dt) / static_cast<double>(kNsPerSec);
+  const double total_cores = static_cast<double>(config_.cores);
+
+  // Background OS activity: a few hundredths of a core of system time and
+  // occasional daemon user time.
+  const double os_sys = 0.01 + 0.01 * rng_.NextDouble();
+  const double os_user = 0.005 * rng_.NextDouble();
+
+  double user = std::min(demand_.cpu_user_cores + os_user, total_cores);
+  double sys = std::min(demand_.cpu_sys_cores + os_sys, total_cores - user);
+  double wait = std::min(demand_.cpu_wait_cores, total_cores - user - sys);
+  double idle = std::max(0.0, total_cores - user - sys - wait);
+
+  counters_.cpu_user += Jiffies(user, seconds, rng_);
+  counters_.cpu_system += Jiffies(sys, seconds, rng_);
+  counters_.cpu_iowait += Jiffies(wait, seconds, rng_);
+  counters_.cpu_idle += Jiffies(idle, seconds, rng_);
+
+  // Memory is level-based, not cumulative: jobs' active memory plus a
+  // jittering OS baseline.
+  const std::uint64_t os_active =
+      os_active_base_kb_ +
+      static_cast<std::uint64_t>(8.0 * 1024 * rng_.NextDouble());
+  const std::uint64_t active =
+      std::min(demand_.mem_active_kb + os_active, config_.mem_total_kb);
+  counters_.mem_active_kb = active;
+  const std::uint64_t used =
+      active + counters_.mem_cached_kb + counters_.mem_buffers_kb;
+  counters_.mem_free_kb =
+      config_.mem_total_kb > used ? config_.mem_total_kb - used : 0;
+
+  counters_.lustre_open += Events(demand_.lustre_opens_per_s, seconds, rng_);
+  counters_.lustre_close += Events(demand_.lustre_closes_per_s, seconds, rng_);
+  counters_.lustre_read += Events(demand_.lustre_reads_per_s, seconds, rng_);
+  counters_.lustre_write += Events(demand_.lustre_writes_per_s, seconds, rng_);
+  counters_.lustre_read_bytes +=
+      static_cast<std::uint64_t>(demand_.lustre_read_bps * seconds);
+  counters_.lustre_write_bytes +=
+      static_cast<std::uint64_t>(demand_.lustre_write_bps * seconds);
+  // Dirty-page cache behaviour: hits dominate while writes are streaming.
+  counters_.lustre_dirty_pages_hits +=
+      Events(demand_.lustre_write_bps / 4096.0 * 0.9, seconds, rng_);
+  counters_.lustre_dirty_pages_misses +=
+      Events(demand_.lustre_write_bps / 4096.0 * 0.1, seconds, rng_);
+
+  counters_.nfs_ops += Events(demand_.nfs_ops_per_s, seconds, rng_);
+
+  const auto eth_tx = static_cast<std::uint64_t>(demand_.eth_tx_bps * seconds);
+  const auto eth_rx = static_cast<std::uint64_t>(demand_.eth_rx_bps * seconds);
+  counters_.eth_tx_bytes += eth_tx;
+  counters_.eth_rx_bytes += eth_rx;
+  counters_.eth_tx_packets += eth_tx / 1400 + 1;
+  counters_.eth_rx_packets += eth_rx / 1400 + 1;
+
+  const auto ib_tx = static_cast<std::uint64_t>(demand_.ib_tx_bps * seconds);
+  const auto ib_rx = static_cast<std::uint64_t>(demand_.ib_rx_bps * seconds);
+  counters_.ib_port_xmit_data += ib_tx / 4;  // real counters are 4-byte units
+  counters_.ib_port_rcv_data += ib_rx / 4;
+  counters_.ib_port_xmit_pkts += ib_tx / 2048 + 1;
+  counters_.ib_port_rcv_pkts += ib_rx / 2048 + 1;
+
+  // Local scratch disk plus light OS housekeeping I/O.
+  const double disk_read = demand_.disk_read_bps + 2.0e4 * rng_.NextDouble();
+  const double disk_write = demand_.disk_write_bps + 5.0e4 * rng_.NextDouble();
+  counters_.disk_sectors_read +=
+      static_cast<std::uint64_t>(disk_read * seconds / 512.0);
+  counters_.disk_sectors_written +=
+      static_cast<std::uint64_t>(disk_write * seconds / 512.0);
+  counters_.disk_reads_completed += Events(disk_read / 65536.0, seconds, rng_);
+  counters_.disk_writes_completed +=
+      Events(disk_write / 65536.0, seconds, rng_);
+
+  // Paging: faults scale with CPU activity; major faults with disk reads.
+  counters_.pgfault +=
+      Events(demand_.page_faults_per_s + 200.0 * user + 20.0, seconds, rng_);
+  counters_.pgmajfault += Events(disk_read / 1.0e6, seconds, rng_);
+  counters_.pgpgin +=
+      static_cast<std::uint64_t>(disk_read * seconds / 1024.0);
+  counters_.pgpgout +=
+      static_cast<std::uint64_t>(disk_write * seconds / 1024.0);
+
+  // Power model: idle floor plus per-busy-core increment plus a small
+  // network term; energy integrates power.
+  const double busy = user + sys + wait;
+  counters_.power_w = 95.0 + 11.5 * busy +
+                      (demand_.ib_tx_bps + demand_.ib_rx_bps) / 1.0e9 * 4.0 +
+                      2.0 * rng_.NextDouble();
+  counters_.energy_j +=
+      static_cast<std::uint64_t>(counters_.power_w * seconds);
+
+  // Load average: exponentially smoothed runnable-task estimate.
+  const double runnable = user + sys + wait;
+  const double alpha = 1.0 - std::exp(-seconds / 60.0);
+  counters_.loadavg_1m += alpha * (runnable - counters_.loadavg_1m);
+}
+
+bool SimNode::OomCondition() const {
+  const auto threshold = static_cast<std::uint64_t>(
+      config_.oom_fraction * static_cast<double>(config_.mem_total_kb));
+  return demand_.mem_active_kb + counters_.mem_cached_kb +
+             counters_.mem_buffers_kb >
+         threshold;
+}
+
+}  // namespace ldmsxx::sim

@@ -1,0 +1,125 @@
+// Simulated compute node: the substrate behind /proc-style data sources.
+// Jobs deposit per-tick resource demands; Tick() integrates them into the
+// cumulative counters the kernel would keep (jiffies, bytes, operation
+// counts), plus a little background OS activity so an idle node is not
+// perfectly flat — the behaviour every sampler actually sees in production.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace ldmsxx::sim {
+
+struct SimNodeConfig {
+  std::uint64_t node_id = 0;
+  std::string hostname;               ///< e.g. "nid00042"
+  std::uint64_t mem_total_kb = 64ull * 1024 * 1024;  ///< 64 GB default
+  unsigned cores = 16;
+  /// Per-node OOM threshold: a job pushing Active beyond this is killed.
+  double oom_fraction = 0.98;
+};
+
+/// Per-tick resource demand aggregated over the jobs on this node.
+struct NodeDemand {
+  double cpu_user_cores = 0.0;  ///< cores of user time demanded
+  double cpu_sys_cores = 0.0;
+  double cpu_wait_cores = 0.0;
+  std::uint64_t mem_active_kb = 0;  ///< job anonymous/active memory
+  double lustre_opens_per_s = 0.0;
+  double lustre_closes_per_s = 0.0;
+  double lustre_reads_per_s = 0.0;
+  double lustre_writes_per_s = 0.0;
+  double lustre_read_bps = 0.0;
+  double lustre_write_bps = 0.0;
+  double nfs_ops_per_s = 0.0;
+  double eth_tx_bps = 0.0;
+  double eth_rx_bps = 0.0;
+  double ib_tx_bps = 0.0;
+  double ib_rx_bps = 0.0;
+  /// Node-local scratch disk traffic.
+  double disk_read_bps = 0.0;
+  double disk_write_bps = 0.0;
+  /// Page-fault pressure (faults per second beyond the OS baseline).
+  double page_faults_per_s = 0.0;
+};
+
+/// Cumulative kernel-style counters (monotonic).
+struct NodeCounters {
+  // /proc/stat, USER_HZ=100 jiffies
+  std::uint64_t cpu_user = 0;
+  std::uint64_t cpu_nice = 0;
+  std::uint64_t cpu_system = 0;
+  std::uint64_t cpu_idle = 0;
+  std::uint64_t cpu_iowait = 0;
+  // /proc/meminfo, kB
+  std::uint64_t mem_free_kb = 0;
+  std::uint64_t mem_active_kb = 0;
+  std::uint64_t mem_cached_kb = 0;
+  std::uint64_t mem_buffers_kb = 0;
+  // Lustre llite counters
+  std::uint64_t lustre_open = 0;
+  std::uint64_t lustre_close = 0;
+  std::uint64_t lustre_read = 0;
+  std::uint64_t lustre_write = 0;
+  std::uint64_t lustre_read_bytes = 0;
+  std::uint64_t lustre_write_bytes = 0;
+  std::uint64_t lustre_dirty_pages_hits = 0;
+  std::uint64_t lustre_dirty_pages_misses = 0;
+  // NFS
+  std::uint64_t nfs_ops = 0;
+  // Ethernet (/proc/net/dev)
+  std::uint64_t eth_rx_bytes = 0;
+  std::uint64_t eth_rx_packets = 0;
+  std::uint64_t eth_tx_bytes = 0;
+  std::uint64_t eth_tx_packets = 0;
+  // Infiniband port counters (units of 4 bytes, like the real ones)
+  std::uint64_t ib_port_xmit_data = 0;
+  std::uint64_t ib_port_rcv_data = 0;
+  std::uint64_t ib_port_xmit_pkts = 0;
+  std::uint64_t ib_port_rcv_pkts = 0;
+  // /proc/diskstats (sda)
+  std::uint64_t disk_reads_completed = 0;
+  std::uint64_t disk_sectors_read = 0;
+  std::uint64_t disk_writes_completed = 0;
+  std::uint64_t disk_sectors_written = 0;
+  // /proc/vmstat
+  std::uint64_t pgfault = 0;
+  std::uint64_t pgmajfault = 0;
+  std::uint64_t pgpgin = 0;   // KiB paged in
+  std::uint64_t pgpgout = 0;  // KiB paged out
+  // Power (Cray pm_counters shape): instantaneous watts + cumulative joules
+  double power_w = 0.0;
+  std::uint64_t energy_j = 0;
+  // load average (not cumulative)
+  double loadavg_1m = 0.0;
+};
+
+class SimNode {
+ public:
+  SimNode(SimNodeConfig config, Rng rng);
+
+  const SimNodeConfig& config() const { return config_; }
+  const NodeCounters& counters() const { return counters_; }
+
+  /// Replace this tick's demand (cluster aggregates jobs before calling).
+  void SetDemand(const NodeDemand& demand) { demand_ = demand; }
+  const NodeDemand& demand() const { return demand_; }
+
+  /// Integrate @p dt of activity into the counters.
+  void Tick(DurationNs dt);
+
+  /// True when demanded active memory exceeds the OOM threshold this tick.
+  bool OomCondition() const;
+
+ private:
+  SimNodeConfig config_;
+  Rng rng_;
+  NodeDemand demand_;
+  NodeCounters counters_;
+  std::uint64_t os_active_base_kb_ = 0;
+};
+
+}  // namespace ldmsxx::sim

@@ -1,0 +1,71 @@
+#include "sim/workload.hpp"
+
+namespace ldmsxx::sim {
+
+JobProfile JobProfile::Compute() {
+  JobProfile p;
+  p.cpu_user_frac = 0.95;
+  p.net_bytes_per_s = 2.0e7;
+  p.comm = CommPattern::kNeighbor;
+  return p;
+}
+
+JobProfile JobProfile::CommHeavy() {
+  JobProfile p;
+  p.cpu_user_frac = 0.75;
+  p.cpu_sys_frac = 0.1;
+  p.net_bytes_per_s = 9.0e9;  // drives shared links past saturation
+  p.comm = CommPattern::kAllReduce;
+  p.net_phase_period_s = 7200.0;  // CG solve phases on an hours scale
+  p.net_phase_depth = 0.5;
+  return p;
+}
+
+JobProfile JobProfile::Halo() {
+  JobProfile p;
+  p.cpu_user_frac = 0.85;
+  p.net_bytes_per_s = 1.2e9;
+  p.comm = CommPattern::kHalo3D;
+  return p;
+}
+
+JobProfile JobProfile::IoHeavy() {
+  JobProfile p;
+  p.cpu_user_frac = 0.6;
+  p.cpu_wait_frac = 0.15;
+  p.lustre_writes_per_s = 50.0;
+  p.lustre_write_bps = 2.0e8;
+  p.lustre_opens_per_s = 5.0;
+  p.lustre_closes_per_s = 5.0;
+  p.disk_write_bps = 2.0e7;  // local scratch staging
+  p.disk_read_bps = 5.0e6;
+  p.page_faults_per_s = 400.0;
+  p.net_bytes_per_s = 1.5e9;
+  p.comm = CommPattern::kIoService;
+  return p;
+}
+
+JobProfile JobProfile::MetadataStorm() {
+  JobProfile p;
+  p.cpu_user_frac = 0.4;
+  p.lustre_opens_per_s = 120.0;  // the sustained horizontal bands
+  p.lustre_closes_per_s = 120.0;
+  p.lustre_storm_period_s = 3600.0;
+  p.lustre_storm_factor = 40.0;
+  p.net_bytes_per_s = 1.0e7;
+  p.comm = CommPattern::kIoService;
+  return p;
+}
+
+JobProfile JobProfile::MemoryRamp(double growth_kb_per_s) {
+  JobProfile p;
+  p.cpu_user_frac = 0.9;
+  p.mem_per_node_kb = 12ull * 1024 * 1024;
+  p.mem_growth_kb_per_s = growth_kb_per_s;
+  p.mem_imbalance = 0.8;
+  p.net_bytes_per_s = 1.0e8;
+  p.comm = CommPattern::kHalo3D;
+  return p;
+}
+
+}  // namespace ldmsxx::sim

@@ -1,0 +1,101 @@
+// Synthetic application workloads. Each job deposits per-node resource
+// demands (CPU, memory, Lustre, network) every simulation tick; profiles
+// approximate the application classes the paper's evaluation uses:
+// communication-heavy lattice codes (MILC), halo-exchange stencils
+// (MiniGhost/CTH), I/O-heavy implicit codes (Nalu/Adagio restart dumps),
+// metadata-storm jobs (Figure 11), and the memory-ramp job that the OOM
+// killer terminates in Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace ldmsxx::sim {
+
+enum class CommPattern {
+  kNone,       ///< embarrassingly parallel
+  kNeighbor,   ///< ring: rank i -> i+1
+  kHalo3D,     ///< 3-D stencil: strides 1, nx, nx*ny in rank space
+  kAllReduce,  ///< binomial-tree pairs: i <-> i^2^k
+  kIoService,  ///< every rank -> the I/O-router Gemini at x=0 of its own
+               ///< (y,z) row; Blue Waters distributes I/O nodes through the
+               ///< torus, so file-system traffic converges along X
+};
+
+struct JobProfile {
+  double cpu_user_frac = 0.85;  ///< fraction of node cores in user time
+  double cpu_sys_frac = 0.05;
+  double cpu_wait_frac = 0.0;
+  std::uint64_t mem_per_node_kb = 8ull * 1024 * 1024;
+  /// Linear active-memory growth (leaks / accumulating AMR meshes).
+  double mem_growth_kb_per_s = 0.0;
+  /// Per-node spread: node demand is scaled by 1 + imbalance * u, with u
+  /// deterministic per (job, node) in [-0.5, 1.5] — rank 0 biased high, the
+  /// shape visible in Figure 12.
+  double mem_imbalance = 0.1;
+  double lustre_opens_per_s = 0.5;
+  double lustre_closes_per_s = 0.5;
+  double lustre_reads_per_s = 2.0;
+  double lustre_writes_per_s = 2.0;
+  double lustre_read_bps = 1.0e6;
+  double lustre_write_bps = 4.0e6;
+  /// Periodic metadata storms: every period, opens_per_s is multiplied by
+  /// storm_factor for one tick (0 disables).
+  double lustre_storm_period_s = 0.0;
+  double lustre_storm_factor = 200.0;
+  double nfs_ops_per_s = 0.2;
+  /// Node-local scratch disk traffic.
+  double disk_read_bps = 1.0e5;
+  double disk_write_bps = 2.0e5;
+  double page_faults_per_s = 50.0;
+  /// HSN injection per node.
+  double net_bytes_per_s = 2.0e8;
+  CommPattern comm = CommPattern::kNeighbor;
+  /// Slow sinusoidal modulation of the injection rate (application phases:
+  /// communication-heavy solves alternating with I/O or setup). 0 = steady.
+  double net_phase_period_s = 0.0;
+  /// Modulation depth in [0,1): rate swings between (1-depth) and (1+depth).
+  double net_phase_depth = 0.0;
+  /// Per-rank multiplicative jitter of flow rates in [1-j/2, 1+j/2]
+  /// (deterministic per job+rank); makes congestion heterogeneous the way
+  /// real rank-dependent communication volumes do.
+  double net_rank_jitter = 0.5;
+
+  // Presets named for the application classes they imitate.
+  static JobProfile Compute();
+  static JobProfile CommHeavy();      ///< MILC-like
+  static JobProfile Halo();           ///< MiniGhost/CTH-like
+  static JobProfile IoHeavy();        ///< Nalu/Adagio-like restart dumps
+  static JobProfile MetadataStorm();  ///< Figure 11 bands
+  /// Figure 12: ramping, imbalanced memory that eventually trips the OOM
+  /// killer. @p growth_kb_per_s is the mean per-node growth.
+  static JobProfile MemoryRamp(double growth_kb_per_s);
+};
+
+struct JobSpec {
+  std::uint64_t job_id = 0;
+  std::string name;
+  std::string user;
+  int node_count = 1;
+  TimeNs arrival = 0;
+  DurationNs duration = kNsPerHour;
+  JobProfile profile;
+  /// Non-empty: run on exactly these nodes (allows deliberate overlap and
+  /// system-wide events); empty: the scheduler places the job.
+  std::vector<int> fixed_nodes;
+};
+
+struct JobRecord {
+  JobSpec spec;
+  std::vector<int> nodes;
+  TimeNs start_time = 0;
+  TimeNs end_time = 0;
+  bool started = false;
+  bool finished = false;
+  bool oom_killed = false;
+};
+
+}  // namespace ldmsxx::sim

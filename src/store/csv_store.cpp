@@ -1,0 +1,90 @@
+#include "store/csv_store.hpp"
+
+#include <filesystem>
+
+namespace ldmsxx {
+
+CsvStore::CsvStore(CsvStoreOptions options) : options_(std::move(options)) {
+  std::filesystem::create_directories(options_.root_path);
+}
+
+std::string CsvStore::FilePath(const std::string& schema) const {
+  return options_.root_path + "/" + schema + ".csv";
+}
+
+CsvStore::SchemaFile& CsvStore::FileFor(const MetricSet& set) {
+  const std::string& schema = set.schema().name();
+  auto it = files_.find(schema);
+  if (it != files_.end()) return it->second;
+  SchemaFile file;
+  file.writer = std::make_unique<CsvWriter>(FilePath(schema), options_.truncate);
+  auto [ins, ok] = files_.emplace(schema, std::move(file));
+  (void)ok;
+  return ins->second;
+}
+
+Status CsvStore::StoreSet(const MetricSet& set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchemaFile& file = FileFor(set);
+  const Schema& schema = set.schema();
+
+  if (!file.header_written) {
+    file.header_written = true;
+    CsvWriter* header_out = file.writer.get();
+    std::unique_ptr<CsvWriter> separate;
+    if (options_.header_in_separate_file) {
+      separate = std::make_unique<CsvWriter>(
+          FilePath(schema.name()) + ".HEADER", options_.truncate);
+      header_out = separate.get();
+    }
+    header_out->Field("#Time");
+    header_out->Field("ProducerName");
+    header_out->Field("component_id");
+    for (std::size_t i = 0; i < schema.metric_count(); ++i) {
+      header_out->Field(schema.metric(i).name);
+    }
+    header_out->EndRow();
+    header_out->Flush();
+  }
+
+  const std::uint64_t before = file.writer->bytes_written();
+  const TimeNs ts = set.timestamp();
+  char ts_buf[32];
+  std::snprintf(ts_buf, sizeof ts_buf, "%llu.%06llu",
+                static_cast<unsigned long long>(ts / kNsPerSec),
+                static_cast<unsigned long long>((ts % kNsPerSec) / kNsPerUs));
+  file.writer->Field(std::string_view(ts_buf));
+  file.writer->Field(std::string_view(set.producer_name()));
+  file.writer->Field(set.component_id());
+  for (std::size_t i = 0; i < schema.metric_count(); ++i) {
+    const MetricValue v = set.GetValue(i);
+    switch (v.type) {
+      case MetricType::kF32:
+      case MetricType::kD64:
+        file.writer->Field(v.AsDouble());
+        break;
+      case MetricType::kS8:
+      case MetricType::kS16:
+      case MetricType::kS32:
+      case MetricType::kS64:
+        file.writer->Field(v.v.s64);
+        break;
+      default:
+        file.writer->Field(v.v.u64);
+        break;
+    }
+  }
+  file.writer->EndRow();
+  CountRow(file.writer->bytes_written() - before);
+  if (!file.writer->ok()) {
+    return {ErrorCode::kInternal, "csv write failed for " + schema.name()};
+  }
+  return Status::Ok();
+}
+
+void CsvStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [schema, file] : files_) file.writer->Flush();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,48 @@
+// store_csv: one CSV file per metric-set schema ("a Comma Separated Value
+// (CSV) file per metric set", §IV-A). Row shape matches the production
+// store: timestamp, producer, component id, then one column per metric.
+// Optionally writes the header to a separate .HEADER file (the paper's
+// "optionally write header to separate file" configuration).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "store/store.hpp"
+#include "util/csv.hpp"
+
+namespace ldmsxx {
+
+struct CsvStoreOptions {
+  std::string root_path;       ///< directory for the per-schema files
+  bool header_in_separate_file = false;
+  bool truncate = true;        ///< start files fresh (tests/benches)
+};
+
+class CsvStore final : public Store {
+ public:
+  explicit CsvStore(CsvStoreOptions options);
+
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet& set) override;
+  void Flush() override;
+
+  /// Path of the data file for @p schema (for tests/analysis).
+  std::string FilePath(const std::string& schema) const;
+
+ private:
+  struct SchemaFile {
+    std::unique_ptr<CsvWriter> writer;
+    bool header_written = false;
+  };
+
+  SchemaFile& FileFor(const MetricSet& set);
+
+  std::string name_ = "store_csv";
+  CsvStoreOptions options_;
+  std::mutex mu_;
+  std::map<std::string, SchemaFile> files_;
+};
+
+}  // namespace ldmsxx

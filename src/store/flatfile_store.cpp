@@ -1,0 +1,73 @@
+#include "store/flatfile_store.hpp"
+
+#include <filesystem>
+
+namespace ldmsxx {
+namespace {
+
+/// Metric names can contain '#' and '.' (e.g. "open#stats.snx11024"); map
+/// path-hostile characters to '_' for the file name.
+std::string SanitizeFileName(const std::string& metric_name) {
+  std::string out = metric_name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+FlatFileStore::FlatFileStore(FlatFileStoreOptions options)
+    : options_(std::move(options)) {
+  std::filesystem::create_directories(options_.root_path);
+}
+
+std::string FlatFileStore::FilePath(const std::string& metric_name) const {
+  return options_.root_path + "/" + SanitizeFileName(metric_name);
+}
+
+std::ofstream& FlatFileStore::FileFor(const std::string& metric_name) {
+  auto it = files_.find(metric_name);
+  if (it != files_.end()) return it->second;
+  auto mode = options_.truncate ? std::ios::trunc : std::ios::app;
+  auto [ins, ok] =
+      files_.emplace(metric_name, std::ofstream(FilePath(metric_name), mode));
+  (void)ok;
+  return ins->second;
+}
+
+Status FlatFileStore::StoreSet(const MetricSet& set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Schema& schema = set.schema();
+  const TimeNs ts = set.timestamp();
+  char prefix[48];
+  const int prefix_len = std::snprintf(
+      prefix, sizeof prefix, "%llu.%06llu",
+      static_cast<unsigned long long>(ts / kNsPerSec),
+      static_cast<unsigned long long>((ts % kNsPerSec) / kNsPerUs));
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < schema.metric_count(); ++i) {
+    std::ofstream& out = FileFor(schema.metric(i).name);
+    const MetricValue v = set.GetValue(i);
+    const std::uint64_t comp = schema.metric(i).component_id != 0
+                                   ? schema.metric(i).component_id
+                                   : set.component_id();
+    std::string line = std::string(prefix, static_cast<std::size_t>(prefix_len)) +
+                       " " + std::to_string(comp) + " " + v.ToString() + "\n";
+    out << line;
+    bytes += line.size();
+    if (!out.good()) {
+      return {ErrorCode::kInternal,
+              "flatfile write failed for " + schema.metric(i).name};
+    }
+  }
+  CountRow(bytes);
+  return Status::Ok();
+}
+
+void FlatFileStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, file] : files_) file.flush();
+}
+
+}  // namespace ldmsxx

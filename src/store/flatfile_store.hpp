@@ -1,0 +1,40 @@
+// store_flatfile: one file per metric name ("a file per metric name (e.g.
+// Active and Cached memory are stored in 2 separate files)", §IV-A). Each
+// line is "timestamp component_id value". Simple, greppable, and the layout
+// Sandia used for quick per-metric investigations.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "store/store.hpp"
+
+namespace ldmsxx {
+
+struct FlatFileStoreOptions {
+  std::string root_path;
+  bool truncate = true;
+};
+
+class FlatFileStore final : public Store {
+ public:
+  explicit FlatFileStore(FlatFileStoreOptions options);
+
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet& set) override;
+  void Flush() override;
+
+  /// Path of the data file for @p metric_name.
+  std::string FilePath(const std::string& metric_name) const;
+
+ private:
+  std::ofstream& FileFor(const std::string& metric_name);
+
+  std::string name_ = "store_flatfile";
+  FlatFileStoreOptions options_;
+  std::mutex mu_;
+  std::map<std::string, std::ofstream> files_;
+};
+
+}  // namespace ldmsxx

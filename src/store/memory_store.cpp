@@ -1,0 +1,61 @@
+#include "store/memory_store.hpp"
+
+namespace ldmsxx {
+
+Status MemoryStore::StoreSet(const MetricSet& set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table& table = tables_[set.schema().name()];
+  if (table.metric_names.empty()) {
+    for (std::size_t i = 0; i < set.schema().metric_count(); ++i) {
+      table.metric_names.push_back(set.schema().metric(i).name);
+    }
+  }
+  MemRow row;
+  row.timestamp = set.timestamp();
+  row.component_id = set.component_id();
+  row.producer = set.producer_name();
+  row.values.reserve(set.schema().metric_count());
+  for (std::size_t i = 0; i < set.schema().metric_count(); ++i) {
+    row.values.push_back(set.GetValue(i).AsDouble());
+  }
+  table.rows.push_back(std::move(row));
+  CountRow(8 * set.schema().metric_count() + 24);
+  return Status::Ok();
+}
+
+std::vector<std::string> MemoryStore::MetricNames(
+    const std::string& schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(schema);
+  if (it == tables_.end()) return {};
+  return it->second.metric_names;
+}
+
+std::vector<MemRow> MemoryStore::Rows(const std::string& schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(schema);
+  if (it == tables_.end()) return {};
+  return it->second.rows;
+}
+
+std::size_t MemoryStore::RowCount(const std::string& schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(schema);
+  if (it == tables_.end()) return 0;
+  return it->second.rows.size();
+}
+
+std::vector<std::string> MemoryStore::Schemas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+void MemoryStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.clear();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,53 @@
+// store_mem: in-memory row store used by tests and by the characterization
+// benches that build the paper's Figures 9-12 (they need random access to a
+// simulated day of samples without round-tripping through the filesystem).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "store/store.hpp"
+#include "util/clock.hpp"
+
+namespace ldmsxx {
+
+/// One stored sample row.
+struct MemRow {
+  TimeNs timestamp = 0;
+  std::uint64_t component_id = 0;
+  std::string producer;
+  std::vector<double> values;  ///< metric values coerced to double
+};
+
+class MemoryStore final : public Store {
+ public:
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet& set) override;
+
+  /// Metric names for @p schema as of the first stored row.
+  std::vector<std::string> MetricNames(const std::string& schema) const;
+
+  /// All rows stored for @p schema, in arrival order.
+  std::vector<MemRow> Rows(const std::string& schema) const;
+
+  /// Number of rows stored for @p schema.
+  std::size_t RowCount(const std::string& schema) const;
+
+  /// Schemas seen so far.
+  std::vector<std::string> Schemas() const;
+
+  void Clear();
+
+ private:
+  struct Table {
+    std::vector<std::string> metric_names;
+    std::vector<MemRow> rows;
+  };
+
+  std::string name_ = "store_mem";
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace ldmsxx

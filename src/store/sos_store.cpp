@@ -1,0 +1,223 @@
+#include "store/sos_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "core/wire.hpp"
+
+namespace ldmsxx {
+namespace {
+
+constexpr std::uint32_t kSosMagic = 0x534f5331;  // "SOS1"
+
+struct SosFileHeader {
+  std::uint32_t magic;
+  std::uint32_t schema_bytes;  // length of the serialized schema record
+  std::uint32_t metric_count;
+  std::uint32_t record_size;
+};
+
+std::vector<std::byte> SerializeSchemaRecord(const Schema& schema) {
+  ByteWriter w;
+  w.Str(schema.name());
+  w.U32(static_cast<std::uint32_t>(schema.metric_count()));
+  for (std::size_t i = 0; i < schema.metric_count(); ++i) {
+    w.U8(static_cast<std::uint8_t>(schema.metric(i).type));
+    w.Str(schema.metric(i).name);
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+double SosRecord::SlotAsDouble(std::size_t i, MetricType type) const {
+  MetricValue v;
+  v.type = type;
+  switch (type) {
+    case MetricType::kD64:
+      std::memcpy(&v.v.d64, &slots[i], 8);
+      break;
+    case MetricType::kF32: {
+      float f;
+      std::memcpy(&f, &slots[i], 4);
+      v.v.f32 = f;
+      break;
+    }
+    case MetricType::kS8:
+    case MetricType::kS16:
+    case MetricType::kS32:
+    case MetricType::kS64:
+      v.v.s64 = static_cast<std::int64_t>(slots[i]);
+      break;
+    default:
+      v.v.u64 = slots[i];
+      break;
+  }
+  return v.AsDouble();
+}
+
+SosStore::SosStore(SosStoreOptions options) : options_(std::move(options)) {
+  std::filesystem::create_directories(options_.root_path);
+}
+
+SosStore::~SosStore() {
+  for (auto& [schema, container] : containers_) {
+    if (container.file != nullptr) std::fclose(container.file);
+  }
+}
+
+std::string SosStore::FilePath(const std::string& schema) const {
+  return options_.root_path + "/" + schema + ".sos";
+}
+
+SosStore::Container& SosStore::ContainerFor(const MetricSet& set) {
+  const std::string& schema_name = set.schema().name();
+  auto it = containers_.find(schema_name);
+  if (it != containers_.end()) return it->second;
+
+  Container container;
+  container.record_size = 16 + 8 * set.schema().metric_count();
+  const std::string path = FilePath(schema_name);
+  container.file = std::fopen(path.c_str(), options_.truncate ? "wb" : "ab");
+  if (container.file != nullptr) {
+    const auto schema_rec = SerializeSchemaRecord(set.schema());
+    SosFileHeader hdr{};
+    hdr.magic = kSosMagic;
+    hdr.schema_bytes = static_cast<std::uint32_t>(schema_rec.size());
+    hdr.metric_count = static_cast<std::uint32_t>(set.schema().metric_count());
+    hdr.record_size = static_cast<std::uint32_t>(container.record_size);
+    std::fwrite(&hdr, sizeof hdr, 1, container.file);
+    std::fwrite(schema_rec.data(), 1, schema_rec.size(), container.file);
+  }
+  auto [ins, ok] = containers_.emplace(schema_name, container);
+  (void)ok;
+  return ins->second;
+}
+
+Status SosStore::StoreSet(const MetricSet& set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Container& container = ContainerFor(set);
+  if (container.file == nullptr) {
+    return {ErrorCode::kInternal, "cannot open sos container"};
+  }
+  std::vector<std::uint64_t> record(2 + set.schema().metric_count());
+  record[0] = set.timestamp();
+  record[1] = set.component_id();
+  for (std::size_t i = 0; i < set.schema().metric_count(); ++i) {
+    const MetricValue v = set.GetValue(i);
+    std::uint64_t slot = 0;
+    switch (v.type) {
+      case MetricType::kD64:
+        std::memcpy(&slot, &v.v.d64, 8);
+        break;
+      case MetricType::kF32:
+        std::memcpy(&slot, &v.v.f32, 4);
+        break;
+      case MetricType::kS8:
+      case MetricType::kS16:
+      case MetricType::kS32:
+      case MetricType::kS64:
+        slot = static_cast<std::uint64_t>(v.v.s64);
+        break;
+      default:
+        slot = v.v.u64;
+        break;
+    }
+    record[2 + i] = slot;
+  }
+  const std::size_t bytes = record.size() * 8;
+  if (std::fwrite(record.data(), 1, bytes, container.file) != bytes) {
+    return {ErrorCode::kInternal, "sos append failed"};
+  }
+  CountRow(bytes);
+  return Status::Ok();
+}
+
+void SosStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [schema, container] : containers_) {
+    if (container.file != nullptr) std::fflush(container.file);
+  }
+}
+
+std::optional<SosSchemaInfo> SosStore::ReadSchema(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  SosFileHeader hdr{};
+  if (std::fread(&hdr, sizeof hdr, 1, f) != 1 || hdr.magic != kSosMagic) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<std::byte> schema_bytes(hdr.schema_bytes);
+  if (std::fread(schema_bytes.data(), 1, schema_bytes.size(), f) !=
+      schema_bytes.size()) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fclose(f);
+  ByteReader r(schema_bytes);
+  SosSchemaInfo info;
+  info.schema_name = r.Str();
+  const std::uint32_t count = r.U32();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    info.metric_types.push_back(static_cast<MetricType>(r.U8()));
+    info.metric_names.push_back(r.Str());
+  }
+  if (!r.ok() || info.metric_names.size() != count) return std::nullopt;
+  return info;
+}
+
+std::size_t SosStore::Query(const std::string& path, TimeNs t0, TimeNs t1,
+                            const std::function<void(const SosRecord&)>& visit) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  SosFileHeader hdr{};
+  if (std::fread(&hdr, sizeof hdr, 1, f) != 1 || hdr.magic != kSosMagic) {
+    std::fclose(f);
+    return 0;
+  }
+  const long data_start =
+      static_cast<long>(sizeof hdr + hdr.schema_bytes);
+  std::fseek(f, 0, SEEK_END);
+  const long file_end = std::ftell(f);
+  const std::size_t record_size = hdr.record_size;
+  const std::size_t n_records =
+      static_cast<std::size_t>(file_end - data_start) / record_size;
+
+  auto read_ts = [&](std::size_t idx) -> TimeNs {
+    std::fseek(f, data_start + static_cast<long>(idx * record_size), SEEK_SET);
+    std::uint64_t ts = 0;
+    if (std::fread(&ts, 8, 1, f) != 1) return ~0ull;
+    return ts;
+  };
+
+  // Binary search for the first record with ts >= t0 (records time-ordered).
+  std::size_t lo = 0;
+  std::size_t hi = n_records;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (read_ts(mid) < t0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+
+  std::size_t visited = 0;
+  std::vector<std::uint64_t> raw(record_size / 8);
+  std::fseek(f, data_start + static_cast<long>(lo * record_size), SEEK_SET);
+  for (std::size_t i = lo; i < n_records; ++i) {
+    if (std::fread(raw.data(), 1, record_size, f) != record_size) break;
+    if (raw[0] >= t1) break;
+    SosRecord rec;
+    rec.timestamp = raw[0];
+    rec.component_id = raw[1];
+    rec.slots.assign(raw.begin() + 2, raw.end());
+    visit(rec);
+    ++visited;
+  }
+  std::fclose(f);
+  return visited;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,80 @@
+// store_sos: a Scalable-Object-Store-like binary format ("a proprietary
+// structured file format called Scalable Object Store (SOS)", §IV-A). One
+// container file per schema:
+//
+//   [SosFileHeader][schema record: names + types][fixed-size sample records…]
+//
+// Sample records are fixed-size (u64 timestamp ns, u64 component id, and one
+// 8-byte slot per metric), appended in time order, so time-range queries are
+// a binary search plus a sequential scan — the property that lets NCSA keep
+// "the most recent 24 hours of node metrics for live queries".
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "store/store.hpp"
+#include "util/clock.hpp"
+
+namespace ldmsxx {
+
+struct SosStoreOptions {
+  std::string root_path;
+  bool truncate = true;
+};
+
+/// One decoded sample returned by queries.
+struct SosRecord {
+  TimeNs timestamp = 0;
+  std::uint64_t component_id = 0;
+  /// Raw 8-byte slots; interpret with the schema from SosSchemaInfo.
+  std::vector<std::uint64_t> slots;
+
+  double SlotAsDouble(std::size_t i, MetricType type) const;
+};
+
+/// Schema description stored in a container header.
+struct SosSchemaInfo {
+  std::string schema_name;
+  std::vector<std::string> metric_names;
+  std::vector<MetricType> metric_types;
+};
+
+class SosStore final : public Store {
+ public:
+  explicit SosStore(SosStoreOptions options);
+  ~SosStore() override;
+
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet& set) override;
+  void Flush() override;
+
+  std::string FilePath(const std::string& schema) const;
+
+  /// Read a container's schema; nullopt if the file is missing/corrupt.
+  static std::optional<SosSchemaInfo> ReadSchema(const std::string& path);
+
+  /// Visit records with timestamp in [t0, t1); binary-searches the start.
+  /// Returns the number of records visited.
+  static std::size_t Query(const std::string& path, TimeNs t0, TimeNs t1,
+                           const std::function<void(const SosRecord&)>& visit);
+
+ private:
+  struct Container {
+    std::FILE* file = nullptr;
+    std::size_t record_size = 0;
+  };
+
+  Container& ContainerFor(const MetricSet& set);
+
+  std::string name_ = "store_sos";
+  SosStoreOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Container> containers_;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,52 @@
+// Storage plugin API (§IV-B "Storage"). Stores run on aggregators and write
+// metric-set contents to stable storage. The aggregator only hands a store a
+// mirror set that just passed the DGN/consistent checks, so stores never see
+// torn or stale data ("collection of a metric set whose data has not been
+// updated or is incomplete does not result in a write to storage").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/metric_set.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Base class for storage plugins.
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Plugin name ("store_csv", "store_flatfile", "store_sos", "store_mem").
+  virtual const std::string& name() const = 0;
+
+  /// Append one sample: the current contents of @p set, stamped with the
+  /// set's transaction timestamp. Called from the aggregator's dedicated
+  /// storage thread pool; implementations must be thread-safe across
+  /// different sets but may assume per-set serialization.
+  virtual Status StoreSet(const MetricSet& set) = 0;
+
+  /// Flush buffered data to stable storage.
+  virtual void Flush() {}
+
+  std::uint64_t rows_written() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void CountRow(std::uint64_t bytes) {
+    rows_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace ldmsxx

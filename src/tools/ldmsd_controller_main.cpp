@@ -1,0 +1,53 @@
+// ldmsd_controller: send configuration commands to a running ldmsd over its
+// UNIX domain control socket.
+//
+//   ldmsd_controller -S /tmp/ldmsd.sock -c "interval name=meminfo interval=1000000"
+//   echo "stop name=meminfo" | ldmsd_controller -S /tmp/ldmsd.sock
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "daemon/control.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldmsxx;
+
+  std::string socket_path;
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-S" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "-c" && i + 1 < argc) {
+      command = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s -S socket [-c command]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "usage: %s -S socket [-c command]\n", argv[0]);
+    return 2;
+  }
+
+  auto run = [&](const std::string& line) {
+    std::string reply;
+    Status st = ControlServer::SendCommand(socket_path, line, &reply);
+    if (!reply.empty()) std::printf("%s\n", reply.c_str());
+    if (!st.ok() && reply.empty()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    }
+    return st.ok();
+  };
+
+  if (!command.empty()) return run(command) ? 0 : 1;
+
+  // Interactive / piped mode: one command per stdin line.
+  std::string line;
+  bool all_ok = true;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    all_ok = run(line) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

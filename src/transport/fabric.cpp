@@ -1,0 +1,33 @@
+#include "transport/fabric.hpp"
+
+namespace ldmsxx {
+
+Fabric& Fabric::Instance() {
+  static Fabric fabric;
+  return fabric;
+}
+
+Status Fabric::Register(const std::string& address,
+                        std::shared_ptr<FabricNode> node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = nodes_.emplace(address, std::move(node));
+  if (!inserted) {
+    return {ErrorCode::kAlreadyExists, "address in use: " + address};
+  }
+  return Status::Ok();
+}
+
+void Fabric::Unregister(const std::string& address, const FabricNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(address);
+  if (it != nodes_.end() && it->second.get() == node) nodes_.erase(it);
+}
+
+std::shared_ptr<FabricNode> Fabric::Find(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return nullptr;
+  return it->second;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,77 @@
+// In-process "fabric": the address registry behind the local and simulated
+// RDMA transports. Thousands of daemon instances in one process register
+// listeners here; endpoints resolve addresses to service handlers through
+// it. A reader-writer lock per node guarantees no request is in flight once
+// a listener has been torn down (so a dead sampler looks to its aggregator
+// exactly like a dead host: kDisconnected).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "transport/transport.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// One registered listening address.
+class FabricNode {
+ public:
+  FabricNode(ServiceHandler* handler, TransportStats* listener_stats)
+      : handler_(handler), listener_stats_(listener_stats) {}
+
+  /// Run @p fn with the handler under a shared lock; returns kDisconnected
+  /// if the listener has been deactivated.
+  template <typename Fn>
+  Status WithHandler(Fn&& fn) {
+    std::shared_lock lock(mu_);
+    if (handler_ == nullptr) {
+      return {ErrorCode::kDisconnected, "peer is down"};
+    }
+    return fn(handler_, listener_stats_);
+  }
+
+  /// Detach the handler; blocks until in-flight requests drain.
+  void Deactivate() {
+    std::unique_lock lock(mu_);
+    handler_ = nullptr;
+    listener_stats_ = nullptr;
+  }
+
+  bool alive() const {
+    std::shared_lock lock(mu_);
+    return handler_ != nullptr;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  ServiceHandler* handler_;
+  TransportStats* listener_stats_;
+};
+
+/// Address -> node registry. Usually used through Instance(), but tests can
+/// create private fabrics.
+class Fabric {
+ public:
+  static Fabric& Instance();
+
+  /// Register a listener; fails with kAlreadyExists on duplicate address.
+  Status Register(const std::string& address,
+                  std::shared_ptr<FabricNode> node);
+
+  /// Remove an address, but only if it still maps to @p node — a listener
+  /// whose registration failed must not evict the rightful owner.
+  void Unregister(const std::string& address, const FabricNode* node);
+
+  /// Resolve an address; nullptr when absent.
+  std::shared_ptr<FabricNode> Find(const std::string& address) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<FabricNode>> nodes_;
+};
+
+}  // namespace ldmsxx

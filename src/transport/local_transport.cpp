@@ -1,0 +1,145 @@
+#include "transport/local_transport.hpp"
+
+#include <chrono>
+
+namespace ldmsxx {
+namespace {
+
+std::uint64_t NowSteadyNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class LocalListener final : public Listener {
+ public:
+  LocalListener(Fabric* fabric, std::string address, ServiceHandler* handler)
+      : fabric_(fabric), address_(std::move(address)) {
+    node_ = std::make_shared<FabricNode>(handler, &stats_);
+  }
+
+  ~LocalListener() override {
+    node_->Deactivate();
+    fabric_->Unregister(address_, node_.get());
+  }
+
+  std::string address() const override { return address_; }
+  std::shared_ptr<FabricNode> node() const { return node_; }
+
+ private:
+  Fabric* fabric_;
+  std::string address_;
+  std::shared_ptr<FabricNode> node_;
+};
+
+class LocalEndpoint final : public Endpoint {
+ public:
+  explicit LocalEndpoint(std::shared_ptr<FabricNode> node)
+      : node_(std::move(node)) {}
+
+  bool connected() const override { return !closed_ && node_->alive(); }
+
+  void Close() override { closed_ = true; }
+
+  Status Dir(std::vector<std::string>* instances) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    return node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      *instances = h->HandleDir();
+      ChargeServer(srv, NowSteadyNs() - t0);
+      std::uint64_t resp_bytes = kFrameHeaderSize + 5;
+      for (const auto& name : *instances) resp_bytes += 2 + name.size();
+      Account(kFrameHeaderSize, resp_bytes, srv);
+      return Status::Ok();
+    });
+  }
+
+  Status Lookup(const std::string& instance,
+                std::vector<std::byte>* metadata) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      Status inner = h->HandleLookup(instance, metadata);
+      ChargeServer(srv, NowSteadyNs() - t0);
+      Account(kFrameHeaderSize + 2 + instance.size(),
+              kFrameHeaderSize + 5 + metadata->size(), srv);
+      return inner;
+    });
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  Status Update(const std::string& instance, MetricSet& mirror) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      std::vector<std::byte> data;
+      Status inner = h->HandleUpdate(instance, &data);
+      ChargeServer(srv, NowSteadyNs() - t0);
+      Account(kFrameHeaderSize + 2 + instance.size(),
+              kFrameHeaderSize + 5 + data.size(), srv);
+      if (!inner.ok()) return inner;
+      return mirror.ApplyData(data);
+    });
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  Status Advertise(const AdvertiseMsg& msg) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    return node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      h->HandleAdvertise(msg);
+      Account(kFrameHeaderSize + EncodeAdvertise(msg).size(), 0, srv);
+      return Status::Ok();
+    });
+  }
+
+ private:
+  void ChargeServer(TransportStats* srv, std::uint64_t ns) {
+    if (srv != nullptr)
+      srv->server_cpu_ns.fetch_add(ns, std::memory_order_relaxed);
+    stats_.server_cpu_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  void Account(std::uint64_t tx, std::uint64_t rx, TransportStats* srv) {
+    stats_.bytes_tx.fetch_add(tx, std::memory_order_relaxed);
+    stats_.bytes_rx.fetch_add(rx, std::memory_order_relaxed);
+    if (srv != nullptr) {
+      srv->bytes_rx.fetch_add(tx, std::memory_order_relaxed);
+      srv->bytes_tx.fetch_add(rx, std::memory_order_relaxed);
+    }
+  }
+
+  std::shared_ptr<FabricNode> node_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+LocalTransport::LocalTransport(Fabric* fabric)
+    : fabric_(fabric != nullptr ? fabric : &Fabric::Instance()) {}
+
+Status LocalTransport::Listen(const std::string& address,
+                              ServiceHandler* handler,
+                              std::unique_ptr<Listener>* listener) {
+  auto local = std::make_unique<LocalListener>(fabric_, address, handler);
+  Status st = fabric_->Register(address, local->node());
+  if (!st.ok()) return st;
+  *listener = std::move(local);
+  return Status::Ok();
+}
+
+Status LocalTransport::Connect(const std::string& address,
+                               std::unique_ptr<Endpoint>* endpoint) {
+  auto node = fabric_->Find(address);
+  if (node == nullptr || !node->alive()) {
+    return {ErrorCode::kDisconnected, "no listener at " + address};
+  }
+  *endpoint = std::make_unique<LocalEndpoint>(std::move(node));
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,34 @@
+// "local" transport: two-sided request/response over the in-process fabric.
+// Semantically equivalent to sock (every operation invokes the target
+// daemon's handler and consumes its CPU) without kernel sockets, so tests
+// and large simulations can run thousands of daemons cheaply. Byte counters
+// are charged as if the messages had been serialized, so network-load
+// accounting matches the sock transport.
+#pragma once
+
+#include <memory>
+
+#include "transport/fabric.hpp"
+#include "transport/transport.hpp"
+
+namespace ldmsxx {
+
+class LocalTransport final : public Transport {
+ public:
+  /// @param fabric defaults to the process-wide fabric
+  explicit LocalTransport(Fabric* fabric = nullptr);
+
+  const std::string& name() const override { return name_; }
+
+  Status Listen(const std::string& address, ServiceHandler* handler,
+                std::unique_ptr<Listener>* listener) override;
+
+  Status Connect(const std::string& address,
+                 std::unique_ptr<Endpoint>* endpoint) override;
+
+ private:
+  std::string name_ = "local";
+  Fabric* fabric_;
+};
+
+}  // namespace ldmsxx

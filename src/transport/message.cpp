@@ -1,0 +1,122 @@
+#include "transport/message.hpp"
+
+#include <cstring>
+
+namespace ldmsxx {
+
+std::vector<std::byte> EncodeFrame(MsgType type, std::uint64_t request_id,
+                                   std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U64(request_id);
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+FrameHeader DecodeFrameHeader(std::span<const std::byte> bytes) {
+  FrameHeader hdr;
+  ByteReader r(bytes);
+  hdr.payload_len = r.U32();
+  hdr.type = static_cast<MsgType>(r.U8());
+  hdr.request_id = r.U64();
+  return hdr;
+}
+
+std::vector<std::byte> EncodeDirResponse(const DirResponse& msg) {
+  ByteWriter w;
+  w.U8(msg.code);
+  w.U32(static_cast<std::uint32_t>(msg.instances.size()));
+  for (const auto& name : msg.instances) w.Str(name);
+  return w.Take();
+}
+
+bool DecodeDirResponse(std::span<const std::byte> payload, DirResponse* out) {
+  ByteReader r(payload);
+  out->code = r.U8();
+  const std::uint32_t n = r.U32();
+  // Each instance costs at least the 2-byte length prefix on the wire, so a
+  // count exceeding the remaining bytes is malformed — reject before
+  // allocating anything proportional to it.
+  if (static_cast<std::size_t>(n) > r.remaining() / 2) return false;
+  out->instances.clear();
+  out->instances.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    out->instances.push_back(r.Str());
+  }
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeLookupRequest(const LookupRequest& msg) {
+  ByteWriter w;
+  w.Str(msg.instance);
+  return w.Take();
+}
+
+bool DecodeLookupRequest(std::span<const std::byte> payload,
+                         LookupRequest* out) {
+  ByteReader r(payload);
+  out->instance = r.Str();
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeLookupResponse(const LookupResponse& msg) {
+  ByteWriter w;
+  w.U8(msg.code);
+  w.Bytes(msg.metadata);
+  return w.Take();
+}
+
+bool DecodeLookupResponse(std::span<const std::byte> payload,
+                          LookupResponse* out) {
+  ByteReader r(payload);
+  out->code = r.U8();
+  out->metadata = r.Bytes();
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeUpdateRequest(const UpdateRequest& msg) {
+  ByteWriter w;
+  w.Str(msg.instance);
+  return w.Take();
+}
+
+bool DecodeUpdateRequest(std::span<const std::byte> payload,
+                         UpdateRequest* out) {
+  ByteReader r(payload);
+  out->instance = r.Str();
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeUpdateResponse(const UpdateResponse& msg) {
+  ByteWriter w;
+  w.U8(msg.code);
+  w.Bytes(msg.data);
+  return w.Take();
+}
+
+bool DecodeUpdateResponse(std::span<const std::byte> payload,
+                          UpdateResponse* out) {
+  ByteReader r(payload);
+  out->code = r.U8();
+  out->data = r.Bytes();
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeAdvertise(const AdvertiseMsg& msg) {
+  ByteWriter w;
+  w.Str(msg.producer);
+  w.Str(msg.dialback_address);
+  w.Str(msg.transport);
+  return w.Take();
+}
+
+bool DecodeAdvertise(std::span<const std::byte> payload, AdvertiseMsg* out) {
+  ByteReader r(payload);
+  out->producer = r.Str();
+  out->dialback_address = r.Str();
+  out->transport = r.Str();
+  return r.ok();
+}
+
+}  // namespace ldmsxx

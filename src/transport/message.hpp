@@ -1,0 +1,101 @@
+// Wire protocol between ldmsd peers, mirroring the paper's Figure 2 flows:
+// dir (set discovery), lookup (returns the metadata chunk once), update
+// (pulls only the data chunk each interval), plus an advertise control
+// message supporting connection initiation from the sampler side
+// ("mechanisms to enable initiation of a connection from either side",
+// §IV-B).
+//
+// Frame layout: u32 payload_len | u8 type | u64 request_id | payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+enum class MsgType : std::uint8_t {
+  kDirReq = 1,
+  kDirResp,
+  kLookupReq,
+  kLookupResp,
+  kUpdateReq,
+  kUpdateResp,
+  kAdvertise,  // sampler -> aggregator: "connect back to me"
+};
+
+/// Upper bound on a frame payload. Metric sets are tens of kB; anything
+/// near this limit is a corrupt or hostile peer, and both ends of the sock
+/// transport drop the connection rather than allocate unbounded buffers.
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Fixed part of every frame.
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  MsgType type = MsgType::kDirReq;
+  std::uint64_t request_id = 0;
+};
+constexpr std::size_t kFrameHeaderSize = 4 + 1 + 8;
+
+struct DirResponse {
+  std::uint8_t code = 0;  // ErrorCode as u8
+  std::vector<std::string> instances;
+};
+
+struct LookupRequest {
+  std::string instance;
+};
+
+struct LookupResponse {
+  std::uint8_t code = 0;
+  std::vector<std::byte> metadata;
+};
+
+struct UpdateRequest {
+  std::string instance;
+};
+
+struct UpdateResponse {
+  std::uint8_t code = 0;
+  std::vector<std::byte> data;
+};
+
+struct AdvertiseMsg {
+  std::string producer;
+  std::string dialback_address;  // where the aggregator should connect
+  std::string transport;         // transport plugin name for dialback
+};
+
+/// Encode a complete frame (header + payload).
+std::vector<std::byte> EncodeFrame(MsgType type, std::uint64_t request_id,
+                                   std::span<const std::byte> payload);
+
+/// Parse a frame header from exactly kFrameHeaderSize bytes.
+FrameHeader DecodeFrameHeader(std::span<const std::byte> bytes);
+
+// Payload encoders/decoders. Decoders return false on malformed input.
+std::vector<std::byte> EncodeDirResponse(const DirResponse& msg);
+bool DecodeDirResponse(std::span<const std::byte> payload, DirResponse* out);
+
+std::vector<std::byte> EncodeLookupRequest(const LookupRequest& msg);
+bool DecodeLookupRequest(std::span<const std::byte> payload, LookupRequest* out);
+
+std::vector<std::byte> EncodeLookupResponse(const LookupResponse& msg);
+bool DecodeLookupResponse(std::span<const std::byte> payload,
+                          LookupResponse* out);
+
+std::vector<std::byte> EncodeUpdateRequest(const UpdateRequest& msg);
+bool DecodeUpdateRequest(std::span<const std::byte> payload, UpdateRequest* out);
+
+std::vector<std::byte> EncodeUpdateResponse(const UpdateResponse& msg);
+bool DecodeUpdateResponse(std::span<const std::byte> payload,
+                          UpdateResponse* out);
+
+std::vector<std::byte> EncodeAdvertise(const AdvertiseMsg& msg);
+bool DecodeAdvertise(std::span<const std::byte> payload, AdvertiseMsg* out);
+
+}  // namespace ldmsxx

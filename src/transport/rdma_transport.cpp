@@ -1,0 +1,170 @@
+#include "transport/rdma_transport.hpp"
+
+#include <chrono>
+#include <unordered_map>
+
+namespace ldmsxx {
+namespace {
+
+std::uint64_t NowSteadyNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class RdmaListener final : public Listener {
+ public:
+  RdmaListener(Fabric* fabric, std::string address, ServiceHandler* handler)
+      : fabric_(fabric), address_(std::move(address)) {
+    node_ = std::make_shared<FabricNode>(handler, &stats_);
+  }
+
+  ~RdmaListener() override {
+    node_->Deactivate();
+    fabric_->Unregister(address_, node_.get());
+  }
+
+  std::string address() const override { return address_; }
+  std::shared_ptr<FabricNode> node() const { return node_; }
+
+ private:
+  Fabric* fabric_;
+  std::string address_;
+  std::shared_ptr<FabricNode> node_;
+};
+
+class RdmaEndpoint final : public Endpoint {
+ public:
+  RdmaEndpoint(std::shared_ptr<FabricNode> node, const RdmaOptions& options)
+      : node_(std::move(node)), options_(options) {}
+
+  bool connected() const override { return !closed_ && node_->alive(); }
+
+  void Close() override {
+    closed_ = true;
+    pinned_.clear();
+  }
+
+  Status Dir(std::vector<std::string>* instances) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    return node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      *instances = h->HandleDir();
+      const std::uint64_t dt = NowSteadyNs() - t0;
+      if (srv != nullptr)
+        srv->server_cpu_ns.fetch_add(dt, std::memory_order_relaxed);
+      return Status::Ok();
+    });
+  }
+
+  Status Lookup(const std::string& instance,
+                std::vector<std::byte>* metadata) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      // Two-sided: fetch metadata AND pin the set's memory for one-sided
+      // reads (memory registration).
+      MetricSetPtr target = h->HandleRdmaExpose(instance);
+      if (target == nullptr) {
+        return Status{ErrorCode::kNotFound, "no such set: " + instance};
+      }
+      auto meta = target->metadata_bytes();
+      metadata->assign(meta.begin(), meta.end());
+      pinned_[instance] = std::move(target);
+      const std::uint64_t dt = NowSteadyNs() - t0;
+      if (srv != nullptr) {
+        srv->server_cpu_ns.fetch_add(dt, std::memory_order_relaxed);
+        srv->bytes_tx.fetch_add(metadata->size(), std::memory_order_relaxed);
+      }
+      stats_.bytes_rx.fetch_add(metadata->size(), std::memory_order_relaxed);
+      return Status::Ok();
+    });
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  Status Update(const std::string& instance, MetricSet& mirror) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+    // One-sided read path: a dead peer means the "NIC" no longer responds,
+    // even though the pinned memory is still reachable in-process.
+    if (!node_->alive()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kDisconnected, "peer is down"};
+    }
+    auto it = pinned_.find(instance);
+    if (it == pinned_.end()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kNotFound, "set not looked up: " + instance};
+    }
+    if (options_.read_latency_ns > 0) SpinFor(options_.read_latency_ns);
+    const MetricSet& target = *it->second;
+    std::vector<std::byte> buf(target.data_size());
+    Status st = target.SnapshotData(buf);
+    if (!st.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+    stats_.bytes_rx.fetch_add(buf.size(), std::memory_order_relaxed);
+    // Deliberately NOT charged to the peer's server_cpu_ns: one-sided.
+    return mirror.ApplyData(buf);
+  }
+
+  Status Advertise(const AdvertiseMsg& msg) override {
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    return node_->WithHandler([&](ServiceHandler* h, TransportStats*) {
+      h->HandleAdvertise(msg);
+      return Status::Ok();
+    });
+  }
+
+ private:
+  std::shared_ptr<FabricNode> node_;
+  RdmaOptions options_;
+  std::unordered_map<std::string, MetricSetPtr> pinned_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+RdmaSimTransport::RdmaSimTransport(RdmaOptions options, Fabric* fabric)
+    : options_(std::move(options)),
+      fabric_(fabric != nullptr ? fabric : &Fabric::Instance()) {}
+
+Status RdmaSimTransport::Listen(const std::string& address,
+                                ServiceHandler* handler,
+                                std::unique_ptr<Listener>* listener) {
+  auto l = std::make_unique<RdmaListener>(fabric_, address, handler);
+  Status st = fabric_->Register(address, l->node());
+  if (!st.ok()) return st;
+  *listener = std::move(l);
+  return Status::Ok();
+}
+
+Status RdmaSimTransport::Connect(const std::string& address,
+                                 std::unique_ptr<Endpoint>* endpoint) {
+  auto node = fabric_->Find(address);
+  if (node == nullptr || !node->alive()) {
+    return {ErrorCode::kDisconnected, "no listener at " + address};
+  }
+  *endpoint = std::make_unique<RdmaEndpoint>(std::move(node), options_);
+  return Status::Ok();
+}
+
+std::unique_ptr<RdmaSimTransport> RdmaSimTransport::Infiniband(Fabric* fabric) {
+  RdmaOptions opts;
+  opts.name = "rdma";
+  opts.registered_bytes_per_conn = 8192;
+  return std::make_unique<RdmaSimTransport>(std::move(opts), fabric);
+}
+
+std::unique_ptr<RdmaSimTransport> RdmaSimTransport::Gemini(Fabric* fabric) {
+  RdmaOptions opts;
+  opts.name = "ugni";
+  opts.registered_bytes_per_conn = 4096;
+  return std::make_unique<RdmaSimTransport>(std::move(opts), fabric);
+}
+
+}  // namespace ldmsxx

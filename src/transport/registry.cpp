@@ -1,0 +1,35 @@
+#include "transport/registry.hpp"
+
+#include "transport/local_transport.hpp"
+#include "transport/rdma_transport.hpp"
+#include "transport/sock_transport.hpp"
+
+namespace ldmsxx {
+
+void TransportRegistry::Add(std::shared_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transports_[transport->name()] = std::move(transport);
+}
+
+std::shared_ptr<Transport> TransportRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transports_.find(name);
+  if (it == transports_.end()) return nullptr;
+  return it->second;
+}
+
+TransportRegistry& TransportRegistry::Default() {
+  static TransportRegistry registry;
+  static bool init = [] {
+    registry.Add(std::make_shared<LocalTransport>());
+    registry.Add(std::make_shared<SockTransport>());
+    registry.Add(RdmaSimTransport::Infiniband());
+    registry.Add(RdmaSimTransport::Gemini());
+    return true;
+  }();
+  (void)init;
+  return registry;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,33 @@
+// Name -> transport plugin resolution, the moral equivalent of ldmsd's
+// dynamic transport plugin loading ("the same transport plug-in is used to
+// manage all connections to a ldmsd", §IV-B). A default registry with all
+// four built-in transports is provided; tests can build private ones.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "transport/transport.hpp"
+
+namespace ldmsxx {
+
+class TransportRegistry {
+ public:
+  /// Register a transport under its name(); replaces any existing entry.
+  void Add(std::shared_ptr<Transport> transport);
+
+  /// Resolve by plugin name; nullptr when unknown.
+  std::shared_ptr<Transport> Get(const std::string& name) const;
+
+  /// Registry preloaded with local, sock, rdma, and ugni transports over the
+  /// process-wide fabric.
+  static TransportRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Transport>> transports_;
+};
+
+}  // namespace ldmsxx

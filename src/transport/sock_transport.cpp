@@ -1,0 +1,525 @@
+#include "transport/sock_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+namespace {
+
+std::uint64_t NowSteadyNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status ParseAddress(const std::string& address, sockaddr_in* out) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return {ErrorCode::kInvalidArgument, "address must be host:port"};
+  }
+  std::string host = address.substr(0, colon);
+  const auto port = ParseU64(address.substr(colon + 1));
+  if (!port || *port > 65535) {
+    return {ErrorCode::kInvalidArgument, "bad port in " + address};
+  }
+  if (host.empty() || host == "localhost" || host == "*") host = "127.0.0.1";
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(*port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return {ErrorCode::kInvalidArgument, "bad host in " + address};
+  }
+  return Status::Ok();
+}
+
+bool SetNonBlocking(int fd) {
+  // fcntl-free: SOCK_NONBLOCK is set at creation for sockets we make; accept4
+  // handles accepted ones. This helper is for completeness on odd paths.
+  (void)fd;
+  return true;
+}
+
+/// Write all of @p data to a blocking socket.
+Status WriteAll(int fd, const std::byte* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {ErrorCode::kDisconnected, std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Read exactly @p size bytes from a blocking socket.
+Status ReadAll(int fd, std::byte* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n == 0) return {ErrorCode::kDisconnected, "peer closed"};
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {ErrorCode::kDisconnected, std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+class SockListener final : public Listener {
+ public:
+  SockListener() = default;
+
+  ~SockListener() override {
+    Stop();
+  }
+
+  Status Start(const std::string& address, ServiceHandler* handler) {
+    handler_ = handler;
+    sockaddr_in addr{};
+    Status st = ParseAddress(address, &addr);
+    if (!st.ok()) return st;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return {ErrorCode::kInternal, std::strerror(errno)};
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      return {ErrorCode::kInvalidArgument,
+              "bind " + address + ": " + std::strerror(errno)};
+    }
+    if (::listen(listen_fd_, 1024) < 0) {
+      return {ErrorCode::kInternal, std::strerror(errno)};
+    }
+    sockaddr_in actual{};
+    socklen_t alen = sizeof actual;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&actual), &alen);
+    char host[INET_ADDRSTRLEN];
+    inet_ntop(AF_INET, &actual.sin_addr, host, sizeof host);
+    address_ = std::string(host) + ":" + std::to_string(ntohs(actual.sin_port));
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      return {ErrorCode::kInternal, "epoll/eventfd failed"};
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+    reactor_ = std::thread([this] { ReactorLoop(); });
+    return Status::Ok();
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  struct Conn {
+    std::vector<std::byte> rbuf;
+    std::deque<std::vector<std::byte>> wqueue;
+    std::size_t woff = 0;
+  };
+
+  void Stop() {
+    if (reactor_.joinable()) {
+      stop_ = true;
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+      reactor_.join();
+    }
+    for (auto& [fd, conn] : conns_) ::close(fd);
+    conns_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  }
+
+  void ReactorLoop() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    while (!stop_) {
+      const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 500);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n && !stop_; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd_) {
+          std::uint64_t junk;
+          [[maybe_unused]] ssize_t r = ::read(wake_fd_, &junk, sizeof junk);
+          continue;
+        }
+        if (fd == listen_fd_) {
+          AcceptAll();
+          continue;
+        }
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConn(fd);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) {
+          if (!ReadConn(fd)) continue;  // closed
+        }
+        if (events[i].events & EPOLLOUT) FlushConn(fd);
+      }
+    }
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or error: stop accepting this round
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      SetNonBlocking(fd);
+      conns_.emplace(fd, Conn{});
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+  }
+
+  void CloseConn(int fd) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(fd);
+  }
+
+  /// Returns false if the connection was closed.
+  bool ReadConn(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return false;
+    Conn& conn = it->second;
+    std::byte chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + n);
+        stats_.bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+        continue;
+      }
+      if (n == 0) {
+        CloseConn(fd);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConn(fd);
+      return false;
+    }
+    // Extract complete frames.
+    std::size_t consumed = 0;
+    while (conn.rbuf.size() - consumed >= kFrameHeaderSize) {
+      const FrameHeader hdr = DecodeFrameHeader(
+          std::span<const std::byte>(conn.rbuf).subspan(consumed));
+      if (hdr.payload_len > kMaxFramePayload) {
+        CloseConn(fd);  // corrupt or hostile peer
+        return false;
+      }
+      const std::size_t total = kFrameHeaderSize + hdr.payload_len;
+      if (conn.rbuf.size() - consumed < total) break;
+      HandleFrame(fd, conn, hdr,
+                  std::span<const std::byte>(conn.rbuf)
+                      .subspan(consumed + kFrameHeaderSize, hdr.payload_len));
+      consumed += total;
+      // HandleFrame may have closed fd (not currently, but be safe).
+      if (conns_.find(fd) == conns_.end()) return false;
+    }
+    if (consumed > 0) {
+      conn.rbuf.erase(conn.rbuf.begin(),
+                      conn.rbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+    }
+    return true;
+  }
+
+  void HandleFrame(int fd, Conn& conn, const FrameHeader& hdr,
+                   std::span<const std::byte> payload) {
+    const std::uint64_t t0 = NowSteadyNs();
+    MsgType resp_type = hdr.type;
+    std::vector<std::byte> resp_payload;
+    switch (hdr.type) {
+      case MsgType::kDirReq: {
+        DirResponse resp;
+        resp.instances = handler_->HandleDir();
+        resp.code = 0;
+        resp_type = MsgType::kDirResp;
+        resp_payload = EncodeDirResponse(resp);
+        break;
+      }
+      case MsgType::kLookupReq: {
+        LookupRequest req;
+        LookupResponse resp;
+        if (!DecodeLookupRequest(payload, &req)) {
+          resp.code = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+        } else {
+          Status st = handler_->HandleLookup(req.instance, &resp.metadata);
+          resp.code = static_cast<std::uint8_t>(st.code());
+        }
+        resp_type = MsgType::kLookupResp;
+        resp_payload = EncodeLookupResponse(resp);
+        stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case MsgType::kUpdateReq: {
+        UpdateRequest req;
+        UpdateResponse resp;
+        if (!DecodeUpdateRequest(payload, &req)) {
+          resp.code = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+        } else {
+          Status st = handler_->HandleUpdate(req.instance, &resp.data);
+          resp.code = static_cast<std::uint8_t>(st.code());
+          if (!st.ok()) resp.data.clear();
+        }
+        resp_type = MsgType::kUpdateResp;
+        resp_payload = EncodeUpdateResponse(resp);
+        stats_.updates.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case MsgType::kAdvertise: {
+        AdvertiseMsg msg;
+        if (DecodeAdvertise(payload, &msg)) handler_->HandleAdvertise(msg);
+        stats_.server_cpu_ns.fetch_add(NowSteadyNs() - t0,
+                                       std::memory_order_relaxed);
+        return;  // no response
+      }
+      default:
+        return;  // unknown frame: drop
+    }
+    stats_.server_cpu_ns.fetch_add(NowSteadyNs() - t0,
+                                   std::memory_order_relaxed);
+    auto frame = EncodeFrame(resp_type, hdr.request_id, resp_payload);
+    stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
+    conn.wqueue.push_back(std::move(frame));
+    FlushConn(fd);
+  }
+
+  void FlushConn(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    while (!conn.wqueue.empty()) {
+      auto& front = conn.wqueue.front();
+      const ssize_t n = ::send(fd, front.data() + conn.woff,
+                               front.size() - conn.woff, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Arm EPOLLOUT until drained.
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.fd = fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+          return;
+        }
+        if (errno == EINTR) continue;
+        CloseConn(fd);
+        return;
+      }
+      conn.woff += static_cast<std::size_t>(n);
+      if (conn.woff == front.size()) {
+        conn.wqueue.pop_front();
+        conn.woff = 0;
+      }
+    }
+    // Drained: stop watching EPOLLOUT.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  ServiceHandler* handler_ = nullptr;
+  std::string address_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread reactor_;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Conn> conns_;  // reactor thread only
+};
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+class SockEndpoint final : public Endpoint {
+ public:
+  explicit SockEndpoint(int fd) : fd_(fd) {}
+
+  ~SockEndpoint() override { Close(); }
+
+  bool connected() const override { return fd_ >= 0; }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  Status Dir(std::vector<std::string>* instances) override {
+    std::vector<std::byte> payload;
+    Status st = RoundTrip(MsgType::kDirReq, {}, &payload);
+    if (!st.ok()) return st;
+    DirResponse resp;
+    if (!DecodeDirResponse(payload, &resp)) {
+      return {ErrorCode::kInternal, "bad dir response"};
+    }
+    *instances = std::move(resp.instances);
+    return Status::Ok();
+  }
+
+  Status Lookup(const std::string& instance,
+                std::vector<std::byte>* metadata) override {
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    LookupRequest req{instance};
+    std::vector<std::byte> payload;
+    Status st = RoundTrip(MsgType::kLookupReq, EncodeLookupRequest(req),
+                          &payload);
+    if (!st.ok()) return st;
+    LookupResponse resp;
+    if (!DecodeLookupResponse(payload, &resp)) {
+      return {ErrorCode::kInternal, "bad lookup response"};
+    }
+    if (resp.code != 0) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {static_cast<ErrorCode>(resp.code), "lookup failed"};
+    }
+    *metadata = std::move(resp.metadata);
+    return Status::Ok();
+  }
+
+  Status Update(const std::string& instance, MetricSet& mirror) override {
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+    UpdateRequest req{instance};
+    std::vector<std::byte> payload;
+    Status st = RoundTrip(MsgType::kUpdateReq, EncodeUpdateRequest(req),
+                          &payload);
+    if (!st.ok()) return st;
+    UpdateResponse resp;
+    if (!DecodeUpdateResponse(payload, &resp)) {
+      return {ErrorCode::kInternal, "bad update response"};
+    }
+    if (resp.code != 0) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {static_cast<ErrorCode>(resp.code), "update failed"};
+    }
+    return mirror.ApplyData(resp.data);
+  }
+
+  Status Advertise(const AdvertiseMsg& msg) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return {ErrorCode::kDisconnected, "closed"};
+    auto frame =
+        EncodeFrame(MsgType::kAdvertise, next_id_++, EncodeAdvertise(msg));
+    stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
+    return WriteAll(fd_, frame.data(), frame.size());
+  }
+
+ private:
+  Status RoundTrip(MsgType type, std::span<const std::byte> payload,
+                   std::vector<std::byte>* resp_payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return {ErrorCode::kDisconnected, "closed"};
+    auto frame = EncodeFrame(type, next_id_++, payload);
+    stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
+    Status st = WriteAll(fd_, frame.data(), frame.size());
+    if (!st.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
+    std::byte hdr_bytes[kFrameHeaderSize];
+    st = ReadAll(fd_, hdr_bytes, sizeof hdr_bytes);
+    if (!st.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
+    const FrameHeader hdr = DecodeFrameHeader(hdr_bytes);
+    if (hdr.payload_len > kMaxFramePayload) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd_);
+      fd_ = -1;
+      return {ErrorCode::kInternal, "oversized frame from peer"};
+    }
+    resp_payload->resize(hdr.payload_len);
+    st = ReadAll(fd_, resp_payload->data(), hdr.payload_len);
+    if (!st.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
+    stats_.bytes_rx.fetch_add(kFrameHeaderSize + hdr.payload_len,
+                              std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  std::mutex mu_;
+  int fd_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace
+
+Status SockTransport::Listen(const std::string& address,
+                             ServiceHandler* handler,
+                             std::unique_ptr<Listener>* listener) {
+  auto l = std::make_unique<SockListener>();
+  Status st = l->Start(address, handler);
+  if (!st.ok()) return st;
+  *listener = std::move(l);
+  return Status::Ok();
+}
+
+Status SockTransport::Connect(const std::string& address,
+                              std::unique_ptr<Endpoint>* endpoint) {
+  sockaddr_in addr{};
+  Status st = ParseAddress(address, &addr);
+  if (!st.ok()) return st;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return {ErrorCode::kInternal, std::strerror(errno)};
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return {ErrorCode::kDisconnected, "connect " + address + ": " + err};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  *endpoint = std::make_unique<SockEndpoint>(fd);
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

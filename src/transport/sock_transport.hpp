@@ -1,0 +1,33 @@
+// "sock" transport: real TCP. The server side is a single-threaded epoll
+// reactor per listener (requests are tiny and handler work is bounded, so a
+// reactor sustains the paper's ~9,000:1 fan-in without a thread per
+// connection); the client side is a blocking, mutex-serialized
+// request/response endpoint, matching how aggregator worker threads issue
+// pulls.
+//
+// Addresses are "host:port"; host is resolved as a dotted quad or
+// "localhost". Port 0 binds an ephemeral port — Listener::address() reports
+// the actual one.
+#pragma once
+
+#include <memory>
+
+#include "transport/transport.hpp"
+
+namespace ldmsxx {
+
+class SockTransport final : public Transport {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Status Listen(const std::string& address, ServiceHandler* handler,
+                std::unique_ptr<Listener>* listener) override;
+
+  Status Connect(const std::string& address,
+                 std::unique_ptr<Endpoint>* endpoint) override;
+
+ private:
+  std::string name_ = "sock";
+};
+
+}  // namespace ldmsxx

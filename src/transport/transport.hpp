@@ -1,0 +1,123 @@
+// Transport plugin abstraction. ldmsd loads one transport per connection
+// type; the paper ships sock (TCP), rdma (Infiniband/iWARP), and ugni
+// (Gemini). We provide:
+//   "local" — in-process two-sided transport (function-call fabric)
+//   "sock"  — real TCP over loopback with an epoll reactor server
+//   "rdma"  — simulated IB RDMA: one-sided data reads that consume no
+//             target CPU (modeled after Figure 2's note on flow {f})
+//   "ugni"  — simulated Gemini RDMA; same semantics, different fan-in and
+//             latency envelope
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metric_set.hpp"
+#include "transport/message.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Counters every endpoint/listener maintains; benches read these for the
+/// network-footprint rows of §IV-D.
+struct TransportStats {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> errors{0};
+  /// Nanoseconds of *server-side* CPU consumed servicing this peer; stays 0
+  /// for one-sided RDMA data fetches.
+  std::atomic<std::uint64_t> server_cpu_ns{0};
+};
+
+/// Service interface a daemon exposes to its listeners. Implemented by
+/// Ldmsd; invoked by transport server machinery.
+class ServiceHandler {
+ public:
+  virtual ~ServiceHandler() = default;
+
+  /// List available set instance names.
+  virtual std::vector<std::string> HandleDir() = 0;
+
+  /// Return the serialized metadata chunk for @p instance.
+  virtual Status HandleLookup(const std::string& instance,
+                              std::vector<std::byte>* metadata) = 0;
+
+  /// Snapshot the data chunk for @p instance into @p data.
+  virtual Status HandleUpdate(const std::string& instance,
+                              std::vector<std::byte>* data) = 0;
+
+  /// A producer announced itself and asks to be collected from via
+  /// @p dialback (asymmetric-network support). Default: ignore.
+  virtual void HandleAdvertise(const AdvertiseMsg& msg) { (void)msg; }
+
+  /// RDMA transports pin the set itself and read its memory directly.
+  /// Returns nullptr when the instance is unknown.
+  virtual MetricSetPtr HandleRdmaExpose(const std::string& instance) = 0;
+};
+
+/// Client side of a connection to one peer.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual bool connected() const = 0;
+  virtual void Close() = 0;
+
+  /// Set discovery (flow preceding lookup).
+  virtual Status Dir(std::vector<std::string>* instances) = 0;
+
+  /// Fetch serialized metadata for @p instance (Figure 2 flows {a}-{b}).
+  virtual Status Lookup(const std::string& instance,
+                        std::vector<std::byte>* metadata) = 0;
+
+  /// Pull the current data chunk for @p instance into @p mirror (flows
+  /// {e}-{g}). Implementations must only move the data chunk, never the
+  /// metadata.
+  virtual Status Update(const std::string& instance, MetricSet& mirror) = 0;
+
+  /// Fire-and-forget advertise (producer-initiated connection setup).
+  virtual Status Advertise(const AdvertiseMsg& msg) = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  TransportStats stats_;
+};
+
+/// Server side: alive while in scope; dispatches requests to the handler.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual std::string address() const = 0;
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  TransportStats stats_;
+};
+
+/// A transport plugin: a factory for listeners and endpoints.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Plugin name ("sock", "rdma", "ugni", "local").
+  virtual const std::string& name() const = 0;
+
+  /// Start serving @p handler at @p address. The listener stops when the
+  /// returned object is destroyed.
+  virtual Status Listen(const std::string& address, ServiceHandler* handler,
+                        std::unique_ptr<Listener>* listener) = 0;
+
+  /// Connect to a listening peer.
+  virtual Status Connect(const std::string& address,
+                         std::unique_ptr<Endpoint>* endpoint) = 0;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ldmsxx {
+
+CsvWriter::CsvWriter(const std::string& path, bool truncate)
+    : out_(path, truncate ? std::ios::trunc : std::ios::app) {}
+
+void CsvWriter::Separator() {
+  if (row_open_) {
+    out_.put(',');
+    ++bytes_;
+  }
+  row_open_ = true;
+}
+
+void CsvWriter::Field(std::string_view value) {
+  Separator();
+  const bool needs_quote =
+      value.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+    bytes_ += value.size();
+    return;
+  }
+  out_.put('"');
+  ++bytes_;
+  for (char c : value) {
+    if (c == '"') {
+      out_.put('"');
+      ++bytes_;
+    }
+    out_.put(c);
+    ++bytes_;
+  }
+  out_.put('"');
+  ++bytes_;
+}
+
+void CsvWriter::Field(double value) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.6g", value);
+  Separator();
+  out_.write(buf, n);
+  bytes_ += static_cast<std::uint64_t>(n);
+}
+
+void CsvWriter::Field(std::uint64_t value) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  Separator();
+  out_.write(buf, ptr - buf);
+  bytes_ += static_cast<std::uint64_t>(ptr - buf);
+}
+
+void CsvWriter::Field(std::int64_t value) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  Separator();
+  out_.write(buf, ptr - buf);
+  bytes_ += static_cast<std::uint64_t>(ptr - buf);
+}
+
+void CsvWriter::EndRow() {
+  out_.put('\n');
+  ++bytes_;
+  row_open_ = false;
+}
+
+void CsvWriter::Row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) Field(std::string_view(f));
+  EndRow();
+}
+
+void CsvWriter::Flush() { out_.flush(); }
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> ReadCsvFile(const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace ldmsxx

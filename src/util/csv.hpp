@@ -1,0 +1,52 @@
+// CSV reading/writing helpers shared by the CSV/flat-file stores and the
+// analysis tooling that post-processes them.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldmsxx {
+
+/// Buffered CSV line writer. Fields containing the separator or quotes are
+/// quoted per RFC 4180. Not thread-safe; stores serialize through their own
+/// flush thread.
+class CsvWriter {
+ public:
+  /// Opens @p path for append (or truncate when @p truncate).
+  CsvWriter(const std::string& path, bool truncate = false);
+
+  bool ok() const { return out_.good(); }
+
+  /// Begin a row; subsequent Field() calls append cells; EndRow() terminates.
+  void Field(std::string_view value);
+  void Field(double value);
+  void Field(std::uint64_t value);
+  void Field(std::int64_t value);
+  void EndRow();
+
+  /// Convenience: write an entire row of raw (unquoted-checked) fields.
+  void Row(const std::vector<std::string>& fields);
+
+  void Flush();
+  /// Bytes written so far (for footprint accounting in bench_footprint).
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  void Separator();
+
+  std::ofstream out_;
+  bool row_open_ = false;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Parse one CSV line into fields (handles RFC 4180 quoting).
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+/// Read an entire CSV file into rows of fields. Intended for tests and
+/// analysis on modest files, not the multi-GB production stores.
+std::vector<std::vector<std::string>> ReadCsvFile(const std::string& path);
+
+}  // namespace ldmsxx

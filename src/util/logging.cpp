@@ -1,0 +1,54 @@
+#include "util/logging.hpp"
+
+#include <ctime>
+
+namespace ldmsxx {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+Logger::Logger(std::string component, const std::string& path)
+    : component_(std::move(component)) {
+  if (!path.empty()) {
+    file_ = std::fopen(path.c_str(), "a");
+  }
+  if (file_ == nullptr) file_ = stderr;
+}
+
+Logger::~Logger() {
+  if (file_ != nullptr && file_ != stderr) std::fclose(file_);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(file_, "%lld.%03ld %s %s: %s\n",
+               static_cast<long long>(ts.tv_sec), ts.tv_nsec / 1000000,
+               LevelName(level), component_.c_str(), message.c_str());
+  std::fflush(file_);
+}
+
+Logger& Logger::Default() {
+  static Logger logger("ldmsxx");
+  static bool init = [] {
+    logger.set_level(LogLevel::kWarn);
+    return true;
+  }();
+  (void)init;
+  return logger;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,60 @@
+// Minimal thread-safe leveled logger. ldmsd in the paper writes a debugging
+// log file per daemon; we reproduce that shape (per-daemon Logger instances
+// with an optional file sink) without pulling in a logging dependency.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ldmsxx {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Thread-safe logger writing "<level> <component>: <message>" lines.
+/// A null path logs to stderr. Copies are not allowed; daemons own theirs.
+class Logger {
+ public:
+  /// @param component tag prepended to every line (e.g. the daemon name)
+  /// @param path      log file path, or empty for stderr
+  explicit Logger(std::string component, const std::string& path = "");
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& message);
+
+  template <typename... Args>
+  void Debug(Args&&... args) { LogFmt(LogLevel::kDebug, args...); }
+  template <typename... Args>
+  void Info(Args&&... args) { LogFmt(LogLevel::kInfo, args...); }
+  template <typename... Args>
+  void Warn(Args&&... args) { LogFmt(LogLevel::kWarn, args...); }
+  template <typename... Args>
+  void Error(Args&&... args) { LogFmt(LogLevel::kError, args...); }
+
+  /// Process-wide default logger (stderr, level Warn) for code without a
+  /// daemon context.
+  static Logger& Default();
+
+ private:
+  template <typename... Args>
+  void LogFmt(LogLevel level, const Args&... args) {
+    if (level < level_) return;
+    std::ostringstream os;
+    (os << ... << args);
+    Log(level, os.str());
+  }
+
+  std::string component_;
+  LogLevel level_ = LogLevel::kInfo;
+  std::FILE* file_ = nullptr;  // owned iff not stderr
+  std::mutex mu_;
+};
+
+}  // namespace ldmsxx

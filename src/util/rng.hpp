@@ -1,0 +1,87 @@
+// Deterministic, splittable PRNG (xoshiro256**). Simulation substrates need
+// reproducible streams per node/job so experiment figures are stable across
+// runs; std::mt19937 is heavier and its seeding is awkward to split.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ldmsxx {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and fine for
+  /// simulation rates).
+  double NextGaussian();
+
+  /// Exponential with the given mean.
+  double NextExponential(double mean);
+
+  /// Derive an independent stream, e.g. one per simulated node.
+  Rng Split(std::uint64_t stream_id) {
+    return Rng(Next() ^ (stream_id * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+inline double Rng::NextGaussian() {
+  // Box-Muller; regenerate if the log argument would be zero.
+  double u1 = NextDouble();
+  while (u1 <= 1e-12) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(6.283185307179586 * u2);
+}
+
+inline double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  while (u <= 1e-12) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace ldmsxx {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(bins >= 1 && hi > lo);
+}
+
+void Histogram::Add(double x) { AddN(x, 1); }
+
+void Histogram::AddN(double x, std::uint64_t n) {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    overflow_ += n;
+    return;
+  }
+  counts_[idx] += n;
+}
+
+std::uint64_t Histogram::TailCount(double threshold) const {
+  std::uint64_t tail = overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_lo(i) + width_ > threshold) tail += counts_[i];
+  }
+  return tail;
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.width_ != width_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  return true;
+}
+
+std::string Histogram::ToCsv(bool skip_empty) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (skip_empty && counts_[i] == 0) continue;
+    os << bin_lo(i) << "," << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,83 @@
+// Streaming statistics and histograms used by the analysis module, the PSNAP
+// probe (Figures 5 and 8 are loop-time histograms), and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ldmsxx {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range values land in
+/// underflow/overflow counters so the tail that Figures 5/8 care about is
+/// never silently dropped.
+class Histogram {
+ public:
+  /// @param lo,hi   value range covered by the bins
+  /// @param bins    number of equal-width bins; must be >= 1
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  void AddN(double x, std::uint64_t n);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_width() const { return width_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Count of samples at or above @p threshold (tail mass), including
+  /// overflow.
+  std::uint64_t TailCount(double threshold) const;
+
+  /// Merge a histogram with identical binning; returns false on mismatch.
+  bool Merge(const Histogram& other);
+
+  /// Render "bin_lo,count" CSV lines (skips empty bins when @p skip_empty).
+  std::string ToCsv(bool skip_empty = true) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile from an unsorted sample (copies + nth_element).
+/// @param q in [0,1].
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace ldmsxx

@@ -1,0 +1,72 @@
+// Lightweight error propagation used across ldmsxx instead of exceptions on
+// hot paths. A Status is cheap to copy when OK (no allocation).
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace ldmsxx {
+
+/// Error categories used across the library. Mirrors the failure modes the
+/// paper's protocol distinguishes (e.g. lookup miss vs. transport failure).
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        ///< named object (set, plugin, host) does not exist
+  kAlreadyExists,   ///< duplicate registration
+  kInvalidArgument, ///< bad configuration or malformed request
+  kOutOfMemory,     ///< arena or registration memory exhausted
+  kDisconnected,    ///< transport endpoint lost
+  kTimeout,         ///< operation exceeded its deadline
+  kInconsistent,    ///< metric set torn or stale (DGN / consistent-flag check)
+  kUnsupported,     ///< feature not available on this transport/store
+  kInternal,        ///< invariant violation
+};
+
+/// Result of an operation: a code plus an optional human-readable detail.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Render "OK" or "<code>: <message>" for logs.
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kDisconnected: return "DISCONNECTED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInconsistent: return "INCONSISTENT";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ldmsxx

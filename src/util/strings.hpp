@@ -1,0 +1,36 @@
+// Small string utilities shared by the /proc-format parsers, the
+// configuration command language, and the CSV stores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldmsxx {
+
+/// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+/// Split on runs of whitespace; empty fields are dropped (the shape of
+/// /proc/stat and friends).
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Parse an unsigned/signed/floating value; nullopt on any trailing garbage.
+std::optional<std::uint64_t> ParseU64(std::string_view text);
+std::optional<std::int64_t> ParseI64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parse "key=value" tokens (the ldmsd configuration command shape:
+/// `config name=meminfo producer=nid0001 interval=1000000`).
+/// Returns pairs in order; tokens without '=' get an empty value.
+std::vector<std::pair<std::string, std::string>> ParseKeyValues(
+    std::string_view line);
+
+}  // namespace ldmsxx

@@ -1,0 +1,55 @@
+// Fixed-size worker pool. ldmsd uses two of these per daemon: a sampling /
+// collection worker pool and a separate connection-setup pool (the paper adds
+// the latter so connects hung in timeout on sick nodes cannot starve
+// collection threads — see §IV-B "Aggregators").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ldmsxx {
+
+/// Bounded-concurrency task executor with a FIFO queue.
+class ThreadPool {
+ public:
+  /// @param threads number of workers (>= 1)
+  /// @param name    used to tag worker threads in logs/debuggers
+  explicit ThreadPool(std::size_t threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including pool workers.
+  /// Tasks submitted after Shutdown() are dropped.
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void Drain();
+
+  /// Stop accepting work, finish queued tasks, join workers. Idempotent.
+  void Shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+  /// Number of queued (not yet started) tasks; approximate.
+  std::size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ldmsxx

@@ -1,0 +1,208 @@
+// Analysis helpers (time series, persistence, torus snapshots, job
+// profiles) and baseline collectors (Ganglia-sim thresholding/metadata,
+// collectl-sim recording).
+#include <gtest/gtest.h>
+
+#include "analysis/timeseries.hpp"
+#include "baseline/collectl_sim.hpp"
+#include "baseline/ganglia_sim.hpp"
+#include "sim/cluster.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using analysis::BuildJobProfile;
+using analysis::LongestPersistence;
+using analysis::MetricIndex;
+using analysis::NodeTimeGrid;
+using analysis::PerComponentSeries;
+using analysis::TimeSeries;
+using analysis::TorusSnapshot;
+
+std::vector<MemRow> MakeRows() {
+  // Two components, 5 samples each, one metric ramping.
+  std::vector<MemRow> rows;
+  for (int t = 0; t < 5; ++t) {
+    for (std::uint64_t comp : {0ull, 2ull}) {
+      MemRow row;
+      row.timestamp = static_cast<TimeNs>(t) * kNsPerMin;
+      row.component_id = comp;
+      row.producer = "nid";
+      row.values = {static_cast<double>(t) * (comp == 0 ? 1.0 : 10.0), 0.5};
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+TEST(AnalysisTest, PerComponentSeriesSplitsCorrectly) {
+  auto series = PerComponentSeries(MakeRows(), 0);
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].times.size(), 5u);
+  EXPECT_DOUBLE_EQ(series[0].values[4], 4.0);
+  EXPECT_DOUBLE_EQ(series[2].values[4], 40.0);
+  EXPECT_DOUBLE_EQ(series[2].MaxValue(), 40.0);
+  EXPECT_DOUBLE_EQ(series[0].MeanValue(), 2.0);
+}
+
+TEST(AnalysisTest, MetricIndexAndGridThreshold) {
+  std::vector<std::string> names{"traffic", "stalled"};
+  EXPECT_EQ(MetricIndex(names, "stalled"), 1u);
+  EXPECT_FALSE(MetricIndex(names, "nope").has_value());
+  // Threshold drops small values, like the paper's figures.
+  auto cells = NodeTimeGrid(MakeRows(), 0, 1.0);
+  for (const auto& cell : cells) EXPECT_GE(cell.value, 1.0);
+  EXPECT_LT(cells.size(), MakeRows().size());
+}
+
+TEST(AnalysisTest, LongestPersistenceFindsRuns) {
+  TimeSeries series;
+  // 10 samples at minute cadence: above level during minutes 2..6.
+  for (int t = 0; t < 10; ++t) {
+    series.times.push_back(static_cast<TimeNs>(t) * kNsPerMin);
+    series.values.push_back(t >= 2 && t <= 6 ? 50.0 : 1.0);
+  }
+  EXPECT_EQ(LongestPersistence(series, 40.0), 4 * kNsPerMin);
+  EXPECT_EQ(LongestPersistence(series, 100.0), 0u);
+  EXPECT_EQ(LongestPersistence(series, 0.5), 9 * kNsPerMin);
+}
+
+TEST(AnalysisTest, TorusSnapshotMapsComponentsToCoords) {
+  sim::TorusDims dims{4, 4, 4};
+  std::vector<MemRow> rows;
+  MemRow row;
+  row.timestamp = kNsPerMin;
+  row.component_id = 10;  // node 10 -> gemini 5 -> coord (1,1,0)
+  row.values = {85.0};
+  rows.push_back(row);
+  MemRow quiet;
+  quiet.timestamp = kNsPerMin;
+  quiet.component_id = 0;
+  quiet.values = {0.2};  // below threshold
+  rows.push_back(quiet);
+
+  auto points = TorusSnapshot(rows, 0, kNsPerMin, dims, 1.0);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].x, 1);
+  EXPECT_EQ(points[0].y, 1);
+  EXPECT_EQ(points[0].z, 0);
+  EXPECT_DOUBLE_EQ(points[0].value, 85.0);
+}
+
+TEST(AnalysisTest, JobProfileJoinsSchedulerAndMetrics) {
+  sim::JobRecord job;
+  job.spec.job_id = 9;
+  job.nodes = {0, 2};
+  job.start_time = kNsPerMin;
+  job.end_time = 3 * kNsPerMin;
+  auto profile = BuildJobProfile(job, MakeRows(), 0, "Active", kNsPerMin,
+                                 kNsPerMin);
+  ASSERT_EQ(profile.per_node.size(), 2u);
+  // Window [0, 4] minutes covers all 5 samples.
+  EXPECT_EQ(profile.per_node[0].times.size(), 5u);
+  // Imbalance between node 0 (values 1..3) and node 2 (10..30) inside the
+  // job window [1,3] minutes.
+  EXPECT_DOUBLE_EQ(profile.ImbalanceSpread(), 30.0 - 1.0);
+}
+
+TEST(AnalysisTest, AttributeCongestionScoresJobRoutes) {
+  sim::GeminiTorus torus({4, 4, 4}, Rng(1));
+  // Job on the first X row: ring routes stay on that row's X links.
+  sim::JobRecord job;
+  job.spec.job_id = 1;
+  for (int g = 0; g < 4; ++g) {
+    job.nodes.push_back(2 * g);
+    job.nodes.push_back(2 * g + 1);
+  }
+  // Congestion oracle: only (gemini 1, X+) is hot.
+  auto oracle = [](int gemini, sim::LinkDir dir) {
+    return gemini == 1 && dir == sim::LinkDir::kXPlus ? 80.0 : 2.0;
+  };
+  auto report = analysis::AttributeCongestion(job, torus, oracle);
+  ASSERT_FALSE(report.links.empty());
+  // Every traversed link is on the row: gemini < 4, X direction.
+  for (const auto& link : report.links) {
+    EXPECT_LT(link.gemini, 4);
+    const int dim = static_cast<int>(link.dir) / 2;
+    EXPECT_EQ(dim, 0) << "ring traffic left the X dimension";
+    EXPECT_GT(link.flows, 0);
+  }
+  // The hot link tops the ranking and lifts the exposure scores.
+  EXPECT_EQ(report.links.front().gemini, 1);
+  EXPECT_EQ(report.links.front().dir, sim::LinkDir::kXPlus);
+  EXPECT_DOUBLE_EQ(report.max_exposure, 80.0);
+  EXPECT_GT(report.mean_exposure, 2.0);
+  EXPECT_LT(report.mean_exposure, 80.0);
+
+  // A job elsewhere in the torus is not exposed to the hot link.
+  sim::JobRecord far_job;
+  far_job.spec.job_id = 2;
+  const int base = torus.IndexOf({0, 3, 3});
+  for (int g = base; g < base + 4; ++g) {
+    far_job.nodes.push_back(2 * g);
+    far_job.nodes.push_back(2 * g + 1);
+  }
+  auto far_report = analysis::AttributeCongestion(far_job, torus, oracle);
+  EXPECT_DOUBLE_EQ(far_report.max_exposure, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+TEST(GangliaSimTest, CollectsSameValuesAsLdmsParsers) {
+  sim::SimCluster cluster(sim::ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  baseline::GangliaSimCollector ganglia(cluster.MakeDataSource(0));
+  ganglia.UseDefaultMetrics();
+  EXPECT_EQ(ganglia.metric_count(), 11u);
+
+  std::vector<std::string> packets;
+  const std::size_t sent = ganglia.CollectOnce(kNsPerSec, &packets);
+  EXPECT_EQ(sent, 11u);
+  ASSERT_EQ(packets.size(), 11u);
+  // Metadata is included in every transmission.
+  for (const auto& packet : packets) {
+    EXPECT_NE(packet.find("TYPE="), std::string::npos);
+    EXPECT_NE(packet.find("UNITS="), std::string::npos);
+    EXPECT_NE(packet.find("SOURCE="), std::string::npos);
+  }
+  // MemTotal value matches ground truth.
+  const std::string expect_total =
+      "NAME=\"mem_MemTotal\" VAL=\"" +
+      std::to_string(
+          static_cast<double>(cluster.node(0).config().mem_total_kb));
+  EXPECT_NE(packets[0].find("mem_MemTotal"), std::string::npos);
+  EXPECT_GT(ganglia.bytes_sent(), 11u * 100) << "metadata overhead missing";
+}
+
+TEST(GangliaSimTest, ThresholdingSuppressesUnchangedMetrics) {
+  sim::SimCluster cluster(sim::ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  baseline::GangliaOptions opts;
+  opts.value_threshold = 0.5;  // very insensitive, like a bad config
+  opts.time_threshold = kNsPerHour;
+  baseline::GangliaSimCollector ganglia(cluster.MakeDataSource(0), opts);
+  ganglia.UseDefaultMetrics();
+
+  EXPECT_EQ(ganglia.CollectOnce(kNsPerSec, nullptr), 11u);  // first: all
+  cluster.Tick(kNsPerSec);  // counters move a little
+  const std::size_t second = ganglia.CollectOnce(2 * kNsPerSec, nullptr);
+  // MemTotal etc. unchanged; most metrics suppressed — the information loss
+  // the paper warns about.
+  EXPECT_LT(second, 6u);
+}
+
+TEST(CollectlSimTest, RecordsSubsecondSamples) {
+  sim::SimCluster cluster(sim::ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  baseline::CollectlSim collectl(cluster.MakeDataSource(0), "");
+  for (int i = 0; i < 10; ++i) {
+    cluster.Tick(100 * kNsPerMs);  // 10 Hz, subsecond
+    ASSERT_TRUE(collectl.RecordOnce(cluster.now()).ok());
+  }
+  EXPECT_EQ(collectl.records(), 10u);
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,135 @@
+// Control-socket tests: runtime configuration of a live daemon over the
+// UNIX domain socket (the paper's ldmsd control path), including the
+// on-the-fly interval change, error replies, and the new sampler plugins
+// driven end-to-end through the command language.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "daemon/control.hpp"
+#include "sampler/samplers.hpp"
+#include "sim/cluster.hpp"
+
+namespace ldmsxx {
+namespace {
+
+class ControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<sim::SimCluster>(
+        sim::ClusterConfig::Chama(1));
+    cluster_->Tick(kNsPerSec);
+    RegisterBuiltinSamplers(cluster_->MakeDataSource(0));
+    RegisterBuiltinStores();
+
+    LdmsdOptions opts;
+    opts.name = "ctl-test";
+    opts.worker_threads = 1;
+    daemon_ = std::make_unique<Ldmsd>(opts);
+    ASSERT_TRUE(daemon_->Start().ok());
+
+    socket_path_ =
+        "/tmp/ldmsxx_ctl_" + std::to_string(::getpid()) + ".sock";
+    control_ = std::make_unique<ControlServer>(*daemon_, socket_path_);
+    ASSERT_TRUE(control_->Start().ok());
+  }
+
+  void TearDown() override {
+    control_->Stop();
+    daemon_->Stop();
+  }
+
+  Status Send(const std::string& command, std::string* reply = nullptr) {
+    std::string local;
+    return ControlServer::SendCommand(socket_path_, command,
+                                      reply != nullptr ? reply : &local);
+  }
+
+  std::unique_ptr<sim::SimCluster> cluster_;
+  std::unique_ptr<Ldmsd> daemon_;
+  std::unique_ptr<ControlServer> control_;
+  std::string socket_path_;
+};
+
+TEST_F(ControlTest, SocketIsOwnerOnly) {
+  struct stat st{};
+  ASSERT_EQ(::stat(socket_path_.c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0777, 0600u) << "paper's UNIX-socket access control";
+}
+
+TEST_F(ControlTest, LoadConfigStartOverSocket) {
+  std::string reply;
+  ASSERT_TRUE(Send("load name=meminfo", &reply).ok());
+  EXPECT_EQ(reply, "OK");
+  ASSERT_TRUE(Send("config name=meminfo producer=nid0 component_id=3").ok());
+  ASSERT_TRUE(Send("start name=meminfo interval=20000").ok());
+  EXPECT_NE(daemon_->sets().Find("nid0/meminfo"), nullptr);
+
+  // Sampling actually runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GT(daemon_->counters().samples.load(), 2u);
+  EXPECT_GE(control_->commands_served(), 3u);
+}
+
+TEST_F(ControlTest, OnTheFlyIntervalChangeOverSocket) {
+  ASSERT_TRUE(Send("load name=procstat").ok());
+  ASSERT_TRUE(Send("config name=procstat producer=nid0").ok());
+  ASSERT_TRUE(Send("start name=procstat interval=3600000000").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(daemon_->counters().samples.load(), 0u);
+  ASSERT_TRUE(Send("interval name=procstat interval=10000").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GT(daemon_->counters().samples.load(), 5u);
+}
+
+TEST_F(ControlTest, ErrorsAreReported) {
+  std::string reply;
+  Status st = Send("start name=never_loaded interval=1000", &reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(reply.rfind("ERROR", 0) == 0) << reply;
+  st = Send("gibberish", &reply);
+  EXPECT_FALSE(st.ok());
+  // The daemon survives bad commands.
+  EXPECT_TRUE(Send("load name=meminfo").ok());
+}
+
+TEST_F(ControlTest, NewSamplersViaCommandLanguage) {
+  for (const char* plugin : {"vmstat", "diskstats", "cray_power"}) {
+    ASSERT_TRUE(Send(std::string("load name=") + plugin).ok()) << plugin;
+    ASSERT_TRUE(
+        Send(std::string("config name=") + plugin + " producer=nid0").ok());
+    ASSERT_TRUE(
+        Send(std::string("start name=") + plugin + " interval=20000").ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto vmstat = daemon_->sets().Find("nid0/vmstat");
+  ASSERT_NE(vmstat, nullptr);
+  const auto pgfault = vmstat->schema().FindMetric("pgfault");
+  ASSERT_TRUE(pgfault.has_value());
+  EXPECT_GT(vmstat->GetU64(*pgfault), 0u);
+
+  auto disk = daemon_->sets().Find("nid0/diskstats");
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(disk->schema().metric_count(), 4u);
+
+  auto power = daemon_->sets().Find("nid0/cray_power");
+  ASSERT_NE(power, nullptr);
+  const auto watts = power->schema().FindMetric("power");
+  ASSERT_TRUE(watts.has_value());
+  EXPECT_GT(power->GetD64(*watts), 50.0);   // above idle floor
+  EXPECT_LT(power->GetD64(*watts), 1000.0);
+}
+
+TEST_F(ControlTest, ConnectToMissingSocketFails) {
+  std::string reply;
+  EXPECT_FALSE(
+      ControlServer::SendCommand("/tmp/ldmsxx_nonexistent.sock", "x", &reply)
+          .ok());
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,311 @@
+// Daemon behaviour tests: configuration command language, on-the-fly
+// sampling interval change, store-policy filtering, DGN no-new-data skip,
+// and the separate connection pool surviving dead producers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "daemon/config.hpp"
+#include "daemon/ldmsd.hpp"
+#include "sampler/samplers.hpp"
+#include "sim/cluster.hpp"
+#include "store/memory_store.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using sim::ClusterConfig;
+using sim::SimCluster;
+
+TEST(ConfigProcessorTest, ScriptDrivesSamplerDaemon) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  RegisterBuiltinSamplers(cluster.MakeDataSource(0));
+  RegisterBuiltinStores();
+
+  LdmsdOptions opts;
+  opts.name = "cfg-test";
+  opts.worker_threads = 1;
+  Ldmsd daemon(opts);
+  ConfigProcessor config(daemon);
+
+  const char* script = R"(
+# sampler setup, ldmsd command style
+load name=meminfo
+config name=meminfo producer=nid00000 component_id=1
+start name=meminfo interval=50000
+load name=procstat
+config name=procstat producer=nid00000
+start name=procstat interval=50000 offset=1000 sync=1
+)";
+  Status st = config.ExecuteScript(script);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(daemon.sets().size(), 2u);
+  EXPECT_NE(daemon.sets().Find("nid00000/meminfo"), nullptr);
+
+  // Unknown commands / plugins fail with line info.
+  EXPECT_FALSE(config.Execute("frobnicate name=x").ok());
+  EXPECT_EQ(config.Execute("load name=imaginary").code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(config.Execute("start name=unloaded interval=1").code(),
+            ErrorCode::kNotFound);
+  Status bad = config.ExecuteScript("load name=meminfo\nbogus\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigProcessorTest, ProducerAndStoreCommands) {
+  RegisterBuiltinStores();
+  LdmsdOptions opts;
+  opts.name = "agg-cfg";
+  opts.worker_threads = 1;
+  Ldmsd daemon(opts);
+  ConfigProcessor config(daemon);
+  ASSERT_TRUE(config
+                  .Execute("prdcr_add name=nid1 xprt=local host=cfg/nid1 "
+                           "interval=100000 sets=nid1/meminfo standby=1 "
+                           "standby_for=agg0")
+                  .ok());
+  auto status = daemon.producer_status("nid1");
+  EXPECT_TRUE(status.known);
+  EXPECT_FALSE(status.active);  // standby until activated
+  EXPECT_EQ(config.Execute("prdcr_add name=nid1 xprt=local host=x").code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(
+      config.Execute("prdcr_add name=nid2 xprt=teleport host=y").code(),
+      ErrorCode::kNotFound);
+
+  ASSERT_TRUE(config.Execute("strgp_add name=s plugin=store_mem").ok());
+  EXPECT_EQ(config.Execute("strgp_add name=s plugin=store_unknown").code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(LdmsdTest, OnTheFlySamplingIntervalChange) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions opts;
+  opts.name = "otf";
+  opts.worker_threads = 1;
+  Ldmsd daemon(opts);
+  SamplerConfig sc;
+  sc.interval = kNsPerHour;  // effectively never
+  ASSERT_TRUE(daemon
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(daemon.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(daemon.counters().samples.load(), 0u);
+
+  // "The sampling frequency ... can be changed on the fly" (§IV).
+  ASSERT_TRUE(daemon.SetSamplingInterval("meminfo", 10 * kNsPerMs).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_GT(daemon.counters().samples.load(), 5u);
+  EXPECT_EQ(daemon.SetSamplingInterval("nope", kNsPerSec).code(),
+            ErrorCode::kNotFound);
+  daemon.Stop();
+}
+
+TEST(LdmsdTest, RemoveSamplerDeregistersSets) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  LdmsdOptions opts;
+  opts.name = "rm";
+  opts.worker_threads = 1;
+  Ldmsd daemon(opts);
+  SamplerConfig sc;
+  sc.interval = kNsPerSec;
+  ASSERT_TRUE(daemon
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  EXPECT_EQ(daemon.sets().size(), 1u);
+  ASSERT_TRUE(daemon.RemoveSampler("meminfo").ok());
+  EXPECT_EQ(daemon.sets().size(), 0u);
+  EXPECT_EQ(daemon.RemoveSampler("meminfo").code(), ErrorCode::kNotFound);
+}
+
+TEST(LdmsdTest, StorePolicyFiltersBySchemaAndProducer) {
+  SimCluster cluster(ClusterConfig::Chama(2));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions sopts;
+  sopts.name = "nid00000";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "filter/sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 30 * kNsPerMs;
+  auto source = cluster.MakeDataSource(0);
+  ASSERT_TRUE(
+      sampler.AddSampler(std::make_shared<MeminfoSampler>(source), sc).ok());
+  ASSERT_TRUE(
+      sampler.AddSampler(std::make_shared<ProcStatSampler>(source), sc).ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  LdmsdOptions aopts;
+  aopts.name = "agg";
+  aopts.worker_threads = 1;
+  Ldmsd aggregator(aopts);
+  auto mem_only = std::make_shared<MemoryStore>();
+  auto wrong_producer = std::make_shared<MemoryStore>();
+  auto everything = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(aggregator.AddStorePolicy({mem_only, "meminfo", ""}).ok());
+  ASSERT_TRUE(
+      aggregator.AddStorePolicy({wrong_producer, "", "someone_else"}).ok());
+  ASSERT_TRUE(aggregator.AddStorePolicy({everything, "", ""}).ok());
+  EXPECT_EQ(aggregator.AddStorePolicy({nullptr, "", ""}).code(),
+            ErrorCode::kInvalidArgument);
+  ProducerConfig pc;
+  pc.name = "nid00000";
+  pc.transport = "local";
+  pc.address = "filter/sampler";
+  pc.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(aggregator.AddProducer(pc).ok());
+  ASSERT_TRUE(aggregator.Start().ok());
+
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+  while (std::chrono::steady_clock::now() < end) {
+    cluster.Tick(30 * kNsPerMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_GT(mem_only->RowCount("meminfo"), 0u);
+  EXPECT_EQ(mem_only->RowCount("procstat"), 0u);
+  EXPECT_EQ(wrong_producer->RowCount("meminfo"), 0u);
+  EXPECT_GT(everything->RowCount("meminfo"), 0u);
+  EXPECT_GT(everything->RowCount("procstat"), 0u);
+
+  aggregator.Stop();
+  sampler.Stop();
+}
+
+TEST(LdmsdTest, NoNewDataIsSkippedNotStored) {
+  // Sampler samples every 500ms but the aggregator pulls every 30ms: most
+  // pulls see an unchanged DGN and must not produce store rows (§IV-B).
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions sopts;
+  sopts.name = "slowsampler";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "skip/sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 500 * kNsPerMs;
+  ASSERT_TRUE(sampler
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  LdmsdOptions aopts;
+  aopts.name = "fastagg";
+  aopts.worker_threads = 1;
+  Ldmsd aggregator(aopts);
+  auto store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(aggregator.AddStorePolicy({store, "", ""}).ok());
+  ProducerConfig pc;
+  pc.name = "slowsampler";
+  pc.transport = "local";
+  pc.address = "skip/sampler";
+  pc.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(aggregator.AddProducer(pc).ok());
+  ASSERT_TRUE(aggregator.Start().ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+  aggregator.Stop();
+  sampler.Stop();
+
+  const auto& counters = aggregator.counters();
+  EXPECT_GT(counters.updates_no_new_data.load(), 10u)
+      << "fast pulls of a slow sampler must mostly be no-ops";
+  // Rows stored ≈ number of actual samples (~3), certainly < pull count.
+  EXPECT_LE(store->RowCount("meminfo"), 8u);
+  EXPECT_GE(store->RowCount("meminfo"), 1u);
+}
+
+TEST(LdmsdTest, DeadProducerDoesNotStallOtherCollection) {
+  // One producer address points at nothing; the other is healthy. The
+  // separate connection pool must keep the healthy one flowing (§IV-B's
+  // rationale for the dedicated connection thread pool).
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions sopts;
+  sopts.name = "alive";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "mixed/alive";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(sampler
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  LdmsdOptions aopts;
+  aopts.name = "agg";
+  aopts.worker_threads = 1;
+  aopts.connection_threads = 1;
+  Ldmsd aggregator(aopts);
+  auto store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(aggregator.AddStorePolicy({store, "", ""}).ok());
+  for (int i = 0; i < 4; ++i) {
+    ProducerConfig dead;
+    dead.name = "dead" + std::to_string(i);
+    dead.transport = "local";
+    dead.address = "mixed/no-such-daemon-" + std::to_string(i);
+    dead.interval = 30 * kNsPerMs;
+    ASSERT_TRUE(aggregator.AddProducer(dead).ok());
+  }
+  ProducerConfig alive;
+  alive.name = "alive";
+  alive.transport = "local";
+  alive.address = "mixed/alive";
+  alive.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(aggregator.AddProducer(alive).ok());
+  ASSERT_TRUE(aggregator.Start().ok());
+
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+  while (std::chrono::steady_clock::now() < end) {
+    cluster.Tick(30 * kNsPerMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_GT(store->RowCount("meminfo"), 3u);
+  EXPECT_FALSE(aggregator.producer_status("dead0").connected);
+  EXPECT_TRUE(aggregator.producer_status("alive").connected);
+  EXPECT_GT(aggregator.counters().connects_failed.load(), 0u);
+
+  aggregator.Stop();
+  sampler.Stop();
+}
+
+TEST(LdmsdTest, ListenOnUnknownTransportFails) {
+  LdmsdOptions opts;
+  opts.name = "bad";
+  opts.listen_transport = "warp";
+  opts.listen_address = "x";
+  Ldmsd daemon(opts);
+  EXPECT_EQ(daemon.Start().code(), ErrorCode::kNotFound);
+  ProducerConfig pc;
+  pc.name = "p";
+  pc.transport = "warp";
+  EXPECT_EQ(daemon.AddProducer(pc).code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,320 @@
+// End-to-end integration tests: sampler daemon -> aggregator -> store over
+// each transport, daisy-chained aggregation, standby failover, and the
+// advertise (connect-back) flow.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "daemon/failover.hpp"
+#include "daemon/ldmsd.hpp"
+#include "sampler/samplers.hpp"
+#include "sim/cluster.hpp"
+#include "store/memory_store.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using sim::ClusterConfig;
+using sim::SimCluster;
+
+/// Builds a one-node simulated cluster, a sampler daemon on it, and an
+/// aggregator pulling over @p transport into a MemoryStore.
+class PipelineTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<SimCluster>(ClusterConfig::Chama(4));
+    // Give the node some activity so counters move.
+    sim::JobSpec job;
+    job.job_id = 1;
+    job.name = "burn";
+    job.node_count = 4;
+    job.duration = kNsPerHour;
+    job.profile = sim::JobProfile::Compute();
+    ASSERT_TRUE(cluster_->Submit(job).ok());
+    cluster_->Tick(kNsPerSec);
+  }
+
+  void TearDown() override {
+    if (aggregator_) aggregator_->Stop();
+    if (sampler_) sampler_->Stop();
+  }
+
+  void StartSampler(const std::string& transport,
+                    const std::string& address) {
+    LdmsdOptions opts;
+    opts.name = "nid00000";
+    opts.listen_transport = transport;
+    opts.listen_address = address;
+    opts.worker_threads = 1;
+    sampler_ = std::make_unique<Ldmsd>(opts);
+
+    auto source = cluster_->MakeDataSource(0);
+    SamplerConfig sc;
+    sc.interval = 50 * kNsPerMs;
+    ASSERT_TRUE(sampler_
+                    ->AddSampler(std::make_shared<MeminfoSampler>(source), sc)
+                    .ok());
+    ASSERT_TRUE(sampler_
+                    ->AddSampler(std::make_shared<ProcStatSampler>(source), sc)
+                    .ok());
+    ASSERT_TRUE(sampler_->Start().ok());
+  }
+
+  void StartAggregator(const std::string& transport,
+                       const std::string& address) {
+    LdmsdOptions opts;
+    opts.name = "agg1";
+    opts.worker_threads = 1;
+    aggregator_ = std::make_unique<Ldmsd>(opts);
+    store_ = std::make_shared<MemoryStore>();
+    ASSERT_TRUE(aggregator_->AddStorePolicy({store_, "", ""}).ok());
+    ProducerConfig pc;
+    pc.name = "nid00000";
+    pc.transport = transport;
+    pc.address = address;
+    pc.interval = 50 * kNsPerMs;
+    ASSERT_TRUE(aggregator_->AddProducer(pc).ok());
+    ASSERT_TRUE(aggregator_->Start().ok());
+  }
+
+  /// Keep the simulation moving so samplers see fresh data.
+  void PumpFor(std::chrono::milliseconds wall) {
+    const auto end = std::chrono::steady_clock::now() + wall;
+    while (std::chrono::steady_clock::now() < end) {
+      cluster_->Tick(50 * kNsPerMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  std::unique_ptr<SimCluster> cluster_;
+  std::unique_ptr<Ldmsd> sampler_;
+  std::unique_ptr<Ldmsd> aggregator_;
+  std::shared_ptr<MemoryStore> store_;
+};
+
+TEST_P(PipelineTest, SamplesFlowToStore) {
+  const std::string transport = GetParam();
+  const std::string address =
+      transport == "sock" ? "127.0.0.1:0" : "test/" + transport + "/sampler";
+  StartSampler(transport, address);
+  StartAggregator(transport, transport == "sock" ? sampler_->listen_address()
+                                                 : address);
+
+  PumpFor(std::chrono::milliseconds(1200));
+
+  EXPECT_GT(store_->RowCount("meminfo"), 4u) << "transport " << transport;
+  EXPECT_GT(store_->RowCount("procstat"), 4u);
+
+  // Values should be sane: MemTotal fixed at 64 GB.
+  auto names = store_->MetricNames("meminfo");
+  auto rows = store_->Rows("meminfo");
+  ASSERT_FALSE(rows.empty());
+  ASSERT_EQ(names.size(), rows[0].values.size());
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 64.0 * 1024 * 1024);  // MemTotal kB
+
+  // The aggregator's update path must report progress, not errors.
+  const auto status = aggregator_->producer_status("nid00000");
+  EXPECT_TRUE(status.connected);
+  EXPECT_EQ(status.sets_ready, 2u);
+  EXPECT_GT(aggregator_->counters().updates_ok.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, PipelineTest,
+                         ::testing::Values("local", "sock", "rdma", "ugni"));
+
+TEST(DaisyChainTest, TwoLevelAggregation) {
+  SimCluster cluster(ClusterConfig::Chama(2));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions sopts;
+  sopts.name = "nid00000";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "chain/sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 50 * kNsPerMs;
+  ASSERT_TRUE(sampler
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  LdmsdOptions l1opts;
+  l1opts.name = "agg-l1";
+  l1opts.listen_transport = "local";
+  l1opts.listen_address = "chain/l1";
+  l1opts.worker_threads = 1;
+  Ldmsd level1(l1opts);
+  ProducerConfig pc1;
+  pc1.name = "nid00000";
+  pc1.transport = "local";
+  pc1.address = "chain/sampler";
+  pc1.interval = 50 * kNsPerMs;
+  ASSERT_TRUE(level1.AddProducer(pc1).ok());
+  ASSERT_TRUE(level1.Start().ok());
+
+  LdmsdOptions l2opts;
+  l2opts.name = "agg-l2";
+  l2opts.worker_threads = 1;
+  Ldmsd level2(l2opts);
+  auto store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(level2.AddStorePolicy({store, "meminfo", ""}).ok());
+  ProducerConfig pc2;
+  pc2.name = "agg-l1";
+  pc2.transport = "local";
+  pc2.address = "chain/l1";
+  pc2.interval = 50 * kNsPerMs;
+  ASSERT_TRUE(level2.AddProducer(pc2).ok());
+  ASSERT_TRUE(level2.Start().ok());
+
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(1500);
+  while (std::chrono::steady_clock::now() < end) {
+    cluster.Tick(50 * kNsPerMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Data collected by L1 is re-exported and reaches the L2 store.
+  EXPECT_GT(store->RowCount("meminfo"), 2u);
+
+  level2.Stop();
+  level1.Stop();
+  sampler.Stop();
+}
+
+TEST(FailoverTest, StandbyTakesOverWhenPrimaryDies) {
+  SimCluster cluster(ClusterConfig::Chama(2));
+  cluster.Tick(kNsPerSec);
+
+  LdmsdOptions sopts;
+  sopts.name = "nid00000";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "fo/sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(sampler
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  auto primary = std::make_unique<Ldmsd>([&] {
+    LdmsdOptions o;
+    o.name = "agg-primary";
+    o.worker_threads = 1;
+    return o;
+  }());
+  ProducerConfig pc;
+  pc.name = "nid00000";
+  pc.transport = "local";
+  pc.address = "fo/sampler";
+  pc.interval = 30 * kNsPerMs;
+  ASSERT_TRUE(primary->AddProducer(pc).ok());
+  ASSERT_TRUE(primary->Start().ok());
+
+  // Standby aggregator: connection + lookups established, no pulling.
+  LdmsdOptions bopts;
+  bopts.name = "agg-backup";
+  bopts.worker_threads = 1;
+  Ldmsd backup(bopts);
+  auto backup_store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(backup.AddStorePolicy({backup_store, "", ""}).ok());
+  ProducerConfig standby = pc;
+  standby.standby = true;
+  standby.standby_for = "agg-primary";
+  ASSERT_TRUE(backup.AddProducer(standby).ok());
+  ASSERT_TRUE(backup.Start().ok());
+
+  std::atomic<bool> primary_alive{true};
+  FailoverWatchdog watchdog;
+  FailoverRule rule;
+  rule.primary_alive = [&] { return primary_alive.load(); };
+  rule.standby_daemon = &backup;
+  rule.standby_producers = {"nid00000"};
+  rule.failure_threshold = 2;
+  watchdog.AddRule(rule);
+
+  auto pump = [&](int ms) {
+    const auto end =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < end) {
+      cluster.Tick(30 * kNsPerMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+
+  pump(400);
+  // Standby must not have stored anything while the primary is healthy.
+  EXPECT_EQ(backup_store->RowCount("meminfo"), 0u);
+  EXPECT_EQ(watchdog.Poll(), 0u);
+
+  // Kill the primary; watchdog needs two failed polls to trigger.
+  primary->Stop();
+  primary.reset();
+  primary_alive = false;
+  EXPECT_EQ(watchdog.Poll(), 0u);
+  EXPECT_EQ(watchdog.Poll(), 1u);
+  EXPECT_EQ(watchdog.failovers(), 1u);
+
+  pump(700);
+  EXPECT_GT(backup_store->RowCount("meminfo"), 2u)
+      << "standby did not take over collection";
+
+  backup.Stop();
+  sampler.Stop();
+}
+
+TEST(AdvertiseTest, SamplerInitiatedConnection) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+
+  // Aggregator comes up first, accepting advertised producers.
+  LdmsdOptions aopts;
+  aopts.name = "agg";
+  aopts.listen_transport = "local";
+  aopts.listen_address = "adv/agg";
+  aopts.worker_threads = 1;
+  aopts.accept_advertised_producers = true;
+  aopts.advertised_interval = 40 * kNsPerMs;
+  Ldmsd aggregator(aopts);
+  auto store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(aggregator.AddStorePolicy({store, "", ""}).ok());
+  ASSERT_TRUE(aggregator.Start().ok());
+
+  // Sampler behind "asymmetric network": it dials out and advertises.
+  LdmsdOptions sopts;
+  sopts.name = "nid00000";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "adv/sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 40 * kNsPerMs;
+  ASSERT_TRUE(sampler
+                  .AddSampler(std::make_shared<MeminfoSampler>(
+                                  cluster.MakeDataSource(0)),
+                              sc)
+                  .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+  ASSERT_TRUE(sampler.AdvertiseTo("local", "adv/agg").ok());
+
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1200);
+  while (std::chrono::steady_clock::now() < end) {
+    cluster.Tick(40 * kNsPerMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EXPECT_GT(store->RowCount("meminfo"), 2u);
+  aggregator.Stop();
+  sampler.Stop();
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,218 @@
+// Property-based suites: wire-protocol robustness under fuzzed/truncated
+// input, ByteWriter/ByteReader round trips, SOS time-range query counts,
+// and scheduler firing-count arithmetic.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "core/wire.hpp"
+#include "daemon/scheduler.hpp"
+#include "store/sos_store.hpp"
+#include "transport/message.hpp"
+#include "util/rng.hpp"
+
+namespace ldmsxx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol robustness
+// ---------------------------------------------------------------------------
+
+class WireFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t len = rng.NextBelow(512);
+    std::vector<std::byte> junk(len);
+    for (auto& b : junk) b = static_cast<std::byte>(rng.Next() & 0xff);
+
+    // Every decoder must either parse or reject; never crash or overread.
+    DirResponse dir;
+    (void)DecodeDirResponse(junk, &dir);
+    LookupRequest lreq;
+    (void)DecodeLookupRequest(junk, &lreq);
+    LookupResponse lresp;
+    (void)DecodeLookupResponse(junk, &lresp);
+    UpdateRequest ureq;
+    (void)DecodeUpdateRequest(junk, &ureq);
+    UpdateResponse uresp;
+    (void)DecodeUpdateResponse(junk, &uresp);
+    AdvertiseMsg adv;
+    (void)DecodeAdvertise(junk, &adv);
+
+    // Mirror construction from junk metadata must fail cleanly, not crash.
+    MemManager mem(1 << 16);
+    Status st;
+    auto mirror = MetricSet::CreateMirror(mem, junk, &st);
+    if (len < 16) {
+      EXPECT_EQ(mirror, nullptr);
+    }
+    if (mirror == nullptr) {
+      EXPECT_FALSE(st.ok());
+      EXPECT_EQ(mem.bytes_in_use(), 0u);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, StrictPrefixOfUpdateResponseRejected) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  UpdateResponse msg;
+  msg.code = 0;
+  msg.data.resize(1 + rng.NextBelow(256));
+  for (auto& b : msg.data) b = static_cast<std::byte>(rng.Next() & 0xff);
+  const auto encoded = EncodeUpdateResponse(msg);
+
+  UpdateResponse out;
+  ASSERT_TRUE(DecodeUpdateResponse(encoded, &out));
+  EXPECT_EQ(out.data, msg.data);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    UpdateResponse partial;
+    EXPECT_FALSE(DecodeUpdateResponse(
+        std::span<const std::byte>(encoded).subspan(0, cut), &partial))
+        << "prefix of length " << cut << " decoded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Range(0, 8));
+
+TEST(ByteRwTest, RandomSequenceRoundTrip) {
+  Rng rng(3141);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Generate a random op sequence, write it, read it back.
+    enum Op { kU8, kU32, kU64, kStr, kD64 };
+    std::vector<std::pair<Op, std::uint64_t>> ops;
+    std::vector<std::string> strings;
+    ByteWriter w;
+    const std::size_t n = 1 + rng.NextBelow(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Op op = static_cast<Op>(rng.NextBelow(5));
+      const std::uint64_t v = rng.Next();
+      ops.emplace_back(op, v);
+      switch (op) {
+        case kU8: w.U8(static_cast<std::uint8_t>(v)); break;
+        case kU32: w.U32(static_cast<std::uint32_t>(v)); break;
+        case kU64: w.U64(v); break;
+        case kD64: w.D64(static_cast<double>(v) * 0.5); break;
+        case kStr: {
+          std::string s(v % 50, static_cast<char>('a' + v % 26));
+          strings.push_back(s);
+          w.Str(s);
+          break;
+        }
+      }
+    }
+    ByteReader r(w.buffer());
+    std::size_t str_idx = 0;
+    for (const auto& [op, v] : ops) {
+      switch (op) {
+        case kU8: EXPECT_EQ(r.U8(), static_cast<std::uint8_t>(v)); break;
+        case kU32: EXPECT_EQ(r.U32(), static_cast<std::uint32_t>(v)); break;
+        case kU64: EXPECT_EQ(r.U64(), v); break;
+        case kD64: EXPECT_DOUBLE_EQ(r.D64(), static_cast<double>(v) * 0.5); break;
+        case kStr: EXPECT_EQ(r.Str(), strings[str_idx++]); break;
+      }
+    }
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SOS query counts
+// ---------------------------------------------------------------------------
+
+class SosQueryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SosQueryPropertyTest, VisitedCountMatchesTimestampFilter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ldmsxx_sosq_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(GetParam()));
+  std::filesystem::create_directories(dir);
+
+  MemManager mem(1 << 20);
+  Schema schema("q");
+  schema.AddMetric("v", MetricType::kU64);
+  Status st;
+  auto set = MetricSet::Create(mem, schema, "n/q", "n", 1, &st);
+  ASSERT_TRUE(st.ok());
+
+  SosStore store({dir.string()});
+  // Strictly increasing but irregular timestamps.
+  std::vector<TimeNs> stamps;
+  TimeNs t = 0;
+  const std::size_t records = 1 + rng.NextBelow(300);
+  for (std::size_t i = 0; i < records; ++i) {
+    t += 1 + rng.NextBelow(5 * kNsPerSec);
+    stamps.push_back(t);
+    set->BeginTransaction();
+    set->SetU64(0, i);
+    set->EndTransaction(t);
+    ASSERT_TRUE(store.StoreSet(*set).ok());
+  }
+  store.Flush();
+  const std::string path = store.FilePath("q");
+
+  for (int probe = 0; probe < 20; ++probe) {
+    TimeNs lo = rng.NextBelow(t + kNsPerSec);
+    TimeNs hi = rng.NextBelow(t + kNsPerSec);
+    if (lo > hi) std::swap(lo, hi);
+    std::size_t expected = 0;
+    for (TimeNs s : stamps) {
+      if (s >= lo && s < hi) ++expected;
+    }
+    std::size_t prev = 0;
+    bool ordered = true;
+    const std::size_t visited =
+        SosStore::Query(path, lo, hi, [&](const SosRecord& rec) {
+          if (rec.timestamp < prev) ordered = false;
+          prev = rec.timestamp;
+        });
+    EXPECT_EQ(visited, expected) << "range [" << lo << "," << hi << ")";
+    EXPECT_TRUE(ordered);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SosQueryPropertyTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Scheduler firing arithmetic
+// ---------------------------------------------------------------------------
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerPropertyTest, FiringCountsExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  struct Probe {
+    DurationNs interval;
+    int count = 0;
+  };
+  std::vector<std::unique_ptr<Probe>> probes;
+  for (int i = 0; i < 12; ++i) {
+    auto probe = std::make_unique<Probe>();
+    probe->interval = (1 + rng.NextBelow(50)) * 100 * kNsPerMs;
+    Probe* raw = probe.get();
+    scheduler.Schedule([raw] { ++raw->count; },
+                       {.interval = raw->interval});
+    probes.push_back(std::move(probe));
+  }
+  const TimeNs horizon = (10 + rng.NextBelow(100)) * kNsPerSec;
+  scheduler.RunUntil(clock, horizon);
+  for (const auto& probe : probes) {
+    // Async task scheduled at t=0 fires at k*interval, k >= 1.
+    const int expected = static_cast<int>(horizon / probe->interval);
+    EXPECT_EQ(probe->count, expected)
+        << "interval " << probe->interval << " horizon " << horizon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ldmsxx

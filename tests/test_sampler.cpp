@@ -1,0 +1,213 @@
+// Sampler plugin tests against simulated data sources: schema shapes,
+// parsed values matching the substrate's ground truth, the gpcdr derived
+// metrics, and the synthetic sampler's configurable cardinality.
+#include <gtest/gtest.h>
+
+#include "core/mem_manager.hpp"
+#include "core/set_registry.hpp"
+#include "daemon/plugin_registry.hpp"
+#include "sampler/samplers.hpp"
+#include "sim/cluster.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using sim::ClusterConfig;
+using sim::SimCluster;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  SamplerTest() : mem_(1 << 20) {}
+
+  void InitAndSample(SamplerBase& sampler, TimeNs now,
+                     PluginParams params = {}) {
+    params.try_emplace("producer", "nid00000");
+    params.try_emplace("component_id", "1");
+    ASSERT_TRUE(sampler.Init(mem_, sets_, params).ok());
+    ASSERT_TRUE(sampler.Sample(now).ok());
+  }
+
+  MemManager mem_;
+  SetRegistry sets_;
+};
+
+TEST_F(SamplerTest, MeminfoMatchesGroundTruth) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  MeminfoSampler sampler(cluster.MakeDataSource(0));
+  InitAndSample(sampler, cluster.now());
+
+  auto set = sampler.Sets().at(0);
+  EXPECT_EQ(set->instance_name(), "nid00000/meminfo");
+  EXPECT_EQ(set->schema().name(), "meminfo");
+  const auto total_idx = set->schema().FindMetric("MemTotal");
+  const auto active_idx = set->schema().FindMetric("Active");
+  ASSERT_TRUE(total_idx && active_idx);
+  EXPECT_EQ(set->GetU64(*total_idx), cluster.node(0).config().mem_total_kb);
+  EXPECT_EQ(set->GetU64(*active_idx),
+            cluster.node(0).counters().mem_active_kb);
+  EXPECT_TRUE(set->consistent());
+  EXPECT_EQ(set->data_gn(), 1u);
+}
+
+TEST_F(SamplerTest, ProcStatTracksCpuCounters) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  sim::JobSpec job;
+  job.job_id = 1;
+  job.node_count = 1;
+  job.duration = kNsPerHour;
+  job.profile = sim::JobProfile::Compute();
+  ASSERT_TRUE(cluster.Submit(job).ok());
+  cluster.RunFor(10 * kNsPerSec, kNsPerSec);
+
+  ProcStatSampler sampler(cluster.MakeDataSource(0));
+  InitAndSample(sampler, cluster.now());
+  auto set = sampler.Sets().at(0);
+  EXPECT_EQ(set->GetU64(*set->schema().FindMetric("user")),
+            cluster.node(0).counters().cpu_user);
+  EXPECT_EQ(set->GetU64(*set->schema().FindMetric("idle")),
+            cluster.node(0).counters().cpu_idle);
+  EXPECT_GT(set->GetU64(*set->schema().FindMetric("user")), 0u);
+}
+
+TEST_F(SamplerTest, LustreMetricNamesCarryFilesystemSuffix) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  sim::JobSpec job;
+  job.job_id = 1;
+  job.node_count = 1;
+  job.duration = kNsPerHour;
+  job.profile = sim::JobProfile::IoHeavy();
+  ASSERT_TRUE(cluster.Submit(job).ok());
+  cluster.RunFor(10 * kNsPerSec, kNsPerSec);
+
+  LustreSampler sampler(cluster.MakeDataSource(0));
+  InitAndSample(sampler, cluster.now());
+  auto set = sampler.Sets().at(0);
+  // The exact metric-name shape the paper §IV-B lists.
+  const auto open_idx = set->schema().FindMetric("open#stats.snx11024");
+  const auto rb_idx = set->schema().FindMetric("read_bytes#stats.snx11024");
+  ASSERT_TRUE(open_idx && rb_idx);
+  EXPECT_EQ(set->GetU64(*open_idx), cluster.node(0).counters().lustre_open);
+  EXPECT_EQ(set->GetU64(*rb_idx),
+            cluster.node(0).counters().lustre_read_bytes);
+  EXPECT_GT(set->GetU64(*open_idx), 0u);
+}
+
+TEST_F(SamplerTest, IbnetReadsPerCounterFiles) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  sim::JobSpec job;
+  job.job_id = 1;
+  job.node_count = 1;
+  job.duration = kNsPerHour;
+  job.profile = sim::JobProfile::CommHeavy();
+  ASSERT_TRUE(cluster.Submit(job).ok());
+  cluster.RunFor(5 * kNsPerSec, kNsPerSec);
+
+  IbnetSampler sampler(cluster.MakeDataSource(0));
+  InitAndSample(sampler, cluster.now());
+  auto set = sampler.Sets().at(0);
+  EXPECT_EQ(set->GetU64(*set->schema().FindMetric("port_xmit_data#mlx5_0.1")),
+            cluster.node(0).counters().ib_port_xmit_data);
+  EXPECT_GT(set->GetU64(*set->schema().FindMetric("port_xmit_data#mlx5_0.1")),
+            0u);
+}
+
+TEST_F(SamplerTest, LoadavgAndNetdevAndNfs) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  sim::JobSpec job;
+  job.job_id = 1;
+  job.node_count = 1;
+  job.duration = kNsPerHour;
+  job.profile = sim::JobProfile::Compute();
+  ASSERT_TRUE(cluster.Submit(job).ok());
+  cluster.RunFor(30 * kNsPerSec, kNsPerSec);
+  auto source = cluster.MakeDataSource(0);
+
+  LoadAvgSampler load(source);
+  InitAndSample(load, cluster.now());
+  EXPECT_GT(load.Sets().at(0)->GetD64(0), 0.5);  // busy node
+
+  NetDevSampler net(source);
+  InitAndSample(net, cluster.now());
+  EXPECT_GT(net.Sets().at(0)->GetU64(0), 0u);  // rx_bytes
+
+  NfsSampler nfs(source);
+  InitAndSample(nfs, cluster.now());
+  EXPECT_GT(nfs.Sets().at(0)->GetU64(0), 0u);
+}
+
+TEST_F(SamplerTest, GpcdrDerivedMetricsOverSamplePeriod) {
+  SimCluster cluster(ClusterConfig::BlueWaters({4, 4, 4}));
+  // Saturating flow across X to force stalls.
+  sim::JobSpec job;
+  job.job_id = 1;
+  job.node_count = 64;
+  job.duration = kNsPerHour;
+  job.profile = sim::JobProfile::CommHeavy();
+  ASSERT_TRUE(cluster.Submit(job).ok());
+  cluster.RunFor(kNsPerMin, 10 * kNsPerSec);
+
+  GpcdrSampler sampler(cluster.MakeDataSource(2));
+  InitAndSample(sampler, cluster.now());
+  auto set = sampler.Sets().at(0);
+  EXPECT_EQ(set->schema().metric_count(), 36u);  // 6 dirs x 6 metrics
+
+  // First sample: no derived values yet (no previous counters).
+  const auto pct_bw_idx = set->schema().FindMetric("percent_bw_X+");
+  const auto pct_stall_idx = set->schema().FindMetric("percent_stalled_X+");
+  ASSERT_TRUE(pct_bw_idx && pct_stall_idx);
+  EXPECT_DOUBLE_EQ(set->GetD64(*pct_bw_idx), 0.0);
+
+  // Advance a minute and resample: derived percentages now meaningful.
+  cluster.RunFor(kNsPerMin, 10 * kNsPerSec);
+  ASSERT_TRUE(sampler.Sample(cluster.now()).ok());
+  const double pct_bw = set->GetD64(*pct_bw_idx);
+  const double pct_stall = set->GetD64(*pct_stall_idx);
+  EXPECT_GE(pct_bw, 0.0);
+  EXPECT_LE(pct_bw, 100.5);
+  EXPECT_GE(pct_stall, 0.0);
+  EXPECT_LE(pct_stall, 100.5);
+  // Raw counters present and monotone.
+  EXPECT_GT(set->GetU64(*set->schema().FindMetric("traffic_X+")), 0u);
+  EXPECT_EQ(set->GetU64(*set->schema().FindMetric("linkstatus_X+")), 1u);
+}
+
+TEST_F(SamplerTest, SyntheticCardinalityConfigurable) {
+  SimCluster cluster(ClusterConfig::Chama(1));
+  SyntheticSampler sampler(cluster.MakeDataSource(0));
+  PluginParams params;
+  params["metrics"] = "194";  // the Blue Waters set shape
+  InitAndSample(sampler, kNsPerSec, params);
+  auto set = sampler.Sets().at(0);
+  EXPECT_EQ(set->schema().metric_count(), 194u);
+  ASSERT_TRUE(sampler.Sample(2 * kNsPerSec).ok());
+  EXPECT_EQ(set->GetU64(0), 2u);  // counter advanced
+  EXPECT_EQ(set->GetU64(10), 12u);
+}
+
+TEST(SamplerRegistryTest, BuiltinsResolveAndBuild) {
+  sim::SimCluster cluster(ClusterConfig::Chama(1));
+  cluster.Tick(kNsPerSec);
+  RegisterBuiltinSamplers(cluster.MakeDataSource(0));
+  auto& registry = PluginRegistry::Instance();
+  for (const char* name : {"meminfo", "procstat", "loadavg", "lustre", "nfs",
+                           "netdev", "sysclassib", "gpcdr", "synthetic"}) {
+    EXPECT_TRUE(registry.HasSampler(name)) << name;
+    EXPECT_NE(registry.MakeSampler(name, {}), nullptr) << name;
+  }
+  EXPECT_EQ(registry.MakeSampler("not_a_plugin", {}), nullptr);
+}
+
+TEST_F(SamplerTest, SamplerFailsCleanlyOnMissingSource) {
+  // gpcdr on a flat cluster: Init succeeds (schema is static), Sample
+  // surfaces the read failure but leaves the set consistent.
+  SimCluster cluster(ClusterConfig::Chama(1));
+  GpcdrSampler sampler(cluster.MakeDataSource(0));
+  PluginParams params{{"producer", "x"}};
+  ASSERT_TRUE(sampler.Init(mem_, sets_, params).ok());
+  EXPECT_FALSE(sampler.Sample(kNsPerSec).ok());
+  EXPECT_TRUE(sampler.Sets().at(0)->consistent());
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,148 @@
+// TimerScheduler tests: deterministic simulation drive, wall-aligned
+// synchronous mode, on-the-fly rescheduling, cancellation, catch-up, and
+// real-clock threaded firing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "daemon/scheduler.hpp"
+
+namespace ldmsxx {
+namespace {
+
+TEST(SchedulerSimTest, FiresAtExactDeadlines) {
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  std::vector<TimeNs> fired;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerSec;
+  scheduler.Schedule([&] { fired.push_back(clock.Now()); }, opts);
+
+  scheduler.RunUntil(clock, 35 * kNsPerSec);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 10 * kNsPerSec);
+  EXPECT_EQ(fired[1], 20 * kNsPerSec);
+  EXPECT_EQ(fired[2], 30 * kNsPerSec);
+  EXPECT_EQ(clock.Now(), 35 * kNsPerSec);
+}
+
+TEST(SchedulerSimTest, SynchronousAlignsToWallBoundary) {
+  SimClock clock(3 * kNsPerSec + 123);  // arbitrary non-aligned start
+  TimerScheduler scheduler(clock, nullptr);
+  std::vector<TimeNs> fired;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerSec;
+  opts.offset = 2 * kNsPerSec;
+  opts.synchronous = true;
+  scheduler.Schedule([&] { fired.push_back(clock.Now()); }, opts);
+
+  scheduler.RunUntil(clock, 40 * kNsPerSec);
+  ASSERT_GE(fired.size(), 3u);
+  // First firing: next multiple of 10s after 3.000000123s, plus 2s offset.
+  EXPECT_EQ(fired[0], 12 * kNsPerSec);
+  EXPECT_EQ(fired[1], 22 * kNsPerSec);
+}
+
+TEST(SchedulerSimTest, MultipleTasksInterleaveInDeadlineOrder) {
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  std::vector<std::pair<char, TimeNs>> fired;
+  TimerScheduler::TaskOptions fast;
+  fast.interval = 3 * kNsPerSec;
+  TimerScheduler::TaskOptions slow;
+  slow.interval = 7 * kNsPerSec;
+  scheduler.Schedule([&] { fired.emplace_back('f', clock.Now()); }, fast);
+  scheduler.Schedule([&] { fired.emplace_back('s', clock.Now()); }, slow);
+  scheduler.RunUntil(clock, 21 * kNsPerSec);
+
+  // f at 3,6,9,12,15,18,21; s at 7,14,21.
+  std::vector<TimeNs> f_times;
+  std::vector<TimeNs> s_times;
+  TimeNs prev = 0;
+  for (auto& [tag, t] : fired) {
+    EXPECT_GE(t, prev);
+    prev = t;
+    (tag == 'f' ? f_times : s_times).push_back(t);
+  }
+  EXPECT_EQ(f_times.size(), 7u);
+  EXPECT_EQ(s_times.size(), 3u);
+}
+
+TEST(SchedulerSimTest, RescheduleTakesEffect) {
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  int count = 0;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerSec;
+  auto id = scheduler.Schedule([&] { ++count; }, opts);
+  scheduler.RunUntil(clock, 30 * kNsPerSec);
+  EXPECT_EQ(count, 3);
+  // Speed up 10x: from t=30 to t=60 expect ~30 more firings.
+  ASSERT_TRUE(scheduler.Reschedule(id, kNsPerSec).ok());
+  scheduler.RunUntil(clock, 60 * kNsPerSec);
+  EXPECT_GE(count, 30);
+  EXPECT_EQ(scheduler.Reschedule(9999, kNsPerSec).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(scheduler.Reschedule(id, 0).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SchedulerSimTest, CancelStopsFiring) {
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  int count = 0;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = kNsPerSec;
+  auto id = scheduler.Schedule([&] { ++count; }, opts);
+  scheduler.RunUntil(clock, 5 * kNsPerSec);
+  EXPECT_EQ(count, 5);
+  scheduler.Cancel(id);
+  scheduler.RunUntil(clock, 10 * kNsPerSec);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(scheduler.task_count(), 0u);
+}
+
+TEST(SchedulerRealTest, ThreadedModeFiresOntoPool) {
+  ThreadPool pool(2);
+  TimerScheduler scheduler(RealClock::Instance(), &pool);
+  std::atomic<int> count{0};
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerMs;
+  scheduler.Schedule([&] { count.fetch_add(1); }, opts);
+  scheduler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  scheduler.Stop();
+  const int n = count.load();
+  EXPECT_GE(n, 10);
+  EXPECT_LE(n, 40);
+  pool.Shutdown();
+}
+
+TEST(SchedulerRealTest, SlowTaskDoesNotAccumulateBacklog) {
+  // A task slower than its interval must skip missed firings, not queue
+  // an unbounded backlog (catch-up behaviour).
+  ThreadPool pool(1);
+  TimerScheduler scheduler(RealClock::Instance(), &pool);
+  std::atomic<int> count{0};
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 5 * kNsPerMs;
+  scheduler.Schedule(
+      [&] {
+        count.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      },
+      opts);
+  scheduler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  scheduler.Stop();
+  pool.Drain();
+  // Perfect pacing would give 60 at 5ms; a 25ms task bounds it near 12.
+  EXPECT_LE(count.load(), 20);
+  EXPECT_GE(count.load(), 5);
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace ldmsxx

@@ -1,0 +1,353 @@
+// Simulation substrate tests: node counter integration, torus geometry and
+// routing properties, credit-stall accounting, link failure, job scheduling,
+// placement, OOM enforcement, and the procfs-format rendering.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "util/strings.hpp"
+
+namespace ldmsxx::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimNode
+// ---------------------------------------------------------------------------
+
+TEST(SimNodeTest, CountersMonotoneAndRateAccurate) {
+  SimNodeConfig config;
+  config.cores = 16;
+  SimNode node(config, Rng(1));
+  NodeDemand demand;
+  demand.cpu_user_cores = 8.0;
+  demand.lustre_opens_per_s = 100.0;
+  demand.ib_tx_bps = 1.0e9;
+  node.SetDemand(demand);
+
+  std::uint64_t prev_user = 0;
+  for (int i = 0; i < 10; ++i) {
+    node.Tick(kNsPerSec);
+    EXPECT_GE(node.counters().cpu_user, prev_user);
+    prev_user = node.counters().cpu_user;
+  }
+  // 8 cores * 10 s * 100 Hz = 8000 jiffies (stochastic rounding ±small).
+  EXPECT_NEAR(static_cast<double>(node.counters().cpu_user), 8000.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(node.counters().lustre_open), 1000.0, 50.0);
+  // 1 GB/s * 10 s / 4 (counter units of 4 bytes).
+  EXPECT_NEAR(static_cast<double>(node.counters().ib_port_xmit_data),
+              2.5e9, 1e7);
+}
+
+TEST(SimNodeTest, MemoryAccountingAndOom) {
+  SimNodeConfig config;
+  config.mem_total_kb = 1000000;
+  config.oom_fraction = 0.9;
+  SimNode node(config, Rng(2));
+  NodeDemand demand;
+  demand.mem_active_kb = 100000;
+  node.SetDemand(demand);
+  node.Tick(kNsPerSec);
+  EXPECT_FALSE(node.OomCondition());
+  EXPECT_LT(node.counters().mem_free_kb, config.mem_total_kb);
+  EXPECT_GE(node.counters().mem_active_kb, 100000u);
+
+  demand.mem_active_kb = 950000;
+  node.SetDemand(demand);
+  node.Tick(kNsPerSec);
+  EXPECT_TRUE(node.OomCondition());
+}
+
+// ---------------------------------------------------------------------------
+// GeminiTorus
+// ---------------------------------------------------------------------------
+
+TEST(GeminiTorusTest, GeometryRoundTrip) {
+  GeminiTorus torus({4, 5, 6}, Rng(1));
+  EXPECT_EQ(torus.gemini_count(), 120);
+  EXPECT_EQ(torus.node_count(), 240);
+  for (int g = 0; g < torus.gemini_count(); ++g) {
+    EXPECT_EQ(torus.IndexOf(torus.CoordOf(g)), g);
+  }
+  EXPECT_EQ(GeminiTorus::GeminiOfNode(0), 0);
+  EXPECT_EQ(GeminiTorus::GeminiOfNode(1), 0);
+  EXPECT_EQ(GeminiTorus::GeminiOfNode(2), 1);
+}
+
+TEST(GeminiTorusTest, NeighborsWrapAround) {
+  GeminiTorus torus({4, 4, 4}, Rng(1));
+  const int origin = torus.IndexOf({0, 0, 0});
+  EXPECT_EQ(torus.CoordOf(torus.Neighbor(origin, LinkDir::kXMinus)).x, 3);
+  EXPECT_EQ(torus.CoordOf(torus.Neighbor(origin, LinkDir::kYMinus)).y, 3);
+  EXPECT_EQ(torus.CoordOf(torus.Neighbor(origin, LinkDir::kZPlus)).z, 1);
+  // Neighbor is involutive through the opposite direction.
+  for (int g = 0; g < torus.gemini_count(); ++g) {
+    EXPECT_EQ(torus.Neighbor(torus.Neighbor(g, LinkDir::kXPlus),
+                             LinkDir::kXMinus),
+              g);
+  }
+}
+
+TEST(GeminiTorusTest, RouteIsDimensionOrderedAndShortest) {
+  GeminiTorus torus({8, 8, 8}, Rng(1));
+  std::vector<std::pair<int, LinkDir>> hops;
+  const int src = torus.IndexOf({1, 2, 3});
+  const int dst = torus.IndexOf({6, 2, 1});
+  torus.Route(src, dst, &hops);
+  // X distance: 1->6 forward 5 vs backward 3 => X- 3 hops; Z: 3->1 backward
+  // 2 => Z- 2 hops; Y: 0.
+  ASSERT_EQ(hops.size(), 5u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hops[i].second, LinkDir::kXMinus);
+  for (std::size_t i = 3; i < 5; ++i) EXPECT_EQ(hops[i].second, LinkDir::kZMinus);
+}
+
+// Property: routes over random pairs have Manhattan-wrap length, start at
+// src, and X hops always precede Y hops precede Z hops.
+TEST(GeminiTorusPropertyTest, RandomRoutesWellFormed) {
+  GeminiTorus torus({6, 7, 8}, Rng(1));
+  Rng rng(5);
+  auto wrap_dist = [](int a, int b, int extent) {
+    int d = std::abs(a - b);
+    return std::min(d, extent - d);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const int src = static_cast<int>(rng.NextBelow(
+        static_cast<std::uint64_t>(torus.gemini_count())));
+    const int dst = static_cast<int>(rng.NextBelow(
+        static_cast<std::uint64_t>(torus.gemini_count())));
+    std::vector<std::pair<int, LinkDir>> hops;
+    torus.Route(src, dst, &hops);
+    const Coord a = torus.CoordOf(src);
+    const Coord b = torus.CoordOf(dst);
+    const std::size_t expected =
+        static_cast<std::size_t>(wrap_dist(a.x, b.x, 6) +
+                                 wrap_dist(a.y, b.y, 7) +
+                                 wrap_dist(a.z, b.z, 8));
+    EXPECT_EQ(hops.size(), expected);
+    if (!hops.empty()) EXPECT_EQ(hops[0].first, src);
+    // Dimension ordering.
+    int phase = 0;  // 0=X, 1=Y, 2=Z
+    for (const auto& [g, dir] : hops) {
+      const int dim = static_cast<int>(dir) / 2;
+      EXPECT_GE(dim, phase);
+      phase = dim;
+    }
+  }
+}
+
+TEST(GeminiTorusTest, OverloadedLinkAccumulatesStalls) {
+  GeminiTorus torus({4, 4, 4}, Rng(1));
+  // Demand 2x the X+ capacity between adjacent Geminis.
+  const int src = torus.IndexOf({0, 0, 0});
+  const int dst = torus.IndexOf({1, 0, 0});
+  torus.AddFlow({src, dst, 2.0 * torus.LinkCapacity(LinkDir::kXPlus)});
+  torus.Tick(kNsPerMin);
+
+  const LinkCounters& hot = torus.link(src, LinkDir::kXPlus);
+  EXPECT_NEAR(hot.last_stall_fraction, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(hot.stalled_ns),
+              0.5 * static_cast<double>(kNsPerMin),
+              0.02 * static_cast<double>(kNsPerMin));
+  EXPECT_NEAR(hot.last_utilization, 1.0, 0.01);
+  // Delivered bytes capped at capacity * time.
+  EXPECT_NEAR(static_cast<double>(hot.traffic_bytes),
+              torus.LinkCapacity(LinkDir::kXPlus) * 60.0,
+              torus.LinkCapacity(LinkDir::kXPlus) * 0.6);
+
+  // An idle far-away link only carries the OS trickle.
+  const LinkCounters& idle = torus.link(torus.IndexOf({2, 2, 2}),
+                                        LinkDir::kYPlus);
+  EXPECT_LT(idle.last_utilization, 0.001);
+  EXPECT_EQ(idle.stalled_ns, 0u);
+}
+
+TEST(GeminiTorusTest, DownLinkStallsSenders) {
+  GeminiTorus torus({4, 4, 4}, Rng(1));
+  const int src = torus.IndexOf({0, 0, 0});
+  const int dst = torus.IndexOf({1, 0, 0});
+  torus.SetLinkUp(src, LinkDir::kXPlus, false);
+  torus.AddFlow({src, dst, 1.0e9});
+  torus.Tick(kNsPerSec);
+  const LinkCounters& link = torus.link(src, LinkDir::kXPlus);
+  EXPECT_FALSE(link.up);
+  EXPECT_EQ(link.traffic_bytes, 0u);
+  EXPECT_EQ(link.stalled_ns, kNsPerSec);
+  EXPECT_DOUBLE_EQ(link.last_stall_fraction, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// SimCluster
+// ---------------------------------------------------------------------------
+
+TEST(SimClusterTest, JobLifecycleAndPlacement) {
+  SimCluster cluster(ClusterConfig::Chama(16));
+  JobSpec spec;
+  spec.job_id = 1;
+  spec.name = "app";
+  spec.node_count = 4;
+  spec.duration = 10 * kNsPerSec;
+  spec.profile = JobProfile::Compute();
+  ASSERT_TRUE(cluster.Submit(spec).ok());
+
+  cluster.Tick(kNsPerSec);
+  auto running = cluster.running_jobs();
+  ASSERT_EQ(running.size(), 1u);
+  ASSERT_EQ(running[0]->nodes.size(), 4u);
+  // Contiguous first-fit placement from node 0.
+  EXPECT_EQ(running[0]->nodes, (std::vector<int>{0, 1, 2, 3}));
+
+  // Job nodes busy; idle nodes quiet.
+  EXPECT_GT(cluster.node(0).demand().cpu_user_cores, 1.0);
+  EXPECT_DOUBLE_EQ(cluster.node(8).demand().cpu_user_cores, 0.0);
+
+  cluster.RunFor(15 * kNsPerSec, kNsPerSec);
+  EXPECT_TRUE(cluster.running_jobs().empty());
+  ASSERT_EQ(cluster.jobs().size(), 1u);
+  EXPECT_TRUE(cluster.jobs()[0].finished);
+  EXPECT_FALSE(cluster.jobs()[0].oom_killed);
+  EXPECT_EQ(cluster.jobs()[0].end_time - cluster.jobs()[0].start_time,
+            10 * kNsPerSec);
+}
+
+TEST(SimClusterTest, QueueWaitsForFreeNodes) {
+  SimCluster cluster(ClusterConfig::Chama(8));
+  JobSpec big;
+  big.job_id = 1;
+  big.node_count = 8;
+  big.duration = 5 * kNsPerSec;
+  ASSERT_TRUE(cluster.Submit(big).ok());
+  JobSpec second;
+  second.job_id = 2;
+  second.node_count = 4;
+  second.duration = 5 * kNsPerSec;
+  ASSERT_TRUE(cluster.Submit(second).ok());
+
+  cluster.Tick(kNsPerSec);
+  EXPECT_EQ(cluster.running_jobs().size(), 1u);  // second queued
+  cluster.RunFor(6 * kNsPerSec, kNsPerSec);
+  auto running = cluster.running_jobs();
+  ASSERT_EQ(running.size(), 1u);
+  EXPECT_EQ(running[0]->spec.job_id, 2u);
+}
+
+TEST(SimClusterTest, OomKillsRampingJob) {
+  SimCluster cluster(ClusterConfig::Chama(4));
+  JobSpec spec;
+  spec.job_id = 7;
+  spec.name = "leaky";
+  spec.node_count = 4;
+  spec.duration = kNsPerHour;  // would run an hour if not killed
+  // Ramp fast: 64 GB node, start at 12 GB, grow 100 MB/s/node.
+  spec.profile = JobProfile::MemoryRamp(100.0 * 1024);
+  ASSERT_TRUE(cluster.Submit(spec).ok());
+  cluster.RunFor(2 * kNsPerHour, 10 * kNsPerSec);
+  ASSERT_EQ(cluster.jobs().size(), 1u);
+  const JobRecord& job = cluster.jobs()[0];
+  EXPECT_TRUE(job.finished);
+  EXPECT_TRUE(job.oom_killed) << "ramping job survived a full hour";
+  EXPECT_LT(job.end_time - job.start_time, kNsPerHour);
+}
+
+TEST(SimClusterTest, FixedNodesAllowOverlap) {
+  SimCluster cluster(ClusterConfig::Chama(4));
+  JobSpec a;
+  a.job_id = 1;
+  a.node_count = 4;
+  a.duration = 20 * kNsPerSec;
+  ASSERT_TRUE(cluster.Submit(a).ok());
+  JobSpec storm;
+  storm.job_id = 2;
+  storm.fixed_nodes = {0, 1, 2, 3};
+  storm.duration = 20 * kNsPerSec;
+  storm.profile = JobProfile::MetadataStorm();
+  ASSERT_TRUE(cluster.Submit(storm).ok());
+  cluster.Tick(kNsPerSec);
+  EXPECT_EQ(cluster.running_jobs().size(), 2u);
+  // Demands accumulate across overlapping jobs.
+  EXPECT_GT(cluster.node(0).demand().lustre_opens_per_s, 50.0);
+}
+
+TEST(SimClusterTest, TorusClusterWiresJobsToNetwork) {
+  SimCluster cluster(ClusterConfig::BlueWaters({4, 4, 4}));
+  EXPECT_EQ(cluster.node_count(), 128);
+  ASSERT_NE(cluster.torus(), nullptr);
+  JobSpec spec;
+  spec.job_id = 1;
+  spec.node_count = 64;
+  spec.duration = kNsPerHour;
+  spec.profile = JobProfile::CommHeavy();
+  ASSERT_TRUE(cluster.Submit(spec).ok());
+  cluster.RunFor(kNsPerMin, 10 * kNsPerSec);
+  // Some link somewhere must be carrying real traffic.
+  std::uint64_t total = 0;
+  for (int g = 0; g < cluster.torus()->gemini_count(); ++g) {
+    for (std::size_t d = 0; d < kLinkDirs; ++d) {
+      total += cluster.torus()->link(g, static_cast<LinkDir>(d)).traffic_bytes;
+    }
+  }
+  EXPECT_GT(total, 1000000u);
+}
+
+// ---------------------------------------------------------------------------
+// SimNodeDataSource rendering
+// ---------------------------------------------------------------------------
+
+TEST(SimDataSourceTest, RendersParsableProcFormats) {
+  SimCluster cluster(ClusterConfig::Chama(2));
+  cluster.Tick(kNsPerSec);
+  auto source = cluster.MakeDataSource(0);
+
+  std::string meminfo;
+  ASSERT_TRUE(source->Read("/proc/meminfo", &meminfo).ok());
+  EXPECT_NE(meminfo.find("MemTotal:"), std::string::npos);
+  EXPECT_NE(meminfo.find("Active:"), std::string::npos);
+  EXPECT_NE(meminfo.find(" kB"), std::string::npos);
+
+  std::string stat;
+  ASSERT_TRUE(source->Read("/proc/stat", &stat).ok());
+  ASSERT_TRUE(StartsWith(stat, "cpu "));
+  EXPECT_NE(stat.find("cpu0 "), std::string::npos);
+
+  std::string lustre;
+  ASSERT_TRUE(
+      source->Read("/proc/fs/lustre/llite/snx11024/stats", &lustre).ok());
+  EXPECT_NE(lustre.find("open"), std::string::npos);
+  EXPECT_NE(lustre.find("read_bytes"), std::string::npos);
+  EXPECT_NE(lustre.find("[bytes]"), std::string::npos);
+
+  std::string xmit;
+  ASSERT_TRUE(source
+                  ->Read("/sys/class/infiniband/mlx5_0/ports/1/counters/"
+                         "port_xmit_data",
+                         &xmit)
+                  .ok());
+  EXPECT_TRUE(ParseU64(Trim(xmit)).has_value());
+
+  std::string missing;
+  EXPECT_EQ(source->Read("/proc/nonsense", &missing).code(),
+            ErrorCode::kNotFound);
+  // gpcdr unavailable on a flat IB cluster.
+  EXPECT_FALSE(
+      source
+          ->Read("/sys/devices/virtual/gni/gpcdr0/metricsets/links/metrics",
+                 &missing)
+          .ok());
+}
+
+TEST(SimDataSourceTest, GpcdrRenderOnTorusCluster) {
+  SimCluster cluster(ClusterConfig::BlueWaters({4, 4, 4}));
+  cluster.Tick(kNsPerMin);
+  auto source = cluster.MakeDataSource(10);
+  std::string gpcdr;
+  ASSERT_TRUE(
+      source
+          ->Read("/sys/devices/virtual/gni/gpcdr0/metricsets/links/metrics",
+                 &gpcdr)
+          .ok());
+  for (const char* dir : {"X+", "X-", "Y+", "Y-", "Z+", "Z-"}) {
+    EXPECT_NE(gpcdr.find(std::string(dir) + "_traffic"), std::string::npos);
+    EXPECT_NE(gpcdr.find(std::string(dir) + "_stalled"), std::string::npos);
+    EXPECT_NE(gpcdr.find(std::string(dir) + "_max_bw"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ldmsxx::sim

@@ -1,0 +1,312 @@
+// Transport tests: wire-protocol round trips, fabric lifetime semantics,
+// local/sock/rdma endpoints, one-sided RDMA CPU accounting, disconnects.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "transport/local_transport.hpp"
+#include "transport/rdma_transport.hpp"
+#include "transport/registry.hpp"
+#include "transport/sock_transport.hpp"
+
+namespace ldmsxx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(MessageTest, FrameHeaderRoundTrip) {
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  auto frame = EncodeFrame(MsgType::kUpdateReq, 77, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 3);
+  const FrameHeader hdr = DecodeFrameHeader(frame);
+  EXPECT_EQ(hdr.payload_len, 3u);
+  EXPECT_EQ(hdr.type, MsgType::kUpdateReq);
+  EXPECT_EQ(hdr.request_id, 77u);
+}
+
+TEST(MessageTest, AllPayloadsRoundTrip) {
+  {
+    DirResponse in;
+    in.code = 0;
+    in.instances = {"a/meminfo", "a/procstat"};
+    DirResponse out;
+    ASSERT_TRUE(DecodeDirResponse(EncodeDirResponse(in), &out));
+    EXPECT_EQ(out.instances, in.instances);
+  }
+  {
+    LookupRequest in{"node/set"};
+    LookupRequest out;
+    ASSERT_TRUE(DecodeLookupRequest(EncodeLookupRequest(in), &out));
+    EXPECT_EQ(out.instance, "node/set");
+  }
+  {
+    LookupResponse in;
+    in.code = 3;
+    in.metadata = {std::byte{9}, std::byte{8}};
+    LookupResponse out;
+    ASSERT_TRUE(DecodeLookupResponse(EncodeLookupResponse(in), &out));
+    EXPECT_EQ(out.code, 3);
+    EXPECT_EQ(out.metadata, in.metadata);
+  }
+  {
+    UpdateResponse in;
+    in.code = 0;
+    in.data.assign(100, std::byte{0x5a});
+    UpdateResponse out;
+    ASSERT_TRUE(DecodeUpdateResponse(EncodeUpdateResponse(in), &out));
+    EXPECT_EQ(out.data, in.data);
+  }
+  {
+    AdvertiseMsg in{"nid1", "fabric/nid1", "local"};
+    AdvertiseMsg out;
+    ASSERT_TRUE(DecodeAdvertise(EncodeAdvertise(in), &out));
+    EXPECT_EQ(out.producer, "nid1");
+    EXPECT_EQ(out.dialback_address, "fabric/nid1");
+    EXPECT_EQ(out.transport, "local");
+  }
+}
+
+TEST(MessageTest, TruncatedPayloadRejected) {
+  LookupResponse in;
+  in.metadata.assign(64, std::byte{1});
+  auto bytes = EncodeLookupResponse(in);
+  bytes.resize(bytes.size() / 2);
+  LookupResponse out;
+  EXPECT_FALSE(DecodeLookupResponse(bytes, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Shared harness: a minimal ServiceHandler over one metric set
+// ---------------------------------------------------------------------------
+
+class TestHandler : public ServiceHandler {
+ public:
+  TestHandler() : mem_(1 << 20) {
+    Schema schema("tset");
+    schema.AddMetric("value", MetricType::kU64);
+    Status st;
+    set_ = MetricSet::Create(mem_, schema, "host/tset", "host", 1, &st);
+    Update(1);
+  }
+
+  void Update(std::uint64_t v) {
+    set_->BeginTransaction();
+    set_->SetU64(0, v);
+    set_->EndTransaction(v * kNsPerSec);
+  }
+
+  std::vector<std::string> HandleDir() override { return {"host/tset"}; }
+
+  Status HandleLookup(const std::string& instance,
+                      std::vector<std::byte>* metadata) override {
+    if (instance != "host/tset") return {ErrorCode::kNotFound, instance};
+    auto bytes = set_->metadata_bytes();
+    metadata->assign(bytes.begin(), bytes.end());
+    ++lookups;
+    return Status::Ok();
+  }
+
+  Status HandleUpdate(const std::string& instance,
+                      std::vector<std::byte>* data) override {
+    if (instance != "host/tset") return {ErrorCode::kNotFound, instance};
+    data->resize(set_->data_size());
+    ++updates;
+    return set_->SnapshotData(*data);
+  }
+
+  void HandleAdvertise(const AdvertiseMsg& msg) override {
+    advertised = msg.producer;
+  }
+
+  MetricSetPtr HandleRdmaExpose(const std::string& instance) override {
+    return instance == "host/tset" ? set_ : nullptr;
+  }
+
+  MemManager mem_;
+  MetricSetPtr set_;
+  int lookups = 0;
+  int updates = 0;
+  std::string advertised;
+};
+
+struct TransportCase {
+  const char* name;
+  const char* address;
+};
+
+class TransportSuite : public ::testing::TestWithParam<TransportCase> {
+ protected:
+  std::shared_ptr<Transport> GetTransport() {
+    return TransportRegistry::Default().Get(GetParam().name);
+  }
+};
+
+TEST_P(TransportSuite, FullClientFlow) {
+  auto transport = GetTransport();
+  ASSERT_NE(transport, nullptr);
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen(GetParam().address, &handler, &listener).ok());
+
+  std::unique_ptr<Endpoint> ep;
+  const std::string connect_addr = std::string(GetParam().name) == "sock"
+                                       ? listener->address()
+                                       : GetParam().address;
+  ASSERT_TRUE(transport->Connect(connect_addr, &ep).ok());
+  ASSERT_TRUE(ep->connected());
+
+  std::vector<std::string> instances;
+  ASSERT_TRUE(ep->Dir(&instances).ok());
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], "host/tset");
+
+  std::vector<std::byte> metadata;
+  ASSERT_TRUE(ep->Lookup("host/tset", &metadata).ok());
+  MemManager local_mem(1 << 20);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(local_mem, metadata, &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  handler.Update(42);
+  ASSERT_TRUE(ep->Update("host/tset", *mirror).ok());
+  EXPECT_EQ(mirror->GetU64(0), 42u);
+
+  handler.Update(43);
+  ASSERT_TRUE(ep->Update("host/tset", *mirror).ok());
+  EXPECT_EQ(mirror->GetU64(0), 43u);
+
+  // Unknown instances fail cleanly.
+  std::vector<std::byte> junk;
+  EXPECT_FALSE(ep->Lookup("missing/set", &junk).ok());
+
+  // Advertise reaches the handler.
+  ASSERT_TRUE(ep->Advertise({"nid9", "addr9", "local"}).ok());
+  // sock advertise is fire-and-forget; give the reactor a moment.
+  for (int i = 0; i < 100 && handler.advertised.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(handler.advertised, "nid9");
+
+  EXPECT_GT(ep->stats().updates.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportSuite,
+    ::testing::Values(TransportCase{"local", "tx/local"},
+                      TransportCase{"sock", "127.0.0.1:0"},
+                      TransportCase{"rdma", "tx/rdma"},
+                      TransportCase{"ugni", "tx/ugni"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST_P(TransportSuite, DeadListenerMeansDisconnected) {
+  auto transport = GetTransport();
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  const std::string base_addr =
+      std::string("txdead/") + GetParam().name;
+  const std::string listen_addr =
+      std::string(GetParam().name) == "sock" ? "127.0.0.1:0" : base_addr;
+  ASSERT_TRUE(transport->Listen(listen_addr, &handler, &listener).ok());
+  const std::string connect_addr = std::string(GetParam().name) == "sock"
+                                       ? listener->address()
+                                       : base_addr;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(connect_addr, &ep).ok());
+
+  std::vector<std::byte> metadata;
+  ASSERT_TRUE(ep->Lookup("host/tset", &metadata).ok());
+  MemManager mem(1 << 20);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok());
+
+  listener.reset();  // peer dies
+  Status update_st = ep->Update("host/tset", *mirror);
+  EXPECT_FALSE(update_st.ok());
+}
+
+TEST(RdmaSemanticsTest, UpdateConsumesNoServerCpu) {
+  // Figure 2, flow {f}: RDMA data fetches bypass the sampler's CPU. The
+  // local transport (two-sided) must charge server CPU; rdma must not.
+  auto rdma = TransportRegistry::Default().Get("rdma");
+  auto local = TransportRegistry::Default().Get("local");
+  TestHandler handler;
+
+  std::unique_ptr<Listener> rdma_listener;
+  std::unique_ptr<Listener> local_listener;
+  ASSERT_TRUE(rdma->Listen("sem/rdma", &handler, &rdma_listener).ok());
+  ASSERT_TRUE(local->Listen("sem/local", &handler, &local_listener).ok());
+
+  MemManager mem(1 << 20);
+  auto pull = [&](Transport& transport, const std::string& addr,
+                  int n) -> std::pair<int, std::uint64_t> {
+    std::unique_ptr<Endpoint> ep;
+    EXPECT_TRUE(transport.Connect(addr, &ep).ok());
+    std::vector<std::byte> metadata;
+    EXPECT_TRUE(ep->Lookup("host/tset", &metadata).ok());
+    Status st;
+    auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+    const int before = handler.updates;
+    for (int i = 0; i < n; ++i) {
+      handler.Update(static_cast<std::uint64_t>(i + 100));
+      EXPECT_TRUE(ep->Update("host/tset", *mirror).ok());
+    }
+    return {handler.updates - before, ep->stats().bytes_rx.load()};
+  };
+
+  auto [rdma_handler_calls, rdma_bytes] = pull(*rdma, "sem/rdma", 50);
+  EXPECT_EQ(rdma_handler_calls, 0) << "one-sided read went through handler";
+  EXPECT_GT(rdma_bytes, 0u);
+
+  auto [local_handler_calls, local_bytes] = pull(*local, "sem/local", 50);
+  EXPECT_EQ(local_handler_calls, 50);
+  EXPECT_GT(local_bytes, 0u);
+}
+
+TEST(FabricTest, FailedRegistrationDoesNotEvictOwner) {
+  auto transport = TransportRegistry::Default().Get("local");
+  TestHandler h1;
+  TestHandler h2;
+  std::unique_ptr<Listener> first;
+  std::unique_ptr<Listener> second;
+  ASSERT_TRUE(transport->Listen("dup/addr", &h1, &first).ok());
+  EXPECT_EQ(transport->Listen("dup/addr", &h2, &second).code(),
+            ErrorCode::kAlreadyExists);
+  // The failed listener object is gone; the original must still serve.
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect("dup/addr", &ep).ok());
+  std::vector<std::string> instances;
+  EXPECT_TRUE(ep->Dir(&instances).ok());
+}
+
+TEST(SockTransportTest, EphemeralPortResolved) {
+  SockTransport sock;
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(sock.Listen("127.0.0.1:0", &handler, &listener).ok());
+  EXPECT_NE(listener->address(), "127.0.0.1:0");
+  EXPECT_TRUE(listener->address().starts_with("127.0.0.1:"));
+}
+
+TEST(SockTransportTest, ConnectToNothingFails) {
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  EXPECT_FALSE(sock.Connect("127.0.0.1:1", &ep).ok());
+  EXPECT_FALSE(sock.Connect("notanaddress", &ep).ok());
+}
+
+TEST(TransportRegistryTest, DefaultHasAllFour) {
+  auto& registry = TransportRegistry::Default();
+  for (const char* name : {"local", "sock", "rdma", "ugni"}) {
+    EXPECT_NE(registry.Get(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Get("mystery"), nullptr);
+}
+
+}  // namespace
+}  // namespace ldmsxx
