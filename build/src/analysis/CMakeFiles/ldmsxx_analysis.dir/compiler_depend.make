@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ldmsxx_analysis.
+# This may be replaced when dependencies are built.
