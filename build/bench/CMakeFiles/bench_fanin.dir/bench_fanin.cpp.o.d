@@ -203,25 +203,24 @@ bench/CMakeFiles/bench_fanin.dir/bench_fanin.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstdarg \
- /root/repo/src/daemon/ldmsd.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/core/mem_manager.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/metric_set.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/core/schema.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/value.hpp \
+ /root/repo/src/util/clock.hpp /root/repo/src/daemon/ldmsd.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/mem_manager.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/set_registry.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/core/metric_set.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/schema.hpp \
- /usr/include/c++/12/optional /root/repo/src/core/value.hpp \
- /root/repo/src/util/clock.hpp /root/repo/src/daemon/plugin.hpp \
+ /root/repo/src/core/set_registry.hpp /root/repo/src/daemon/plugin.hpp \
  /root/repo/src/daemon/scheduler.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -267,4 +266,5 @@ bench/CMakeFiles/bench_fanin.dir/bench_fanin.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sim/cluster.hpp \
- /root/repo/src/sim/node.hpp /root/repo/src/sim/workload.hpp
+ /root/repo/src/sim/node.hpp /root/repo/src/sim/workload.hpp \
+ /root/repo/src/transport/sock_transport.hpp

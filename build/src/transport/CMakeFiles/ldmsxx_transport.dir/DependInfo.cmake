@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/endpoint.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o.d"
   "/root/repo/src/transport/fabric.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o.d"
   "/root/repo/src/transport/local_transport.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o.d"
   "/root/repo/src/transport/message.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/message.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/message.cpp.o.d"

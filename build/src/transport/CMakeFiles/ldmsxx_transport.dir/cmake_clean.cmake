@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o.d"
   "CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o"
   "CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o.d"
   "CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o"

@@ -292,24 +292,36 @@ tests/CMakeFiles/test_transport.dir/test_transport.cpp.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h /usr/include/arpa/inet.h \
+ /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
+ /usr/include/x86_64-linux-gnu/bits/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/socket_type.h \
+ /usr/include/x86_64-linux-gnu/bits/sockaddr.h \
+ /usr/include/x86_64-linux-gnu/asm/socket.h \
+ /usr/include/asm-generic/socket.h \
+ /usr/include/x86_64-linux-gnu/asm/sockios.h \
+ /usr/include/asm-generic/sockios.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/core/mem_manager.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/status.hpp \
- /root/repo/src/core/metric_set.hpp /usr/include/c++/12/span \
- /root/repo/src/core/schema.hpp /root/repo/src/core/value.hpp \
- /root/repo/src/util/clock.hpp \
+ /usr/include/c++/12/cstring /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/mem_manager.hpp \
+ /root/repo/src/util/status.hpp /root/repo/src/core/metric_set.hpp \
+ /usr/include/c++/12/span /root/repo/src/core/schema.hpp \
+ /root/repo/src/core/value.hpp /root/repo/src/util/clock.hpp \
  /root/repo/src/transport/local_transport.hpp \
  /root/repo/src/transport/fabric.hpp /usr/include/c++/12/shared_mutex \
  /root/repo/src/transport/transport.hpp \
  /root/repo/src/transport/message.hpp /root/repo/src/core/wire.hpp \
- /usr/include/c++/12/cstring /root/repo/src/transport/rdma_transport.hpp \
+ /root/repo/src/transport/rdma_transport.hpp \
  /root/repo/src/transport/registry.hpp \
  /root/repo/src/transport/sock_transport.hpp

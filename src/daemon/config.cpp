@@ -152,6 +152,9 @@ Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
   if (auto offset = IntervalUsParam(args, "offset")) config.offset = *offset;
   if (auto it = args.find("sync"); it != args.end())
     config.synchronous = it->second == "1";
+  if (auto timeout = IntervalUsParam(args, "timeout")) {
+    config.request_timeout = *timeout;
+  }
   if (auto it = args.find("sets"); it != args.end()) {
     for (auto inst : Split(it->second, ',')) {
       if (!inst.empty()) config.set_instances.emplace_back(inst);

@@ -1,6 +1,7 @@
 #include "daemon/ldmsd.hpp"
 
 #include <chrono>
+#include <condition_variable>
 
 namespace ldmsxx {
 namespace {
@@ -260,6 +261,9 @@ void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
     return;
   }
   producer->endpoint = std::move(endpoint);
+  if (producer->config.request_timeout > 0) {
+    producer->endpoint->set_request_timeout(producer->config.request_timeout);
+  }
   producer->connected = true;
   counters_.connects_ok.fetch_add(1, std::memory_order_relaxed);
   Status lst = LookupSets(*producer);
@@ -341,27 +345,61 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
   const std::uint64_t t0 = NowSteadyNs();
   bool any_failure = false;
   std::vector<std::string> stale_mirrors;
+  // Issue every per-set update before harvesting any completion: on a
+  // pipelined transport all round trips for this producer overlap on the one
+  // connection, so a cycle costs ~one RTT instead of mirrors.size() of them.
+  const std::size_t n = producer.mirrors.size();
+  std::vector<std::string> instances;
+  std::vector<MirrorEntry*> entries;
+  instances.reserve(n);
+  entries.reserve(n);
   for (auto& [instance, mirror] : producer.mirrors) {
-    Status st;
-    {
-      std::lock_guard<std::mutex> set_lock(*mirror.mu);
-      st = producer.endpoint->Update(instance, *mirror.set);
-    }
+    instances.push_back(instance);
+    entries.push_back(&mirror);
+  }
+  struct Harvest {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } harvest{.remaining = n};
+  std::vector<Status> statuses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MetricSetPtr set = entries[i]->set;
+    auto set_mu = entries[i]->mu;
+    producer.endpoint->UpdateAsync(
+        instances[i],
+        [&harvest, &statuses, i, set = std::move(set),
+         set_mu = std::move(set_mu)](Status st, std::vector<std::byte> data) {
+          if (st.ok()) {
+            std::lock_guard<std::mutex> set_lock(*set_mu);
+            st = set->ApplyData(data);
+          }
+          std::lock_guard<std::mutex> lock(harvest.mu);
+          statuses[i] = std::move(st);
+          if (--harvest.remaining == 0) harvest.cv.notify_all();
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(harvest.mu);
+    harvest.cv.wait(lock, [&harvest] { return harvest.remaining == 0; });
+  }
+  // All handlers have run; the endpoint is quiescent for this cycle, so the
+  // per-result bookkeeping below (including endpoint.reset()) is safe.
+  bool disconnected = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Status& st = statuses[i];
+    MirrorEntry& mirror = *entries[i];
     if (!st.ok()) {
       counters_.updates_failed.fetch_add(1, std::memory_order_relaxed);
       any_failure = true;
       if (st.code() == ErrorCode::kDisconnected) {
-        producer.connected = false;
-        producer.endpoint.reset();
-        log_.Warn("producer ", producer.config.name, " disconnected");
-        break;
-      }
-      if (st.code() == ErrorCode::kInvalidArgument) {
+        disconnected = true;
+      } else if (st.code() == ErrorCode::kInvalidArgument) {
         // Metadata generation mismatch: the peer restarted with a changed
         // schema. Drop the mirror; the next cycle looks it up fresh.
-        log_.Warn("set ", instance, " changed schema on ",
+        log_.Warn("set ", instances[i], " changed schema on ",
                   producer.config.name, "; re-looking up");
-        stale_mirrors.push_back(instance);
+        stale_mirrors.push_back(instances[i]);
       }
       continue;
     }
@@ -375,6 +413,11 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
     mirror.last_gn = gn;
     counters_.updates_ok.fetch_add(1, std::memory_order_relaxed);
     StoreMirror(mirror);
+  }
+  if (disconnected) {
+    producer.connected = false;
+    producer.endpoint.reset();
+    log_.Warn("producer ", producer.config.name, " disconnected");
   }
   for (const auto& instance : stale_mirrors) {
     (void)sets_.Remove(instance);

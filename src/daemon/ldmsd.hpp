@@ -78,6 +78,10 @@ struct ProducerConfig {
   DurationNs interval = kNsPerSec;
   DurationNs offset = 0;
   bool synchronous = false;
+  /// Per-request deadline on this producer's connection; a stalled peer
+  /// completes updates with kTimeout instead of wedging a collection thread.
+  /// 0 = the transport's default (kDefaultRequestTimeoutNs).
+  DurationNs request_timeout = 0;
   /// Set instances to collect; empty = discover all via dir().
   std::vector<std::string> set_instances;
   /// Standby connections are established (connect + lookup) but not pulled
@@ -185,6 +189,9 @@ class Ldmsd final : public ServiceHandler {
   Logger& log() { return log_; }
   Clock& clock() const { return *clock_; }
   TimerScheduler& scheduler() { return scheduler_; }
+  /// Sampling/collection firings skipped because the previous execution was
+  /// still in flight (surfaced so operators can spot over-tight intervals).
+  std::uint64_t skipped_firings() const { return scheduler_.skipped_total(); }
   /// Actual listener address (resolves ephemeral ports).
   std::string listen_address() const;
   /// Announce this daemon to an aggregator and ask it to connect back.

@@ -89,6 +89,17 @@ std::size_t TimerScheduler::task_count() const {
   return n;
 }
 
+std::uint64_t TimerScheduler::skipped_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_total_;
+}
+
+std::uint64_t TimerScheduler::skipped_count(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(id);
+  return it != tasks_.end() ? it->second.skipped : 0;
+}
+
 void TimerScheduler::Start() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -133,7 +144,12 @@ void TimerScheduler::TimerLoop() {
     heap_.push({NextPeriodic(it->second.options, top.deadline, now), top.id,
                 top.generation});
     auto running = it->second.running;
-    if (running->exchange(true)) continue;  // previous execution in flight
+    if (running->exchange(true)) {
+      // Previous execution in flight: bypass this firing, don't queue it.
+      ++it->second.skipped;
+      ++skipped_total_;
+      continue;
+    }
     auto fn = it->second.fn;  // copy: task may be canceled while running
     lock.unlock();
     auto guarded = [fn = std::move(fn), running] {
@@ -170,9 +186,24 @@ void TimerScheduler::RunUntil(SimClock& sim, TimeNs until) {
       const HeapEntry top = heap_.top();
       heap_.pop();
       auto it = tasks_.find(top.id);
+      if (top.deadline < sim.Now()) {
+        // The previous execution advanced the sim clock past this deadline,
+        // i.e. it was still "in flight" when the deadline came due. Mirror
+        // threaded mode: count a skipped firing, reschedule, don't run.
+        // (Also keeps SimClock::SetTime monotonic.)
+        ++it->second.skipped;
+        ++skipped_total_;
+        heap_.push({NextPeriodic(it->second.options, top.deadline,
+                                 top.deadline),
+                    top.id, top.generation});
+        continue;
+      }
       sim.SetTime(top.deadline);
-      heap_.push({top.deadline + it->second.options.interval, top.id,
-                  top.generation});
+      // Same successor computation as TimerLoop — NextPeriodic, not a bare
+      // deadline+interval — so sim and real runs produce identical deadline
+      // sequences for synchronous/offset tasks.
+      heap_.push({NextPeriodic(it->second.options, top.deadline, top.deadline),
+                  top.id, top.generation});
       fn = it->second.fn;
     }
     fn();

@@ -76,6 +76,14 @@ class TimerScheduler {
 
   std::size_t task_count() const;
 
+  /// Total firings skipped across all tasks because a previous execution was
+  /// still in flight (the paper's "bypass, retry at the next interval" rule).
+  /// RunUntil counts deadlines the sim clock had already passed the same way.
+  std::uint64_t skipped_total() const;
+
+  /// Skipped firings for one task; 0 for unknown ids.
+  std::uint64_t skipped_count(TaskId id) const;
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -88,6 +96,8 @@ class TimerScheduler {
     /// later retries" behaviour of the paper's collection loop).
     std::shared_ptr<std::atomic<bool>> running =
         std::make_shared<std::atomic<bool>>(false);
+    /// Deadlines that came due while a previous execution was in flight.
+    std::uint64_t skipped = 0;
   };
 
   struct HeapEntry {
@@ -112,6 +122,7 @@ class TimerScheduler {
   std::map<TaskId, Task> tasks_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
   TaskId next_id_ = 1;
+  std::uint64_t skipped_total_ = 0;
   bool running_ = false;
   std::thread timer_;
 };

@@ -1,0 +1,63 @@
+// Endpoint base-class plumbing: the sync-over-async layering shared by all
+// transports. Synchronous Update is UpdateRaw + ApplyData; the default
+// async methods complete inline through the synchronous path (correct for
+// the in-process transports); UpdateAll issues everything first and then
+// harvests, which is what lets a pipelined transport overlap round trips.
+#include "transport/transport.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace ldmsxx {
+
+Status Endpoint::Update(const std::string& instance, MetricSet& mirror) {
+  std::vector<std::byte> data;
+  Status st = UpdateRaw(instance, &data);
+  if (!st.ok()) return st;
+  return mirror.ApplyData(data);
+}
+
+void Endpoint::LookupAsync(const std::string& instance, AsyncHandler handler) {
+  std::vector<std::byte> metadata;
+  Status st = Lookup(instance, &metadata);
+  handler(std::move(st), std::move(metadata));
+}
+
+void Endpoint::UpdateAsync(const std::string& instance, AsyncHandler handler) {
+  std::vector<std::byte> data;
+  Status st = UpdateRaw(instance, &data);
+  handler(std::move(st), std::move(data));
+}
+
+std::vector<Status> Endpoint::UpdateAll(
+    const std::vector<std::string>& instances,
+    const std::vector<MetricSet*>& mirrors) {
+  const std::size_t n = instances.size();
+  std::vector<Status> statuses(n);
+  if (n == 0) return statuses;
+  struct Harvest {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } harvest{.remaining = n};
+  CorkWrites();
+  for (std::size_t i = 0; i < n; ++i) {
+    MetricSet* mirror = i < mirrors.size() ? mirrors[i] : nullptr;
+    UpdateAsync(instances[i],
+                [&statuses, &harvest, mirror, i](Status st,
+                                                 std::vector<std::byte> data) {
+                  if (st.ok() && mirror != nullptr) {
+                    st = mirror->ApplyData(data);
+                  }
+                  std::lock_guard<std::mutex> lock(harvest.mu);
+                  statuses[i] = std::move(st);
+                  if (--harvest.remaining == 0) harvest.cv.notify_all();
+                });
+  }
+  UncorkWrites();
+  std::unique_lock<std::mutex> lock(harvest.mu);
+  harvest.cv.wait(lock, [&harvest] { return harvest.remaining == 0; });
+  return statuses;
+}
+
+}  // namespace ldmsxx

@@ -71,17 +71,16 @@ class LocalEndpoint final : public Endpoint {
     return st;
   }
 
-  Status Update(const std::string& instance, MetricSet& mirror) override {
+  Status UpdateRaw(const std::string& instance,
+                   std::vector<std::byte>* data) override {
     if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
     Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
       const std::uint64_t t0 = NowSteadyNs();
-      std::vector<std::byte> data;
-      Status inner = h->HandleUpdate(instance, &data);
+      Status inner = h->HandleUpdate(instance, data);
       ChargeServer(srv, NowSteadyNs() - t0);
       Account(kFrameHeaderSize + 2 + instance.size(),
-              kFrameHeaderSize + 5 + data.size(), srv);
-      if (!inner.ok()) return inner;
-      return mirror.ApplyData(data);
+              kFrameHeaderSize + 5 + data->size(), srv);
+      return inner;
     });
     stats_.updates.fetch_add(1, std::memory_order_relaxed);
     if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);

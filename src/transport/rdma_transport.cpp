@@ -85,7 +85,8 @@ class RdmaEndpoint final : public Endpoint {
     return st;
   }
 
-  Status Update(const std::string& instance, MetricSet& mirror) override {
+  Status UpdateRaw(const std::string& instance,
+                   std::vector<std::byte>* data) override {
     if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
     stats_.updates.fetch_add(1, std::memory_order_relaxed);
     // One-sided read path: a dead peer means the "NIC" no longer responds,
@@ -101,15 +102,15 @@ class RdmaEndpoint final : public Endpoint {
     }
     if (options_.read_latency_ns > 0) SpinFor(options_.read_latency_ns);
     const MetricSet& target = *it->second;
-    std::vector<std::byte> buf(target.data_size());
-    Status st = target.SnapshotData(buf);
+    data->resize(target.data_size());
+    Status st = target.SnapshotData(*data);
     if (!st.ok()) {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
       return st;
     }
-    stats_.bytes_rx.fetch_add(buf.size(), std::memory_order_relaxed);
+    stats_.bytes_rx.fetch_add(data->size(), std::memory_order_relaxed);
     // Deliberately NOT charged to the peer's server_cpu_ns: one-sided.
-    return mirror.ApplyData(buf);
+    return Status::Ok();
   }
 
   Status Advertise(const AdvertiseMsg& msg) override {

@@ -1,8 +1,10 @@
 #include "transport/sock_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -10,6 +12,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -29,7 +32,11 @@ std::uint64_t NowSteadyNs() {
           .count());
 }
 
-Status ParseAddress(const std::string& address, sockaddr_in* out) {
+/// Parse "host:port". For listeners, "*" (and an empty host) bind all
+/// interfaces; for connects they mean loopback. "localhost" is loopback on
+/// both sides.
+Status ParseAddress(const std::string& address, bool for_listen,
+                    sockaddr_in* out) {
   const auto colon = address.rfind(':');
   if (colon == std::string::npos) {
     return {ErrorCode::kInvalidArgument, "address must be host:port"};
@@ -39,10 +46,18 @@ Status ParseAddress(const std::string& address, sockaddr_in* out) {
   if (!port || *port > 65535) {
     return {ErrorCode::kInvalidArgument, "bad port in " + address};
   }
-  if (host.empty() || host == "localhost" || host == "*") host = "127.0.0.1";
   std::memset(out, 0, sizeof(*out));
   out->sin_family = AF_INET;
   out->sin_port = htons(static_cast<std::uint16_t>(*port));
+  if (host.empty() || host == "*") {
+    if (for_listen) {
+      out->sin_addr.s_addr = htonl(INADDR_ANY);
+      return Status::Ok();
+    }
+    host = "127.0.0.1";
+  } else if (host == "localhost") {
+    host = "127.0.0.1";
+  }
   if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
     return {ErrorCode::kInvalidArgument, "bad host in " + address};
   }
@@ -50,40 +65,17 @@ Status ParseAddress(const std::string& address, sockaddr_in* out) {
 }
 
 bool SetNonBlocking(int fd) {
-  // fcntl-free: SOCK_NONBLOCK is set at creation for sockets we make; accept4
-  // handles accepted ones. This helper is for completeness on odd paths.
-  (void)fd;
-  return true;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-/// Write all of @p data to a blocking socket.
-Status WriteAll(int fd, const std::byte* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return {ErrorCode::kDisconnected, std::strerror(errno)};
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
+/// Deadline-poll granularity. Bounds how late a request timeout fires and
+/// how quickly a closing endpoint's reader thread notices.
+constexpr int kPollSliceMs = 20;
 
-/// Read exactly @p size bytes from a blocking socket.
-Status ReadAll(int fd, std::byte* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::recv(fd, data + off, size - off, 0);
-    if (n == 0) return {ErrorCode::kDisconnected, "peer closed"};
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return {ErrorCode::kDisconnected, std::strerror(errno)};
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
+/// Compact a receive buffer only once this many consumed bytes accumulate,
+/// so draining N buffered frames costs one memmove, not N.
+constexpr std::size_t kCompactBytes = 256 << 10;
 
 // ---------------------------------------------------------------------------
 // Server
@@ -100,7 +92,7 @@ class SockListener final : public Listener {
   Status Start(const std::string& address, ServiceHandler* handler) {
     handler_ = handler;
     sockaddr_in addr{};
-    Status st = ParseAddress(address, &addr);
+    Status st = ParseAddress(address, /*for_listen=*/true, &addr);
     if (!st.ok()) return st;
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -142,6 +134,9 @@ class SockListener final : public Listener {
  private:
   struct Conn {
     std::vector<std::byte> rbuf;
+    /// Bytes of rbuf already consumed as complete frames; rbuf is compacted
+    /// lazily (see kCompactBytes) instead of front-erased every batch.
+    std::size_t roff = 0;
     std::deque<std::vector<std::byte>> wqueue;
     std::size_t woff = 0;
   };
@@ -238,27 +233,33 @@ class SockListener final : public Listener {
       CloseConn(fd);
       return false;
     }
-    // Extract complete frames.
-    std::size_t consumed = 0;
-    while (conn.rbuf.size() - consumed >= kFrameHeaderSize) {
+    // Extract complete frames from the consumed offset onward.
+    while (conn.rbuf.size() - conn.roff >= kFrameHeaderSize) {
       const FrameHeader hdr = DecodeFrameHeader(
-          std::span<const std::byte>(conn.rbuf).subspan(consumed));
+          std::span<const std::byte>(conn.rbuf).subspan(conn.roff));
       if (hdr.payload_len > kMaxFramePayload) {
         CloseConn(fd);  // corrupt or hostile peer
         return false;
       }
       const std::size_t total = kFrameHeaderSize + hdr.payload_len;
-      if (conn.rbuf.size() - consumed < total) break;
+      if (conn.rbuf.size() - conn.roff < total) break;
       HandleFrame(fd, conn, hdr,
                   std::span<const std::byte>(conn.rbuf)
-                      .subspan(consumed + kFrameHeaderSize, hdr.payload_len));
-      consumed += total;
+                      .subspan(conn.roff + kFrameHeaderSize, hdr.payload_len));
+      conn.roff += total;
       // HandleFrame may have closed fd (not currently, but be safe).
       if (conns_.find(fd) == conns_.end()) return false;
     }
-    if (consumed > 0) {
-      conn.rbuf.erase(conn.rbuf.begin(),
-                      conn.rbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+    // Amortized compaction: free the whole buffer when it is fully drained
+    // (the common case), memmove only once kCompactBytes have accumulated.
+    if (conn.roff == conn.rbuf.size()) {
+      conn.rbuf.clear();
+      conn.roff = 0;
+    } else if (conn.roff >= kCompactBytes) {
+      conn.rbuf.erase(
+          conn.rbuf.begin(),
+          conn.rbuf.begin() + static_cast<std::ptrdiff_t>(conn.roff));
+      conn.roff = 0;
     }
     return true;
   }
@@ -372,26 +373,44 @@ class SockListener final : public Listener {
 // Client
 // ---------------------------------------------------------------------------
 
+// Pipelined client endpoint. Every request is tagged with a fresh
+// request_id, recorded in a pending table, and written to the socket
+// without waiting; a dedicated reader thread parses response frames and
+// completes requests out of order by id. Each request carries a deadline
+// (Endpoint::request_timeout); the reader expires overdue requests with
+// kTimeout so a stalled peer cannot wedge a caller forever. Synchronous
+// Dir/Lookup/UpdateRaw are thin block-on-completion wrappers, which is what
+// makes concurrent sync calls from many threads multiplex onto one socket.
 class SockEndpoint final : public Endpoint {
  public:
-  explicit SockEndpoint(int fd) : fd_(fd) {}
-
-  ~SockEndpoint() override { Close(); }
-
-  bool connected() const override { return fd_ >= 0; }
-
-  void Close() override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
+  explicit SockEndpoint(int fd) : fd_(fd) {
+    reader_ = std::thread([this] { ReaderLoop(); });
   }
+
+  ~SockEndpoint() override {
+    Close();
+    if (reader_.joinable()) reader_.join();
+    ::close(fd_);
+  }
+
+  bool connected() const override {
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+  void Close() override { Shutdown({ErrorCode::kDisconnected, "closed"}); }
 
   Status Dir(std::vector<std::string>* instances) override {
     std::vector<std::byte> payload;
-    Status st = RoundTrip(MsgType::kDirReq, {}, &payload);
+    Status st = WaitFor(
+        [&](AsyncHandler done) {
+          SubmitRequest(MsgType::kDirReq, {}, MsgType::kDirResp,
+                        std::move(done));
+        },
+        &payload);
     if (!st.ok()) return st;
     DirResponse resp;
     if (!DecodeDirResponse(payload, &resp)) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
       return {ErrorCode::kInternal, "bad dir response"};
     }
     *instances = std::move(resp.instances);
@@ -400,96 +419,373 @@ class SockEndpoint final : public Endpoint {
 
   Status Lookup(const std::string& instance,
                 std::vector<std::byte>* metadata) override {
-    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
-    LookupRequest req{instance};
-    std::vector<std::byte> payload;
-    Status st = RoundTrip(MsgType::kLookupReq, EncodeLookupRequest(req),
-                          &payload);
-    if (!st.ok()) return st;
-    LookupResponse resp;
-    if (!DecodeLookupResponse(payload, &resp)) {
-      return {ErrorCode::kInternal, "bad lookup response"};
-    }
-    if (resp.code != 0) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      return {static_cast<ErrorCode>(resp.code), "lookup failed"};
-    }
-    *metadata = std::move(resp.metadata);
-    return Status::Ok();
+    return WaitFor(
+        [&](AsyncHandler done) { LookupAsync(instance, std::move(done)); },
+        metadata);
   }
 
-  Status Update(const std::string& instance, MetricSet& mirror) override {
+  Status UpdateRaw(const std::string& instance,
+                   std::vector<std::byte>* data) override {
+    return WaitFor(
+        [&](AsyncHandler done) { UpdateAsync(instance, std::move(done)); },
+        data);
+  }
+
+  void LookupAsync(const std::string& instance,
+                   AsyncHandler handler) override {
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    SubmitRequest(
+        MsgType::kLookupReq, EncodeLookupRequest({instance}),
+        MsgType::kLookupResp,
+        [this, handler = std::move(handler)](Status st,
+                                             std::vector<std::byte> payload) {
+          if (!st.ok()) {
+            handler(std::move(st), {});
+            return;
+          }
+          LookupResponse resp;
+          if (!DecodeLookupResponse(payload, &resp)) {
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
+            handler({ErrorCode::kInternal, "bad lookup response"}, {});
+            return;
+          }
+          if (resp.code != 0) {
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
+            handler({static_cast<ErrorCode>(resp.code), "lookup failed"}, {});
+            return;
+          }
+          handler(Status::Ok(), std::move(resp.metadata));
+        });
+  }
+
+  void UpdateAsync(const std::string& instance,
+                   AsyncHandler handler) override {
     stats_.updates.fetch_add(1, std::memory_order_relaxed);
-    UpdateRequest req{instance};
-    std::vector<std::byte> payload;
-    Status st = RoundTrip(MsgType::kUpdateReq, EncodeUpdateRequest(req),
-                          &payload);
-    if (!st.ok()) return st;
-    UpdateResponse resp;
-    if (!DecodeUpdateResponse(payload, &resp)) {
-      return {ErrorCode::kInternal, "bad update response"};
+    SubmitRequest(
+        MsgType::kUpdateReq, EncodeUpdateRequest({instance}),
+        MsgType::kUpdateResp,
+        [this, handler = std::move(handler)](Status st,
+                                             std::vector<std::byte> payload) {
+          if (!st.ok()) {
+            handler(std::move(st), {});
+            return;
+          }
+          UpdateResponse resp;
+          if (!DecodeUpdateResponse(payload, &resp)) {
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
+            handler({ErrorCode::kInternal, "bad update response"}, {});
+            return;
+          }
+          if (resp.code != 0) {
+            stats_.errors.fetch_add(1, std::memory_order_relaxed);
+            handler({static_cast<ErrorCode>(resp.code), "update failed"}, {});
+            return;
+          }
+          handler(Status::Ok(), std::move(resp.data));
+        });
+  }
+
+  void CorkWrites() override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    corked_ = true;
+  }
+
+  void UncorkWrites() override {
+    Status st = Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      corked_ = false;
+      if (!cork_buf_.empty()) {
+        const DurationNs timeout = request_timeout();
+        const std::uint64_t deadline =
+            timeout > 0 ? NowSteadyNs() + timeout : 0;
+        st = SendFrame(cork_buf_.data(), cork_buf_.size(), deadline);
+        cork_buf_.clear();
+      }
     }
-    if (resp.code != 0) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      return {static_cast<ErrorCode>(resp.code), "update failed"};
-    }
-    return mirror.ApplyData(resp.data);
+    // A failed flush leaves the stream position unknown; the connection is
+    // unusable either way. Shutdown fails the batch's pending requests.
+    if (!st.ok()) Shutdown({ErrorCode::kDisconnected, st.message()});
   }
 
   Status Advertise(const AdvertiseMsg& msg) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fd_ < 0) return {ErrorCode::kDisconnected, "closed"};
-    auto frame =
-        EncodeFrame(MsgType::kAdvertise, next_id_++, EncodeAdvertise(msg));
+    if (closed_.load(std::memory_order_acquire)) {
+      return {ErrorCode::kDisconnected, "closed"};
+    }
+    const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto frame = EncodeFrame(MsgType::kAdvertise, id, EncodeAdvertise(msg));
     stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
-    return WriteAll(fd_, frame.data(), frame.size());
+    const DurationNs timeout = request_timeout();
+    const std::uint64_t deadline =
+        timeout > 0 ? NowSteadyNs() + timeout : 0;
+    std::lock_guard<std::mutex> lock(write_mu_);
+    Status st = SendFrame(frame.data(), frame.size(), deadline);
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
   }
 
  private:
-  Status RoundTrip(MsgType type, std::span<const std::byte> payload,
-                   std::vector<std::byte>* resp_payload) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fd_ < 0) return {ErrorCode::kDisconnected, "closed"};
-    auto frame = EncodeFrame(type, next_id_++, payload);
+  struct Pending {
+    MsgType expect = MsgType::kDirResp;
+    std::uint64_t deadline = 0;  // steady ns; 0 = no deadline
+    AsyncHandler handler;
+  };
+
+  /// Issue an async request via @p issue and block until its handler runs.
+  template <typename IssueFn>
+  static Status WaitFor(IssueFn&& issue, std::vector<std::byte>* out) {
+    struct Waiter {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      Status st;
+      std::vector<std::byte> bytes;
+    } waiter;
+    issue([&waiter](Status st, std::vector<std::byte> bytes) {
+      std::lock_guard<std::mutex> lock(waiter.mu);
+      waiter.st = std::move(st);
+      waiter.bytes = std::move(bytes);
+      waiter.done = true;
+      waiter.cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(waiter.mu);
+    waiter.cv.wait(lock, [&waiter] { return waiter.done; });
+    if (out != nullptr) *out = std::move(waiter.bytes);
+    return waiter.st;
+  }
+
+  /// Register the request in the pending table, then write the frame. The
+  /// handler is guaranteed to run exactly once: on response, on deadline
+  /// expiry, on send failure, or when the endpoint shuts down.
+  void SubmitRequest(MsgType type, std::span<const std::byte> payload,
+                     MsgType expect, AsyncHandler handler) {
+    const DurationNs timeout = request_timeout();
+    const std::uint64_t deadline =
+        timeout > 0 ? NowSteadyNs() + timeout : 0;
+    std::uint64_t id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_.load(std::memory_order_relaxed)) {
+        lock.unlock();
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        handler({ErrorCode::kDisconnected, "closed"}, {});
+        return;
+      }
+      id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      pending_.emplace(id, Pending{expect, deadline, std::move(handler)});
+    }
+    stats_.outstanding.fetch_add(1, std::memory_order_relaxed);
+    auto frame = EncodeFrame(type, id, payload);
     stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
-    Status st = WriteAll(fd_, frame.data(), frame.size());
-    if (!st.ok()) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd_);
-      fd_ = -1;
-      return st;
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      if (corked_) {
+        // Batched issue (UpdateAll): buffer the frame; UncorkWrites flushes
+        // the whole batch as one send.
+        cork_buf_.insert(cork_buf_.end(), frame.begin(), frame.end());
+        return;
+      }
+      st = SendFrame(frame.data(), frame.size(), deadline);
     }
-    std::byte hdr_bytes[kFrameHeaderSize];
-    st = ReadAll(fd_, hdr_bytes, sizeof hdr_bytes);
-    if (!st.ok()) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd_);
-      fd_ = -1;
-      return st;
+    if (st.ok()) return;
+    // Pull the request back out — unless the reader already failed it.
+    AsyncHandler doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        doomed = std::move(it->second.handler);
+        pending_.erase(it);
+      }
     }
-    const FrameHeader hdr = DecodeFrameHeader(hdr_bytes);
-    if (hdr.payload_len > kMaxFramePayload) {
+    if (doomed) {
+      stats_.outstanding.fetch_sub(1, std::memory_order_relaxed);
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd_);
-      fd_ = -1;
-      return {ErrorCode::kInternal, "oversized frame from peer"};
+      if (st.code() == ErrorCode::kTimeout) {
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      doomed(st, {});
     }
-    resp_payload->resize(hdr.payload_len);
-    st = ReadAll(fd_, resp_payload->data(), hdr.payload_len);
-    if (!st.ok()) {
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd_);
-      fd_ = -1;
-      return st;
+    if (st.code() == ErrorCode::kDisconnected) Shutdown(st);
+  }
+
+  /// Write a whole frame to the non-blocking socket, waiting (bounded by
+  /// @p deadline) when the send buffer is full.
+  Status SendFrame(const std::byte* data, std::size_t size,
+                   std::uint64_t deadline) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+      if (n >= 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (deadline != 0 && NowSteadyNs() >= deadline) {
+          return {ErrorCode::kTimeout, "send deadline exceeded"};
+        }
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        ::poll(&pfd, 1, kPollSliceMs);
+        continue;
+      }
+      return {ErrorCode::kDisconnected, std::strerror(errno)};
     }
-    stats_.bytes_rx.fetch_add(kFrameHeaderSize + hdr.payload_len,
-                              std::memory_order_relaxed);
     return Status::Ok();
   }
 
-  std::mutex mu_;
-  int fd_;
-  std::uint64_t next_id_ = 1;
+  void ReaderLoop() {
+    std::vector<std::byte> rbuf;
+    std::size_t roff = 0;
+    std::byte chunk[65536];
+    while (!closed_.load(std::memory_order_acquire)) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, kPollSliceMs);
+      if (closed_.load(std::memory_order_acquire)) return;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        Shutdown({ErrorCode::kDisconnected, std::strerror(errno)});
+        return;
+      }
+      ExpireRequests(NowSteadyNs());
+      if (pr == 0) continue;
+      // Drain the socket (non-blocking). A close/error is noted but only
+      // acted on after the parse pass: responses that arrived together with
+      // the peer's FIN must still complete their requests.
+      Status drain_st = Status::Ok();
+      for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          rbuf.insert(rbuf.end(), chunk, chunk + n);
+          stats_.bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+          continue;
+        }
+        if (n == 0) {
+          drain_st = {ErrorCode::kDisconnected, "peer closed"};
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        drain_st = {ErrorCode::kDisconnected, std::strerror(errno)};
+        break;
+      }
+      // Complete every whole frame buffered so far, in arrival order.
+      while (rbuf.size() - roff >= kFrameHeaderSize) {
+        const FrameHeader hdr = DecodeFrameHeader(
+            std::span<const std::byte>(rbuf).subspan(roff));
+        if (hdr.payload_len > kMaxFramePayload) {
+          Shutdown({ErrorCode::kInternal, "oversized frame from peer"});
+          return;
+        }
+        const std::size_t total = kFrameHeaderSize + hdr.payload_len;
+        if (rbuf.size() - roff < total) break;
+        CompleteRequest(hdr, std::span<const std::byte>(rbuf).subspan(
+                                 roff + kFrameHeaderSize, hdr.payload_len));
+        roff += total;
+      }
+      if (roff == rbuf.size()) {
+        rbuf.clear();
+        roff = 0;
+      } else if (roff >= kCompactBytes) {
+        rbuf.erase(rbuf.begin(),
+                   rbuf.begin() + static_cast<std::ptrdiff_t>(roff));
+        roff = 0;
+      }
+      if (!drain_st.ok()) {
+        Shutdown(drain_st);
+        return;
+      }
+    }
+  }
+
+  void CompleteRequest(const FrameHeader& hdr,
+                       std::span<const std::byte> payload) {
+    AsyncHandler handler;
+    Status st = Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(hdr.request_id);
+      // Unknown id: a response that arrived after its request timed out, or
+      // junk from the peer. Drop it.
+      if (it == pending_.end()) return;
+      if (it->second.expect != hdr.type) {
+        st = {ErrorCode::kInternal, "mismatched response type"};
+      }
+      handler = std::move(it->second.handler);
+      pending_.erase(it);
+    }
+    stats_.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    if (!st.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      handler(std::move(st), {});
+      return;
+    }
+    handler(Status::Ok(),
+            std::vector<std::byte>(payload.begin(), payload.end()));
+  }
+
+  /// Complete every pending request whose deadline has passed with kTimeout.
+  /// The connection stays open: a slow peer's late responses are dropped by
+  /// request-id, only a disconnect closes the socket.
+  void ExpireRequests(std::uint64_t now) {
+    std::vector<AsyncHandler> expired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline != 0 && it->second.deadline <= now) {
+          expired.push_back(std::move(it->second.handler));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& handler : expired) {
+      stats_.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      handler({ErrorCode::kTimeout, "request deadline exceeded"}, {});
+    }
+  }
+
+  /// Mark the endpoint closed, wake both socket directions, and fail every
+  /// pending request with @p reason. Idempotent; callable from any thread
+  /// including the reader.
+  void Shutdown(const Status& reason) {
+    std::vector<AsyncHandler> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+        ::shutdown(fd_, SHUT_RDWR);
+      }
+      doomed.reserve(pending_.size());
+      for (auto& [id, pending] : pending_) {
+        doomed.push_back(std::move(pending.handler));
+      }
+      pending_.clear();
+    }
+    for (auto& handler : doomed) {
+      stats_.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      handler(reason, {});
+    }
+  }
+
+  const int fd_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex mu_;  // guards pending_ and the closed_ transition
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::mutex write_mu_;  // serializes whole-frame writes; guards cork state
+  bool corked_ = false;
+  std::vector<std::byte> cork_buf_;
+  std::thread reader_;
 };
 
 }  // namespace
@@ -507,7 +803,7 @@ Status SockTransport::Listen(const std::string& address,
 Status SockTransport::Connect(const std::string& address,
                               std::unique_ptr<Endpoint>* endpoint) {
   sockaddr_in addr{};
-  Status st = ParseAddress(address, &addr);
+  Status st = ParseAddress(address, /*for_listen=*/false, &addr);
   if (!st.ok()) return st;
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return {ErrorCode::kInternal, std::strerror(errno)};
@@ -518,6 +814,7 @@ Status SockTransport::Connect(const std::string& address,
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  SetNonBlocking(fd);
   *endpoint = std::make_unique<SockEndpoint>(fd);
   return Status::Ok();
 }

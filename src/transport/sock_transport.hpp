@@ -1,13 +1,19 @@
 // "sock" transport: real TCP. The server side is a single-threaded epoll
 // reactor per listener (requests are tiny and handler work is bounded, so a
 // reactor sustains the paper's ~9,000:1 fan-in without a thread per
-// connection); the client side is a blocking, mutex-serialized
-// request/response endpoint, matching how aggregator worker threads issue
-// pulls.
+// connection); the client side is a pipelined endpoint: requests are tagged
+// with a request_id, recorded in a pending table, and written without
+// waiting, while a per-endpoint reader thread completes them out of order
+// as response frames arrive. Each request carries a deadline
+// (Endpoint::set_request_timeout) and completes with kTimeout if the peer
+// stalls; late responses are dropped by id. Synchronous calls are
+// submit-and-wait wrappers over the async path, so an aggregator can keep
+// dozens of updates in flight on one connection (see Endpoint::UpdateAll).
 //
 // Addresses are "host:port"; host is resolved as a dotted quad or
-// "localhost". Port 0 binds an ephemeral port — Listener::address() reports
-// the actual one.
+// "localhost". For listeners, "*" or an empty host binds INADDR_ANY; for
+// connects they mean loopback. Port 0 binds an ephemeral port —
+// Listener::address() reports the actual one.
 #pragma once
 
 #include <memory>

@@ -19,6 +19,7 @@
 
 #include "core/metric_set.hpp"
 #include "transport/message.hpp"
+#include "util/clock.hpp"
 #include "util/status.hpp"
 
 namespace ldmsxx {
@@ -31,6 +32,10 @@ struct TransportStats {
   std::atomic<std::uint64_t> bytes_tx{0};
   std::atomic<std::uint64_t> bytes_rx{0};
   std::atomic<std::uint64_t> errors{0};
+  /// Requests issued but not yet completed (gauge; pipelined transports).
+  std::atomic<std::uint64_t> outstanding{0};
+  /// Requests completed with kTimeout after exceeding their deadline.
+  std::atomic<std::uint64_t> timeouts{0};
   /// Nanoseconds of *server-side* CPU consumed servicing this peer; stays 0
   /// for one-sided RDMA data fetches.
   std::atomic<std::uint64_t> server_cpu_ns{0};
@@ -62,6 +67,19 @@ class ServiceHandler {
   virtual MetricSetPtr HandleRdmaExpose(const std::string& instance) = 0;
 };
 
+/// Default per-request deadline for transports that enforce one. Generous:
+/// its job is to unwedge aggregator threads from a stalled peer, not to
+/// police slow-but-alive ones.
+constexpr DurationNs kDefaultRequestTimeoutNs = 5 * kNsPerSec;
+
+/// Completion of an async request: the status plus the decoded response
+/// body — serialized metadata for lookups, the raw data chunk for updates
+/// (empty on failure). Handlers run on the transport's completion context
+/// (the sock endpoint's reader thread; inline for transports without an
+/// async engine), so they must be quick and must not block waiting for
+/// further completions from the same endpoint.
+using AsyncHandler = std::function<void(Status, std::vector<std::byte>)>;
+
 /// Client side of a connection to one peer.
 class Endpoint {
  public:
@@ -77,18 +95,57 @@ class Endpoint {
   virtual Status Lookup(const std::string& instance,
                         std::vector<std::byte>* metadata) = 0;
 
-  /// Pull the current data chunk for @p instance into @p mirror (flows
-  /// {e}-{g}). Implementations must only move the data chunk, never the
-  /// metadata.
-  virtual Status Update(const std::string& instance, MetricSet& mirror) = 0;
+  /// Pull the raw data chunk for @p instance without applying it anywhere
+  /// (flows {e}-{g}). Implementations must only move the data chunk, never
+  /// the metadata.
+  virtual Status UpdateRaw(const std::string& instance,
+                           std::vector<std::byte>* data) = 0;
+
+  /// Pull the current data chunk for @p instance into @p mirror: UpdateRaw
+  /// plus MetricSet::ApplyData.
+  Status Update(const std::string& instance, MetricSet& mirror);
+
+  /// Async metadata fetch. The base implementation completes inline via the
+  /// synchronous path; pipelined transports (sock) override it.
+  virtual void LookupAsync(const std::string& instance, AsyncHandler handler);
+
+  /// Async data pull; delivers the raw data chunk, the caller applies it.
+  /// Base implementation completes inline via UpdateRaw.
+  virtual void UpdateAsync(const std::string& instance, AsyncHandler handler);
+
+  /// Batch helper: pull every instances[i] and apply it into *mirrors[i]
+  /// (a null mirror skips the apply). All requests are issued before any
+  /// completion is awaited, so pipelined transports overlap the round
+  /// trips; returns per-instance statuses in input order.
+  std::vector<Status> UpdateAll(const std::vector<std::string>& instances,
+                                const std::vector<MetricSet*>& mirrors);
 
   /// Fire-and-forget advertise (producer-initiated connection setup).
   virtual Status Advertise(const AdvertiseMsg& msg) = 0;
+
+  /// Write corking, used by UpdateAll: between Cork and Uncork a wire
+  /// transport may buffer outgoing request frames and flush them as one
+  /// send, cutting per-request syscalls on batch issues. Defaults are
+  /// no-ops; in-process transports complete inline anyway. Calls must be
+  /// paired, on the same thread.
+  virtual void CorkWrites() {}
+  virtual void UncorkWrites() {}
+
+  /// Per-request deadline; a request not completed within it finishes with
+  /// kTimeout. 0 disables the deadline. Only transports with a real wire in
+  /// between enforce it (sock); in-process transports complete inline.
+  void set_request_timeout(DurationNs timeout) {
+    request_timeout_ns_.store(timeout, std::memory_order_relaxed);
+  }
+  DurationNs request_timeout() const {
+    return request_timeout_ns_.load(std::memory_order_relaxed);
+  }
 
   const TransportStats& stats() const { return stats_; }
 
  protected:
   TransportStats stats_;
+  std::atomic<DurationNs> request_timeout_ns_{kDefaultRequestTimeoutNs};
 };
 
 /// Server side: alive while in scope; dispatches requests to the handler.

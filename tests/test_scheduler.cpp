@@ -104,6 +104,96 @@ TEST(SchedulerSimTest, CancelStopsFiring) {
   EXPECT_EQ(scheduler.task_count(), 0u);
 }
 
+TEST(SchedulerSimTest, SlowSyncTaskSkipsMissedFiringsKeepingAlignment) {
+  // Regression: RunUntil must compute successors via NextPeriodic (like the
+  // threaded TimerLoop), and a task that advances the sim clock past queued
+  // deadlines must skip them — not fire late or rewind the clock.
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  std::vector<TimeNs> fired;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerSec;
+  opts.offset = 2 * kNsPerSec;
+  opts.synchronous = true;
+  auto id = scheduler.Schedule(
+      [&] {
+        fired.push_back(clock.Now());
+        clock.SetTime(clock.Now() + 25 * kNsPerSec);  // 25 s of "work"
+      },
+      opts);
+  scheduler.RunUntil(clock, 80 * kNsPerSec);
+
+  // Fires at 12 s; 22 and 32 come due mid-execution and are skipped; then
+  // 42 and 72 the same way. Alignment to interval+offset is never lost.
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 12 * kNsPerSec);
+  EXPECT_EQ(fired[1], 42 * kNsPerSec);
+  EXPECT_EQ(fired[2], 72 * kNsPerSec);
+  EXPECT_EQ(scheduler.skipped_count(id), 4u);
+  EXPECT_EQ(scheduler.skipped_total(), 4u);
+}
+
+TEST(SchedulerRealTest, RealMatchesSimDeadlineSequenceForSlowSyncTask) {
+  // The acceptance property for simulation fidelity: a synchronous task
+  // with an offset whose execution outlasts its interval produces the SAME
+  // deadline sequence under the threaded real-clock driver and under
+  // RunUntil with a SimClock advanced by the task's execution time.
+  constexpr DurationNs kInterval = 60 * kNsPerMs;
+  constexpr DurationNs kOffset = 10 * kNsPerMs;
+  constexpr DurationNs kWork = 90 * kNsPerMs;  // mid-gap: 30 ms of margin
+  TimerScheduler::TaskOptions opts;
+  opts.interval = kInterval;
+  opts.offset = kOffset;
+  opts.synchronous = true;
+
+  ThreadPool pool(1);
+  TimerScheduler real_sched(RealClock::Instance(), &pool);
+  std::mutex mu;
+  std::vector<TimeNs> real_fires;
+  real_sched.Schedule(
+      [&] {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          real_fires.push_back(RealClock::Instance().Now());
+        }
+        std::this_thread::sleep_for(std::chrono::nanoseconds(kWork));
+      },
+      opts);
+  real_sched.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(650));
+  real_sched.Stop();
+  pool.Drain();
+  pool.Shutdown();
+
+  SimClock clock(0);
+  TimerScheduler sim_sched(clock, nullptr);
+  std::vector<TimeNs> sim_fires;
+  sim_sched.Schedule(
+      [&] {
+        sim_fires.push_back(clock.Now());
+        clock.SetTime(clock.Now() + kWork);
+      },
+      opts);
+  sim_sched.RunUntil(clock, 650 * kNsPerMs);
+
+  // Real firings run a hair after their deadline; snap each to the nearest
+  // aligned boundary and compare gap-for-gap against the sim sequence.
+  auto quantize = [&](TimeNs t) {
+    return ((t - kOffset + kInterval / 2) / kInterval) * kInterval + kOffset;
+  };
+  ASSERT_GE(real_fires.size(), 3u);
+  ASSERT_GE(sim_fires.size(), 3u);
+  const std::size_t n = std::min(real_fires.size(), sim_fires.size());
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(quantize(real_fires[i]) - quantize(real_fires[i - 1]),
+              sim_fires[i] - sim_fires[i - 1])
+        << "gap " << i;
+  }
+  // Both drivers skip the one deadline that lands mid-execution per gap.
+  EXPECT_GE(real_sched.skipped_total(), n - 1);
+  EXPECT_EQ(sim_sched.skipped_total(), sim_fires.size());
+}
+
 TEST(SchedulerRealTest, ThreadedModeFiresOntoPool) {
   ThreadPool pool(2);
   TimerScheduler scheduler(RealClock::Instance(), &pool);
@@ -141,6 +231,8 @@ TEST(SchedulerRealTest, SlowTaskDoesNotAccumulateBacklog) {
   // Perfect pacing would give 60 at 5ms; a 25ms task bounds it near 12.
   EXPECT_LE(count.load(), 20);
   EXPECT_GE(count.load(), 5);
+  // The missed firings are counted, not silently dropped.
+  EXPECT_GT(scheduler.skipped_total(), 0u);
   pool.Shutdown();
 }
 

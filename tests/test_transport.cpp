@@ -1,8 +1,20 @@
 // Transport tests: wire-protocol round trips, fabric lifetime semantics,
-// local/sock/rdma endpoints, one-sided RDMA CPU accounting, disconnects.
+// local/sock/rdma endpoints, one-sided RDMA CPU accounting, disconnects,
+// and the sock client's pipelined request multiplexing (timeouts,
+// out-of-order completion, protocol-violating peers).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
 #include <thread>
 
 #include "core/mem_manager.hpp"
@@ -120,7 +132,14 @@ class TestHandler : public ServiceHandler {
   }
 
   void HandleAdvertise(const AdvertiseMsg& msg) override {
-    advertised = msg.producer;
+    // Arrives on the sock reactor thread; tests poll advertised().
+    std::lock_guard<std::mutex> lock(advertised_mu_);
+    advertised_ = msg.producer;
+  }
+
+  std::string advertised() const {
+    std::lock_guard<std::mutex> lock(advertised_mu_);
+    return advertised_;
   }
 
   MetricSetPtr HandleRdmaExpose(const std::string& instance) override {
@@ -131,7 +150,10 @@ class TestHandler : public ServiceHandler {
   MetricSetPtr set_;
   int lookups = 0;
   int updates = 0;
-  std::string advertised;
+
+ private:
+  mutable std::mutex advertised_mu_;
+  std::string advertised_;
 };
 
 struct TransportCase {
@@ -187,10 +209,10 @@ TEST_P(TransportSuite, FullClientFlow) {
   // Advertise reaches the handler.
   ASSERT_TRUE(ep->Advertise({"nid9", "addr9", "local"}).ok());
   // sock advertise is fire-and-forget; give the reactor a moment.
-  for (int i = 0; i < 100 && handler.advertised.empty(); ++i) {
+  for (int i = 0; i < 100 && handler.advertised().empty(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  EXPECT_EQ(handler.advertised, "nid9");
+  EXPECT_EQ(handler.advertised(), "nid9");
 
   EXPECT_GT(ep->stats().updates.load(), 0u);
 }
@@ -298,6 +320,288 @@ TEST(SockTransportTest, ConnectToNothingFails) {
   std::unique_ptr<Endpoint> ep;
   EXPECT_FALSE(sock.Connect("127.0.0.1:1", &ep).ok());
   EXPECT_FALSE(sock.Connect("notanaddress", &ep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sock client multiplexing: protocol-violating and misbehaving peers are
+// scripted against a raw TCP socket, bypassing SockListener.
+// ---------------------------------------------------------------------------
+
+void WriteAllFd(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool ReadExactly(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::byte*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, p + off, size - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one whole frame; returns false on EOF/error.
+bool ReadFrame(int fd, FrameHeader* hdr, std::vector<std::byte>* payload) {
+  std::byte raw[kFrameHeaderSize];
+  if (!ReadExactly(fd, raw, sizeof raw)) return false;
+  *hdr = DecodeFrameHeader(raw);
+  payload->resize(hdr->payload_len);
+  return hdr->payload_len == 0 || ReadExactly(fd, payload->data(),
+                                              payload->size());
+}
+
+/// Raw loopback server: accepts exactly one connection and runs @p script
+/// on its fd from a background thread.
+class RawPeer {
+ public:
+  explicit RawPeer(std::function<void(int)> script) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([fd = listen_fd_, script = std::move(script)] {
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn >= 0) {
+        script(conn);
+        ::close(conn);
+      }
+    });
+  }
+
+  ~RawPeer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(SockTransportTest, WildcardBindListensOnAllInterfaces) {
+  SockTransport sock;
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(sock.Listen("*:0", &handler, &listener).ok());
+  EXPECT_TRUE(listener->address().starts_with("0.0.0.0:"))
+      << listener->address();
+  // A listener bound to INADDR_ANY must be reachable via loopback.
+  const std::string port =
+      listener->address().substr(listener->address().rfind(':') + 1);
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect("127.0.0.1:" + port, &ep).ok());
+  std::vector<std::string> instances;
+  EXPECT_TRUE(ep->Dir(&instances).ok());
+  // An empty host binds all interfaces too.
+  std::unique_ptr<Listener> listener2;
+  ASSERT_TRUE(sock.Listen(":0", &handler, &listener2).ok());
+  EXPECT_TRUE(listener2->address().starts_with("0.0.0.0:"));
+}
+
+TEST(SockTransportTest, StalledPeerTimesOut) {
+  // A peer that accepts and then goes silent must not wedge the caller:
+  // the request completes with kTimeout within the configured deadline.
+  std::mutex hold_mu;
+  std::condition_variable hold_cv;
+  bool release = false;
+  RawPeer peer([&](int fd) {
+    std::byte sink[256];
+    (void)::recv(fd, sink, sizeof sink, 0);  // swallow the request, no reply
+    std::unique_lock<std::mutex> lock(hold_mu);
+    hold_cv.wait(lock, [&] { return release; });
+  });
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(peer.address(), &ep).ok());
+  ep->set_request_timeout(100 * 1000 * 1000);  // 100 ms
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::byte> metadata;
+  Status st = ep->Lookup("host/tset", &metadata);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(st.code(), ErrorCode::kTimeout) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_EQ(ep->stats().timeouts.load(), 1u);
+  EXPECT_EQ(ep->stats().outstanding.load(), 0u);
+  // The connection survives a timeout; only disconnects kill it.
+  EXPECT_TRUE(ep->connected());
+  {
+    std::lock_guard<std::mutex> lock(hold_mu);
+    release = true;
+  }
+  hold_cv.notify_all();
+}
+
+TEST(SockTransportTest, OversizedFrameFromPeerClosesConnection) {
+  RawPeer peer([](int fd) {
+    FrameHeader hdr;
+    std::vector<std::byte> payload;
+    if (!ReadFrame(fd, &hdr, &payload)) return;
+    // Header advertising a payload over kMaxFramePayload.
+    auto frame = EncodeFrame(MsgType::kLookupResp, hdr.request_id, {});
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(frame.data(), &huge, sizeof huge);
+    WriteAllFd(fd, frame.data(), frame.size());
+  });
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(peer.address(), &ep).ok());
+  std::vector<std::byte> metadata;
+  Status st = ep->Lookup("host/tset", &metadata);
+  EXPECT_EQ(st.code(), ErrorCode::kInternal) << st.ToString();
+  EXPECT_FALSE(ep->connected());
+}
+
+TEST(SockTransportTest, PeerCloseMidFrameFailsPending) {
+  RawPeer peer([](int fd) {
+    FrameHeader hdr;
+    std::vector<std::byte> payload;
+    if (!ReadFrame(fd, &hdr, &payload)) return;
+    // Half a response header, then hang up.
+    auto frame = EncodeFrame(MsgType::kLookupResp, hdr.request_id,
+                             EncodeLookupResponse({0, {}}));
+    WriteAllFd(fd, frame.data(), kFrameHeaderSize / 2);
+  });
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(peer.address(), &ep).ok());
+  std::vector<std::byte> metadata;
+  Status st = ep->Lookup("host/tset", &metadata);
+  EXPECT_EQ(st.code(), ErrorCode::kDisconnected) << st.ToString();
+  EXPECT_FALSE(ep->connected());
+}
+
+TEST(SockTransportTest, OutOfOrderResponsesRouteById) {
+  // The peer answers the second request first; each completion must still
+  // reach the handler that issued it (routing by request_id, not order).
+  RawPeer peer([](int fd) {
+    FrameHeader h1, h2;
+    std::vector<std::byte> p1, p2;
+    if (!ReadFrame(fd, &h1, &p1) || !ReadFrame(fd, &h2, &p2)) return;
+    auto reply = [&](const FrameHeader& h, std::span<const std::byte> p) {
+      LookupRequest req;
+      ASSERT_TRUE(DecodeLookupRequest(p, &req));
+      LookupResponse resp;
+      // Echo the instance name back as the metadata payload.
+      for (char c : req.instance) resp.metadata.push_back(std::byte(c));
+      auto frame = EncodeFrame(MsgType::kLookupResp, h.request_id,
+                               EncodeLookupResponse(resp));
+      WriteAllFd(fd, frame.data(), frame.size());
+    };
+    reply(h2, p2);  // reversed completion order
+    reply(h1, p1);
+  });
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(peer.address(), &ep).ok());
+
+  struct Done {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 2;
+    std::string first, second;
+  } done;
+  auto record = [&done](std::string* slot) {
+    return [&done, slot](Status st, std::vector<std::byte> bytes) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      std::lock_guard<std::mutex> lock(done.mu);
+      slot->assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+      if (--done.remaining == 0) done.cv.notify_all();
+    };
+  };
+  ep->LookupAsync("alpha/set", record(&done.first));
+  ep->LookupAsync("beta/set", record(&done.second));
+  std::unique_lock<std::mutex> lock(done.mu);
+  ASSERT_TRUE(done.cv.wait_for(lock, std::chrono::seconds(5),
+                               [&done] { return done.remaining == 0; }));
+  EXPECT_EQ(done.first, "alpha/set");
+  EXPECT_EQ(done.second, "beta/set");
+}
+
+TEST(SockTransportTest, ConcurrentRoundTripsMultiplexOnOneSocket) {
+  SockTransport sock;
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(sock.Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(listener->address(), &ep).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ep, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::vector<std::byte> metadata;
+        if (!ep->Lookup("host/tset", &metadata).ok() || metadata.empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ep->stats().lookups.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(ep->stats().outstanding.load(), 0u);
+}
+
+TEST_P(TransportSuite, UpdateAllAppliesEveryMirror) {
+  auto transport = GetTransport();
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  const std::string base_addr = std::string("txbatch/") + GetParam().name;
+  const std::string listen_addr =
+      std::string(GetParam().name) == "sock" ? "127.0.0.1:0" : base_addr;
+  ASSERT_TRUE(transport->Listen(listen_addr, &handler, &listener).ok());
+  const std::string connect_addr = std::string(GetParam().name) == "sock"
+                                       ? listener->address()
+                                       : base_addr;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(connect_addr, &ep).ok());
+
+  std::vector<std::byte> metadata;
+  ASSERT_TRUE(ep->Lookup("host/tset", &metadata).ok());
+  MemManager mem(1 << 20);
+  Status st;
+  auto m1 = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok());
+  auto m2 = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok());
+
+  handler.Update(77);
+  auto statuses = ep->UpdateAll({"host/tset", "host/tset", "missing/set"},
+                                {m1.get(), m2.get(), nullptr});
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  EXPECT_FALSE(statuses[2].ok());
+  EXPECT_EQ(m1->GetU64(0), 77u);
+  EXPECT_EQ(m2->GetU64(0), 77u);
 }
 
 TEST(TransportRegistryTest, DefaultHasAllFour) {
