@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanin.dir/bench_fanin.cpp.o"
+  "CMakeFiles/bench_fanin.dir/bench_fanin.cpp.o.d"
+  "bench_fanin"
+  "bench_fanin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o"
+  "CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o.d"
+  "bench_footprint"
+  "bench_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

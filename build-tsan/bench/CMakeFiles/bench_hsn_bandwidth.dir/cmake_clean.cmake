@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hsn_bandwidth.dir/bench_hsn_bandwidth.cpp.o"
+  "CMakeFiles/bench_hsn_bandwidth.dir/bench_hsn_bandwidth.cpp.o.d"
+  "bench_hsn_bandwidth"
+  "bench_hsn_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hsn_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

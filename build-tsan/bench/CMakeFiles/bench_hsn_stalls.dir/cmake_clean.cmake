@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hsn_stalls.dir/bench_hsn_stalls.cpp.o"
+  "CMakeFiles/bench_hsn_stalls.dir/bench_hsn_stalls.cpp.o.d"
+  "bench_hsn_stalls"
+  "bench_hsn_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hsn_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impact_bw.dir/bench_impact_bw.cpp.o"
+  "CMakeFiles/bench_impact_bw.dir/bench_impact_bw.cpp.o.d"
+  "bench_impact_bw"
+  "bench_impact_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impact_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

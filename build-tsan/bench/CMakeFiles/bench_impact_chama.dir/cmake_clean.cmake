@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impact_chama.dir/bench_impact_chama.cpp.o"
+  "CMakeFiles/bench_impact_chama.dir/bench_impact_chama.cpp.o.d"
+  "bench_impact_chama"
+  "bench_impact_chama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impact_chama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lustre_opens.dir/bench_lustre_opens.cpp.o"
+  "CMakeFiles/bench_lustre_opens.dir/bench_lustre_opens.cpp.o.d"
+  "bench_lustre_opens"
+  "bench_lustre_opens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lustre_opens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oom_profile.dir/bench_oom_profile.cpp.o"
+  "CMakeFiles/bench_oom_profile.dir/bench_oom_profile.cpp.o.d"
+  "bench_oom_profile"
+  "bench_oom_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oom_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psnap_bw.dir/bench_psnap_bw.cpp.o"
+  "CMakeFiles/bench_psnap_bw.dir/bench_psnap_bw.cpp.o.d"
+  "bench_psnap_bw"
+  "bench_psnap_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psnap_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

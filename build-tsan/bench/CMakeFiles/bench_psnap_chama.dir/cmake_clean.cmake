@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psnap_chama.dir/bench_psnap_chama.cpp.o"
+  "CMakeFiles/bench_psnap_chama.dir/bench_psnap_chama.cpp.o.d"
+  "bench_psnap_chama"
+  "bench_psnap_chama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psnap_chama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

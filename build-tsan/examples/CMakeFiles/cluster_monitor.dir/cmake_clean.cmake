@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_monitor.dir/cluster_monitor.cpp.o"
+  "CMakeFiles/cluster_monitor.dir/cluster_monitor.cpp.o.d"
+  "cluster_monitor"
+  "cluster_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

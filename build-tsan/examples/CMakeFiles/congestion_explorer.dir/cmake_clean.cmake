@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_explorer.dir/congestion_explorer.cpp.o"
+  "CMakeFiles/congestion_explorer.dir/congestion_explorer.cpp.o.d"
+  "congestion_explorer"
+  "congestion_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_profiler.dir/job_profiler.cpp.o"
+  "CMakeFiles/job_profiler.dir/job_profiler.cpp.o.d"
+  "job_profiler"
+  "job_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/ldmsxx_analysis.dir/timeseries.cpp.o.d"
+  "libldmsxx_analysis.a"
+  "libldmsxx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

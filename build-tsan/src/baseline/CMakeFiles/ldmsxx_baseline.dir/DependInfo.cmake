@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/collectl_sim.cpp" "src/baseline/CMakeFiles/ldmsxx_baseline.dir/collectl_sim.cpp.o" "gcc" "src/baseline/CMakeFiles/ldmsxx_baseline.dir/collectl_sim.cpp.o.d"
+  "/root/repo/src/baseline/ganglia_sim.cpp" "src/baseline/CMakeFiles/ldmsxx_baseline.dir/ganglia_sim.cpp.o" "gcc" "src/baseline/CMakeFiles/ldmsxx_baseline.dir/ganglia_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/ldmsxx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

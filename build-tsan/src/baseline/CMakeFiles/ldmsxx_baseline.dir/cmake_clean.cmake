@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_baseline.dir/collectl_sim.cpp.o"
+  "CMakeFiles/ldmsxx_baseline.dir/collectl_sim.cpp.o.d"
+  "CMakeFiles/ldmsxx_baseline.dir/ganglia_sim.cpp.o"
+  "CMakeFiles/ldmsxx_baseline.dir/ganglia_sim.cpp.o.d"
+  "libldmsxx_baseline.a"
+  "libldmsxx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

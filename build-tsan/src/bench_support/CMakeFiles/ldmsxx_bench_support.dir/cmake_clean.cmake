@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_bench_support.dir/bw_day.cpp.o"
+  "CMakeFiles/ldmsxx_bench_support.dir/bw_day.cpp.o.d"
+  "CMakeFiles/ldmsxx_bench_support.dir/impact.cpp.o"
+  "CMakeFiles/ldmsxx_bench_support.dir/impact.cpp.o.d"
+  "CMakeFiles/ldmsxx_bench_support.dir/psnap.cpp.o"
+  "CMakeFiles/ldmsxx_bench_support.dir/psnap.cpp.o.d"
+  "libldmsxx_bench_support.a"
+  "libldmsxx_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

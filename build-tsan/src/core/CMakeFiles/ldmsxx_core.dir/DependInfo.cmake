@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mem_manager.cpp" "src/core/CMakeFiles/ldmsxx_core.dir/mem_manager.cpp.o" "gcc" "src/core/CMakeFiles/ldmsxx_core.dir/mem_manager.cpp.o.d"
+  "/root/repo/src/core/metric_set.cpp" "src/core/CMakeFiles/ldmsxx_core.dir/metric_set.cpp.o" "gcc" "src/core/CMakeFiles/ldmsxx_core.dir/metric_set.cpp.o.d"
+  "/root/repo/src/core/schema.cpp" "src/core/CMakeFiles/ldmsxx_core.dir/schema.cpp.o" "gcc" "src/core/CMakeFiles/ldmsxx_core.dir/schema.cpp.o.d"
+  "/root/repo/src/core/set_registry.cpp" "src/core/CMakeFiles/ldmsxx_core.dir/set_registry.cpp.o" "gcc" "src/core/CMakeFiles/ldmsxx_core.dir/set_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_core.dir/mem_manager.cpp.o"
+  "CMakeFiles/ldmsxx_core.dir/mem_manager.cpp.o.d"
+  "CMakeFiles/ldmsxx_core.dir/metric_set.cpp.o"
+  "CMakeFiles/ldmsxx_core.dir/metric_set.cpp.o.d"
+  "CMakeFiles/ldmsxx_core.dir/schema.cpp.o"
+  "CMakeFiles/ldmsxx_core.dir/schema.cpp.o.d"
+  "CMakeFiles/ldmsxx_core.dir/set_registry.cpp.o"
+  "CMakeFiles/ldmsxx_core.dir/set_registry.cpp.o.d"
+  "libldmsxx_core.a"
+  "libldmsxx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

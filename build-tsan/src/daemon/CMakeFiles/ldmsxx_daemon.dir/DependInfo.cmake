@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daemon/config.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/config.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/config.cpp.o.d"
+  "/root/repo/src/daemon/control.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/control.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/control.cpp.o.d"
+  "/root/repo/src/daemon/failover.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/failover.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/failover.cpp.o.d"
+  "/root/repo/src/daemon/ldmsd.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/ldmsd.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/ldmsd.cpp.o.d"
+  "/root/repo/src/daemon/plugin_registry.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/plugin_registry.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/plugin_registry.cpp.o.d"
+  "/root/repo/src/daemon/scheduler.cpp" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/scheduler.cpp.o" "gcc" "src/daemon/CMakeFiles/ldmsxx_daemon.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/ldmsxx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/transport/CMakeFiles/ldmsxx_transport.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/ldmsxx_store.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

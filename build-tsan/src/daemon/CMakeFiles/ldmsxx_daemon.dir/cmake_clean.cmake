@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_daemon.dir/config.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/config.cpp.o.d"
+  "CMakeFiles/ldmsxx_daemon.dir/control.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/control.cpp.o.d"
+  "CMakeFiles/ldmsxx_daemon.dir/failover.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/failover.cpp.o.d"
+  "CMakeFiles/ldmsxx_daemon.dir/ldmsd.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/ldmsd.cpp.o.d"
+  "CMakeFiles/ldmsxx_daemon.dir/plugin_registry.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/plugin_registry.cpp.o.d"
+  "CMakeFiles/ldmsxx_daemon.dir/scheduler.cpp.o"
+  "CMakeFiles/ldmsxx_daemon.dir/scheduler.cpp.o.d"
+  "libldmsxx_daemon.a"
+  "libldmsxx_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

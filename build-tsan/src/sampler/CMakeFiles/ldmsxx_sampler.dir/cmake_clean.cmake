@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_sampler.dir/fs_net_samplers.cpp.o"
+  "CMakeFiles/ldmsxx_sampler.dir/fs_net_samplers.cpp.o.d"
+  "CMakeFiles/ldmsxx_sampler.dir/proc_samplers.cpp.o"
+  "CMakeFiles/ldmsxx_sampler.dir/proc_samplers.cpp.o.d"
+  "CMakeFiles/ldmsxx_sampler.dir/register.cpp.o"
+  "CMakeFiles/ldmsxx_sampler.dir/register.cpp.o.d"
+  "CMakeFiles/ldmsxx_sampler.dir/sampler_base.cpp.o"
+  "CMakeFiles/ldmsxx_sampler.dir/sampler_base.cpp.o.d"
+  "CMakeFiles/ldmsxx_sampler.dir/sys_samplers.cpp.o"
+  "CMakeFiles/ldmsxx_sampler.dir/sys_samplers.cpp.o.d"
+  "libldmsxx_sampler.a"
+  "libldmsxx_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/data_source.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/data_source.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/data_source.cpp.o.d"
+  "/root/repo/src/sim/gemini.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/gemini.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/gemini.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/sim_data_source.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/sim_data_source.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/sim_data_source.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/ldmsxx_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/ldmsxx_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_sim.dir/cluster.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/ldmsxx_sim.dir/data_source.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/data_source.cpp.o.d"
+  "CMakeFiles/ldmsxx_sim.dir/gemini.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/gemini.cpp.o.d"
+  "CMakeFiles/ldmsxx_sim.dir/node.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/node.cpp.o.d"
+  "CMakeFiles/ldmsxx_sim.dir/sim_data_source.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/sim_data_source.cpp.o.d"
+  "CMakeFiles/ldmsxx_sim.dir/workload.cpp.o"
+  "CMakeFiles/ldmsxx_sim.dir/workload.cpp.o.d"
+  "libldmsxx_sim.a"
+  "libldmsxx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

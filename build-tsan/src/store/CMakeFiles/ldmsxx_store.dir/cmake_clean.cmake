@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_store.dir/csv_store.cpp.o"
+  "CMakeFiles/ldmsxx_store.dir/csv_store.cpp.o.d"
+  "CMakeFiles/ldmsxx_store.dir/flatfile_store.cpp.o"
+  "CMakeFiles/ldmsxx_store.dir/flatfile_store.cpp.o.d"
+  "CMakeFiles/ldmsxx_store.dir/memory_store.cpp.o"
+  "CMakeFiles/ldmsxx_store.dir/memory_store.cpp.o.d"
+  "CMakeFiles/ldmsxx_store.dir/sos_store.cpp.o"
+  "CMakeFiles/ldmsxx_store.dir/sos_store.cpp.o.d"
+  "libldmsxx_store.a"
+  "libldmsxx_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldms_ls.dir/ldms_ls_main.cpp.o"
+  "CMakeFiles/ldms_ls.dir/ldms_ls_main.cpp.o.d"
+  "ldms_ls"
+  "ldms_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldms_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

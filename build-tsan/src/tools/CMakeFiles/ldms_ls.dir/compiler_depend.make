@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ldms_ls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/ldmsd_main.cpp" "src/tools/CMakeFiles/ldmsd.dir/ldmsd_main.cpp.o" "gcc" "src/tools/CMakeFiles/ldmsd.dir/ldmsd_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/daemon/CMakeFiles/ldmsxx_daemon.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sampler/CMakeFiles/ldmsxx_sampler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/transport/CMakeFiles/ldmsxx_transport.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/ldmsxx_store.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/ldmsxx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/ldmsxx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

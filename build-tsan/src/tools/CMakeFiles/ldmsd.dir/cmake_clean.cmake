@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsd.dir/ldmsd_main.cpp.o"
+  "CMakeFiles/ldmsd.dir/ldmsd_main.cpp.o.d"
+  "ldmsd"
+  "ldmsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ldmsd.
+# This may be replaced when dependencies are built.

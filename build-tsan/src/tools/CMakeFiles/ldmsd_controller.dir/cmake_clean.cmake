@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsd_controller.dir/ldmsd_controller_main.cpp.o"
+  "CMakeFiles/ldmsd_controller.dir/ldmsd_controller_main.cpp.o.d"
+  "ldmsd_controller"
+  "ldmsd_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsd_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

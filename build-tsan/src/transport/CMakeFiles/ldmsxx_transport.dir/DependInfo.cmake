@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/endpoint.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o.d"
+  "/root/repo/src/transport/fabric.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o.d"
+  "/root/repo/src/transport/local_transport.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o.d"
+  "/root/repo/src/transport/message.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/message.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/message.cpp.o.d"
+  "/root/repo/src/transport/rdma_transport.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/rdma_transport.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/rdma_transport.cpp.o.d"
+  "/root/repo/src/transport/registry.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/registry.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/registry.cpp.o.d"
+  "/root/repo/src/transport/sock_transport.cpp" "src/transport/CMakeFiles/ldmsxx_transport.dir/sock_transport.cpp.o" "gcc" "src/transport/CMakeFiles/ldmsxx_transport.dir/sock_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/ldmsxx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/fabric.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/local_transport.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/message.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/message.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/rdma_transport.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/rdma_transport.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/registry.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/registry.cpp.o.d"
+  "CMakeFiles/ldmsxx_transport.dir/sock_transport.cpp.o"
+  "CMakeFiles/ldmsxx_transport.dir/sock_transport.cpp.o.d"
+  "libldmsxx_transport.a"
+  "libldmsxx_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldmsxx_transport.a"
+)

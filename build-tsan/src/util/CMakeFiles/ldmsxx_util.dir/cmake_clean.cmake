@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmsxx_util.dir/clock.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/clock.cpp.o.d"
+  "CMakeFiles/ldmsxx_util.dir/csv.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ldmsxx_util.dir/logging.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ldmsxx_util.dir/stats.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ldmsxx_util.dir/strings.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ldmsxx_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ldmsxx_util.dir/thread_pool.cpp.o.d"
+  "libldmsxx_util.a"
+  "libldmsxx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmsxx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_baseline.dir/test_analysis_baseline.cpp.o"
+  "CMakeFiles/test_analysis_baseline.dir/test_analysis_baseline.cpp.o.d"
+  "test_analysis_baseline"
+  "test_analysis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

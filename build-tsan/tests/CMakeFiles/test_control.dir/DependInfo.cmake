@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_control.cpp" "tests/CMakeFiles/test_control.dir/test_control.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/test_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/ldmsxx_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/ldmsxx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/transport/CMakeFiles/ldmsxx_transport.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/ldmsxx_store.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/daemon/CMakeFiles/ldmsxx_daemon.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/ldmsxx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sampler/CMakeFiles/ldmsxx_sampler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/ldmsxx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/ldmsxx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bench_support/CMakeFiles/ldmsxx_bench_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

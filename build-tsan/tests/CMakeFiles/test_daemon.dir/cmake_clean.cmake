@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daemon.dir/test_daemon.cpp.o"
+  "CMakeFiles/test_daemon.dir/test_daemon.cpp.o.d"
+  "test_daemon"
+  "test_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

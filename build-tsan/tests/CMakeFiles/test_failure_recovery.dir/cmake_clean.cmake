@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_recovery.dir/test_failure_recovery.cpp.o"
+  "CMakeFiles/test_failure_recovery.dir/test_failure_recovery.cpp.o.d"
+  "test_failure_recovery"
+  "test_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

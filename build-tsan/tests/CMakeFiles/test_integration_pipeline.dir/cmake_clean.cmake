@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_pipeline.dir/test_integration_pipeline.cpp.o"
+  "CMakeFiles/test_integration_pipeline.dir/test_integration_pipeline.cpp.o.d"
+  "test_integration_pipeline"
+  "test_integration_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

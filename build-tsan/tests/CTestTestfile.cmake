@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build-tsan/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-tsan/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transport "/root/repo/build-tsan/tests/test_transport")
+set_tests_properties(test_transport PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scheduler "/root/repo/build-tsan/tests/test_scheduler")
+set_tests_properties(test_scheduler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_store "/root/repo/build-tsan/tests/test_store")
+set_tests_properties(test_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-tsan/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sampler "/root/repo/build-tsan/tests/test_sampler")
+set_tests_properties(test_sampler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_daemon "/root/repo/build-tsan/tests/test_daemon")
+set_tests_properties(test_daemon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis_baseline "/root/repo/build-tsan/tests/test_analysis_baseline")
+set_tests_properties(test_analysis_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build-tsan/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_control "/root/repo/build-tsan/tests/test_control")
+set_tests_properties(test_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_failure_recovery "/root/repo/build-tsan/tests/test_failure_recovery")
+set_tests_properties(test_failure_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration_pipeline "/root/repo/build-tsan/tests/test_integration_pipeline")
+set_tests_properties(test_integration_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;ldmsxx_test;/root/repo/tests/CMakeLists.txt;0;")
