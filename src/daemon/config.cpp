@@ -155,6 +155,12 @@ Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
   if (auto timeout = IntervalUsParam(args, "timeout")) {
     config.request_timeout = *timeout;
   }
+  if (auto min_backoff = IntervalUsParam(args, "reconnect_min")) {
+    config.reconnect_min_backoff = *min_backoff;
+  }
+  if (auto max_backoff = IntervalUsParam(args, "reconnect_max")) {
+    config.reconnect_max_backoff = *max_backoff;
+  }
   if (auto it = args.find("sets"); it != args.end()) {
     for (auto inst : Split(it->second, ',')) {
       if (!inst.empty()) config.set_instances.emplace_back(inst);

@@ -24,9 +24,12 @@ std::size_t FailoverWatchdog::Poll() {
     state.triggered = true;
     ++triggered_now;
     failovers_.fetch_add(1, std::memory_order_relaxed);
-    for (const auto& producer : state.rule.standby_producers) {
-      (void)state.rule.standby_daemon->ActivateStandby(producer);
+    if (state.rule.standby_daemon != nullptr) {
+      for (const auto& producer : state.rule.standby_producers) {
+        (void)state.rule.standby_daemon->ActivateStandby(producer);
+      }
     }
+    if (state.rule.on_failure) state.rule.on_failure();
   }
   return triggered_now;
 }

@@ -20,10 +20,15 @@ namespace ldmsxx {
 struct FailoverRule {
   /// Returns true while the primary aggregator is healthy.
   std::function<bool()> primary_alive;
-  /// Aggregator holding the standby connections.
+  /// Aggregator holding the standby connections; may be null when
+  /// on_failure performs the activation instead.
   Ldmsd* standby_daemon = nullptr;
   /// Standby producer names on @p standby_daemon to activate on failure.
   std::vector<std::string> standby_producers;
+  /// Invoked on trigger (after any standby_producers activation). Test
+  /// harnesses use this to re-resolve daemons that may have been restarted
+  /// since the rule was installed, instead of holding a raw pointer.
+  std::function<void()> on_failure;
   /// Consecutive failed polls required before declaring the primary dead.
   std::uint64_t failure_threshold = 2;
 };

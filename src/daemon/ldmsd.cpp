@@ -1,5 +1,6 @@
 #include "daemon/ldmsd.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 
@@ -11,6 +12,17 @@ std::uint64_t NowSteadyNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// FNV-1a, used to seed a producer's jitter stream from its name so the
+/// sequence is stable across runs (std::hash makes no such promise).
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -164,6 +176,7 @@ Status Ldmsd::AddProducer(const ProducerConfig& config) {
   auto producer = std::make_shared<Producer>();
   producer->config = config;
   producer->active = !config.standby;
+  producer->jitter_rng = Rng(HashName(config.name));
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     auto [it, inserted] = producers_.emplace(config.name, producer);
@@ -243,7 +256,24 @@ Ldmsd::ProducerStatus Ldmsd::producer_status(
   status.active = producer->active;
   status.consecutive_failures = producer->consecutive_failures;
   status.sets_ready = producer->mirrors.size();
+  status.reconnects = producer->reconnects;
+  status.current_backoff = producer->backoff;
   return status;
+}
+
+void Ldmsd::ScheduleReconnect(Producer& producer) {
+  const DurationNs min_backoff = producer.config.reconnect_min_backoff;
+  if (min_backoff == 0) return;  // gating disabled: retry every cycle
+  const DurationNs max_backoff =
+      std::max(producer.config.reconnect_max_backoff, min_backoff);
+  producer.backoff = producer.backoff == 0
+                         ? min_backoff
+                         : std::min(producer.backoff * 2, max_backoff);
+  // ±25% jitter so many aggregators hammering one restarted peer spread out.
+  const double jitter = 0.75 + 0.5 * producer.jitter_rng.NextDouble();
+  producer.next_connect_attempt =
+      clock_->Now() +
+      static_cast<DurationNs>(static_cast<double>(producer.backoff) * jitter);
 }
 
 void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
@@ -256,8 +286,10 @@ void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
   if (!st.ok()) {
     counters_.connects_failed.fetch_add(1, std::memory_order_relaxed);
     ++producer->consecutive_failures;
+    ScheduleReconnect(*producer);
     log_.Debug("connect to ", producer->config.name, " failed: ",
-               st.ToString());
+               st.ToString(), "; next attempt in ",
+               producer->backoff / kNsPerMs, "ms");
     return;
   }
   producer->endpoint = std::move(endpoint);
@@ -265,6 +297,14 @@ void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
     producer->endpoint->set_request_timeout(producer->config.request_timeout);
   }
   producer->connected = true;
+  producer->backoff = 0;
+  producer->next_connect_attempt = 0;
+  if (producer->ever_connected) {
+    ++producer->reconnects;
+    counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    log_.Info("producer ", producer->config.name, " reconnected");
+  }
+  producer->ever_connected = true;
   counters_.connects_ok.fetch_add(1, std::memory_order_relaxed);
   Status lst = LookupSets(*producer);
   if (!lst.ok()) {
@@ -313,10 +353,28 @@ Status Ldmsd::LookupSets(Producer& producer) {
 void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
   Producer& producer = *producer_ptr;
   bool need_connect = false;
+  bool pull = true;
   {
     std::lock_guard<std::mutex> lock(producer.mu);
-    if (!producer.active) return;
+    // Inactive standby producers keep their connection warm (connect +
+    // lookup, §IV-B fast failover) but never pull; other inactive producers
+    // are fully idle.
+    if (!producer.active && !producer.config.standby) return;
+    pull = producer.active;
+    // A warm standby never pulls, so a dead peer would go unnoticed until
+    // failover; probe the endpoint's liveness so it re-warms promptly.
+    if (!pull && producer.connected && producer.endpoint != nullptr &&
+        !producer.endpoint->connected()) {
+      producer.connected = false;
+      producer.endpoint.reset();
+      producer.backoff = 0;
+      producer.next_connect_attempt = 0;
+    }
     if (!producer.connected && !producer.connecting) {
+      if (clock_->Now() < producer.next_connect_attempt) {
+        counters_.backoff_deferrals.fetch_add(1, std::memory_order_relaxed);
+        return;  // still inside the reconnect backoff window
+      }
       producer.connecting = true;
       need_connect = true;
     }
@@ -331,6 +389,7 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
     }
     ConnectProducer(producer_ptr);  // inline (deterministic simulations)
   }
+  if (!pull) return;  // standby: connection warmed, nothing to collect
 
   std::lock_guard<std::mutex> lock(producer.mu);
   if (!producer.connected) return;
@@ -417,6 +476,11 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
   if (disconnected) {
     producer.connected = false;
     producer.endpoint.reset();
+    // The drop itself does not impose backoff — the peer may just have
+    // restarted — so the next cycle reconnects immediately; backoff grows
+    // only if that connect attempt fails.
+    producer.backoff = 0;
+    producer.next_connect_attempt = 0;
     log_.Warn("producer ", producer.config.name, " disconnected");
   }
   for (const auto& instance : stale_mirrors) {

@@ -31,6 +31,7 @@
 #include "transport/registry.hpp"
 #include "transport/transport.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace ldmsxx {
 
@@ -82,6 +83,14 @@ struct ProducerConfig {
   /// completes updates with kTimeout instead of wedging a collection thread.
   /// 0 = the transport's default (kDefaultRequestTimeoutNs).
   DurationNs request_timeout = 0;
+  /// Reconnect backoff after *failed connect attempts*: exponential doubling
+  /// from min to max with deterministic ±25% jitter (seeded per producer, so
+  /// a herd of aggregators reconnecting to one restarted peer de-
+  /// synchronizes reproducibly). A detected disconnect itself retries on the
+  /// next cycle; backoff only grows while the peer stays unreachable.
+  /// min = 0 disables gating entirely (retry every collection cycle).
+  DurationNs reconnect_min_backoff = 50 * kNsPerMs;
+  DurationNs reconnect_max_backoff = 2 * kNsPerSec;
   /// Set instances to collect; empty = discover all via dir().
   std::vector<std::string> set_instances;
   /// Standby connections are established (connect + lookup) but not pulled
@@ -115,6 +124,12 @@ class Ldmsd final : public ServiceHandler {
     std::atomic<std::uint64_t> store_ns{0};
     std::atomic<std::uint64_t> connects_ok{0};
     std::atomic<std::uint64_t> connects_failed{0};
+    /// Successful re-establishments of a producer connection that had been
+    /// up before (surfaced alongside skipped_firings for churn visibility).
+    std::atomic<std::uint64_t> reconnects{0};
+    /// Collection cycles that skipped a connect attempt because the
+    /// producer's reconnect backoff window had not yet elapsed.
+    std::atomic<std::uint64_t> backoff_deferrals{0};
   };
 
   /// Health of one producer connection.
@@ -124,6 +139,10 @@ class Ldmsd final : public ServiceHandler {
     bool active = false;  // standby producers are inactive until failover
     std::uint64_t consecutive_failures = 0;
     std::uint64_t sets_ready = 0;
+    /// Times this producer's connection was re-established after a drop.
+    std::uint64_t reconnects = 0;
+    /// Current backoff span; 0 when the last connect succeeded.
+    DurationNs current_backoff = 0;
   };
 
   explicit Ldmsd(LdmsdOptions options);
@@ -222,6 +241,16 @@ class Ldmsd final : public ServiceHandler {
     /// up on the next cycle.
     bool need_lookup = false;
     std::uint64_t consecutive_failures = 0;
+    /// True once a connect has ever succeeded; distinguishes reconnects
+    /// from the first connection for the reconnect counters.
+    bool ever_connected = false;
+    std::uint64_t reconnects = 0;
+    /// Current exponential backoff span (0 = none) and the earliest time the
+    /// next connect attempt may run.
+    DurationNs backoff = 0;
+    TimeNs next_connect_attempt = 0;
+    /// Deterministic jitter stream, seeded from the producer name.
+    Rng jitter_rng{0};
     TimerScheduler::TaskId task = 0;
     std::mutex mu;  // guards all mutable state above
   };
@@ -229,6 +258,8 @@ class Ldmsd final : public ServiceHandler {
   void SampleOnce(SamplerEntry& entry);
   void CollectCycle(const std::shared_ptr<Producer>& producer);
   void ConnectProducer(const std::shared_ptr<Producer>& producer);
+  /// Grow the backoff window after a failed connect; caller holds producer.mu.
+  void ScheduleReconnect(Producer& producer);
   Status LookupSets(Producer& producer);  // caller holds producer.mu
   void StoreMirror(const MirrorEntry& mirror);
 

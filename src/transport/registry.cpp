@@ -1,5 +1,6 @@
 #include "transport/registry.hpp"
 
+#include "transport/fault_transport.hpp"
 #include "transport/local_transport.hpp"
 #include "transport/rdma_transport.hpp"
 #include "transport/sock_transport.hpp"
@@ -26,6 +27,12 @@ TransportRegistry& TransportRegistry::Default() {
     registry.Add(std::make_shared<SockTransport>());
     registry.Add(RdmaSimTransport::Infiniband());
     registry.Add(RdmaSimTransport::Gemini());
+    // Fault-injection decorator over local, disarmed (pure passthrough)
+    // until a test arms its schedule; chaos harnesses usually build private
+    // registries instead, but "fault" is resolvable out of the box.
+    registry.Add(std::make_shared<FaultInjectingTransport>(
+        std::make_shared<LocalTransport>(), std::make_shared<FaultSchedule>(),
+        "fault"));
     return true;
   }();
   (void)init;

@@ -22,7 +22,7 @@ class TransportRegistry {
   std::shared_ptr<Transport> Get(const std::string& name) const;
 
   /// Registry preloaded with local, sock, rdma, and ugni transports over the
-  /// process-wide fabric.
+  /// process-wide fabric, plus a disarmed "fault" decorator around local.
   static TransportRegistry& Default();
 
  private:

@@ -1,0 +1,271 @@
+#include "harness/mini_cluster.hpp"
+
+#include <algorithm>
+
+#include "core/schema.hpp"
+#include "transport/local_transport.hpp"
+
+namespace ldmsxx::harness {
+namespace {
+
+/// Minimal deterministic sampler: every Sample() writes the same sequence
+/// number into every metric of its "chaos" set, so a torn or corrupted
+/// apply is visible as a row whose values disagree.
+class CounterSampler final : public SamplerPlugin {
+ public:
+  explicit CounterSampler(std::size_t metrics)
+      : metrics_(std::max<std::size_t>(1, metrics)) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Init(MemManager& mem, SetRegistry& sets,
+              const PluginParams& params) override {
+    auto producer_it = params.find("producer");
+    const std::string producer =
+        producer_it != params.end() ? producer_it->second : "node";
+    Schema schema("chaos");
+    schema.AddMetric("seq", MetricType::kU64);
+    for (std::size_t i = 1; i < metrics_; ++i) {
+      schema.AddMetric("pad" + std::to_string(i), MetricType::kU64);
+    }
+    Status st;
+    set_ = MetricSet::Create(mem, schema, producer + "/chaos", producer, 1,
+                             &st);
+    if (set_ == nullptr) return st;
+    return sets.Add(set_);
+  }
+
+  Status Sample(TimeNs now) override {
+    set_->BeginTransaction();
+    for (std::size_t i = 0; i < metrics_; ++i) set_->SetU64(i, seq_);
+    set_->EndTransaction(now);
+    ++seq_;
+    return Status::Ok();
+  }
+
+  std::vector<MetricSetPtr> Sets() const override { return {set_}; }
+
+ private:
+  std::string name_ = "chaos";
+  std::size_t metrics_;
+  std::uint64_t seq_ = 0;
+  MetricSetPtr set_;
+};
+
+}  // namespace
+
+MiniCluster::MiniCluster(const MiniClusterOptions& options)
+    : options_(options),
+      schedule_(std::make_shared<FaultSchedule>(options.seed, options.faults)),
+      watchdog_(options.watchdog_interval),
+      next_watchdog_poll_(options.watchdog_interval) {
+  registry_.Add(std::make_shared<FaultInjectingTransport>(
+      std::make_shared<LocalTransport>(&fabric_), schedule_, "fault"));
+
+  samplers_.resize(options_.samplers);
+  for (std::size_t i = 0; i < options_.samplers; ++i) {
+    samplers_[i].daemon = MakeSampler(i);
+  }
+  aggregators_.resize(options_.aggregators + (options_.standby ? 1 : 0));
+  for (std::size_t j = 0; j < options_.aggregators; ++j) {
+    aggregators_[j].store = std::make_shared<MemoryStore>();
+    aggregators_[j].daemon = MakeAggregator(j, false);
+  }
+  if (options_.standby) {
+    auto& slot = aggregators_.back();
+    slot.is_standby = true;
+    slot.store = std::make_shared<MemoryStore>();
+    slot.daemon = MakeAggregator(0, true);
+
+    FailoverRule rule;
+    rule.primary_alive = [this] {
+      return aggregators_.front().daemon != nullptr;
+    };
+    rule.failure_threshold = options_.failure_threshold;
+    rule.on_failure = [this] {
+      Ldmsd* daemon = aggregators_.back().daemon.get();
+      if (daemon == nullptr) return;
+      for (const std::size_t i : AssignedSamplers(0, true)) {
+        (void)daemon->ActivateStandby(sampler_name(i));
+      }
+    };
+    watchdog_.AddRule(std::move(rule));
+  }
+}
+
+MiniCluster::~MiniCluster() {
+  for (auto& slot : aggregators_) {
+    if (slot.daemon != nullptr) slot.daemon->Stop();
+  }
+  for (auto& slot : samplers_) {
+    if (slot.daemon != nullptr) slot.daemon->Stop();
+  }
+}
+
+std::string MiniCluster::sampler_name(std::size_t i) const {
+  return "node" + std::to_string(i);
+}
+
+std::string MiniCluster::SamplerAddress(std::size_t i) const {
+  return sampler_name(i) + "/listen";
+}
+
+Ldmsd* MiniCluster::standby() {
+  if (!options_.standby) return nullptr;
+  return aggregators_.back().daemon.get();
+}
+
+std::shared_ptr<MemoryStore> MiniCluster::standby_store() {
+  if (!options_.standby) return nullptr;
+  return aggregators_.back().store;
+}
+
+std::vector<std::size_t> MiniCluster::AssignedSamplers(
+    std::size_t index, bool is_standby) const {
+  const std::size_t shard = is_standby ? 0 : index;
+  std::vector<std::size_t> assigned;
+  for (std::size_t i = 0; i < options_.samplers; ++i) {
+    if (i % options_.aggregators == shard) assigned.push_back(i);
+  }
+  return assigned;
+}
+
+std::unique_ptr<Ldmsd> MiniCluster::MakeSampler(std::size_t i) {
+  LdmsdOptions opts;
+  opts.name = sampler_name(i);
+  opts.listen_transport = "fault";
+  opts.listen_address = SamplerAddress(i);
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  SamplerConfig sc;
+  sc.interval = options_.sample_interval;
+  Status st = daemon->AddSampler(
+      std::make_shared<CounterSampler>(options_.metrics_per_set), sc);
+  if (!st.ok()) return nullptr;
+  if (!daemon->Start().ok()) return nullptr;
+  return daemon;
+}
+
+std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
+                                                   bool is_standby) {
+  LdmsdOptions opts;
+  opts.name = is_standby ? "standby" : "agg" + std::to_string(index);
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  auto& slot = is_standby ? aggregators_.back() : aggregators_[index];
+  (void)daemon->AddStorePolicy({slot.store, "", ""});
+  for (const std::size_t i : AssignedSamplers(index, is_standby)) {
+    ProducerConfig pc;
+    pc.name = sampler_name(i);
+    pc.transport = "fault";
+    pc.address = SamplerAddress(i);
+    pc.interval = options_.collect_interval;
+    pc.reconnect_min_backoff = options_.reconnect_min_backoff;
+    pc.reconnect_max_backoff = options_.reconnect_max_backoff;
+    pc.standby = is_standby;
+    if (is_standby) pc.standby_for = "agg0";
+    if (!daemon->AddProducer(pc).ok()) return nullptr;
+  }
+  if (!daemon->Start().ok()) return nullptr;
+  return daemon;
+}
+
+void MiniCluster::Advance(DurationNs delta) {
+  const TimeNs target = clock_.Now() + delta;
+  constexpr TimeNs kIdle = ~TimeNs{0};
+  for (;;) {
+    TimeNs best = kIdle;
+    Ldmsd* owner = nullptr;
+    auto consider = [&](Ldmsd* daemon) {
+      if (daemon == nullptr) return;
+      const TimeNs deadline = daemon->scheduler().NextDeadline();
+      if (deadline < best) {
+        best = deadline;
+        owner = daemon;
+      }
+    };
+    for (auto& slot : samplers_) consider(slot.daemon.get());
+    for (auto& slot : aggregators_) consider(slot.daemon.get());
+
+    // Watchdog polls participate in the same timeline; on a tie the
+    // watchdog goes first (fixed order = determinism).
+    if (next_watchdog_poll_ <= target && next_watchdog_poll_ <= best) {
+      if (next_watchdog_poll_ > clock_.Now()) {
+        clock_.SetTime(next_watchdog_poll_);
+      }
+      watchdog_.Poll();
+      next_watchdog_poll_ += options_.watchdog_interval;
+      continue;
+    }
+    if (best == kIdle || best > target) break;
+    // Runs exactly the deadlines <= best for the owning daemon (stale heap
+    // entries from canceled tasks are dropped without running anything).
+    owner->RunUntil(clock_, best);
+  }
+  if (clock_.Now() < target) clock_.SetTime(target);
+}
+
+void MiniCluster::KillSampler(std::size_t i) {
+  auto& slot = samplers_.at(i);
+  if (slot.daemon == nullptr) return;
+  slot.daemon->Stop();
+  slot.daemon.reset();  // listener unregisters; peers now see kDisconnected
+}
+
+void MiniCluster::RestartSampler(std::size_t i) {
+  auto& slot = samplers_.at(i);
+  if (slot.daemon != nullptr) return;
+  slot.daemon = MakeSampler(i);
+}
+
+void MiniCluster::KillAggregator(std::size_t i) {
+  auto& slot = aggregators_.at(i);
+  if (slot.daemon == nullptr) return;
+  slot.daemon->Stop();
+  slot.daemon.reset();
+}
+
+void MiniCluster::RestartAggregator(std::size_t i) {
+  auto& slot = aggregators_.at(i);
+  if (slot.daemon != nullptr) return;
+  slot.daemon = MakeAggregator(slot.is_standby ? 0 : i, slot.is_standby);
+}
+
+MiniCluster::GapReport MiniCluster::DataGap(std::size_t i) const {
+  const std::string producer = sampler_name(i);
+  std::vector<TimeNs> stamps;
+  for (const auto& slot : aggregators_) {
+    if (slot.store == nullptr) continue;
+    for (const auto& row : slot.store->Rows("chaos")) {
+      if (row.producer == producer) stamps.push_back(row.timestamp);
+    }
+  }
+  std::sort(stamps.begin(), stamps.end());
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+  GapReport report;
+  report.rows = stamps.size();
+  for (std::size_t k = 1; k < stamps.size(); ++k) {
+    report.max_gap = std::max(report.max_gap, stamps[k] - stamps[k - 1]);
+  }
+  return report;
+}
+
+std::size_t MiniCluster::StoredRows() const {
+  std::size_t rows = 0;
+  for (const auto& slot : aggregators_) {
+    if (slot.store != nullptr) rows += slot.store->RowCount("chaos");
+  }
+  return rows;
+}
+
+}  // namespace ldmsxx::harness

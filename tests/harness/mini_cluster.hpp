@@ -1,0 +1,148 @@
+// In-process mini cluster: N sampler daemons + M aggregators (plus an
+// optional standby aggregator wired to a FailoverWatchdog) over a private
+// in-process fabric, every connection routed through a seeded
+// FaultInjectingTransport. All daemons share one SimClock and run with
+// inline pools (worker/connection/store threads = 0), so Advance() is a
+// deterministic global event loop: the same seed and the same sequence of
+// harness calls replay the exact same interleaving of samples, collections,
+// faults, and failovers. This is the substrate the chaos suite (and future
+// robustness/scale PRs) test against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/failover.hpp"
+#include "daemon/ldmsd.hpp"
+#include "store/memory_store.hpp"
+#include "transport/fabric.hpp"
+#include "transport/fault_transport.hpp"
+#include "util/clock.hpp"
+
+namespace ldmsxx::harness {
+
+struct MiniClusterOptions {
+  std::size_t samplers = 2;
+  /// Primary aggregators; sampler i is collected by aggregator i % M.
+  std::size_t aggregators = 1;
+  /// Add a standby aggregator mirroring aggregator 0's producers (standby
+  /// connections warm but idle until the watchdog fails over, §IV-B).
+  bool standby = false;
+  DurationNs sample_interval = 100 * kNsPerMs;
+  DurationNs collect_interval = 100 * kNsPerMs;
+  DurationNs reconnect_min_backoff = 10 * kNsPerMs;
+  DurationNs reconnect_max_backoff = 400 * kNsPerMs;
+  /// Seed for the fault schedule (and nothing else; daemon jitter streams
+  /// are seeded from producer names).
+  std::uint64_t seed = 1;
+  /// Initial fault probabilities; all-zero = no faults until the test arms
+  /// them via faults().
+  FaultSchedule::Probabilities faults = {};
+  /// Watchdog poll cadence and consecutive-failure threshold.
+  DurationNs watchdog_interval = 250 * kNsPerMs;
+  std::uint64_t failure_threshold = 2;
+  /// Metrics per sampler set ("seq" plus padding, all written with the same
+  /// sequence value so torn applies are detectable).
+  std::size_t metrics_per_set = 8;
+};
+
+class MiniCluster {
+ public:
+  explicit MiniCluster(const MiniClusterOptions& options);
+  ~MiniCluster();
+
+  MiniCluster(const MiniCluster&) = delete;
+  MiniCluster& operator=(const MiniCluster&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  std::size_t sampler_count() const { return samplers_.size(); }
+  std::size_t aggregator_count() const { return aggregators_.size(); }
+  /// Name a sampler daemon announces its sets under ("node<i>").
+  std::string sampler_name(std::size_t i) const;
+  Ldmsd& sampler(std::size_t i) { return *samplers_.at(i).daemon; }
+  Ldmsd& aggregator(std::size_t i) { return *aggregators_.at(i).daemon; }
+  /// The standby aggregator, or nullptr when not configured.
+  Ldmsd* standby();
+  std::shared_ptr<MemoryStore> store(std::size_t aggregator_index) {
+    return aggregators_.at(aggregator_index).store;
+  }
+  std::shared_ptr<MemoryStore> standby_store();
+
+  SimClock& clock() { return clock_; }
+  FaultSchedule& faults() { return *schedule_; }
+  FailoverWatchdog& watchdog() { return watchdog_; }
+
+  bool sampler_alive(std::size_t i) const {
+    return samplers_.at(i).daemon != nullptr;
+  }
+  bool aggregator_alive(std::size_t i) const {
+    return aggregators_.at(i).daemon != nullptr;
+  }
+
+  // --- deterministic drive ------------------------------------------------
+
+  /// Advance simulated time by @p delta, firing every daemon scheduler
+  /// deadline and watchdog poll in global timestamp order (ties broken by
+  /// watchdog first, then daemon creation order). Fully deterministic.
+  void Advance(DurationNs delta);
+
+  // --- chaos helpers ------------------------------------------------------
+
+  /// Tear a daemon down (its listener vanishes; peers see kDisconnected).
+  void KillSampler(std::size_t i);
+  void KillAggregator(std::size_t i);
+  /// Bring a previously killed daemon back with the same name, address, and
+  /// plugin/producer wiring. Aggregators keep their MemoryStore, so stored
+  /// history spans the restart.
+  void RestartSampler(std::size_t i);
+  void RestartAggregator(std::size_t i);
+
+  // --- assertions ---------------------------------------------------------
+
+  struct GapReport {
+    /// Unique stored sample timestamps observed for the producer.
+    std::size_t rows = 0;
+    /// Largest spacing between consecutive stored samples.
+    DurationNs max_gap = 0;
+  };
+  /// Per-set data-gap bound for sampler @p i, measured over the union of all
+  /// aggregator stores (primary + standby, deduplicated by timestamp).
+  GapReport DataGap(std::size_t i) const;
+
+  /// Total "chaos"-schema rows across every store.
+  std::size_t StoredRows() const;
+
+ private:
+  struct SamplerSlot {
+    std::unique_ptr<Ldmsd> daemon;
+  };
+  struct AggregatorSlot {
+    std::unique_ptr<Ldmsd> daemon;
+    std::shared_ptr<MemoryStore> store;
+    bool is_standby = false;
+  };
+
+  std::string SamplerAddress(std::size_t i) const;
+  std::unique_ptr<Ldmsd> MakeSampler(std::size_t i);
+  std::unique_ptr<Ldmsd> MakeAggregator(std::size_t index, bool is_standby);
+  /// Samplers assigned to primary aggregator @p index (i % M == index);
+  /// the standby mirrors aggregator 0's assignment.
+  std::vector<std::size_t> AssignedSamplers(std::size_t index,
+                                            bool is_standby) const;
+
+  MiniClusterOptions options_;
+  SimClock clock_{0};
+  // Declared before the daemons so endpoints/listeners die first.
+  Fabric fabric_;
+  std::shared_ptr<FaultSchedule> schedule_;
+  TransportRegistry registry_;
+  FailoverWatchdog watchdog_;
+  TimeNs next_watchdog_poll_ = 0;
+
+  std::vector<SamplerSlot> samplers_;
+  std::vector<AggregatorSlot> aggregators_;  // standby last, when present
+};
+
+}  // namespace ldmsxx::harness

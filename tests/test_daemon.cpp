@@ -352,6 +352,83 @@ TEST(LdmsdTest, SockProducerPipelinesManySetsOnOneConnection) {
   sampler.Stop();
 }
 
+// Minimal plugin whose first @p overruns samples each "take" 2.5 intervals
+// (it advances the shared SimClock); later samples are instantaneous.
+class OverrunSampler final : public SamplerPlugin {
+ public:
+  OverrunSampler(SimClock* clock, int overruns)
+      : clock_(clock), overruns_(overruns) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Init(MemManager& mem, SetRegistry& sets,
+              const PluginParams& params) override {
+    (void)params;
+    Schema schema("overrun");
+    schema.AddMetric("v", MetricType::kU64);
+    Status st;
+    set_ = MetricSet::Create(mem, schema, "slow/overrun", "slow", 1, &st);
+    if (set_ == nullptr) return st;
+    return sets.Add(set_);
+  }
+
+  Status Sample(TimeNs now) override {
+    fired.push_back(now);
+    set_->BeginTransaction();
+    set_->SetU64(0, fired.size());
+    set_->EndTransaction(now);
+    if (overruns_ > 0) {
+      --overruns_;
+      clock_->SetTime(clock_->Now() + 25 * kNsPerSec);
+    }
+    return Status::Ok();
+  }
+
+  std::vector<MetricSetPtr> Sets() const override { return {set_}; }
+
+  std::vector<TimeNs> fired;
+
+ private:
+  std::string name_ = "overrun";
+  SimClock* clock_;
+  int overruns_;
+  MetricSetPtr set_;
+};
+
+TEST(LdmsdTest, SlowSamplerSurfacesSkippedFiringsAndResynchronizes) {
+  // Regression for the daemon-level surfacing of the scheduler's
+  // skipped-firing counters: a sampler that outruns its interval must show
+  // the bypassed firings in skipped_firings(), and sampling must fall back
+  // into step on the original grid once the plugin speeds up.
+  SimClock clock(0);
+  LdmsdOptions opts;
+  opts.name = "slow";
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.clock = &clock;
+  opts.log_level = LogLevel::kOff;
+  Ldmsd daemon(opts);
+  auto plugin = std::make_shared<OverrunSampler>(&clock, 2);
+  SamplerConfig sc;
+  sc.interval = 10 * kNsPerSec;
+  ASSERT_TRUE(daemon.AddSampler(plugin, sc).ok());
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_EQ(daemon.skipped_firings(), 0u);
+
+  daemon.RunUntil(clock, 100 * kNsPerSec);
+
+  // Fires at 10 (runs until 35; 20 and 30 bypassed) and 40 (runs until 65;
+  // 50 and 60 bypassed), then resynchronizes: 70, 80, 90, 100.
+  const std::vector<TimeNs> expected = {10 * kNsPerSec, 40 * kNsPerSec,
+                                        70 * kNsPerSec, 80 * kNsPerSec,
+                                        90 * kNsPerSec, 100 * kNsPerSec};
+  EXPECT_EQ(plugin->fired, expected);
+  EXPECT_EQ(daemon.skipped_firings(), 4u);
+  EXPECT_EQ(daemon.counters().samples.load(), 6u);
+  daemon.Stop();
+}
+
 TEST(LdmsdTest, ListenOnUnknownTransportFails) {
   LdmsdOptions opts;
   opts.name = "bad";

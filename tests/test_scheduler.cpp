@@ -133,6 +133,38 @@ TEST(SchedulerSimTest, SlowSyncTaskSkipsMissedFiringsKeepingAlignment) {
   EXPECT_EQ(scheduler.skipped_total(), 4u);
 }
 
+TEST(SchedulerSimTest, AsyncOverrunSkipsAndResynchronizesInterval) {
+  // Regression for the skipped-firing counters: an async task whose
+  // execution overruns its interval must count every bypassed deadline and,
+  // once it speeds back up, resume firing on the original 10 s grid rather
+  // than drifting by the overrun amount.
+  SimClock clock(0);
+  TimerScheduler scheduler(clock, nullptr);
+  std::vector<TimeNs> fired;
+  int slow_runs = 2;
+  TimerScheduler::TaskOptions opts;
+  opts.interval = 10 * kNsPerSec;
+  auto id = scheduler.Schedule(
+      [&] {
+        fired.push_back(clock.Now());
+        if (slow_runs > 0) {
+          --slow_runs;
+          clock.SetTime(clock.Now() + 25 * kNsPerSec);  // 2.5 intervals of work
+        }
+      },
+      opts);
+  scheduler.RunUntil(clock, 100 * kNsPerSec);
+
+  // Fires at 10 (works until 35; 20 and 30 bypassed), 40 (works until 65;
+  // 50 and 60 bypassed), then back in step: 70, 80, 90, 100.
+  const std::vector<TimeNs> expected = {10 * kNsPerSec, 40 * kNsPerSec,
+                                        70 * kNsPerSec, 80 * kNsPerSec,
+                                        90 * kNsPerSec, 100 * kNsPerSec};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(scheduler.skipped_count(id), 4u);
+  EXPECT_EQ(scheduler.skipped_total(), 4u);
+}
+
 TEST(SchedulerRealTest, RealMatchesSimDeadlineSequenceForSlowSyncTask) {
   // The acceptance property for simulation fidelity: a synchronous task
   // with an offset whose execution outlasts its interval produces the SAME
