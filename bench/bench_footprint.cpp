@@ -251,7 +251,7 @@ void StorageVolume() {
     (void)sampler.Sample(static_cast<TimeNs>(i) * kNsPerSec);
     (void)store.StoreSet(*sampler.Sets().front());
   }
-  store.Flush();
+  (void)store.Flush();
   const double bytes_per_row =
       static_cast<double>(store.bytes_written()) / 100.0;
   // Chama: 1296 nodes, 20 s interval -> 4320 rows/node/day.
@@ -273,7 +273,7 @@ void StorageVolume() {
     (void)bw_sampler.Sample(static_cast<TimeNs>(i) * kNsPerSec);
     (void)bw_store.StoreSet(*bw_sampler.Sets().front());
   }
-  bw_store.Flush();
+  (void)bw_store.Flush();
   const double bw_bytes_per_row =
       static_cast<double>(bw_store.bytes_written()) / 100.0;
   const double bw_day = bw_bytes_per_row * 27648.0 * 1440.0 / 1e9;

@@ -1,0 +1,230 @@
+// Storage-path overload: bounded store queues + circuit breaker under a slow
+// or dead disk. Measures (a) shed rate, queue depth, and p99 StoreSet latency
+// as the storage fan-in (sets stored per cycle) outruns a slow disk, and
+// (b) how much a tripped breaker shrinks the cost of a dead store versus
+// hammering it with doomed writes. The queue keeps aggregator memory bounded
+// (at most queue_capacity samples wait) while collection proceeds at full
+// rate — the paper's storer-pool isolation (§IV-B) made safe under overload.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "daemon/ldmsd.hpp"
+#include "store/memory_store.hpp"
+#include "store/store.hpp"
+
+namespace ldmsxx::bench {
+namespace {
+
+/// Memory store with a fixed per-write stall (models a slow disk) that
+/// records every StoreSet duration for percentile reporting.
+class SlowStore final : public Store {
+ public:
+  explicit SlowStore(DurationNs write_cost) : write_cost_(write_cost) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status StoreSet(const MetricSet& set) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (write_cost_ > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(write_cost_));
+    }
+    const Status st = inner_.StoreSet(set);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    std::lock_guard<std::mutex> lock(mu_);
+    latencies_ns_.push_back(static_cast<std::uint64_t>(ns));
+    return st;
+  }
+
+  std::uint64_t writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latencies_ns_.size();
+  }
+
+  double PercentileUs(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (latencies_ns_.empty()) return 0.0;
+    std::vector<std::uint64_t> sorted = latencies_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return static_cast<double>(sorted[idx]) / 1e3;
+  }
+
+ private:
+  std::string name_ = "store_slow";
+  DurationNs write_cost_;
+  MemoryStore inner_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> latencies_ns_;
+};
+
+/// Store whose every write fails after a small delay (a dying disk whose
+/// syscalls error out slowly — the worst case for a storer thread).
+class DeadStore final : public Store {
+ public:
+  explicit DeadStore(DurationNs fail_cost) : fail_cost_(fail_cost) {}
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet&) override {
+    if (fail_cost_ > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(fail_cost_));
+    }
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    CountFailedRow();
+    return {ErrorCode::kInternal, "dead disk"};
+  }
+  std::uint64_t attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_ = "store_dead";
+  DurationNs fail_cost_;
+  std::atomic<std::uint64_t> attempts_{0};
+};
+
+/// One "producer" worth of sets, bumped once per cycle.
+std::vector<MetricSetPtr> MakeSets(MemManager& mem, std::size_t count) {
+  Schema schema("overload");
+  for (int m = 0; m < 8; ++m) {
+    schema.AddMetric("m" + std::to_string(m), MetricType::kU64);
+  }
+  std::vector<MetricSetPtr> sets;
+  sets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Status st;
+    auto set = MetricSet::Create(mem, schema,
+                                 "node" + std::to_string(i) + "/overload",
+                                 "node" + std::to_string(i), i, &st);
+    if (set == nullptr) break;
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+void Bump(std::vector<MetricSetPtr>& sets, std::uint64_t tick) {
+  for (auto& set : sets) {
+    set->BeginTransaction();
+    for (std::size_t m = 0; m < set->schema().metric_count(); ++m) {
+      set->SetU64(m, tick);
+    }
+    set->EndTransaction(static_cast<TimeNs>(tick) * kNsPerMs);
+  }
+}
+
+void MeasureFanin(std::size_t fanin, std::size_t cycles,
+                  DurationNs write_cost) {
+  MemManager mem(256 << 20);
+  auto sets = MakeSets(mem, fanin);
+  auto store = std::make_shared<SlowStore>(write_cost);
+
+  LdmsdOptions opts;
+  opts.name = "overload-agg";
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 1;
+  opts.log_level = LogLevel::kOff;
+  Ldmsd daemon(opts);
+  StorePolicy policy(store);
+  policy.name = "slow";
+  policy.queue_capacity = 1024;
+  policy.shed_policy = ShedPolicy::kDropOldest;
+  policy.breaker_threshold = 0;  // this axis isolates the queue
+  (void)daemon.AddStorePolicy(std::move(policy));
+  (void)daemon.Start();
+
+  const double submit_s = TimeSeconds([&] {
+    for (std::size_t c = 0; c < cycles; ++c) {
+      Bump(sets, c + 1);
+      for (const auto& set : sets) daemon.StoreLocalSet(set);
+    }
+  });
+  const auto status = daemon.store_policy_status("slow");
+  daemon.Stop();  // drains the queued tail inline
+
+  const double submitted = static_cast<double>(fanin * cycles);
+  const double shed_pct =
+      100.0 * static_cast<double>(status.shed_samples) / submitted;
+  MeasuredRow(
+      "fan-in %5zu x %zu cycles: submit %6.1f ms, shed %5.1f%%, "
+      "high-water %4zu, p50 %6.1f us, p99 %7.1f us (%llu writes)",
+      fanin, cycles, submit_s * 1e3, shed_pct, status.queue_high_water,
+      store->PercentileUs(0.50), store->PercentileUs(0.99),
+      static_cast<unsigned long long>(store->writes()));
+}
+
+void MeasureBreaker(bool enabled, std::size_t submits) {
+  MemManager mem(16 << 20);
+  auto sets = MakeSets(mem, 1);
+  auto store = std::make_shared<DeadStore>(10 * kNsPerUs);
+
+  LdmsdOptions opts;
+  opts.name = "dead-agg";
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;  // inline: every burned attempt costs the caller
+  opts.log_level = LogLevel::kOff;
+  Ldmsd daemon(opts);
+  StorePolicy policy(store);
+  policy.name = "dead";
+  policy.breaker_threshold = enabled ? 5 : 0;
+  policy.breaker_min_backoff = 100 * kNsPerMs;
+  policy.breaker_max_backoff = 10 * kNsPerSec;
+  (void)daemon.AddStorePolicy(std::move(policy));
+
+  const double elapsed_s = TimeSeconds([&] {
+    for (std::size_t c = 0; c < submits; ++c) {
+      Bump(sets, c + 1);
+      daemon.StoreLocalSet(sets[0]);
+    }
+  });
+  const auto status = daemon.store_policy_status("dead");
+  MeasuredRow(
+      "breaker %-3s: %zu samples against a dead disk in %7.1f ms "
+      "(%llu write attempts burned, %llu shed, %llu trips)",
+      enabled ? "on" : "off", submits, elapsed_s * 1e3,
+      static_cast<unsigned long long>(store->attempts()),
+      static_cast<unsigned long long>(status.shed_samples),
+      static_cast<unsigned long long>(status.breaker_trips));
+}
+
+}  // namespace
+}  // namespace ldmsxx::bench
+
+int main() {
+  using namespace ldmsxx;
+  using namespace ldmsxx::bench;
+
+  Banner("T-overload/queue",
+         "bounded store queue under fan-in that outruns a slow disk");
+  PaperRow("n/a — robustness hardening; paper assumes the store keeps up");
+  const DurationNs write_cost = 20 * kNsPerUs;  // ~50k writes/s disk
+  for (const std::size_t fanin : {64u, 256u, 1024u, 4096u}) {
+    MeasureFanin(fanin, /*cycles=*/16, write_cost);
+  }
+  NoteRow("disk model: %llu us per write; queue capacity 1024, drop_oldest.",
+          static_cast<unsigned long long>(write_cost / kNsPerUs));
+  NoteRow("shed rate climbs with fan-in while high-water stays pinned at the");
+  NoteRow("cap: aggregator memory is bounded no matter how far the disk lags.");
+
+  Banner("T-overload/breaker",
+         "circuit breaker against a dead disk (10 us failing writes)");
+  PaperRow("n/a — robustness hardening; see DESIGN.md breaker section");
+  MeasureBreaker(/*enabled=*/false, /*submits=*/20000);
+  MeasureBreaker(/*enabled=*/true, /*submits=*/20000);
+  NoteRow("breaker on: after 5 consecutive failures the policy quarantines");
+  NoteRow("and sheds at memory speed; attempts collapse from every sample to");
+  NoteRow("a handful of half-open probes, and the shed gap is accounted.");
+  return 0;
+}

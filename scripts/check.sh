@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Resilience gate: build every preset and run the deterministic
+# chaos/overload suites under it. The default preset additionally runs the
+# full tier-1 test list. Usage: scripts/check.sh [preset...]
+#   scripts/check.sh              # default + tsan + asan
+#   scripts/check.sh tsan         # just one preset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default tsan asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure + build"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$(nproc)"
+  if [ "$preset" = default ]; then
+    echo "==> [$preset] full test suite"
+    ctest --preset "$preset" --output-on-failure
+  else
+    # Sanitizer presets focus on the concurrency-heavy fault suites (the
+    # preset's own filter applies on top of the label selection).
+    echo "==> [$preset] chaos + overload suites"
+    ctest --preset "$preset" --output-on-failure -L 'chaos|overload'
+  fi
+done
+echo "==> all presets green"

@@ -31,6 +31,11 @@ ConfigProcessor::ConfigProcessor(Ldmsd& daemon, PluginRegistry* registry)
       registry_(registry != nullptr ? registry : &PluginRegistry::Instance()) {}
 
 Status ConfigProcessor::Execute(std::string_view line) {
+  return Execute(line, nullptr);
+}
+
+Status ConfigProcessor::Execute(std::string_view line, std::string* output) {
+  if (output != nullptr) output->clear();
   line = Trim(line);
   if (line.empty() || line.front() == '#') return Status::Ok();
   auto kvs = ParseKeyValues(line);
@@ -45,6 +50,14 @@ Status ConfigProcessor::Execute(std::string_view line) {
   if (verb == "interval") return CmdInterval(args);
   if (verb == "prdcr_add") return CmdPrdcrAdd(args);
   if (verb == "strgp_add") return CmdStrgpAdd(args);
+  if (verb == "strgp_status") {
+    std::string local;
+    return CmdStrgpStatus(args, output != nullptr ? output : &local);
+  }
+  if (verb == "counters") {
+    std::string local;
+    return CmdCounters(output != nullptr ? output : &local);
+  }
   return {ErrorCode::kInvalidArgument, "unknown command: " + verb};
 }
 
@@ -185,11 +198,84 @@ Status ConfigProcessor::CmdStrgpAdd(const PluginParams& args) {
   }
   StorePolicy policy;
   policy.store = std::move(store);
+  if (auto it = args.find("name"); it != args.end()) policy.name = it->second;
   if (auto it = args.find("schema"); it != args.end())
     policy.schema_filter = it->second;
   if (auto it = args.find("producer"); it != args.end())
     policy.producer_filter = it->second;
+  if (auto it = args.find("queue"); it != args.end()) {
+    auto n = ParseU64(it->second);
+    if (!n) return {ErrorCode::kInvalidArgument, "bad queue=" + it->second};
+    policy.queue_capacity = static_cast<std::size_t>(*n);
+  }
+  if (auto it = args.find("shed"); it != args.end()) {
+    if (!ParseShedPolicy(it->second, &policy.shed_policy)) {
+      return {ErrorCode::kInvalidArgument, "bad shed=" + it->second};
+    }
+  }
+  if (auto it = args.find("breaker_k"); it != args.end()) {
+    auto n = ParseU64(it->second);
+    if (!n) {
+      return {ErrorCode::kInvalidArgument, "bad breaker_k=" + it->second};
+    }
+    policy.breaker_threshold = *n;
+  }
+  if (auto min_backoff = IntervalUsParam(args, "breaker_min")) {
+    policy.breaker_min_backoff = *min_backoff;
+  }
+  if (auto max_backoff = IntervalUsParam(args, "breaker_max")) {
+    policy.breaker_max_backoff = *max_backoff;
+  }
   return daemon_.AddStorePolicy(std::move(policy));
+}
+
+Status ConfigProcessor::CmdStrgpStatus(const PluginParams& args,
+                                       std::string* output) {
+  if (auto it = args.find("name"); it != args.end()) {
+    const StorePolicyStatus s = daemon_.store_policy_status(it->second);
+    if (!s.known) {
+      return {ErrorCode::kNotFound, "no such store policy: " + it->second};
+    }
+    *output = "name=" + s.name +
+              " state=" + BreakerStateName(s.breaker) +
+              " queue=" + std::to_string(s.queue_depth) +
+              " high_water=" + std::to_string(s.queue_high_water) +
+              " stores=" + std::to_string(s.stores) +
+              " failures=" + std::to_string(s.store_failures) +
+              " shed=" + std::to_string(s.shed_samples) +
+              " trips=" + std::to_string(s.breaker_trips) +
+              " recoveries=" + std::to_string(s.breaker_recoveries) +
+              " gap=" + std::to_string(s.quarantine_gap) +
+              " backoff_us=" + std::to_string(s.current_backoff / kNsPerUs);
+    return Status::Ok();
+  }
+  for (const auto& name : daemon_.store_policy_names()) {
+    if (!output->empty()) output->push_back(' ');
+    *output += name;
+  }
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdCounters(std::string* output) {
+  const auto& c = daemon_.counters();
+  auto get = [](const std::atomic<std::uint64_t>& v) {
+    return std::to_string(v.load(std::memory_order_relaxed));
+  };
+  *output = "samples=" + get(c.samples) +
+            " updates_ok=" + get(c.updates_ok) +
+            " updates_no_new_data=" + get(c.updates_no_new_data) +
+            " updates_failed=" + get(c.updates_failed) +
+            " lookups=" + get(c.lookups) +
+            " stores=" + get(c.storage.stores) +
+            " store_failures=" + get(c.storage.store_failures) +
+            " shed_samples=" + get(c.storage.shed_samples) +
+            " breaker_trips=" + get(c.storage.breaker_trips) +
+            " breaker_recoveries=" + get(c.storage.breaker_recoveries) +
+            " connects_ok=" + get(c.connects_ok) +
+            " connects_failed=" + get(c.connects_failed) +
+            " reconnects=" + get(c.reconnects) +
+            " backoff_deferrals=" + get(c.backoff_deferrals);
+  return Status::Ok();
 }
 
 }  // namespace ldmsxx

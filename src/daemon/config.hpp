@@ -13,10 +13,16 @@
 //              [sets=<a,b,c>] [standby=1] [standby_for=<primary>]
 //   strgp_add  name=<policy> plugin=<store plugin> [path=<dir>]
 //              [schema=<filter>] [producer=<filter>] [altheader=1]
+//              [queue=<max samples>] [shed=drop_oldest|drop_newest|block]
+//              [breaker_k=<consecutive failures>] [breaker_min=<usec>]
+//              [breaker_max=<usec>]
 //   interval   name=<plugin> interval=<usec>       (on-the-fly change)
+//   strgp_status [name=<policy>]   (queue depth, shed counts, breaker state)
+//   counters                        (daemon-wide activity counters)
 //
 // Intervals are microseconds, matching ldmsd's convention. Lines starting
-// with '#' and blank lines are ignored.
+// with '#' and blank lines are ignored. Query verbs report through the
+// output parameter of Execute(); the control server appends it to "OK".
 #pragma once
 
 #include <string_view>
@@ -35,6 +41,10 @@ class ConfigProcessor {
   /// Execute a single command line.
   Status Execute(std::string_view line);
 
+  /// Execute a single command line; query verbs write their (single-line)
+  /// reply into @p output, which is cleared first. @p output may be null.
+  Status Execute(std::string_view line, std::string* output);
+
   /// Execute a multi-line script; stops at the first failing command and
   /// returns its status annotated with the line number.
   Status ExecuteScript(std::string_view script);
@@ -47,6 +57,8 @@ class ConfigProcessor {
   Status CmdInterval(const PluginParams& args);
   Status CmdPrdcrAdd(const PluginParams& args);
   Status CmdStrgpAdd(const PluginParams& args);
+  Status CmdStrgpStatus(const PluginParams& args, std::string* output);
+  Status CmdCounters(std::string* output);
 
   Ldmsd& daemon_;
   PluginRegistry* registry_;

@@ -115,8 +115,16 @@ void ControlServer::ServeClient(int fd) {
   while (ReadLine(fd, &line).ok()) {
     if (line.empty()) continue;
     commands_.fetch_add(1, std::memory_order_relaxed);
-    Status st = processor_.Execute(line);
-    Status wst = WriteLine(fd, st.ok() ? "OK" : "ERROR: " + st.ToString());
+    std::string output;
+    Status st = processor_.Execute(line, &output);
+    std::string reply;
+    if (!st.ok()) {
+      reply = "ERROR: " + st.ToString();
+    } else {
+      // Query verbs reply "OK <payload>"; mutating verbs keep the bare "OK".
+      reply = output.empty() ? "OK" : "OK " + output;
+    }
+    Status wst = WriteLine(fd, reply);
     if (!wst.ok()) return;
   }
 }

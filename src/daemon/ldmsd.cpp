@@ -79,11 +79,23 @@ void Ldmsd::Stop() {
   scheduler_.Stop();
   if (workers_ != nullptr) workers_->Shutdown();
   if (connectors_ != nullptr) connectors_->Shutdown();
+  // Unblock any collection thread parked on a full block-mode queue before
+  // joining the storer pool, or Shutdown could wait on a waiter forever.
+  auto snapshot = policies();
+  for (const auto& runtime : *snapshot) runtime->BeginShutdown();
   if (storers_ != nullptr) storers_->Shutdown();
   listener_.reset();
-  // Flush stores so nothing buffered is lost on shutdown.
-  std::lock_guard<std::mutex> lock(state_mu_);
-  for (auto& policy : store_policies_) policy.store->Flush();
+  // The pool drained its task queue, but a drain task that tried to resubmit
+  // after shutdown was dropped — write whatever is still queued inline, then
+  // flush, so no sample accepted into a queue is silently lost.
+  for (const auto& runtime : *snapshot) {
+    runtime->DrainInline();
+    Status st = runtime->policy().store->Flush();
+    if (!st.ok()) {
+      log_.Error("flush of strgp ", runtime->name(), " failed: ",
+                 st.ToString());
+    }
+  }
 }
 
 std::string Ldmsd::listen_address() const {
@@ -236,8 +248,56 @@ Status Ldmsd::AddStorePolicy(StorePolicy policy) {
     return {ErrorCode::kInvalidArgument, "null store"};
   }
   std::lock_guard<std::mutex> lock(state_mu_);
-  store_policies_.push_back(std::move(policy));
+  auto taken = [this](const std::string& name) {
+    for (const auto& runtime : *store_policies_) {
+      if (runtime->name() == name) return true;
+    }
+    return false;
+  };
+  if (policy.name.empty()) policy.name = policy.store->name();
+  if (taken(policy.name)) {
+    const std::string base = policy.name;
+    for (int i = 2;; ++i) {
+      policy.name = base + "#" + std::to_string(i);
+      if (!taken(policy.name)) break;
+    }
+  }
+  auto runtime = std::make_shared<StorePolicyRuntime>(
+      std::move(policy), clock_, &log_, &counters_.storage);
+  // Copy-on-write: readers hold shared_ptr snapshots of the old list, so
+  // build a new vector and swap the pointer rather than mutating in place.
+  auto next = std::make_shared<PolicyList>(*store_policies_);
+  next->push_back(std::move(runtime));
+  store_policies_ = std::move(next);
   return Status::Ok();
+}
+
+void Ldmsd::StoreLocalSet(const MetricSetPtr& set) {
+  if (set == nullptr) return;
+  auto snapshot = policies();
+  if (snapshot->empty()) return;
+  // Local sets have no per-mirror mutex; give each write a throwaway one.
+  auto mu = std::make_shared<std::mutex>();
+  for (const auto& runtime : *snapshot) {
+    runtime->Submit(set, mu, storers_.get());
+  }
+}
+
+StorePolicyStatus Ldmsd::store_policy_status(
+    const std::string& policy_name) const {
+  auto snapshot = policies();
+  for (const auto& runtime : *snapshot) {
+    if (runtime->name() == policy_name) return runtime->status();
+  }
+  return {};
+}
+
+std::vector<std::string> Ldmsd::store_policy_names() const {
+  auto snapshot = policies();
+  std::vector<std::string> names;
+  names.reserve(snapshot->size());
+  for (const auto& runtime : *snapshot) names.push_back(runtime->name());
+  return names;
 }
 
 Ldmsd::ProducerStatus Ldmsd::producer_status(
@@ -494,41 +554,10 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
 }
 
 void Ldmsd::StoreMirror(const MirrorEntry& mirror) {
-  std::vector<StorePolicy> policies;
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    policies = store_policies_;
-  }
-  if (policies.empty()) return;
-  MetricSetPtr set = mirror.set;
-  auto mu = mirror.mu;
-  auto work = [this, set, mu, policies = std::move(policies)] {
-    const std::uint64_t t0 = NowSteadyNs();
-    for (const auto& policy : policies) {
-      if (!policy.schema_filter.empty() &&
-          policy.schema_filter != set->schema().name()) {
-        continue;
-      }
-      if (!policy.producer_filter.empty() &&
-          policy.producer_filter != set->producer_name()) {
-        continue;
-      }
-      std::lock_guard<std::mutex> lock(*mu);
-      Status st = policy.store->StoreSet(*set);
-      if (!st.ok()) {
-        log_.Error("store ", policy.store->name(), " failed: ",
-                   st.ToString());
-      } else {
-        counters_.stores.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    counters_.store_ns.fetch_add(NowSteadyNs() - t0,
-                                 std::memory_order_relaxed);
-  };
-  if (storers_ != nullptr) {
-    storers_->Submit(std::move(work));
-  } else {
-    work();
+  auto snapshot = policies();
+  if (snapshot->empty()) return;
+  for (const auto& runtime : *snapshot) {
+    runtime->Submit(mirror.set, mirror.mu, storers_.get());
   }
 }
 

@@ -27,6 +27,7 @@
 #include "core/set_registry.hpp"
 #include "daemon/plugin.hpp"
 #include "daemon/scheduler.hpp"
+#include "daemon/store_runtime.hpp"
 #include "store/store.hpp"
 #include "transport/registry.hpp"
 #include "transport/transport.hpp"
@@ -100,15 +101,6 @@ struct ProducerConfig {
   std::string standby_for;
 };
 
-/// Routes stored sets to a storage plugin (the `strgp_add` command).
-struct StorePolicy {
-  std::shared_ptr<Store> store;
-  /// Only store sets whose schema name matches; empty = all.
-  std::string schema_filter;
-  /// Only store sets from this producer; empty = all.
-  std::string producer_filter;
-};
-
 class Ldmsd final : public ServiceHandler {
  public:
   /// Aggregate activity counters (CPU/footprint accounting for §IV-D).
@@ -120,8 +112,9 @@ class Ldmsd final : public ServiceHandler {
     std::atomic<std::uint64_t> updates_failed{0};
     std::atomic<std::uint64_t> update_ns{0};
     std::atomic<std::uint64_t> lookups{0};
-    std::atomic<std::uint64_t> stores{0};
-    std::atomic<std::uint64_t> store_ns{0};
+    /// Storage-path counters (queue shedding, breaker activity) shared by
+    /// every store policy; see StoreCounters.
+    StoreCounters storage;
     std::atomic<std::uint64_t> connects_ok{0};
     std::atomic<std::uint64_t> connects_failed{0};
     /// Successful re-establishments of a producer connection that had been
@@ -178,9 +171,20 @@ class Ldmsd final : public ServiceHandler {
   /// Stop pulling from a producer (does not drop the connection).
   Status DeactivateProducer(const std::string& producer_name);
 
+  /// Register a store policy. An empty policy.name is derived from the
+  /// store's plugin name and uniquified with a "#N" suffix.
   Status AddStorePolicy(StorePolicy policy);
 
+  /// Run @p set through every matching store policy, as if it had just been
+  /// collected (sampler-mode local storage, and tests).
+  void StoreLocalSet(const MetricSetPtr& set);
+
   ProducerStatus producer_status(const std::string& producer_name) const;
+
+  /// Point-in-time view of one store policy; status.known is false for an
+  /// unknown name.
+  StorePolicyStatus store_policy_status(const std::string& policy_name) const;
+  std::vector<std::string> store_policy_names() const;
 
   // --- simulation drive ---------------------------------------------------
 
@@ -255,6 +259,8 @@ class Ldmsd final : public ServiceHandler {
     std::mutex mu;  // guards all mutable state above
   };
 
+  using PolicyList = std::vector<std::shared_ptr<StorePolicyRuntime>>;
+
   void SampleOnce(SamplerEntry& entry);
   void CollectCycle(const std::shared_ptr<Producer>& producer);
   void ConnectProducer(const std::shared_ptr<Producer>& producer);
@@ -262,6 +268,13 @@ class Ldmsd final : public ServiceHandler {
   void ScheduleReconnect(Producer& producer);
   Status LookupSets(Producer& producer);  // caller holds producer.mu
   void StoreMirror(const MirrorEntry& mirror);
+  /// Snapshot of the current policy list: copy-on-write, so the hot store
+  /// path pays one refcount bump under state_mu_ instead of copying a
+  /// vector of policies per stored sample.
+  std::shared_ptr<const PolicyList> policies() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return store_policies_;
+  }
 
   LdmsdOptions options_;
   Logger log_;
@@ -280,7 +293,10 @@ class Ldmsd final : public ServiceHandler {
   mutable std::mutex state_mu_;  // guards the maps below
   std::map<std::string, SamplerEntry> samplers_;
   std::map<std::string, std::shared_ptr<Producer>> producers_;
-  std::vector<StorePolicy> store_policies_;
+  /// Immutable snapshot, swapped wholesale by AddStorePolicy (which also
+  /// holds state_mu_ to serialize writers); readers go through policies().
+  std::shared_ptr<const PolicyList> store_policies_ =
+      std::make_shared<PolicyList>();
 
   Counters counters_;
   std::atomic<bool> started_{false};

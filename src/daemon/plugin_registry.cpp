@@ -1,9 +1,11 @@
 #include "daemon/plugin_registry.hpp"
 
 #include "store/csv_store.hpp"
+#include "store/fault_store.hpp"
 #include "store/flatfile_store.hpp"
 #include "store/memory_store.hpp"
 #include "store/sos_store.hpp"
+#include "util/strings.hpp"
 
 namespace ldmsxx {
 
@@ -76,6 +78,39 @@ void RegisterBuiltinStores() {
   });
   registry.AddStore("store_mem", [](const PluginParams&) {
     return std::make_shared<MemoryStore>();
+  });
+  // Decorator: wraps another registered store plugin with a seeded fault
+  // schedule. Probabilities are permille (integer config language); e.g.
+  //   strgp_add plugin=store_fault inner=store_csv path=/x seed=7
+  //             fail_permille=50 stall_permille=10 stall_us=500
+  registry.AddStore("store_fault",
+                    [&registry](const PluginParams& params)
+                        -> std::shared_ptr<Store> {
+    std::string inner_name = "store_mem";
+    if (auto it = params.find("inner"); it != params.end())
+      inner_name = it->second;
+    auto inner = registry.MakeStore(inner_name, params);
+    if (inner == nullptr) return nullptr;
+    std::uint64_t seed = 0;
+    if (auto it = params.find("seed"); it != params.end()) {
+      if (auto v = ParseU64(it->second)) seed = *v;
+    }
+    StoreFaultSchedule::Probabilities probs;
+    auto permille = [&params](const char* key, double* out) {
+      if (auto it = params.find(key); it != params.end()) {
+        if (auto v = ParseU64(it->second)) *out = *v / 1000.0;
+      }
+    };
+    permille("fail_permille", &probs.fail_write);
+    permille("partial_permille", &probs.partial_write);
+    permille("stall_permille", &probs.stall);
+    permille("flush_fail_permille", &probs.fail_flush);
+    if (auto it = params.find("stall_us"); it != params.end()) {
+      if (auto v = ParseU64(it->second)) probs.stall_ns = *v * kNsPerUs;
+    }
+    auto schedule = std::make_shared<StoreFaultSchedule>(seed, probs);
+    return std::make_shared<FaultInjectingStore>(std::move(inner),
+                                                 std::move(schedule));
   });
 }
 

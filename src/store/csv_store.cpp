@@ -5,7 +5,10 @@
 namespace ldmsxx {
 
 CsvStore::CsvStore(CsvStoreOptions options) : options_(std::move(options)) {
-  std::filesystem::create_directories(options_.root_path);
+  // Failure is surfaced by StoreSet (unopenable writer), not thrown here: a
+  // store pointed at a dead path must report a Status the breaker can count.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
 }
 
 std::string CsvStore::FilePath(const std::string& schema) const {
@@ -15,7 +18,14 @@ std::string CsvStore::FilePath(const std::string& schema) const {
 CsvStore::SchemaFile& CsvStore::FileFor(const MetricSet& set) {
   const std::string& schema = set.schema().name();
   auto it = files_.find(schema);
-  if (it != files_.end()) return it->second;
+  if (it != files_.end()) {
+    // A cached writer whose file never opened is dead forever; drop it and
+    // reopen so the store can come back once the disk does.
+    if (it->second.writer->is_open()) return it->second;
+    files_.erase(it);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
   SchemaFile file;
   file.writer = std::make_unique<CsvWriter>(FilePath(schema), options_.truncate);
   auto [ins, ok] = files_.emplace(schema, std::move(file));
@@ -75,16 +85,28 @@ Status CsvStore::StoreSet(const MetricSet& set) {
     }
   }
   file.writer->EndRow();
-  CountRow(file.writer->bytes_written() - before);
   if (!file.writer->ok()) {
+    // Clear the sticky failbit so a retry after the breaker's backoff can
+    // succeed once the disk recovers; this row is lost either way.
+    file.writer->ClearError();
+    CountFailedRow();
     return {ErrorCode::kInternal, "csv write failed for " + schema.name()};
   }
+  CountRow(file.writer->bytes_written() - before);
   return Status::Ok();
 }
 
-void CsvStore::Flush() {
+Status CsvStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [schema, file] : files_) file.writer->Flush();
+  Status st;
+  for (auto& [schema, file] : files_) {
+    file.writer->Flush();
+    if (!file.writer->ok()) {
+      file.writer->ClearError();
+      st = {ErrorCode::kInternal, "csv flush failed for " + schema};
+    }
+  }
+  return st;
 }
 
 }  // namespace ldmsxx

@@ -26,7 +26,7 @@ class CsvStore final : public Store {
 
   const std::string& name() const override { return name_; }
   Status StoreSet(const MetricSet& set) override;
-  void Flush() override;
+  Status Flush() override;
 
   /// Path of the data file for @p schema (for tests/analysis).
   std::string FilePath(const std::string& schema) const;

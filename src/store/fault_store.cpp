@@ -1,0 +1,116 @@
+#include "store/fault_store.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ldmsxx {
+
+void StoreFaultSchedule::InjectNext(StoreFaultOp op, StoreFaultKind kind,
+                                    std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < count; ++i) {
+    queued_[static_cast<std::size_t>(op)].push_back(kind);
+  }
+}
+
+bool StoreFaultSchedule::Applicable(StoreFaultOp op, StoreFaultKind kind) {
+  switch (kind) {
+    case StoreFaultKind::kNone:
+      return true;
+    case StoreFaultKind::kFailWrite:
+    case StoreFaultKind::kPartialWrite:
+    case StoreFaultKind::kStall:
+      return op == StoreFaultOp::kWrite;
+    case StoreFaultKind::kFailFlush:
+      return op == StoreFaultOp::kFlush;
+  }
+  return false;
+}
+
+StoreFaultSchedule::Decision StoreFaultSchedule::Draw(StoreFaultOp op) {
+  Decision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return d;
+  auto& queue = queued_[static_cast<std::size_t>(op)];
+  if (!queue.empty()) {
+    d.kind = queue.front();
+    queue.pop_front();
+  } else if (op == StoreFaultOp::kWrite) {
+    // Independent draws, first hit wins, fixed order — the exact discipline
+    // FaultSchedule::Draw uses, so same seed + same write order = same run.
+    if (rng_.NextDouble() < probs_.fail_write) {
+      d.kind = StoreFaultKind::kFailWrite;
+    } else if (rng_.NextDouble() < probs_.partial_write) {
+      d.kind = StoreFaultKind::kPartialWrite;
+    } else if (rng_.NextDouble() < probs_.stall) {
+      d.kind = StoreFaultKind::kStall;
+    }
+  } else if (op == StoreFaultOp::kFlush) {
+    if (rng_.NextDouble() < probs_.fail_flush) {
+      d.kind = StoreFaultKind::kFailFlush;
+    }
+  }
+  if (!Applicable(op, d.kind)) d.kind = StoreFaultKind::kNone;
+  switch (d.kind) {
+    case StoreFaultKind::kFailWrite:
+      stats_.failed_writes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StoreFaultKind::kPartialWrite:
+      stats_.partial_writes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StoreFaultKind::kStall:
+      stats_.stalls.fetch_add(1, std::memory_order_relaxed);
+      d.stall = probs_.stall_ns;
+      break;
+    case StoreFaultKind::kFailFlush:
+      stats_.failed_flushes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StoreFaultKind::kNone:
+      break;
+  }
+  return d;
+}
+
+FaultInjectingStore::FaultInjectingStore(
+    std::shared_ptr<Store> inner, std::shared_ptr<StoreFaultSchedule> schedule,
+    std::string name)
+    : inner_(std::move(inner)),
+      schedule_(std::move(schedule)),
+      name_(name.empty() ? "fault+" + inner_->name() : std::move(name)) {}
+
+Status FaultInjectingStore::StoreSet(const MetricSet& set) {
+  const StoreFaultSchedule::Decision d =
+      schedule_->Draw(StoreFaultOp::kWrite);
+  switch (d.kind) {
+    case StoreFaultKind::kFailWrite:
+      CountFailedRow();
+      return {ErrorCode::kInternal, "injected write failure (ENOSPC)"};
+    case StoreFaultKind::kPartialWrite: {
+      // The inner write happens, but the caller is told it failed — the
+      // ambiguous outcome a torn fsync or lost ack produces. A correct
+      // caller treats it as failed (breaker counts it); duplicated rows on
+      // retry are the accepted cost, same as production stores.
+      (void)inner_->StoreSet(set);
+      CountFailedRow();
+      return {ErrorCode::kInternal, "injected partial write"};
+    }
+    case StoreFaultKind::kStall:
+      if (d.stall > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(d.stall));
+      }
+      return inner_->StoreSet(set);
+    default:
+      return inner_->StoreSet(set);
+  }
+}
+
+Status FaultInjectingStore::Flush() {
+  const StoreFaultSchedule::Decision d =
+      schedule_->Draw(StoreFaultOp::kFlush);
+  if (d.kind == StoreFaultKind::kFailFlush) {
+    return {ErrorCode::kInternal, "injected flush failure"};
+  }
+  return inner_->Flush();
+}
+
+}  // namespace ldmsxx

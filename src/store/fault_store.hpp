@@ -1,0 +1,146 @@
+// Fault-injecting store decorator, the storage-side sibling of
+// FaultInjectingTransport. Wraps any Store and, driven by a seeded
+// deterministic StoreFaultSchedule, injects the disk failure modes an
+// aggregator's storage path must survive: ENOSPC-style write failures,
+// per-write latency stalls (slow disk), partial writes (the ambiguous
+// "bytes may or may not have landed" failure), and Flush failures.
+//
+// Faults are decided per operation by StoreFaultSchedule::Draw, with the
+// same two sources as the transport schedule, in priority order:
+//   1. an explicit per-operation queue (InjectNext) — overload tests use
+//      this to script exact scenarios ("the next 10 writes hit ENOSPC");
+//   2. a probabilistic draw from a seeded xoshiro stream — same seed and
+//      same write order produce the identical fault sequence, which is what
+//      makes shed/breaker digests reproducible when daemons run with inline
+//      pools over a SimClock.
+// A disarmed schedule is a pure passthrough, so a "store_fault"-wrapped
+// plugin can sit in a config script at no cost until a test arms it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "store/store.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace ldmsxx {
+
+enum class StoreFaultKind : std::uint8_t {
+  kNone = 0,
+  kFailWrite,    // StoreSet fails, nothing written (ENOSPC)
+  kPartialWrite, // inner write happens, failure reported anyway (torn fsync)
+  kStall,        // write succeeds after a real (bounded) latency stall
+  kFailFlush,    // Flush fails
+};
+
+/// Operation classes a store fault can attach to.
+enum class StoreFaultOp : std::uint8_t {
+  kWrite = 0,
+  kFlush,
+};
+constexpr std::size_t kStoreFaultOpCount = 2;
+
+/// How many of each fault the schedule has injected; overload tests fold
+/// these into their determinism digests.
+struct StoreFaultStats {
+  std::atomic<std::uint64_t> failed_writes{0};
+  std::atomic<std::uint64_t> partial_writes{0};
+  std::atomic<std::uint64_t> stalls{0};
+  std::atomic<std::uint64_t> failed_flushes{0};
+
+  std::uint64_t total() const {
+    return failed_writes.load(std::memory_order_relaxed) +
+           partial_writes.load(std::memory_order_relaxed) +
+           stalls.load(std::memory_order_relaxed) +
+           failed_flushes.load(std::memory_order_relaxed);
+  }
+};
+
+class StoreFaultSchedule {
+ public:
+  /// Per-operation fault probabilities, applied independently in the order
+  /// fail/partial/stall (first hit wins); fail_flush applies to kFlush.
+  struct Probabilities {
+    double fail_write = 0.0;
+    double partial_write = 0.0;
+    double stall = 0.0;
+    double fail_flush = 0.0;
+    /// Real sleep injected by kStall; keep small in tests (it models a slow
+    /// disk for the bounded-queue/backpressure path, not simulated time).
+    DurationNs stall_ns = 1 * kNsPerMs;
+  };
+
+  StoreFaultSchedule() : StoreFaultSchedule(0, Probabilities()) {}
+  explicit StoreFaultSchedule(std::uint64_t seed)
+      : StoreFaultSchedule(seed, Probabilities()) {}
+  StoreFaultSchedule(std::uint64_t seed, Probabilities probs)
+      : rng_(seed ^ 0x6c646d735f737472ull), probs_(probs) {}
+
+  /// Master switch; a disarmed schedule never injects (queued faults are
+  /// retained for when it is re-armed).
+  void set_armed(bool armed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = armed;
+  }
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return armed_;
+  }
+
+  void set_probabilities(const Probabilities& probs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    probs_ = probs;
+  }
+
+  /// Script @p count copies of @p kind onto the queue for @p op; queued
+  /// faults are consumed (FIFO) before any probabilistic draw.
+  void InjectNext(StoreFaultOp op, StoreFaultKind kind, std::size_t count = 1);
+
+  struct Decision {
+    StoreFaultKind kind = StoreFaultKind::kNone;
+    DurationNs stall = 0;
+  };
+  Decision Draw(StoreFaultOp op);
+
+  const StoreFaultStats& stats() const { return stats_; }
+
+ private:
+  static bool Applicable(StoreFaultOp op, StoreFaultKind kind);
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  Probabilities probs_;
+  bool armed_ = true;
+  std::deque<StoreFaultKind> queued_[kStoreFaultOpCount];
+  StoreFaultStats stats_;
+};
+
+/// Decorator: forwards to an inner store, injecting faults per the shared
+/// schedule. The wrapper's own rows_failed counter tracks injected write
+/// failures; rows_written/bytes_written stay on the inner store.
+class FaultInjectingStore final : public Store {
+ public:
+  /// @param name plugin name; defaults to "fault+<inner name>".
+  FaultInjectingStore(std::shared_ptr<Store> inner,
+                      std::shared_ptr<StoreFaultSchedule> schedule,
+                      std::string name = "");
+
+  const std::string& name() const override { return name_; }
+  Status StoreSet(const MetricSet& set) override;
+  Status Flush() override;
+
+  StoreFaultSchedule& schedule() { return *schedule_; }
+  Store& inner() { return *inner_; }
+
+ private:
+  std::shared_ptr<Store> inner_;
+  std::shared_ptr<StoreFaultSchedule> schedule_;
+  std::string name_;
+};
+
+}  // namespace ldmsxx

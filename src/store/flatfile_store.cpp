@@ -19,7 +19,10 @@ std::string SanitizeFileName(const std::string& metric_name) {
 
 FlatFileStore::FlatFileStore(FlatFileStoreOptions options)
     : options_(std::move(options)) {
-  std::filesystem::create_directories(options_.root_path);
+  // Failure is surfaced by StoreSet (unopenable stream), not thrown here: a
+  // store pointed at a dead path must report a Status the breaker can count.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
 }
 
 std::string FlatFileStore::FilePath(const std::string& metric_name) const {
@@ -28,7 +31,14 @@ std::string FlatFileStore::FilePath(const std::string& metric_name) const {
 
 std::ofstream& FlatFileStore::FileFor(const std::string& metric_name) {
   auto it = files_.find(metric_name);
-  if (it != files_.end()) return it->second;
+  if (it != files_.end()) {
+    // A cached stream whose file never opened can never write; drop it and
+    // reopen so the store can come back once the disk does.
+    if (it->second.is_open()) return it->second;
+    files_.erase(it);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
   auto mode = options_.truncate ? std::ios::trunc : std::ios::app;
   auto [ins, ok] =
       files_.emplace(metric_name, std::ofstream(FilePath(metric_name), mode));
@@ -57,6 +67,10 @@ Status FlatFileStore::StoreSet(const MetricSet& set) {
     out << line;
     bytes += line.size();
     if (!out.good()) {
+      // Clear the sticky badbit/failbit so the next attempt (after breaker
+      // backoff) retries instead of silently no-op failing forever.
+      out.clear();
+      CountFailedRow();
       return {ErrorCode::kInternal,
               "flatfile write failed for " + schema.metric(i).name};
     }
@@ -65,9 +79,17 @@ Status FlatFileStore::StoreSet(const MetricSet& set) {
   return Status::Ok();
 }
 
-void FlatFileStore::Flush() {
+Status FlatFileStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, file] : files_) file.flush();
+  Status st;
+  for (auto& [name, file] : files_) {
+    file.flush();
+    if (!file.good()) {
+      file.clear();
+      st = {ErrorCode::kInternal, "flatfile flush failed for " + name};
+    }
+  }
+  return st;
 }
 
 }  // namespace ldmsxx

@@ -23,7 +23,7 @@ class FlatFileStore final : public Store {
 
   const std::string& name() const override { return name_; }
   Status StoreSet(const MetricSet& set) override;
-  void Flush() override;
+  Status Flush() override;
 
   /// Path of the data file for @p metric_name.
   std::string FilePath(const std::string& metric_name) const;

@@ -57,7 +57,11 @@ double SosRecord::SlotAsDouble(std::size_t i, MetricType type) const {
 }
 
 SosStore::SosStore(SosStoreOptions options) : options_(std::move(options)) {
-  std::filesystem::create_directories(options_.root_path);
+  // Failure is surfaced by StoreSet (failed container open), not thrown
+  // here: a store pointed at a dead path must report a Status the breaker
+  // can count.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
 }
 
 SosStore::~SosStore() {
@@ -73,10 +77,18 @@ std::string SosStore::FilePath(const std::string& schema) const {
 SosStore::Container& SosStore::ContainerFor(const MetricSet& set) {
   const std::string& schema_name = set.schema().name();
   auto it = containers_.find(schema_name);
-  if (it != containers_.end()) return it->second;
+  // A cached entry with a null file recorded a failed open; retry it so the
+  // store can come back once the disk does (nothing was written, so the
+  // truncate-on-open below clobbers nothing).
+  if (it != containers_.end()) {
+    if (it->second.file != nullptr) return it->second;
+    containers_.erase(it);
+  }
 
   Container container;
   container.record_size = 16 + 8 * set.schema().metric_count();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_path, ec);
   const std::string path = FilePath(schema_name);
   container.file = std::fopen(path.c_str(), options_.truncate ? "wb" : "ab");
   if (container.file != nullptr) {
@@ -86,8 +98,15 @@ SosStore::Container& SosStore::ContainerFor(const MetricSet& set) {
     hdr.schema_bytes = static_cast<std::uint32_t>(schema_rec.size());
     hdr.metric_count = static_cast<std::uint32_t>(set.schema().metric_count());
     hdr.record_size = static_cast<std::uint32_t>(container.record_size);
-    std::fwrite(&hdr, sizeof hdr, 1, container.file);
-    std::fwrite(schema_rec.data(), 1, schema_rec.size(), container.file);
+    // A short header/schema write leaves an unreadable container; treat it
+    // like a failed open so every StoreSet reports the fault instead of
+    // appending records to a corrupt file.
+    if (std::fwrite(&hdr, sizeof hdr, 1, container.file) != 1 ||
+        std::fwrite(schema_rec.data(), 1, schema_rec.size(), container.file) !=
+            schema_rec.size()) {
+      std::fclose(container.file);
+      container.file = nullptr;
+    }
   }
   auto [ins, ok] = containers_.emplace(schema_name, container);
   (void)ok;
@@ -98,6 +117,7 @@ Status SosStore::StoreSet(const MetricSet& set) {
   std::lock_guard<std::mutex> lock(mu_);
   Container& container = ContainerFor(set);
   if (container.file == nullptr) {
+    CountFailedRow();
     return {ErrorCode::kInternal, "cannot open sos container"};
   }
   std::vector<std::uint64_t> record(2 + set.schema().metric_count());
@@ -126,18 +146,34 @@ Status SosStore::StoreSet(const MetricSet& set) {
     record[2 + i] = slot;
   }
   const std::size_t bytes = record.size() * 8;
-  if (std::fwrite(record.data(), 1, bytes, container.file) != bytes) {
-    return {ErrorCode::kInternal, "sos append failed"};
+  const std::size_t wrote =
+      std::fwrite(record.data(), 1, bytes, container.file);
+  if (wrote != bytes) {
+    // Short write: clear the error and truncate nothing — the next record
+    // realigns on the stream position only if the partial bytes are backed
+    // out, so rewind over them where the filesystem allows it.
+    std::clearerr(container.file);
+    if (wrote > 0) {
+      std::fseek(container.file, -static_cast<long>(wrote), SEEK_CUR);
+    }
+    CountFailedRow();
+    return {ErrorCode::kInternal, "sos append failed (short write)"};
   }
   CountRow(bytes);
   return Status::Ok();
 }
 
-void SosStore::Flush() {
+Status SosStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  Status st;
   for (auto& [schema, container] : containers_) {
-    if (container.file != nullptr) std::fflush(container.file);
+    if (container.file == nullptr) continue;
+    if (std::fflush(container.file) != 0) {
+      std::clearerr(container.file);
+      st = {ErrorCode::kInternal, "sos flush failed for " + schema};
+    }
   }
+  return st;
 }
 
 std::optional<SosSchemaInfo> SosStore::ReadSchema(const std::string& path) {

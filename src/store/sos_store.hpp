@@ -51,7 +51,7 @@ class SosStore final : public Store {
 
   const std::string& name() const override { return name_; }
   Status StoreSet(const MetricSet& set) override;
-  void Flush() override;
+  Status Flush() override;
 
   std::string FilePath(const std::string& schema) const;
 

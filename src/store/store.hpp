@@ -25,14 +25,22 @@ class Store {
   /// Append one sample: the current contents of @p set, stamped with the
   /// set's transaction timestamp. Called from the aggregator's dedicated
   /// storage thread pool; implementations must be thread-safe across
-  /// different sets but may assume per-set serialization.
+  /// different sets but may assume per-set serialization. A non-ok status
+  /// means the sample did NOT reach storage (disk full, stream failure);
+  /// the aggregator's circuit breaker counts these, so implementations must
+  /// not swallow write errors.
   virtual Status StoreSet(const MetricSet& set) = 0;
 
-  /// Flush buffered data to stable storage.
-  virtual void Flush() {}
+  /// Flush buffered data to stable storage. A non-ok status means buffered
+  /// rows may not have reached the device.
+  virtual Status Flush() { return Status::Ok(); }
 
   std::uint64_t rows_written() const {
     return rows_.load(std::memory_order_relaxed);
+  }
+  /// Rows whose write failed (StoreSet returned non-ok).
+  std::uint64_t rows_failed() const {
+    return failed_.load(std::memory_order_relaxed);
   }
   std::uint64_t bytes_written() const {
     return bytes_.load(std::memory_order_relaxed);
@@ -43,9 +51,11 @@ class Store {
     rows_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void CountFailedRow() { failed_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> bytes_{0};
 };
 

@@ -19,6 +19,14 @@ class CsvWriter {
   CsvWriter(const std::string& path, bool truncate = false);
 
   bool ok() const { return out_.good(); }
+  /// False when the file never opened (e.g. missing directory); callers
+  /// should recreate the writer rather than retry on a dead stream.
+  bool is_open() const { return out_.is_open(); }
+
+  /// Clear a sticky stream error so later writes can retry (disk-full
+  /// recovery: a failed ofstream otherwise stays failed forever and the
+  /// store could never resume after space is freed).
+  void ClearError() { out_.clear(); }
 
   /// Begin a row; subsequent Field() calls append cells; EndRow() terminates.
   void Field(std::string_view value);

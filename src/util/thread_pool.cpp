@@ -20,6 +20,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return;
     queue_.push_back(std::move(task));
+    if (queue_.size() > queued_high_water_) queued_high_water_ = queue_.size();
   }
   work_cv_.notify_one();
 }
@@ -44,6 +45,11 @@ void ThreadPool::Shutdown() {
 std::size_t ThreadPool::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t ThreadPool::queued_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_high_water_;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -39,6 +39,9 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
   /// Number of queued (not yet started) tasks; approximate.
   std::size_t queued() const;
+  /// Deepest the task queue has ever been; a persistent gap between this and
+  /// queued() means a past burst, a climbing value means sustained overload.
+  std::size_t queued_high_water() const;
 
  private:
   void WorkerLoop();
@@ -49,6 +52,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
+  std::size_t queued_high_water_ = 0;
   bool shutdown_ = false;
 };
 

@@ -57,6 +57,8 @@ class CounterSampler final : public SamplerPlugin {
 MiniCluster::MiniCluster(const MiniClusterOptions& options)
     : options_(options),
       schedule_(std::make_shared<FaultSchedule>(options.seed, options.faults)),
+      store_schedule_(std::make_shared<StoreFaultSchedule>(
+          options.seed, options.store_faults)),
       watchdog_(options.watchdog_interval),
       next_watchdog_poll_(options.watchdog_interval) {
   registry_.Add(std::make_shared<FaultInjectingTransport>(
@@ -67,14 +69,22 @@ MiniCluster::MiniCluster(const MiniClusterOptions& options)
     samplers_[i].daemon = MakeSampler(i);
   }
   aggregators_.resize(options_.aggregators + (options_.standby ? 1 : 0));
+  auto init_stores = [this](AggregatorSlot& slot) {
+    slot.store = std::make_shared<MemoryStore>();
+    slot.faulted =
+        std::make_shared<FaultInjectingStore>(slot.store, store_schedule_);
+    if (options_.secondary_store) {
+      slot.secondary = std::make_shared<MemoryStore>();
+    }
+  };
   for (std::size_t j = 0; j < options_.aggregators; ++j) {
-    aggregators_[j].store = std::make_shared<MemoryStore>();
+    init_stores(aggregators_[j]);
     aggregators_[j].daemon = MakeAggregator(j, false);
   }
   if (options_.standby) {
     auto& slot = aggregators_.back();
     slot.is_standby = true;
-    slot.store = std::make_shared<MemoryStore>();
+    init_stores(slot);
     slot.daemon = MakeAggregator(0, true);
 
     FailoverRule rule;
@@ -163,7 +173,19 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
   opts.transports = &registry_;
   auto daemon = std::make_unique<Ldmsd>(opts);
   auto& slot = is_standby ? aggregators_.back() : aggregators_[index];
-  (void)daemon->AddStorePolicy({slot.store, "", ""});
+  StorePolicy primary(slot.faulted);
+  primary.name = "primary";
+  primary.queue_capacity = options_.store_queue_capacity;
+  primary.shed_policy = options_.store_shed;
+  primary.breaker_threshold = options_.store_breaker_threshold;
+  primary.breaker_min_backoff = options_.store_breaker_min_backoff;
+  primary.breaker_max_backoff = options_.store_breaker_max_backoff;
+  (void)daemon->AddStorePolicy(std::move(primary));
+  if (slot.secondary != nullptr) {
+    StorePolicy secondary(slot.secondary);
+    secondary.name = "secondary";
+    (void)daemon->AddStorePolicy(std::move(secondary));
+  }
   for (const std::size_t i : AssignedSamplers(index, is_standby)) {
     ProducerConfig pc;
     pc.name = sampler_name(i);

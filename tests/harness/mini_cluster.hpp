@@ -15,6 +15,7 @@
 
 #include "daemon/failover.hpp"
 #include "daemon/ldmsd.hpp"
+#include "store/fault_store.hpp"
 #include "store/memory_store.hpp"
 #include "transport/fabric.hpp"
 #include "transport/fault_transport.hpp"
@@ -45,6 +46,22 @@ struct MiniClusterOptions {
   /// Metrics per sampler set ("seq" plus padding, all written with the same
   /// sequence value so torn applies are detectable).
   std::size_t metrics_per_set = 8;
+
+  // --- storage path -------------------------------------------------------
+
+  /// Initial disk-fault probabilities for every aggregator's primary store
+  /// (one shared StoreFaultSchedule, seeded from `seed`, surviving
+  /// restarts); all-zero = healthy until the test arms store_faults().
+  StoreFaultSchedule::Probabilities store_faults = {};
+  /// Bounded-queue + breaker knobs applied to each primary store policy.
+  std::size_t store_queue_capacity = 1024;
+  ShedPolicy store_shed = ShedPolicy::kDropOldest;
+  std::uint64_t store_breaker_threshold = 5;
+  DurationNs store_breaker_min_backoff = 100 * kNsPerMs;
+  DurationNs store_breaker_max_backoff = 10 * kNsPerSec;
+  /// Give each aggregator a second, fault-free "secondary" store policy so
+  /// tests can assert a broken primary never affects its sibling.
+  bool secondary_store = false;
 };
 
 class MiniCluster {
@@ -69,9 +86,15 @@ class MiniCluster {
     return aggregators_.at(aggregator_index).store;
   }
   std::shared_ptr<MemoryStore> standby_store();
+  /// The fault-free sibling store, or nullptr unless secondary_store is set.
+  std::shared_ptr<MemoryStore> secondary(std::size_t aggregator_index) {
+    return aggregators_.at(aggregator_index).secondary;
+  }
 
   SimClock& clock() { return clock_; }
   FaultSchedule& faults() { return *schedule_; }
+  /// Disk-fault schedule shared by every aggregator's primary store.
+  StoreFaultSchedule& store_faults() { return *store_schedule_; }
   FailoverWatchdog& watchdog() { return watchdog_; }
 
   bool sampler_alive(std::size_t i) const {
@@ -121,6 +144,11 @@ class MiniCluster {
   struct AggregatorSlot {
     std::unique_ptr<Ldmsd> daemon;
     std::shared_ptr<MemoryStore> store;
+    /// Fault decorator around `store`; created once so injected-failure
+    /// accounting spans aggregator restarts.
+    std::shared_ptr<FaultInjectingStore> faulted;
+    /// Fault-free sibling policy's store (secondary_store option).
+    std::shared_ptr<MemoryStore> secondary;
     bool is_standby = false;
   };
 
@@ -137,6 +165,7 @@ class MiniCluster {
   // Declared before the daemons so endpoints/listeners die first.
   Fabric fabric_;
   std::shared_ptr<FaultSchedule> schedule_;
+  std::shared_ptr<StoreFaultSchedule> store_schedule_;
   TransportRegistry registry_;
   FailoverWatchdog watchdog_;
   TimeNs next_watchdog_poll_ = 0;

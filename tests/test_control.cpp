@@ -124,6 +124,41 @@ TEST_F(ControlTest, NewSamplersViaCommandLanguage) {
   EXPECT_LT(power->GetD64(*watts), 1000.0);
 }
 
+TEST_F(ControlTest, StorePolicyStatusAndCountersOverSocket) {
+  std::string reply;
+  ASSERT_TRUE(Send("strgp_add plugin=store_mem name=primary queue=16 "
+                   "shed=drop_newest breaker_k=3 breaker_min=1000 "
+                   "breaker_max=100000",
+                   &reply)
+                  .ok());
+  EXPECT_EQ(reply, "OK");
+  EXPECT_FALSE(Send("strgp_add plugin=store_mem shed=banana").ok());
+  EXPECT_FALSE(Send("strgp_add plugin=no_such_store").ok());
+
+  // The fault-injecting decorator is a plugin too (disk-failure drills from
+  // a config script); wrapping an unknown inner store is rejected.
+  ASSERT_TRUE(Send("strgp_add plugin=store_fault inner=store_mem seed=7 "
+                   "name=flaky fail_permille=250")
+                  .ok());
+  EXPECT_FALSE(Send("strgp_add plugin=store_fault inner=no_such_store").ok());
+
+  ASSERT_TRUE(Send("strgp_status", &reply).ok());
+  EXPECT_EQ(reply, "OK primary flaky");
+  ASSERT_TRUE(Send("strgp_status name=primary", &reply).ok());
+  EXPECT_NE(reply.find("state=closed"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("queue=0"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("shed=0"), std::string::npos) << reply;
+  EXPECT_FALSE(Send("strgp_status name=missing", &reply).ok());
+  EXPECT_TRUE(reply.rfind("ERROR", 0) == 0) << reply;
+
+  ASSERT_TRUE(Send("counters", &reply).ok());
+  for (const char* key :
+       {"samples=", "stores=", "store_failures=", "shed_samples=",
+        "breaker_trips=", "breaker_recoveries=", "reconnects="}) {
+    EXPECT_NE(reply.find(key), std::string::npos) << key << " in " << reply;
+  }
+}
+
 TEST_F(ControlTest, ConnectToMissingSocketFails) {
   std::string reply;
   EXPECT_FALSE(

@@ -165,7 +165,7 @@ TEST_P(SosQueryPropertyTest, VisitedCountMatchesTimestampFilter) {
     set->EndTransaction(t);
     ASSERT_TRUE(store.StoreSet(*set).ok());
   }
-  store.Flush();
+  ASSERT_TRUE(store.Flush().ok());
   const std::string path = store.FilePath("q");
 
   for (int probe = 0; probe < 20; ++probe) {

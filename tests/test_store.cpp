@@ -58,7 +58,7 @@ TEST_F(StoreTest, CsvStoreRowShape) {
   ASSERT_TRUE(store.StoreSet(*set_).ok());
   WriteSample(101, 199, 1.6, 4 * kNsPerSec);
   ASSERT_TRUE(store.StoreSet(*set_).ok());
-  store.Flush();
+  ASSERT_TRUE(store.Flush().ok());
 
   auto rows = ReadCsvFile(store.FilePath("memtest"));
   ASSERT_EQ(rows.size(), 3u);  // header + 2 samples
@@ -79,7 +79,7 @@ TEST_F(StoreTest, CsvStoreSeparateHeader) {
   CsvStore store({dir_.string(), /*header_in_separate_file=*/true});
   WriteSample(1, 2, 0.5, kNsPerSec);
   ASSERT_TRUE(store.StoreSet(*set_).ok());
-  store.Flush();
+  ASSERT_TRUE(store.Flush().ok());
   auto data_rows = ReadCsvFile(store.FilePath("memtest"));
   auto header_rows = ReadCsvFile(store.FilePath("memtest") + ".HEADER");
   ASSERT_EQ(data_rows.size(), 1u);
@@ -94,7 +94,7 @@ TEST_F(StoreTest, FlatFileStoreOneFilePerMetric) {
   ASSERT_TRUE(store.StoreSet(*set_).ok());
   WriteSample(110, 190, 1.7, 3 * kNsPerSec);
   ASSERT_TRUE(store.StoreSet(*set_).ok());
-  store.Flush();
+  ASSERT_TRUE(store.Flush().ok());
 
   for (const char* metric : {"Active", "Free", "load"}) {
     std::ifstream in(store.FilePath(metric));
@@ -117,7 +117,7 @@ TEST_F(StoreTest, SosStoreRoundTripAndQuery) {
                 static_cast<TimeNs>(i) * kNsPerSec);
     ASSERT_TRUE(store.StoreSet(*set_).ok());
   }
-  store.Flush();
+  ASSERT_TRUE(store.Flush().ok());
 
   const std::string path = store.FilePath("memtest");
   auto schema_info = SosStore::ReadSchema(path);
