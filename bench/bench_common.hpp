@@ -3,10 +3,14 @@
 // EXPERIMENTS.md can be assembled straight from `for b in build/bench/*`.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace ldmsxx::bench {
 
@@ -51,5 +55,96 @@ double TimeSeconds(Fn&& fn) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// LDMSXX_BENCH_SMOKE=1 shrinks every bench to a seconds-long configuration
+/// (CI crash check); unset/0 runs the full measurement.
+inline bool SmokeMode() {
+  const char* v = std::getenv("LDMSXX_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+/// Percentile over raw nanosecond samples, reported in microseconds.
+inline double PercentileUs(std::vector<std::uint64_t> ns, double p) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(ns.size() - 1));
+  return static_cast<double>(ns[idx]) / 1e3;
+}
+
+/// Minimal streaming JSON writer for the machine-readable BENCH_*.json
+/// artifacts. Callers balance Begin/End themselves; keys are plain ASCII
+/// (no escaping beyond quotes in values, which our emitters never produce).
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); Push('{'); }
+  void BeginObject(const char* key) { KeyPrefix(key); Push('{'); }
+  void EndObject() { Pop('}'); }
+  void BeginArray(const char* key) { KeyPrefix(key); Push('['); }
+  void EndArray() { Pop(']'); }
+
+  void Field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    KeyPrefix(key);
+    out_ += buf;
+  }
+  void Field(const char* key, std::uint64_t v) {
+    KeyPrefix(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const char* key, int v) {
+    KeyPrefix(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const char* key, bool v) {
+    KeyPrefix(key);
+    out_ += v ? "true" : "false";
+  }
+  void Field(const char* key, const std::string& v) {
+    KeyPrefix(key);
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    std::fputc('\n', f);
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  void Prefix() {
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void KeyPrefix(const char* key) {
+    Prefix();
+    if (!first_.empty()) {  // inside an object: emit the key
+      out_ += '"';
+      out_ += key;
+      out_ += "\":";
+    }
+  }
+  void Push(char open) {
+    out_ += open;
+    first_.push_back(true);
+  }
+  void Pop(char close) {
+    out_ += close;
+    first_.pop_back();
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+};
 
 }  // namespace ldmsxx::bench

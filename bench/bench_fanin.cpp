@@ -123,9 +123,14 @@ class MultiSetHandler final : public ServiceHandler {
     Bump();
   }
 
-  void Bump() {
+  void Bump() { BumpFirst(sets_.size()); }
+
+  /// Advance only the first @p count sets, leaving the rest DGN-quiescent
+  /// (the wire-byte ablation's "50% of sets unchanged" knob).
+  void BumpFirst(std::size_t count) {
     ++tick_;
-    for (auto& set : sets_) {
+    for (std::size_t s = 0; s < std::min(count, sets_.size()); ++s) {
+      auto& set = sets_[s];
       set->BeginTransaction();
       for (std::size_t m = 0; m < set->schema().metric_count(); ++m) {
         set->SetU64(m, tick_);
@@ -162,6 +167,20 @@ class MultiSetHandler final : public ServiceHandler {
   void HandleAdvertise(const AdvertiseMsg&) override {}
   MetricSetPtr HandleRdmaExpose(const std::string& instance) override {
     return Find(instance);
+  }
+
+  std::uint32_t HandleAssignHandle(const std::string& instance) override {
+    for (std::size_t s = 0; s < sets_.size(); ++s) {
+      if (sets_[s]->instance_name() == instance) {
+        return static_cast<std::uint32_t>(s + 1);
+      }
+    }
+    return kInvalidSetHandle;
+  }
+
+  MetricSetPtr HandleResolveHandle(std::uint32_t handle) override {
+    if (handle == 0 || handle > sets_.size()) return nullptr;
+    return sets_[handle - 1];
   }
 
  private:
@@ -227,12 +246,171 @@ void MeasurePipelining(int sets, int metrics, int cycles) {
       sets, metrics, serial_rate, batched_rate, batched_rate / serial_rate);
 }
 
+// ---------------------------------------------------------------------------
+// Batched, handle-addressed, DGN-gated updates: request frames per cycle drop
+// from O(sets) to 1 per producer, and quiescent sets come back as 5-byte
+// markers instead of full chunks. Measured against the pipelined per-set
+// protocol on one real loopback TCP connection.
+// ---------------------------------------------------------------------------
+
+struct PathStats {
+  double frames_per_cycle = 0.0;   // request frames the client sent
+  double bytes_per_cycle = 0.0;    // tx + rx on the client endpoint
+  double updates_per_sec = 0.0;    // set-updates completed per second
+  double p99_cycle_us = 0.0;
+  double unchanged_per_cycle = 0.0;
+};
+
+void EmitPath(JsonWriter& json, const char* key, const PathStats& s) {
+  json.BeginObject(key);
+  json.Field("request_frames_per_cycle", s.frames_per_cycle);
+  json.Field("bytes_on_wire_per_cycle", s.bytes_per_cycle);
+  json.Field("updates_per_sec", s.updates_per_sec);
+  json.Field("p99_cycle_us", s.p99_cycle_us);
+  json.Field("unchanged_per_cycle", s.unchanged_per_cycle);
+  json.EndObject();
+}
+
+void MeasureBatchProtocol(int sets, int cycles, JsonWriter& json) {
+  MultiSetHandler handler(sets, /*metrics=*/194);
+  SockTransport sock;
+  std::unique_ptr<Listener> listener;
+  if (!sock.Listen("127.0.0.1:0", &handler, &listener).ok()) return;
+  std::unique_ptr<Endpoint> ep;
+  if (!sock.Connect(listener->address(), &ep).ok()) return;
+
+  const std::vector<std::string> instances = handler.instances();
+  // Each mirror needs the metadata chunk (metric names) plus data; 32 KiB a
+  // set is comfortable for 194 metrics.
+  MemManager mem((static_cast<std::size_t>(sets) * 32 << 10) + (1 << 20));
+  std::vector<MetricSetPtr> mirror_sets;
+  std::vector<MetricSet*> mirrors;
+  std::vector<Endpoint::BatchUpdateSpec> specs(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::vector<std::byte> metadata;
+    Endpoint::LookupExtra extra;
+    if (!ep->LookupEx(instances[i], &metadata, &extra).ok()) return;
+    Status st;
+    auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+    if (!st.ok()) {
+      NoteRow("batch case %d sets skipped: %s", sets, st.ToString().c_str());
+      return;
+    }
+    mirrors.push_back(mirror.get());
+    mirror_sets.push_back(std::move(mirror));
+    specs[i].instance = instances[i];
+    specs[i].handle = extra.handle;
+  }
+
+  const TransportStats& stats = ep->stats();
+  auto wire_bytes = [&stats] {
+    return stats.bytes_tx.load() + stats.bytes_rx.load();
+  };
+
+  // Drive one path for `cycles` cycles, bumping the first `active` sets each
+  // cycle; returns per-cycle frames/bytes/latency from the endpoint stats.
+  auto run = [&](bool batched, std::size_t active) {
+    for (auto& spec : specs) spec.last_dgn = 0;  // every set stale at start
+    std::vector<Endpoint::BatchUpdateResult> results;
+    std::vector<std::uint64_t> cycle_ns;
+    cycle_ns.reserve(static_cast<std::size_t>(cycles));
+    const std::uint64_t updates0 = stats.updates.load();
+    const std::uint64_t batches0 = stats.update_batches.load();
+    const std::uint64_t unchanged0 = stats.updates_unchanged.load();
+    const std::uint64_t bytes0 = wire_bytes();
+    const double total_s = TimeSeconds([&] {
+      for (int c = 0; c < cycles; ++c) {
+        handler.BumpFirst(active);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (batched) {
+          ep->UpdateBatch(specs, &results);
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            auto& r = results[i];
+            if (!r.status.ok() || r.unchanged) continue;
+            if (mirrors[i]->ApplyData(r.data).ok()) {
+              specs[i].last_dgn = mirrors[i]->data_gn();
+            }
+          }
+        } else {
+          (void)ep->UpdateAll(instances, mirrors);
+        }
+        cycle_ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+    });
+    PathStats out;
+    const double n_cycles = static_cast<double>(cycles);
+    // Per-set fallback sends one request frame per update; the batch path
+    // sends one kUpdateBatchReq per cycle. Both are visible in the endpoint
+    // counters, so the frame numbers are measured, not assumed.
+    const std::uint64_t updates = stats.updates.load() - updates0;
+    const std::uint64_t batches = stats.update_batches.load() - batches0;
+    out.frames_per_cycle =
+        batches > 0 ? static_cast<double>(batches) / n_cycles
+                    : static_cast<double>(updates) / n_cycles;
+    out.bytes_per_cycle =
+        static_cast<double>(wire_bytes() - bytes0) / n_cycles;
+    out.updates_per_sec = static_cast<double>(updates) / total_s;
+    out.p99_cycle_us = PercentileUs(std::move(cycle_ns), 0.99);
+    out.unchanged_per_cycle =
+        static_cast<double>(stats.updates_unchanged.load() - unchanged0) /
+        n_cycles;
+    return out;
+  };
+
+  const std::size_t all = instances.size();
+  const PathStats legacy = run(/*batched=*/false, all);
+  const PathStats batch = run(/*batched=*/true, all);
+  // Ablation: half the sets stop sampling; their entries ride back as 5-byte
+  // unchanged markers instead of full chunks.
+  const PathStats quiescent = run(/*batched=*/true, all / 2);
+
+  const double frame_reduction =
+      batch.frames_per_cycle > 0
+          ? legacy.frames_per_cycle / batch.frames_per_cycle
+          : 0.0;
+  const double quiescent_bytes_reduction =
+      quiescent.bytes_per_cycle > 0
+          ? batch.bytes_per_cycle / quiescent.bytes_per_cycle
+          : 0.0;
+
+  MeasuredRow(
+      "%4d sets: frames/cycle %6.1f -> %4.1f (%5.1fx), bytes/cycle "
+      "%8.0f -> %8.0f, p99 %7.1f -> %7.1f us",
+      sets, legacy.frames_per_cycle, batch.frames_per_cycle, frame_reduction,
+      legacy.bytes_per_cycle, batch.bytes_per_cycle, legacy.p99_cycle_us,
+      batch.p99_cycle_us);
+  MeasuredRow(
+      "%4d sets, 50%% quiescent: bytes/cycle %8.0f (%4.2fx less), "
+      "unchanged/cycle %6.1f",
+      sets, quiescent.bytes_per_cycle, quiescent_bytes_reduction,
+      quiescent.unchanged_per_cycle);
+
+  json.BeginObject();
+  json.Field("sets_per_producer", sets);
+  json.Field("cycles", cycles);
+  EmitPath(json, "legacy_per_set", legacy);
+  EmitPath(json, "batched", batch);
+  EmitPath(json, "batched_half_quiescent", quiescent);
+  json.Field("frame_reduction", frame_reduction);
+  json.Field("quiescent_bytes_reduction", quiescent_bytes_reduction);
+  json.EndObject();
+}
+
 }  // namespace
 }  // namespace ldmsxx::bench
 
 int main() {
   using namespace ldmsxx;
   using namespace ldmsxx::bench;
+
+  const bool smoke = SmokeMode();
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("fanin"));
+  json.Field("smoke", smoke);
 
   Banner("T-fanin", "aggregator fan-in by transport (194-metric sets)");
   PaperRow("max fan-in ~9,000:1 (sock, IB RDMA); >15,000:1 (Gemini ugni)");
@@ -245,11 +423,12 @@ int main() {
     int producers;
   };
   const Case cases[] = {
-      {"sock", 512},    // bounded by fds; cost extrapolates linearly
-      {"local", 4096},
-      {"rdma", 4096},
-      {"ugni", 4096},
+      {"sock", smoke ? 8 : 512},  // bounded by fds; cost extrapolates linearly
+      {"local", smoke ? 32 : 4096},
+      {"rdma", smoke ? 32 : 4096},
+      {"ugni", smoke ? 32 : 4096},
   };
+  json.BeginArray("transports");
   for (const Case& c : cases) {
     FaninResult r = MeasureFanin(c.transport, c.producers, cluster);
     const double fanin_1s = 1e6 / r.per_pull_us;
@@ -259,18 +438,47 @@ int main() {
         "%9.0f:1 @20s (connect burst %.0f ms)",
         c.transport, c.producers, r.per_pull_us, fanin_1s, fanin_20s,
         r.connect_s * 1e3);
+    json.BeginObject();
+    json.Field("transport", std::string(c.transport));
+    json.Field("producers", c.producers);
+    json.Field("per_pull_us", r.per_pull_us);
+    json.Field("fanin_at_1s", fanin_1s);
+    json.EndObject();
   }
-  NoteRow("sock runs 512 real loopback TCP connections (fd-limited) and");
+  json.EndArray();
+  NoteRow("sock runs real loopback TCP connections (fd-limited) and");
   NoteRow("extrapolates; one-sided rdma/ugni pulls cost less per producer,");
   NoteRow("reproducing the ugni > sock fan-in ordering of the paper.");
 
   Banner("T-fanin/pipe",
          "request multiplexing on one sock connection (serial vs batched)");
   PaperRow("n/a — client-side pipelining of the update pull (Figure 2 {e})");
-  MeasurePipelining(/*sets=*/32, /*metrics=*/194, /*cycles=*/100);
-  MeasurePipelining(/*sets=*/64, /*metrics=*/194, /*cycles=*/50);
+  MeasurePipelining(/*sets=*/32, /*metrics=*/194, /*cycles=*/smoke ? 10 : 100);
+  MeasurePipelining(/*sets=*/64, /*metrics=*/194, /*cycles=*/smoke ? 5 : 50);
   NoteRow("serial = one blocking round trip per set per cycle (the old");
   NoteRow("lock-step client); pipelined = Endpoint::UpdateAll issues all");
   NoteRow("requests before harvesting, so a cycle costs ~one RTT total.");
+
+  Banner("T-fanin/batch",
+         "batched handle-addressed DGN-gated updates vs per-set pipelining");
+  PaperRow("n/a — request frames per cycle: O(sets) -> 1 per producer");
+  json.BeginArray("batch_cases");
+  const int batch_sets[] = {1, 64, 512};
+  for (const int sets : batch_sets) {
+    const int cycles = smoke ? (sets >= 512 ? 3 : 10)
+                             : (sets >= 512 ? 50 : 200);
+    MeasureBatchProtocol(sets, cycles, json);
+  }
+  json.EndArray();
+  NoteRow("legacy = pipelined per-set kUpdateReq frames; batched = one");
+  NoteRow("kUpdateBatchReq carrying (handle, last_dgn) pairs, response");
+  NoteRow("interleaves full chunks with 5-byte unchanged markers.");
+
+  json.EndObject();
+  if (!json.WriteFile("BENCH_fanin.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fanin.json\n");
+    return 1;
+  }
+  NoteRow("machine-readable results: BENCH_fanin.json");
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -123,8 +124,8 @@ void Bump(std::vector<MetricSetPtr>& sets, std::uint64_t tick) {
   }
 }
 
-void MeasureFanin(std::size_t fanin, std::size_t cycles,
-                  DurationNs write_cost) {
+void MeasureFanin(std::size_t fanin, std::size_t cycles, DurationNs write_cost,
+                  JsonWriter& json) {
   MemManager mem(256 << 20);
   auto sets = MakeSets(mem, fanin);
   auto store = std::make_shared<SlowStore>(write_cost);
@@ -162,9 +163,20 @@ void MeasureFanin(std::size_t fanin, std::size_t cycles,
       fanin, cycles, submit_s * 1e3, shed_pct, status.queue_high_water,
       store->PercentileUs(0.50), store->PercentileUs(0.99),
       static_cast<unsigned long long>(store->writes()));
+  json.BeginObject();
+  json.Field("fanin", static_cast<std::uint64_t>(fanin));
+  json.Field("cycles", static_cast<std::uint64_t>(cycles));
+  json.Field("submit_throughput_per_sec", submitted / submit_s);
+  json.Field("shed_pct", shed_pct);
+  json.Field("queue_high_water",
+             static_cast<std::uint64_t>(status.queue_high_water));
+  json.Field("p50_store_us", store->PercentileUs(0.50));
+  json.Field("p99_store_us", store->PercentileUs(0.99));
+  json.Field("writes", store->writes());
+  json.EndObject();
 }
 
-void MeasureBreaker(bool enabled, std::size_t submits) {
+void MeasureBreaker(bool enabled, std::size_t submits, JsonWriter& json) {
   MemManager mem(16 << 20);
   auto sets = MakeSets(mem, 1);
   auto store = std::make_shared<DeadStore>(10 * kNsPerUs);
@@ -197,6 +209,16 @@ void MeasureBreaker(bool enabled, std::size_t submits) {
       static_cast<unsigned long long>(store->attempts()),
       static_cast<unsigned long long>(status.shed_samples),
       static_cast<unsigned long long>(status.breaker_trips));
+  json.BeginObject();
+  json.Field("breaker_enabled", enabled);
+  json.Field("submits", static_cast<std::uint64_t>(submits));
+  json.Field("elapsed_ms", elapsed_s * 1e3);
+  json.Field("submit_throughput_per_sec",
+             static_cast<double>(submits) / elapsed_s);
+  json.Field("write_attempts", store->attempts());
+  json.Field("shed_samples", status.shed_samples);
+  json.Field("breaker_trips", status.breaker_trips);
+  json.EndObject();
 }
 
 }  // namespace
@@ -206,13 +228,25 @@ int main() {
   using namespace ldmsxx;
   using namespace ldmsxx::bench;
 
+  const bool smoke = SmokeMode();
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("store_overload"));
+  json.Field("smoke", smoke);
+
   Banner("T-overload/queue",
          "bounded store queue under fan-in that outruns a slow disk");
   PaperRow("n/a — robustness hardening; paper assumes the store keeps up");
   const DurationNs write_cost = 20 * kNsPerUs;  // ~50k writes/s disk
-  for (const std::size_t fanin : {64u, 256u, 1024u, 4096u}) {
-    MeasureFanin(fanin, /*cycles=*/16, write_cost);
+  json.BeginArray("queue_cases");
+  const std::size_t fanins_full[] = {64u, 256u, 1024u, 4096u};
+  const std::size_t fanins_smoke[] = {64u, 256u};
+  const auto fanins = smoke ? std::span<const std::size_t>(fanins_smoke)
+                            : std::span<const std::size_t>(fanins_full);
+  for (const std::size_t fanin : fanins) {
+    MeasureFanin(fanin, /*cycles=*/smoke ? 4 : 16, write_cost, json);
   }
+  json.EndArray();
   NoteRow("disk model: %llu us per write; queue capacity 1024, drop_oldest.",
           static_cast<unsigned long long>(write_cost / kNsPerUs));
   NoteRow("shed rate climbs with fan-in while high-water stays pinned at the");
@@ -221,10 +255,20 @@ int main() {
   Banner("T-overload/breaker",
          "circuit breaker against a dead disk (10 us failing writes)");
   PaperRow("n/a — robustness hardening; see DESIGN.md breaker section");
-  MeasureBreaker(/*enabled=*/false, /*submits=*/20000);
-  MeasureBreaker(/*enabled=*/true, /*submits=*/20000);
+  const std::size_t submits = smoke ? 2000 : 20000;
+  json.BeginArray("breaker_cases");
+  MeasureBreaker(/*enabled=*/false, submits, json);
+  MeasureBreaker(/*enabled=*/true, submits, json);
+  json.EndArray();
   NoteRow("breaker on: after 5 consecutive failures the policy quarantines");
   NoteRow("and sheds at memory speed; attempts collapse from every sample to");
   NoteRow("a handful of half-open probes, and the shed gap is accounted.");
+
+  json.EndObject();
+  if (!json.WriteFile("BENCH_store_overload.json")) {
+    std::fprintf(stderr, "failed to write BENCH_store_overload.json\n");
+    return 1;
+  }
+  NoteRow("machine-readable results: BENCH_store_overload.json");
   return 0;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Crash-check the benches in a seconds-long configuration and verify they
+# produce their machine-readable BENCH_*.json artifacts. Usage:
+#   scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+run_bench() {
+  local name="$1" artifact="$2"
+  local bin="$build_dir/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_smoke: missing binary $bin" >&2
+    exit 1
+  fi
+  bin="$(realpath "$bin")"
+  echo "=== bench_smoke: $name ==="
+  (cd "$out_dir" && LDMSXX_BENCH_SMOKE=1 "$bin")
+  if [[ ! -s "$out_dir/$artifact" ]]; then
+    echo "bench_smoke: $name did not produce $artifact" >&2
+    exit 1
+  fi
+  echo "bench_smoke: $artifact OK ($(wc -c <"$out_dir/$artifact") bytes)"
+}
+
+run_bench bench_fanin BENCH_fanin.json
+run_bench bench_store_overload BENCH_store_overload.json
+
+echo "bench_smoke: all benches passed"

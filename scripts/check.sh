@@ -19,11 +19,13 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = default ]; then
     echo "==> [$preset] full test suite"
     ctest --preset "$preset" --output-on-failure
+    echo "==> [$preset] bench smoke (crash check + JSON artifacts)"
+    scripts/bench_smoke.sh build
   else
-    # Sanitizer presets focus on the concurrency-heavy fault suites (the
-    # preset's own filter applies on top of the label selection).
-    echo "==> [$preset] chaos + overload suites"
-    ctest --preset "$preset" --output-on-failure -L 'chaos|overload'
+    # Sanitizer presets focus on the concurrency-heavy fault suites and the
+    # wire codecs (the preset's own filter applies on top of the labels).
+    echo "==> [$preset] chaos + overload + codec suites"
+    ctest --preset "$preset" --output-on-failure -L 'chaos|overload|codec'
   fi
 done
 echo "==> all presets green"

@@ -23,6 +23,11 @@ Status SetRegistry::Remove(std::string_view instance) {
   if (it == sets_.end()) {
     return {ErrorCode::kNotFound, "no such set: " + std::string(instance)};
   }
+  auto hit = handle_by_name_.find(it->first);
+  if (hit != handle_by_name_.end()) {
+    name_by_handle_.erase(hit->second);
+    handle_by_name_.erase(hit);
+  }
   sets_.erase(it);
   return Status::Ok();
 }
@@ -48,6 +53,27 @@ std::vector<std::string> SetRegistry::List() const {
 std::size_t SetRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sets_.size();
+}
+
+std::uint32_t SetRegistry::HandleFor(std::string_view instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(instance);
+  if (sets_.find(key) == sets_.end()) return 0xffffffffu;
+  auto it = handle_by_name_.find(key);
+  if (it != handle_by_name_.end()) return it->second;
+  const std::uint32_t h = next_handle_++;
+  handle_by_name_.emplace(key, h);
+  name_by_handle_.emplace(h, std::move(key));
+  return h;
+}
+
+MetricSetPtr SetRegistry::FindByHandle(std::uint32_t handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = name_by_handle_.find(handle);
+  if (it == name_by_handle_.end()) return nullptr;
+  auto sit = sets_.find(it->second);
+  if (sit == sets_.end()) return nullptr;
+  return sit->second;
 }
 
 std::size_t SetRegistry::TotalBytes() const {

@@ -4,6 +4,7 @@
 // ldms_ls).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,9 +37,22 @@ class SetRegistry {
   /// Sum of total_size() over all sets (footprint accounting).
   std::size_t TotalBytes() const;
 
+  /// Compact handle for @p instance, assigned on first request and stable
+  /// while the set stays registered. Handles are monotonic and never reused,
+  /// so a handle held across Remove/Add resolves to nothing rather than to a
+  /// different set. Returns 0xffffffff (kInvalidSetHandle) if the instance is
+  /// not registered.
+  std::uint32_t HandleFor(std::string_view instance);
+
+  /// Resolve a handle back to its set; nullptr for unknown/stale handles.
+  MetricSetPtr FindByHandle(std::uint32_t handle) const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, MetricSetPtr> sets_;
+  std::unordered_map<std::string, std::uint32_t> handle_by_name_;
+  std::unordered_map<std::uint32_t, std::string> name_by_handle_;
+  std::uint32_t next_handle_ = 1;
 };
 
 }  // namespace ldmsxx

@@ -16,6 +16,13 @@ namespace ldmsxx {
 /// Append-only binary writer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopt @p buf as the backing store (cleared but capacity kept), so hot
+  /// paths can reuse one arena across frames instead of allocating per frame.
+  explicit ByteWriter(std::vector<std::byte> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void U8(std::uint8_t v) { Raw(&v, 1); }
   void U16(std::uint16_t v) { Raw(&v, 2); }
   void U32(std::uint32_t v) { Raw(&v, 4); }
@@ -46,6 +53,23 @@ class ByteWriter {
   void PatchU32(std::size_t offset, std::uint32_t v) {
     std::memcpy(buf_.data() + offset, &v, 4);
   }
+
+  /// Grow the buffer by @p n uninitialized-ish bytes and return the offset of
+  /// the new region. Lets callers snapshot data straight into the frame
+  /// (gather-encode) instead of staging it in a temporary vector.
+  std::size_t Extend(std::size_t n) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    return off;
+  }
+
+  /// Writable view of a previously Extend()ed region.
+  std::span<std::byte> MutableSpan(std::size_t offset, std::size_t n) {
+    return {buf_.data() + offset, n};
+  }
+
+  /// Roll the buffer back to @p size (undo a partially written entry).
+  void Truncate(std::size_t size) { buf_.resize(size); }
 
  private:
   std::vector<std::byte> buf_;

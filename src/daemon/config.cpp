@@ -54,6 +54,10 @@ Status ConfigProcessor::Execute(std::string_view line, std::string* output) {
     std::string local;
     return CmdStrgpStatus(args, output != nullptr ? output : &local);
   }
+  if (verb == "prdcr_status") {
+    std::string local;
+    return CmdPrdcrStatus(args, output != nullptr ? output : &local);
+  }
   if (verb == "counters") {
     std::string local;
     return CmdCounters(output != nullptr ? output : &local);
@@ -256,6 +260,33 @@ Status ConfigProcessor::CmdStrgpStatus(const PluginParams& args,
   return Status::Ok();
 }
 
+Status ConfigProcessor::CmdPrdcrStatus(const PluginParams& args,
+                                       std::string* output) {
+  if (auto it = args.find("name"); it != args.end()) {
+    const Ldmsd::ProducerStatus s = daemon_.producer_status(it->second);
+    if (!s.known) {
+      return {ErrorCode::kNotFound, "no such producer: " + it->second};
+    }
+    *output = "name=" + it->second +
+              " connected=" + std::to_string(s.connected ? 1 : 0) +
+              " active=" + std::to_string(s.active ? 1 : 0) +
+              " sets=" + std::to_string(s.sets_ready) +
+              " failures=" + std::to_string(s.consecutive_failures) +
+              " reconnects=" + std::to_string(s.reconnects) +
+              " updates_batched=" + std::to_string(s.updates_batched) +
+              " updates_unchanged=" + std::to_string(s.updates_unchanged) +
+              " update_bytes_on_wire=" +
+              std::to_string(s.update_bytes_on_wire) +
+              " backoff_us=" + std::to_string(s.current_backoff / kNsPerUs);
+    return Status::Ok();
+  }
+  for (const auto& name : daemon_.producer_names()) {
+    if (!output->empty()) output->push_back(' ');
+    *output += name;
+  }
+  return Status::Ok();
+}
+
 Status ConfigProcessor::CmdCounters(std::string* output) {
   const auto& c = daemon_.counters();
   auto get = [](const std::atomic<std::uint64_t>& v) {
@@ -274,7 +305,10 @@ Status ConfigProcessor::CmdCounters(std::string* output) {
             " connects_ok=" + get(c.connects_ok) +
             " connects_failed=" + get(c.connects_failed) +
             " reconnects=" + get(c.reconnects) +
-            " backoff_deferrals=" + get(c.backoff_deferrals);
+            " backoff_deferrals=" + get(c.backoff_deferrals) +
+            " updates_batched=" + get(c.updates_batched) +
+            " updates_unchanged=" + get(c.updates_unchanged) +
+            " update_bytes_on_wire=" + get(c.update_bytes_on_wire);
   return Status::Ok();
 }
 

@@ -18,6 +18,7 @@
 //              [breaker_max=<usec>]
 //   interval   name=<plugin> interval=<usec>       (on-the-fly change)
 //   strgp_status [name=<policy>]   (queue depth, shed counts, breaker state)
+//   prdcr_status [name=<producer>]  (connection state, batch-update counters)
 //   counters                        (daemon-wide activity counters)
 //
 // Intervals are microseconds, matching ldmsd's convention. Lines starting
@@ -58,6 +59,7 @@ class ConfigProcessor {
   Status CmdPrdcrAdd(const PluginParams& args);
   Status CmdStrgpAdd(const PluginParams& args);
   Status CmdStrgpStatus(const PluginParams& args, std::string* output);
+  Status CmdPrdcrStatus(const PluginParams& args, std::string* output);
   Status CmdCounters(std::string* output);
 
   Ldmsd& daemon_;

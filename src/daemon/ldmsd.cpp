@@ -318,7 +318,18 @@ Ldmsd::ProducerStatus Ldmsd::producer_status(
   status.sets_ready = producer->mirrors.size();
   status.reconnects = producer->reconnects;
   status.current_backoff = producer->backoff;
+  status.updates_batched = producer->updates_batched;
+  status.updates_unchanged = producer->updates_unchanged;
+  status.update_bytes_on_wire = producer->update_bytes_on_wire;
   return status;
+}
+
+std::vector<std::string> Ldmsd::producer_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  names.reserve(producers_.size());
+  for (const auto& [name, producer] : producers_) names.push_back(name);
+  return names;
 }
 
 void Ldmsd::ScheduleReconnect(Producer& producer) {
@@ -382,9 +393,11 @@ Status Ldmsd::LookupSets(Producer& producer) {
   for (const auto& instance : instances) {
     // Lookup runs even when a mirror already exists: after a reconnect the
     // new endpoint must re-register (pin) the peer's set memory for
-    // one-sided transports.
+    // one-sided transports, and the peer assigns a fresh batch handle (the
+    // old one died with the old connection/daemon incarnation).
     std::vector<std::byte> metadata;
-    Status st = producer.endpoint->Lookup(instance, &metadata);
+    Endpoint::LookupExtra extra;
+    Status st = producer.endpoint->LookupEx(instance, &metadata, &extra);
     counters_.lookups.fetch_add(1, std::memory_order_relaxed);
     if (!st.ok()) {
       // Set may not exist yet on the peer; retried next cycle ({a} loop in
@@ -393,7 +406,11 @@ Status Ldmsd::LookupSets(Producer& producer) {
                  " failed: ", st.ToString());
       continue;
     }
-    if (producer.mirrors.contains(instance)) continue;  // mirror retained
+    auto existing = producer.mirrors.find(instance);
+    if (existing != producer.mirrors.end()) {
+      existing->second.handle = extra.handle;  // mirror retained
+      continue;
+    }
     Status mirror_st;
     MetricSetPtr mirror = MetricSet::CreateMirror(mem_, metadata, &mirror_st);
     if (mirror == nullptr) {
@@ -403,6 +420,7 @@ Status Ldmsd::LookupSets(Producer& producer) {
     }
     MirrorEntry entry;
     entry.set = mirror;
+    entry.handle = extra.handle;
     producer.mirrors.emplace(instance, std::move(entry));
     // Re-export for higher-level aggregators (daisy chaining).
     (void)sets_.Add(mirror);
@@ -464,50 +482,55 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
   const std::uint64_t t0 = NowSteadyNs();
   bool any_failure = false;
   std::vector<std::string> stale_mirrors;
-  // Issue every per-set update before harvesting any completion: on a
-  // pipelined transport all round trips for this producer overlap on the one
-  // connection, so a cycle costs ~one RTT instead of mirrors.size() of them.
+  // One batched pull for all of this producer's sets (the tentpole of the
+  // batch protocol): handle-addressed sets travel in a single
+  // kUpdateBatchReq frame — one request frame per producer per cycle instead
+  // of one per set — and sets whose DGN has not advanced come back as 5-byte
+  // "unchanged" markers instead of full chunks. Legacy peers (version 0) fall
+  // back to pipelined per-set updates inside the same call. The spec/result
+  // vectors live on the producer so steady-state cycles reuse capacity.
   const std::size_t n = producer.mirrors.size();
-  std::vector<std::string> instances;
-  std::vector<MirrorEntry*> entries;
-  instances.reserve(n);
+  auto& specs = producer.batch_specs;
+  auto& results = producer.batch_results;
+  auto& entries = producer.batch_entries;
+  specs.clear();
+  entries.clear();
+  specs.reserve(n);
   entries.reserve(n);
   for (auto& [instance, mirror] : producer.mirrors) {
-    instances.push_back(instance);
+    Endpoint::BatchUpdateSpec spec;
+    spec.instance = instance;
+    spec.handle = mirror.handle;
+    spec.last_dgn = mirror.last_gn;
+    specs.push_back(std::move(spec));
     entries.push_back(&mirror);
   }
-  struct Harvest {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t remaining;
-  } harvest{.remaining = n};
-  std::vector<Status> statuses(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    MetricSetPtr set = entries[i]->set;
-    auto set_mu = entries[i]->mu;
-    producer.endpoint->UpdateAsync(
-        instances[i],
-        [&harvest, &statuses, i, set = std::move(set),
-         set_mu = std::move(set_mu)](Status st, std::vector<std::byte> data) {
-          if (st.ok()) {
-            std::lock_guard<std::mutex> set_lock(*set_mu);
-            st = set->ApplyData(data);
-          }
-          std::lock_guard<std::mutex> lock(harvest.mu);
-          statuses[i] = std::move(st);
-          if (--harvest.remaining == 0) harvest.cv.notify_all();
-        });
-  }
-  {
-    std::unique_lock<std::mutex> lock(harvest.mu);
-    harvest.cv.wait(lock, [&harvest] { return harvest.remaining == 0; });
-  }
-  // All handlers have run; the endpoint is quiescent for this cycle, so the
-  // per-result bookkeeping below (including endpoint.reset()) is safe.
+  const TransportStats& ep_stats = producer.endpoint->stats();
+  const std::uint64_t wire_before =
+      ep_stats.bytes_tx.load(std::memory_order_relaxed) +
+      ep_stats.bytes_rx.load(std::memory_order_relaxed);
+  producer.endpoint->UpdateBatch(specs, &results);
+  // The batch call is synchronous; the endpoint is quiescent for this cycle,
+  // so the per-result bookkeeping below (including endpoint.reset()) is safe.
+  const std::uint64_t wire_delta =
+      ep_stats.bytes_tx.load(std::memory_order_relaxed) +
+      ep_stats.bytes_rx.load(std::memory_order_relaxed) - wire_before;
+  producer.update_bytes_on_wire += wire_delta;
+  counters_.update_bytes_on_wire.fetch_add(wire_delta,
+                                           std::memory_order_relaxed);
   bool disconnected = false;
   for (std::size_t i = 0; i < n; ++i) {
-    const Status& st = statuses[i];
+    Endpoint::BatchUpdateResult& result = results[i];
     MirrorEntry& mirror = *entries[i];
+    if (result.batched) {
+      ++producer.updates_batched;
+      counters_.updates_batched.fetch_add(1, std::memory_order_relaxed);
+    }
+    Status st = std::move(result.status);
+    if (st.ok() && !result.unchanged) {
+      std::lock_guard<std::mutex> set_lock(*mirror.mu);
+      st = mirror.set->ApplyData(result.data);
+    }
     if (!st.ok()) {
       counters_.updates_failed.fetch_add(1, std::memory_order_relaxed);
       any_failure = true;
@@ -516,10 +539,23 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
       } else if (st.code() == ErrorCode::kInvalidArgument) {
         // Metadata generation mismatch: the peer restarted with a changed
         // schema. Drop the mirror; the next cycle looks it up fresh.
-        log_.Warn("set ", instances[i], " changed schema on ",
+        log_.Warn("set ", specs[i].instance, " changed schema on ",
                   producer.config.name, "; re-looking up");
-        stale_mirrors.push_back(instances[i]);
+        stale_mirrors.push_back(specs[i].instance);
+      } else if (result.batched && st.code() == ErrorCode::kNotFound) {
+        // The peer no longer knows this handle (it restarted, or the set was
+        // dropped and re-registered). Re-lookup refreshes the handle without
+        // discarding the mirror.
+        producer.need_lookup = true;
       }
+      continue;
+    }
+    if (result.unchanged) {
+      // The producer's DGN gate answered "no new sample" without shipping
+      // the chunk — same outcome as the legacy gn == last_gn check below.
+      ++producer.updates_unchanged;
+      counters_.updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+      counters_.updates_no_new_data.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     const std::uint64_t gn = mirror.set->data_gn();
@@ -607,6 +643,14 @@ void Ldmsd::HandleAdvertise(const AdvertiseMsg& msg) {
 
 MetricSetPtr Ldmsd::HandleRdmaExpose(const std::string& instance) {
   return sets_.Find(instance);
+}
+
+std::uint32_t Ldmsd::HandleAssignHandle(const std::string& instance) {
+  return sets_.HandleFor(instance);
+}
+
+MetricSetPtr Ldmsd::HandleResolveHandle(std::uint32_t handle) {
+  return sets_.FindByHandle(handle);
 }
 
 Status Ldmsd::AdvertiseTo(const std::string& transport,

@@ -110,6 +110,15 @@ class Ldmsd final : public ServiceHandler {
     std::atomic<std::uint64_t> updates_ok{0};
     std::atomic<std::uint64_t> updates_no_new_data{0};
     std::atomic<std::uint64_t> updates_failed{0};
+    /// Per-set pulls that travelled inside a kUpdateBatchReq frame instead
+    /// of their own request frame.
+    std::atomic<std::uint64_t> updates_batched{0};
+    /// Pulls the producer answered with the 5-byte DGN-gate marker (no new
+    /// sample), so no data chunk crossed the wire.
+    std::atomic<std::uint64_t> updates_unchanged{0};
+    /// Transport bytes (tx+rx) attributable to collect cycles, as reported
+    /// by the producer endpoints' stats deltas.
+    std::atomic<std::uint64_t> update_bytes_on_wire{0};
     std::atomic<std::uint64_t> update_ns{0};
     std::atomic<std::uint64_t> lookups{0};
     /// Storage-path counters (queue shedding, breaker activity) shared by
@@ -136,6 +145,10 @@ class Ldmsd final : public ServiceHandler {
     std::uint64_t reconnects = 0;
     /// Current backoff span; 0 when the last connect succeeded.
     DurationNs current_backoff = 0;
+    /// Batch-protocol accounting for this producer (see Counters).
+    std::uint64_t updates_batched = 0;
+    std::uint64_t updates_unchanged = 0;
+    std::uint64_t update_bytes_on_wire = 0;
   };
 
   explicit Ldmsd(LdmsdOptions options);
@@ -180,6 +193,7 @@ class Ldmsd final : public ServiceHandler {
   void StoreLocalSet(const MetricSetPtr& set);
 
   ProducerStatus producer_status(const std::string& producer_name) const;
+  std::vector<std::string> producer_names() const;
 
   /// Point-in-time view of one store policy; status.known is false for an
   /// unknown name.
@@ -201,6 +215,8 @@ class Ldmsd final : public ServiceHandler {
                       std::vector<std::byte>* data) override;
   void HandleAdvertise(const AdvertiseMsg& msg) override;
   MetricSetPtr HandleRdmaExpose(const std::string& instance) override;
+  std::uint32_t HandleAssignHandle(const std::string& instance) override;
+  MetricSetPtr HandleResolveHandle(std::uint32_t handle) override;
 
   // --- introspection ------------------------------------------------------
 
@@ -230,6 +246,10 @@ class Ldmsd final : public ServiceHandler {
   struct MirrorEntry {
     MetricSetPtr set;
     std::uint64_t last_gn = 0;
+    /// Compact handle the producer assigned at lookup for batch-addressed
+    /// pulls; kInvalidSetHandle against legacy peers. Refreshed on every
+    /// (re-)lookup, since a producer restart invalidates old handles.
+    std::uint32_t handle = kInvalidSetHandle;
     /// Serializes ApplyData against StoreSet.
     std::shared_ptr<std::mutex> mu = std::make_shared<std::mutex>();
   };
@@ -256,6 +276,15 @@ class Ldmsd final : public ServiceHandler {
     /// Deterministic jitter stream, seeded from the producer name.
     Rng jitter_rng{0};
     TimerScheduler::TaskId task = 0;
+    /// Batch accounting mirrored into ProducerStatus (guarded by mu).
+    std::uint64_t updates_batched = 0;
+    std::uint64_t updates_unchanged = 0;
+    std::uint64_t update_bytes_on_wire = 0;
+    /// Collect-cycle scratch (guarded by mu): reused across cycles so the
+    /// steady-state pull path recycles capacity instead of reallocating.
+    std::vector<Endpoint::BatchUpdateSpec> batch_specs;
+    std::vector<Endpoint::BatchUpdateResult> batch_results;
+    std::vector<MirrorEntry*> batch_entries;
     std::mutex mu;  // guards all mutable state above
   };
 

@@ -29,12 +29,21 @@ void Endpoint::UpdateAsync(const std::string& instance, AsyncHandler handler) {
   handler(std::move(st), std::move(data));
 }
 
-std::vector<Status> Endpoint::UpdateAll(
-    const std::vector<std::string>& instances,
-    const std::vector<MetricSet*>& mirrors) {
-  const std::size_t n = instances.size();
-  std::vector<Status> statuses(n);
-  if (n == 0) return statuses;
+Status Endpoint::LookupEx(const std::string& instance,
+                          std::vector<std::byte>* metadata,
+                          LookupExtra* extra) {
+  if (extra != nullptr) *extra = LookupExtra{};
+  return Lookup(instance, metadata);
+}
+
+void Endpoint::UpdateBatch(const std::vector<BatchUpdateSpec>& specs,
+                           std::vector<BatchUpdateResult>* results) {
+  const std::size_t n = specs.size();
+  results->assign(n, BatchUpdateResult{});
+  if (n == 0) return;
+  // Legacy fallback: per-set pipelined pulls. No DGN gating happens on the
+  // wire, so `unchanged` stays false and the caller does its own gn check
+  // on the returned chunk, exactly as before the batch protocol.
   struct Harvest {
     std::mutex mu;
     std::condition_variable cv;
@@ -42,22 +51,85 @@ std::vector<Status> Endpoint::UpdateAll(
   } harvest{.remaining = n};
   CorkWrites();
   for (std::size_t i = 0; i < n; ++i) {
-    MetricSet* mirror = i < mirrors.size() ? mirrors[i] : nullptr;
-    UpdateAsync(instances[i],
-                [&statuses, &harvest, mirror, i](Status st,
-                                                 std::vector<std::byte> data) {
-                  if (st.ok() && mirror != nullptr) {
-                    st = mirror->ApplyData(data);
-                  }
+    UpdateAsync(specs[i].instance,
+                [results, &harvest, i](Status st, std::vector<std::byte> data) {
                   std::lock_guard<std::mutex> lock(harvest.mu);
-                  statuses[i] = std::move(st);
+                  (*results)[i].status = std::move(st);
+                  (*results)[i].data = std::move(data);
                   if (--harvest.remaining == 0) harvest.cv.notify_all();
                 });
   }
   UncorkWrites();
   std::unique_lock<std::mutex> lock(harvest.mu);
   harvest.cv.wait(lock, [&harvest] { return harvest.remaining == 0; });
+}
+
+std::vector<Status> Endpoint::UpdateAll(
+    const std::vector<std::string>& instances,
+    const std::vector<MetricSet*>& mirrors) {
+  const std::size_t n = instances.size();
+  std::vector<Status> statuses(n);
+  if (n == 0) return statuses;
+  std::vector<BatchUpdateSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].instance = instances[i];
+    MetricSet* mirror = i < mirrors.size() ? mirrors[i] : nullptr;
+    if (mirror != nullptr) specs[i].last_dgn = mirror->data_gn();
+  }
+  std::vector<BatchUpdateResult> results;
+  UpdateBatch(specs, &results);
+  for (std::size_t i = 0; i < n; ++i) {
+    Status st = std::move(results[i].status);
+    MetricSet* mirror = i < mirrors.size() ? mirrors[i] : nullptr;
+    if (st.ok() && !results[i].unchanged && mirror != nullptr) {
+      st = mirror->ApplyData(results[i].data);
+    }
+    statuses[i] = std::move(st);
+  }
   return statuses;
+}
+
+void ServeUpdateBatch(ServiceHandler& handler, const UpdateBatchRequest& req,
+                      UpdateBatchResponse* resp, TransportStats* stats) {
+  resp->code = 0;
+  resp->entries.clear();
+  resp->entries.reserve(req.entries.size());
+  if (stats != nullptr) {
+    stats->update_batches.fetch_add(1, std::memory_order_relaxed);
+    stats->updates.fetch_add(req.entries.size(), std::memory_order_relaxed);
+  }
+  for (const auto& e : req.entries) {
+    UpdateBatchResponse::Entry out;
+    out.handle = e.handle;
+    MetricSetPtr set = handler.HandleResolveHandle(e.handle);
+    if (set == nullptr) {
+      out.kind = BatchEntryKind::kError;
+      out.code = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+      resp->entries.push_back(std::move(out));
+      continue;
+    }
+    // DGN gate: only an exact match means "the chunk you already hold". A
+    // producer restart can reset the DGN below last_dgn, and that chunk is
+    // new data the aggregator must see.
+    if (set->data_gn() == e.last_dgn && set->consistent()) {
+      out.kind = BatchEntryKind::kUnchanged;
+      if (stats != nullptr) {
+        stats->updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+      }
+      resp->entries.push_back(std::move(out));
+      continue;
+    }
+    out.data.resize(set->data_size());
+    Status st = set->SnapshotData(out.data);
+    if (!st.ok()) {
+      out.kind = BatchEntryKind::kError;
+      out.code = static_cast<std::uint8_t>(st.code());
+      out.data.clear();
+    } else {
+      out.kind = BatchEntryKind::kData;
+    }
+    resp->entries.push_back(std::move(out));
+  }
 }
 
 }  // namespace ldmsxx

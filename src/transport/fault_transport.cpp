@@ -69,6 +69,85 @@ class FaultEndpoint final : public Endpoint {
     return st;
   }
 
+  Status LookupEx(const std::string& instance, std::vector<std::byte>* metadata,
+                  LookupExtra* extra) override {
+    if (extra != nullptr) *extra = LookupExtra{};
+    Status st = Intercept(FaultOp::kLookup, metadata, [&] {
+      return inner_->LookupEx(instance, metadata, extra);
+    });
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
+  // Batched pull under fault injection. One Decision is drawn per entry — the
+  // same number and order of kUpdate draws as the per-set protocol, so seeded
+  // chaos runs stay aligned whether batching is on or off. Frame semantics
+  // decide the blast radius: a drawn disconnect or stall kills/steals the
+  // whole batch frame (every entry fails), while truncate/corrupt mangle only
+  // that entry's chunk within an otherwise-delivered response.
+  void UpdateBatch(const std::vector<BatchUpdateSpec>& specs,
+                   std::vector<BatchUpdateResult>* results) override {
+    const std::size_t n = specs.size();
+    results->assign(n, BatchUpdateResult{});
+    stats_.updates.fetch_add(n, std::memory_order_relaxed);
+    if (n == 0) return;
+    stats_.update_batches.fetch_add(1, std::memory_order_relaxed);
+    if (dead_.load(std::memory_order_acquire)) {
+      for (auto& r : *results) {
+        r.status = {ErrorCode::kDisconnected,
+                    "endpoint closed by injected fault"};
+      }
+      stats_.errors.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<FaultSchedule::Decision> draws(n);
+    bool disconnect = false;
+    bool stall = false;
+    DurationNs max_delay = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      draws[i] = schedule_->Draw(FaultOp::kUpdate);
+      if (draws[i].kind == FaultKind::kDisconnect) disconnect = true;
+      if (draws[i].kind == FaultKind::kStall) stall = true;
+      if (draws[i].kind == FaultKind::kDelay && draws[i].delay > max_delay) {
+        max_delay = draws[i].delay;
+      }
+    }
+    if (disconnect) {
+      dead_.store(true, std::memory_order_release);
+      inner_->Close();
+      for (auto& r : *results) {
+        r.status = {ErrorCode::kDisconnected, "injected mid-batch disconnect"};
+      }
+      stats_.errors.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    if (stall) {
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      for (auto& r : *results) {
+        r.status = {ErrorCode::kTimeout, "injected one-way stall"};
+      }
+      stats_.errors.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    if (max_delay > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(max_delay));
+    }
+    inner_->UpdateBatch(specs, results);
+    for (std::size_t i = 0; i < n; ++i) {
+      BatchUpdateResult& r = (*results)[i];
+      if (!r.status.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (r.unchanged || r.data.empty()) continue;
+      if (draws[i].kind == FaultKind::kTruncate ||
+          draws[i].kind == FaultKind::kCorrupt) {
+        MutatePayload(draws[i].kind, draws[i].mutation, &r.data);
+      }
+    }
+  }
+
   Status Advertise(const AdvertiseMsg& msg) override {
     return Intercept(FaultOp::kAdvertise, nullptr, [&] {
       return inner_->Advertise(msg);

@@ -87,6 +87,97 @@ class LocalEndpoint final : public Endpoint {
     return st;
   }
 
+  Status LookupEx(const std::string& instance, std::vector<std::byte>* metadata,
+                  LookupExtra* extra) override {
+    if (extra != nullptr) *extra = LookupExtra{};
+    Status st = Lookup(instance, metadata);
+    if (!st.ok() || extra == nullptr) return st;
+    // The version/handle ride in the lookup response's trailing bytes on the
+    // wire; in-process we ask the handler directly. A legacy handler returns
+    // no handle, which keeps the peer at version 0.
+    node_->WithHandler([&](ServiceHandler* h, TransportStats*) {
+      extra->handle = h->HandleAssignHandle(instance);
+      extra->version =
+          extra->handle != kInvalidSetHandle ? kBatchProtocolVersion : 0;
+      return Status::Ok();
+    });
+    return st;
+  }
+
+  void UpdateBatch(const std::vector<BatchUpdateSpec>& specs,
+                   std::vector<BatchUpdateResult>* results) override {
+    const std::size_t n = specs.size();
+    results->assign(n, BatchUpdateResult{});
+    if (n == 0) return;
+    if (closed_) {
+      for (auto& r : *results) {
+        r.status = {ErrorCode::kDisconnected, "endpoint closed"};
+      }
+      return;
+    }
+    // One modeled request frame for the whole batch (12 bytes per entry),
+    // one response frame whose size depends on what each entry answered.
+    std::uint64_t resp_bytes = kFrameHeaderSize + 5;
+    std::size_t batched_entries = 0;
+    Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      for (std::size_t i = 0; i < n; ++i) {
+        BatchUpdateResult& r = (*results)[i];
+        if (specs[i].handle == kInvalidSetHandle) {
+          // No handle (set never looked up via LookupEx): legacy per-set
+          // semantics inside the same fabric call.
+          r.status = h->HandleUpdate(specs[i].instance, &r.data);
+          resp_bytes += kFrameHeaderSize + 5 + r.data.size();
+          continue;
+        }
+        r.batched = true;
+        ++batched_entries;
+        MetricSetPtr set = h->HandleResolveHandle(specs[i].handle);
+        if (set == nullptr) {
+          r.status = {ErrorCode::kNotFound, "unknown set handle"};
+          resp_bytes += 6;  // handle + kind + code
+          continue;
+        }
+        if (set->data_gn() == specs[i].last_dgn && set->consistent()) {
+          r.status = Status::Ok();
+          r.unchanged = true;
+          resp_bytes += 5;  // handle + kind marker only
+          stats_.updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+          if (srv != nullptr) {
+            srv->updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        r.data.resize(set->data_size());
+        r.status = set->SnapshotData(r.data);
+        if (!r.status.ok()) {
+          r.data.clear();
+          resp_bytes += 6;
+        } else {
+          resp_bytes += 9 + r.data.size();  // handle + kind + len + chunk
+        }
+      }
+      ChargeServer(srv, NowSteadyNs() - t0);
+      Account(kFrameHeaderSize + 4 + 12 * batched_entries, resp_bytes, srv);
+      if (srv != nullptr) {
+        srv->update_batches.fetch_add(1, std::memory_order_relaxed);
+        srv->updates.fetch_add(n, std::memory_order_relaxed);
+      }
+      return Status::Ok();
+    });
+    stats_.updates.fetch_add(n, std::memory_order_relaxed);
+    stats_.update_batches.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) {
+      // The node died: the whole batch is lost.
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      for (auto& r : *results) {
+        r.status = st;
+        r.unchanged = false;
+        r.data.clear();
+      }
+    }
+  }
+
   Status Advertise(const AdvertiseMsg& msg) override {
     if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
     return node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {

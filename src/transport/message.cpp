@@ -1,6 +1,8 @@
 #include "transport/message.hpp"
 
 #include <cstring>
+#include <unordered_set>
+#include <utility>
 
 namespace ldmsxx {
 
@@ -64,6 +66,10 @@ std::vector<std::byte> EncodeLookupResponse(const LookupResponse& msg) {
   ByteWriter w;
   w.U8(msg.code);
   w.Bytes(msg.metadata);
+  // Trailing extension: pre-batch decoders stop after the metadata bytes and
+  // never look at these (ByteReader only faults on overrun).
+  w.U8(msg.version);
+  w.U32(msg.handle);
   return w.Take();
 }
 
@@ -72,6 +78,13 @@ bool DecodeLookupResponse(std::span<const std::byte> payload,
   ByteReader r(payload);
   out->code = r.U8();
   out->metadata = r.Bytes();
+  if (r.ok() && r.remaining() >= 5) {
+    out->version = r.U8();
+    out->handle = r.U32();
+  } else {
+    out->version = 0;
+    out->handle = kInvalidSetHandle;
+  }
   return r.ok();
 }
 
@@ -116,6 +129,94 @@ bool DecodeAdvertise(std::span<const std::byte> payload, AdvertiseMsg* out) {
   out->producer = r.Str();
   out->dialback_address = r.Str();
   out->transport = r.Str();
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeUpdateBatchRequest(const UpdateBatchRequest& msg) {
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const auto& e : msg.entries) {
+    w.U32(e.handle);
+    w.U64(e.last_dgn);
+  }
+  return w.Take();
+}
+
+bool DecodeUpdateBatchRequest(std::span<const std::byte> payload,
+                              UpdateBatchRequest* out) {
+  ByteReader r(payload);
+  const std::uint32_t n = r.U32();
+  // Each entry is exactly 12 bytes; a count that cannot fit in the remaining
+  // payload is malformed — reject before allocating proportional to it.
+  if (static_cast<std::size_t>(n) > r.remaining() / 12) return false;
+  out->entries.clear();
+  out->entries.reserve(n);
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    UpdateBatchRequest::Entry e;
+    e.handle = r.U32();
+    e.last_dgn = r.U64();
+    // Response entries are keyed by handle, so duplicates would make the
+    // reply ambiguous; treat them as malformed.
+    if (!seen.insert(e.handle).second) return false;
+    out->entries.push_back(e);
+  }
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeUpdateBatchResponse(
+    const UpdateBatchResponse& msg) {
+  ByteWriter w;
+  w.U8(msg.code);
+  w.U32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const auto& e : msg.entries) {
+    w.U32(e.handle);
+    w.U8(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case BatchEntryKind::kUnchanged:
+        break;
+      case BatchEntryKind::kData:
+        w.Bytes(e.data);
+        break;
+      case BatchEntryKind::kError:
+        w.U8(e.code);
+        break;
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeUpdateBatchResponse(std::span<const std::byte> payload,
+                               UpdateBatchResponse* out) {
+  ByteReader r(payload);
+  out->code = r.U8();
+  const std::uint32_t n = r.U32();
+  // The smallest entry (kUnchanged) is 5 bytes on the wire.
+  if (static_cast<std::size_t>(n) > r.remaining() / 5) return false;
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    UpdateBatchResponse::Entry e;
+    e.handle = r.U32();
+    const std::uint8_t kind = r.U8();
+    switch (kind) {
+      case static_cast<std::uint8_t>(BatchEntryKind::kUnchanged):
+        e.kind = BatchEntryKind::kUnchanged;
+        break;
+      case static_cast<std::uint8_t>(BatchEntryKind::kData):
+        e.kind = BatchEntryKind::kData;
+        e.data = r.Bytes();
+        break;
+      case static_cast<std::uint8_t>(BatchEntryKind::kError):
+        e.kind = BatchEntryKind::kError;
+        e.code = r.U8();
+        break;
+      default:
+        return false;  // unknown entry kind
+    }
+    out->entries.push_back(std::move(e));
+  }
   return r.ok();
 }
 

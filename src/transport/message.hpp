@@ -26,7 +26,21 @@ enum class MsgType : std::uint8_t {
   kUpdateReq,
   kUpdateResp,
   kAdvertise,  // sampler -> aggregator: "connect back to me"
+  kUpdateBatchReq,   // aggregator -> producer: (handle, last_dgn) pairs
+  kUpdateBatchResp,  // producer -> aggregator: data / unchanged / error entries
 };
+
+/// Protocol revision advertised in the trailing bytes of a lookup response.
+/// Version >= 1 peers understand kUpdateBatchReq; version 0 (or a response
+/// with no trailing bytes at all, i.e. a pre-batch peer) means the client
+/// must stick to per-set kUpdateReq frames — old servers silently drop
+/// unknown frame types, which would otherwise turn into request timeouts.
+constexpr std::uint8_t kBatchProtocolVersion = 1;
+
+/// "No handle assigned." Handles are compact u32 ids a producer assigns at
+/// lookup time; they address the set in batch updates without re-sending the
+/// instance name on every cycle.
+constexpr std::uint32_t kInvalidSetHandle = 0xffffffffu;
 
 /// Upper bound on a frame payload. Metric sets are tens of kB; anything
 /// near this limit is a corrupt or hostile peer, and both ends of the sock
@@ -53,6 +67,11 @@ struct LookupRequest {
 struct LookupResponse {
   std::uint8_t code = 0;
   std::vector<std::byte> metadata;
+  // Trailing optional fields (appended after metadata). Old decoders ignore
+  // trailing bytes; new decoders treat their absence as version 0 / no
+  // handle, so the extension is wire-compatible in both directions.
+  std::uint8_t version = 0;
+  std::uint32_t handle = kInvalidSetHandle;
 };
 
 struct UpdateRequest {
@@ -62,6 +81,43 @@ struct UpdateRequest {
 struct UpdateResponse {
   std::uint8_t code = 0;
   std::vector<std::byte> data;
+};
+
+/// One batched pull for every set on a producer. Wire form:
+///   u32 count | count x (u32 handle, u64 last_dgn)
+/// The decoder rejects duplicate handles — response entries are keyed by
+/// handle, so a duplicate would make the reply ambiguous.
+struct UpdateBatchRequest {
+  struct Entry {
+    std::uint32_t handle = kInvalidSetHandle;
+    std::uint64_t last_dgn = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Per-entry result kind inside a batch response.
+enum class BatchEntryKind : std::uint8_t {
+  kUnchanged = 0,  // DGN has not advanced past last_dgn; no payload
+  kData = 1,       // full data chunk follows
+  kError = 2,      // per-set failure (unknown handle, torn snapshot, ...)
+};
+
+/// Batch response. Wire form:
+///   u8 code | u32 count | count x entry
+///   entry: u32 handle | u8 kind | (kData: u32 len, bytes)
+///                                 (kError: u8 code)
+///                                 (kUnchanged: nothing)  -- exactly 5 bytes
+/// A non-zero top-level code means the whole request failed (e.g. malformed)
+/// and count is 0.
+struct UpdateBatchResponse {
+  struct Entry {
+    std::uint32_t handle = kInvalidSetHandle;
+    BatchEntryKind kind = BatchEntryKind::kError;
+    std::uint8_t code = 0;  // ErrorCode, kError entries only
+    std::vector<std::byte> data;
+  };
+  std::uint8_t code = 0;
+  std::vector<Entry> entries;
 };
 
 struct AdvertiseMsg {
@@ -97,5 +153,13 @@ bool DecodeUpdateResponse(std::span<const std::byte> payload,
 
 std::vector<std::byte> EncodeAdvertise(const AdvertiseMsg& msg);
 bool DecodeAdvertise(std::span<const std::byte> payload, AdvertiseMsg* out);
+
+std::vector<std::byte> EncodeUpdateBatchRequest(const UpdateBatchRequest& msg);
+bool DecodeUpdateBatchRequest(std::span<const std::byte> payload,
+                              UpdateBatchRequest* out);
+
+std::vector<std::byte> EncodeUpdateBatchResponse(const UpdateBatchResponse& msg);
+bool DecodeUpdateBatchResponse(std::span<const std::byte> payload,
+                               UpdateBatchResponse* out);
 
 }  // namespace ldmsxx

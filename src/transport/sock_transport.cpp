@@ -14,8 +14,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
@@ -77,6 +77,66 @@ constexpr int kPollSliceMs = 20;
 /// so draining N buffered frames costs one memmove, not N.
 constexpr std::size_t kCompactBytes = 256 << 10;
 
+// Append-encode helpers: the server encodes response frames straight into a
+// per-connection arena (and the client its request frames into a reusable
+// scratch), so the steady-state collect cycle reuses capacity instead of
+// allocating a vector per frame.
+
+template <typename T>
+void AppendScalar(std::vector<std::byte>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+void AppendU8(std::vector<std::byte>& buf, std::uint8_t v) {
+  AppendScalar(buf, v);
+}
+void AppendU16(std::vector<std::byte>& buf, std::uint16_t v) {
+  AppendScalar(buf, v);
+}
+void AppendU32(std::vector<std::byte>& buf, std::uint32_t v) {
+  AppendScalar(buf, v);
+}
+void AppendU64(std::vector<std::byte>& buf, std::uint64_t v) {
+  AppendScalar(buf, v);
+}
+
+void AppendRaw(std::vector<std::byte>& buf, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+/// u32-length-prefixed byte field (ByteWriter::Bytes wire form).
+void AppendBytesField(std::vector<std::byte>& buf,
+                      std::span<const std::byte> data) {
+  AppendU32(buf, static_cast<std::uint32_t>(data.size()));
+  AppendRaw(buf, data.data(), data.size());
+}
+
+/// u16-length-prefixed string (ByteWriter::Str wire form).
+void AppendStrField(std::vector<std::byte>& buf, std::string_view s) {
+  AppendU16(buf, static_cast<std::uint16_t>(s.size()));
+  AppendRaw(buf, s.data(), s.size());
+}
+
+/// Start a frame in @p buf: header with a zero payload_len placeholder.
+/// Returns the offset of the frame for EndFrame to patch.
+std::size_t BeginFrame(std::vector<std::byte>& buf, MsgType type,
+                       std::uint64_t request_id) {
+  const std::size_t start = buf.size();
+  AppendU32(buf, 0);
+  AppendU8(buf, static_cast<std::uint8_t>(type));
+  AppendU64(buf, request_id);
+  return start;
+}
+
+/// Back-patch the payload length once the payload is fully appended.
+void EndFrame(std::vector<std::byte>& buf, std::size_t frame_start) {
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      buf.size() - frame_start - kFrameHeaderSize);
+  std::memcpy(buf.data() + frame_start, &len, 4);
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -137,8 +197,14 @@ class SockListener final : public Listener {
     /// Bytes of rbuf already consumed as complete frames; rbuf is compacted
     /// lazily (see kCompactBytes) instead of front-erased every batch.
     std::size_t roff = 0;
-    std::deque<std::vector<std::byte>> wqueue;
+    /// Outgoing frames, encoded in place back-to-back. woff marks the bytes
+    /// already sent; like rbuf, the buffer is cleared when drained and
+    /// compacted lazily, so steady state reuses its capacity.
+    std::vector<std::byte> wbuf;
     std::size_t woff = 0;
+    /// Scratch for handler payloads (lookup metadata, legacy update chunks);
+    /// reused across frames so the per-response allocation disappears.
+    std::vector<std::byte> scratch;
   };
 
   void Stop() {
@@ -264,47 +330,112 @@ class SockListener final : public Listener {
     return true;
   }
 
+  // Responses are encoded straight into conn.wbuf (header placeholder first,
+  // payload appended in place, length back-patched) — no per-response vector,
+  // and batch data chunks are snapshotted directly into the frame.
   void HandleFrame(int fd, Conn& conn, const FrameHeader& hdr,
                    std::span<const std::byte> payload) {
     const std::uint64_t t0 = NowSteadyNs();
-    MsgType resp_type = hdr.type;
-    std::vector<std::byte> resp_payload;
+    std::vector<std::byte>& out = conn.wbuf;
+    const std::size_t frame_start = out.size();
     switch (hdr.type) {
       case MsgType::kDirReq: {
-        DirResponse resp;
-        resp.instances = handler_->HandleDir();
-        resp.code = 0;
-        resp_type = MsgType::kDirResp;
-        resp_payload = EncodeDirResponse(resp);
+        BeginFrame(out, MsgType::kDirResp, hdr.request_id);
+        AppendU8(out, 0);  // code
+        const auto instances = handler_->HandleDir();
+        AppendU32(out, static_cast<std::uint32_t>(instances.size()));
+        for (const auto& name : instances) AppendStrField(out, name);
         break;
       }
       case MsgType::kLookupReq: {
         LookupRequest req;
-        LookupResponse resp;
+        BeginFrame(out, MsgType::kLookupResp, hdr.request_id);
+        std::uint32_t handle = kInvalidSetHandle;
         if (!DecodeLookupRequest(payload, &req)) {
-          resp.code = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+          AppendU8(out,
+                   static_cast<std::uint8_t>(ErrorCode::kInvalidArgument));
+          AppendU32(out, 0);  // empty metadata
         } else {
-          Status st = handler_->HandleLookup(req.instance, &resp.metadata);
-          resp.code = static_cast<std::uint8_t>(st.code());
+          conn.scratch.clear();
+          Status st = handler_->HandleLookup(req.instance, &conn.scratch);
+          AppendU8(out, static_cast<std::uint8_t>(st.code()));
+          AppendBytesField(out, st.ok()
+                                    ? std::span<const std::byte>(conn.scratch)
+                                    : std::span<const std::byte>{});
+          if (st.ok()) handle = handler_->HandleAssignHandle(req.instance);
         }
-        resp_type = MsgType::kLookupResp;
-        resp_payload = EncodeLookupResponse(resp);
+        // Trailing extension: protocol version + the set handle the batch
+        // path addresses this set by. A legacy handler assigns no handle and
+        // the peer stays on per-set updates.
+        AppendU8(out, handle != kInvalidSetHandle ? kBatchProtocolVersion
+                                                  : std::uint8_t{0});
+        AppendU32(out, handle);
         stats_.lookups.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case MsgType::kUpdateReq: {
         UpdateRequest req;
-        UpdateResponse resp;
+        BeginFrame(out, MsgType::kUpdateResp, hdr.request_id);
         if (!DecodeUpdateRequest(payload, &req)) {
-          resp.code = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+          AppendU8(out,
+                   static_cast<std::uint8_t>(ErrorCode::kInvalidArgument));
+          AppendU32(out, 0);
         } else {
-          Status st = handler_->HandleUpdate(req.instance, &resp.data);
-          resp.code = static_cast<std::uint8_t>(st.code());
-          if (!st.ok()) resp.data.clear();
+          conn.scratch.clear();
+          Status st = handler_->HandleUpdate(req.instance, &conn.scratch);
+          AppendU8(out, static_cast<std::uint8_t>(st.code()));
+          AppendBytesField(out, st.ok()
+                                    ? std::span<const std::byte>(conn.scratch)
+                                    : std::span<const std::byte>{});
         }
-        resp_type = MsgType::kUpdateResp;
-        resp_payload = EncodeUpdateResponse(resp);
         stats_.updates.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case MsgType::kUpdateBatchReq: {
+        UpdateBatchRequest req;
+        BeginFrame(out, MsgType::kUpdateBatchResp, hdr.request_id);
+        if (!DecodeUpdateBatchRequest(payload, &req)) {
+          AppendU8(out,
+                   static_cast<std::uint8_t>(ErrorCode::kInvalidArgument));
+          AppendU32(out, 0);  // whole-request failure: no entries
+          break;
+        }
+        stats_.update_batches.fetch_add(1, std::memory_order_relaxed);
+        stats_.updates.fetch_add(req.entries.size(),
+                                 std::memory_order_relaxed);
+        AppendU8(out, 0);
+        AppendU32(out, static_cast<std::uint32_t>(req.entries.size()));
+        for (const auto& e : req.entries) {
+          AppendU32(out, e.handle);
+          const std::size_t kind_pos = out.size();
+          MetricSetPtr set = handler_->HandleResolveHandle(e.handle);
+          if (set == nullptr) {
+            AppendU8(out, static_cast<std::uint8_t>(BatchEntryKind::kError));
+            AppendU8(out, static_cast<std::uint8_t>(ErrorCode::kNotFound));
+            continue;
+          }
+          // DGN gate: the chunk the peer already consumed — answer with the
+          // 5-byte marker instead of the data.
+          if (set->data_gn() == e.last_dgn && set->consistent()) {
+            AppendU8(out,
+                     static_cast<std::uint8_t>(BatchEntryKind::kUnchanged));
+            stats_.updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          // Gather-encode: reserve the chunk inside the frame and snapshot
+          // the live set straight into it.
+          AppendU8(out, static_cast<std::uint8_t>(BatchEntryKind::kData));
+          const std::size_t size = set->data_size();
+          AppendU32(out, static_cast<std::uint32_t>(size));
+          const std::size_t data_pos = out.size();
+          out.resize(data_pos + size);
+          Status st = set->SnapshotData({out.data() + data_pos, size});
+          if (!st.ok()) {
+            out.resize(kind_pos);  // roll the partial entry back
+            AppendU8(out, static_cast<std::uint8_t>(BatchEntryKind::kError));
+            AppendU8(out, static_cast<std::uint8_t>(st.code()));
+          }
+        }
         break;
       }
       case MsgType::kAdvertise: {
@@ -317,11 +448,11 @@ class SockListener final : public Listener {
       default:
         return;  // unknown frame: drop
     }
+    EndFrame(out, frame_start);
     stats_.server_cpu_ns.fetch_add(NowSteadyNs() - t0,
                                    std::memory_order_relaxed);
-    auto frame = EncodeFrame(resp_type, hdr.request_id, resp_payload);
-    stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
-    conn.wqueue.push_back(std::move(frame));
+    stats_.bytes_tx.fetch_add(out.size() - frame_start,
+                              std::memory_order_relaxed);
     FlushConn(fd);
   }
 
@@ -329,10 +460,9 @@ class SockListener final : public Listener {
     auto it = conns_.find(fd);
     if (it == conns_.end()) return;
     Conn& conn = it->second;
-    while (!conn.wqueue.empty()) {
-      auto& front = conn.wqueue.front();
-      const ssize_t n = ::send(fd, front.data() + conn.woff,
-                               front.size() - conn.woff, MSG_NOSIGNAL);
+    while (conn.woff < conn.wbuf.size()) {
+      const ssize_t n = ::send(fd, conn.wbuf.data() + conn.woff,
+                               conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           // Arm EPOLLOUT until drained.
@@ -347,12 +477,10 @@ class SockListener final : public Listener {
         return;
       }
       conn.woff += static_cast<std::size_t>(n);
-      if (conn.woff == front.size()) {
-        conn.wqueue.pop_front();
-        conn.woff = 0;
-      }
     }
-    // Drained: stop watching EPOLLOUT.
+    // Drained: recycle the arena (capacity kept) and stop watching EPOLLOUT.
+    conn.wbuf.clear();
+    conn.woff = 0;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -449,6 +577,7 @@ class SockEndpoint final : public Endpoint {
             handler({ErrorCode::kInternal, "bad lookup response"}, {});
             return;
           }
+          BumpPeerVersion(resp.version);
           if (resp.code != 0) {
             stats_.errors.fetch_add(1, std::memory_order_relaxed);
             handler({static_cast<ErrorCode>(resp.code), "lookup failed"}, {});
@@ -456,6 +585,103 @@ class SockEndpoint final : public Endpoint {
           }
           handler(Status::Ok(), std::move(resp.metadata));
         });
+  }
+
+  Status LookupEx(const std::string& instance,
+                  std::vector<std::byte>* metadata,
+                  LookupExtra* extra) override {
+    if (extra != nullptr) *extra = LookupExtra{};
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::byte> payload;
+    Status st = WaitFor(
+        [&](AsyncHandler done) {
+          SubmitRequest(MsgType::kLookupReq, EncodeLookupRequest({instance}),
+                        MsgType::kLookupResp, std::move(done));
+        },
+        &payload);
+    if (!st.ok()) return st;
+    LookupResponse resp;
+    if (!DecodeLookupResponse(payload, &resp)) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kInternal, "bad lookup response"};
+    }
+    BumpPeerVersion(resp.version);
+    if (resp.code != 0) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {static_cast<ErrorCode>(resp.code), "lookup failed"};
+    }
+    if (extra != nullptr) {
+      extra->version = resp.version;
+      extra->handle = resp.handle;
+    }
+    *metadata = std::move(resp.metadata);
+    return Status::Ok();
+  }
+
+  void UpdateBatch(const std::vector<BatchUpdateSpec>& specs,
+                   std::vector<BatchUpdateResult>* results) override {
+    const std::size_t n = specs.size();
+    results->assign(n, BatchUpdateResult{});
+    if (n == 0) return;
+    const bool peer_batches =
+        peer_version_.load(std::memory_order_relaxed) >= kBatchProtocolVersion;
+    // Partition: handle-addressed specs ride in one kUpdateBatchReq frame;
+    // the rest (no handle, legacy peer, or a duplicated handle — the reply
+    // is keyed by handle, so a dup would be ambiguous) fall back to per-set
+    // update frames. Everything is corked into a single send either way.
+    std::vector<std::size_t> batch_idx;
+    std::vector<std::size_t> fallback_idx;
+    std::unordered_map<std::uint32_t, std::size_t> by_handle;
+    batch_idx.reserve(n);
+    by_handle.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (peer_batches && specs[i].handle != kInvalidSetHandle &&
+          by_handle.emplace(specs[i].handle, i).second) {
+        batch_idx.push_back(i);
+      } else {
+        fallback_idx.push_back(i);
+      }
+    }
+    struct Harvest {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t remaining;
+    } harvest{.remaining = fallback_idx.size() + (batch_idx.empty() ? 0 : 1)};
+    CorkWrites();
+    if (!batch_idx.empty()) {
+      UpdateBatchRequest req;
+      req.entries.reserve(batch_idx.size());
+      for (const std::size_t i : batch_idx) {
+        req.entries.push_back({specs[i].handle, specs[i].last_dgn});
+      }
+      stats_.update_batches.fetch_add(1, std::memory_order_relaxed);
+      stats_.updates.fetch_add(batch_idx.size(), std::memory_order_relaxed);
+      // &-captures are safe: UpdateBatch blocks on the harvest until every
+      // completion (reader thread or inline failure) has run.
+      SubmitRequest(
+          MsgType::kUpdateBatchReq, EncodeUpdateBatchRequest(req),
+          MsgType::kUpdateBatchResp,
+          [this, results, &harvest, &batch_idx, &by_handle](
+              Status st, std::vector<std::byte> payload) {
+            CompleteBatch(std::move(st), payload, batch_idx, by_handle,
+                          results);
+            std::lock_guard<std::mutex> lock(harvest.mu);
+            if (--harvest.remaining == 0) harvest.cv.notify_all();
+          });
+    }
+    for (const std::size_t i : fallback_idx) {
+      UpdateAsync(specs[i].instance,
+                  [results, &harvest, i](Status st,
+                                         std::vector<std::byte> data) {
+                    (*results)[i].status = std::move(st);
+                    (*results)[i].data = std::move(data);
+                    std::lock_guard<std::mutex> lock(harvest.mu);
+                    if (--harvest.remaining == 0) harvest.cv.notify_all();
+                  });
+    }
+    UncorkWrites();
+    std::unique_lock<std::mutex> lock(harvest.mu);
+    harvest.cv.wait(lock, [&harvest] { return harvest.remaining == 0; });
   }
 
   void UpdateAsync(const std::string& instance,
@@ -554,6 +780,63 @@ class SockEndpoint final : public Endpoint {
     return waiter.st;
   }
 
+  void BumpPeerVersion(std::uint8_t v) {
+    std::uint8_t cur = peer_version_.load(std::memory_order_relaxed);
+    while (v > cur && !peer_version_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Map a kUpdateBatchResp payload (or a whole-batch failure) back onto the
+  /// spec-indexed result slots listed in @p batch_idx.
+  void CompleteBatch(Status st, std::span<const std::byte> payload,
+                     const std::vector<std::size_t>& batch_idx,
+                     const std::unordered_map<std::uint32_t, std::size_t>&
+                         by_handle,
+                     std::vector<BatchUpdateResult>* results) {
+    for (const std::size_t i : batch_idx) (*results)[i].batched = true;
+    auto fail_all = [&](const Status& why) {
+      for (const std::size_t i : batch_idx) (*results)[i].status = why;
+    };
+    if (!st.ok()) {
+      fail_all(st);
+      return;
+    }
+    UpdateBatchResponse resp;
+    if (!DecodeUpdateBatchResponse(payload, &resp)) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      fail_all({ErrorCode::kInternal, "bad batch response"});
+      return;
+    }
+    if (resp.code != 0) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      fail_all({static_cast<ErrorCode>(resp.code), "batch update failed"});
+      return;
+    }
+    // Entries the server never answered (it must answer all, but a buggy or
+    // hostile peer may not) fall through with kInternal below.
+    fail_all({ErrorCode::kInternal, "missing batch entry"});
+    for (auto& e : resp.entries) {
+      auto it = by_handle.find(e.handle);
+      if (it == by_handle.end()) continue;  // unknown handle: drop
+      BatchUpdateResult& r = (*results)[it->second];
+      switch (e.kind) {
+        case BatchEntryKind::kUnchanged:
+          r.status = Status::Ok();
+          r.unchanged = true;
+          stats_.updates_unchanged.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BatchEntryKind::kData:
+          r.status = Status::Ok();
+          r.data = std::move(e.data);
+          break;
+        case BatchEntryKind::kError:
+          r.status = {static_cast<ErrorCode>(e.code), "batch entry failed"};
+          break;
+      }
+    }
+  }
+
   /// Register the request in the pending table, then write the frame. The
   /// handler is guaranteed to run exactly once: on response, on deadline
   /// expiry, on send failure, or when the endpoint shuts down.
@@ -575,18 +858,28 @@ class SockEndpoint final : public Endpoint {
       pending_.emplace(id, Pending{expect, deadline, std::move(handler)});
     }
     stats_.outstanding.fetch_add(1, std::memory_order_relaxed);
-    auto frame = EncodeFrame(type, id, payload);
-    stats_.bytes_tx.fetch_add(frame.size(), std::memory_order_relaxed);
     Status st;
     {
       std::lock_guard<std::mutex> lock(write_mu_);
       if (corked_) {
-        // Batched issue (UpdateAll): buffer the frame; UncorkWrites flushes
-        // the whole batch as one send.
-        cork_buf_.insert(cork_buf_.end(), frame.begin(), frame.end());
+        // Batched issue (UpdateAll/UpdateBatch): append the frame to the
+        // cork buffer; UncorkWrites flushes the whole batch as one send.
+        const std::size_t start = BeginFrame(cork_buf_, type, id);
+        AppendRaw(cork_buf_, payload.data(), payload.size());
+        EndFrame(cork_buf_, start);
+        stats_.bytes_tx.fetch_add(cork_buf_.size() - start,
+                                  std::memory_order_relaxed);
         return;
       }
-      st = SendFrame(frame.data(), frame.size(), deadline);
+      // Encode into the reusable scratch (capacity kept across requests) so
+      // the steady-state request path does not allocate.
+      frame_scratch_.clear();
+      const std::size_t start = BeginFrame(frame_scratch_, type, id);
+      AppendRaw(frame_scratch_, payload.data(), payload.size());
+      EndFrame(frame_scratch_, start);
+      stats_.bytes_tx.fetch_add(frame_scratch_.size(),
+                                std::memory_order_relaxed);
+      st = SendFrame(frame_scratch_.data(), frame_scratch_.size(), deadline);
     }
     if (st.ok()) return;
     // Pull the request back out — unless the reader already failed it.
@@ -785,6 +1078,13 @@ class SockEndpoint final : public Endpoint {
   std::mutex write_mu_;  // serializes whole-frame writes; guards cork state
   bool corked_ = false;
   std::vector<std::byte> cork_buf_;
+  std::vector<std::byte> frame_scratch_;  // guarded by write_mu_
+  /// Highest batch protocol version the peer has advertised in a lookup
+  /// response. 0 until the first successful lookup (or forever, against a
+  /// legacy peer) — and UpdateBatch only emits kUpdateBatchReq at >= 1,
+  /// because an old server silently drops unknown frame types and the
+  /// request would die by timeout instead of falling back.
+  std::atomic<std::uint8_t> peer_version_{0};
   std::thread reader_;
 };
 

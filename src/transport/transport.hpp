@@ -39,6 +39,14 @@ struct TransportStats {
   /// Nanoseconds of *server-side* CPU consumed servicing this peer; stays 0
   /// for one-sided RDMA data fetches.
   std::atomic<std::uint64_t> server_cpu_ns{0};
+  /// kUpdateBatchReq frames issued (client) or served (listener). Each batch
+  /// frame replaces `entries` individual update round-trips; `updates` still
+  /// counts per-set results so the ratio updates/update_batches is the
+  /// amortization factor.
+  std::atomic<std::uint64_t> update_batches{0};
+  /// Batch entries answered with the 5-byte "unchanged" marker instead of a
+  /// full data chunk (DGN gate hit).
+  std::atomic<std::uint64_t> updates_unchanged{0};
 };
 
 /// Service interface a daemon exposes to its listeners. Implemented by
@@ -65,6 +73,23 @@ class ServiceHandler {
   /// RDMA transports pin the set itself and read its memory directly.
   /// Returns nullptr when the instance is unknown.
   virtual MetricSetPtr HandleRdmaExpose(const std::string& instance) = 0;
+
+  /// Assign (or return the existing) compact handle for @p instance, used by
+  /// the batch update protocol to address sets without instance-name strings.
+  /// The default keeps legacy handlers at protocol version 0: no handle is
+  /// assigned, so clients fall back to per-set updates.
+  virtual std::uint32_t HandleAssignHandle(const std::string& instance) {
+    (void)instance;
+    return kInvalidSetHandle;
+  }
+
+  /// Resolve a handle previously returned by HandleAssignHandle back to the
+  /// live set. Returns nullptr for unknown/stale handles (e.g. the set was
+  /// removed); batch serving turns that into a per-entry kNotFound.
+  virtual MetricSetPtr HandleResolveHandle(std::uint32_t handle) {
+    (void)handle;
+    return nullptr;
+  }
 };
 
 /// Default per-request deadline for transports that enforce one. Generous:
@@ -113,10 +138,47 @@ class Endpoint {
   /// Base implementation completes inline via UpdateRaw.
   virtual void UpdateAsync(const std::string& instance, AsyncHandler handler);
 
+  /// Extra fields carried in the trailing bytes of a lookup response.
+  struct LookupExtra {
+    std::uint8_t version = 0;  // peer's batch protocol version (0 = legacy)
+    std::uint32_t handle = kInvalidSetHandle;
+  };
+
+  /// Lookup that also surfaces the peer's protocol version and the compact
+  /// set handle it assigned. The base implementation delegates to Lookup()
+  /// and reports a legacy peer (version 0, no handle).
+  virtual Status LookupEx(const std::string& instance,
+                          std::vector<std::byte>* metadata, LookupExtra* extra);
+
+  /// One set's slot in a batched pull.
+  struct BatchUpdateSpec {
+    std::string instance;  // fallback addressing for legacy peers
+    std::uint32_t handle = kInvalidSetHandle;
+    std::uint64_t last_dgn = 0;  // DGN the caller last consumed
+  };
+
+  /// Per-spec outcome of UpdateBatch.
+  struct BatchUpdateResult {
+    Status status;
+    bool unchanged = false;  // peer answered with the 5-byte DGN-gate marker
+    bool batched = false;    // travelled in a kUpdateBatchReq frame
+    std::vector<std::byte> data;  // data chunk; empty if unchanged or failed
+  };
+
+  /// Pull every spec in as few wire round-trips as the transport allows.
+  /// Batch-capable transports put all handle-addressed specs in one
+  /// kUpdateBatchReq frame (when the peer negotiated version >= 1) and fall
+  /// back to per-set UpdateAsync for the rest; the base implementation is
+  /// that fallback alone. Synchronous: returns once every result is filled,
+  /// in spec order.
+  virtual void UpdateBatch(const std::vector<BatchUpdateSpec>& specs,
+                           std::vector<BatchUpdateResult>* results);
+
   /// Batch helper: pull every instances[i] and apply it into *mirrors[i]
-  /// (a null mirror skips the apply). All requests are issued before any
-  /// completion is awaited, so pipelined transports overlap the round
-  /// trips; returns per-instance statuses in input order.
+  /// (a null mirror skips the apply). Built on UpdateBatch, so transports
+  /// with a batch path use it automatically; returns per-instance statuses
+  /// in input order. An "unchanged" batch answer maps to Ok with the mirror
+  /// left untouched (its DGN already matches).
   std::vector<Status> UpdateAll(const std::vector<std::string>& instances,
                                 const std::vector<MetricSet*>& mirrors);
 
@@ -147,6 +209,15 @@ class Endpoint {
   TransportStats stats_;
   std::atomic<DurationNs> request_timeout_ns_{kDefaultRequestTimeoutNs};
 };
+
+/// Server-side batch service logic shared by the in-process transports (the
+/// sock listener gather-encodes the same semantics straight into its write
+/// buffer): resolve each handle, DGN-gate, snapshot changed sets. Unknown
+/// handles become per-entry kNotFound errors; a torn snapshot becomes
+/// kInconsistent. @p stats (optional) receives updates/updates_unchanged/
+/// update_batches accounting.
+void ServeUpdateBatch(ServiceHandler& handler, const UpdateBatchRequest& req,
+                      UpdateBatchResponse* resp, TransportStats* stats);
 
 /// Server side: alive while in scope; dispatches requests to the handler.
 class Listener {

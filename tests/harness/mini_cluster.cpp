@@ -13,8 +13,9 @@ namespace {
 /// apply is visible as a row whose values disagree.
 class CounterSampler final : public SamplerPlugin {
  public:
-  explicit CounterSampler(std::size_t metrics)
-      : metrics_(std::max<std::size_t>(1, metrics)) {}
+  CounterSampler(std::size_t metrics, std::size_t num_sets)
+      : metrics_(std::max<std::size_t>(1, metrics)),
+        num_sets_(std::max<std::size_t>(1, num_sets)) {}
 
   const std::string& name() const override { return name_; }
 
@@ -28,28 +29,37 @@ class CounterSampler final : public SamplerPlugin {
     for (std::size_t i = 1; i < metrics_; ++i) {
       schema.AddMetric("pad" + std::to_string(i), MetricType::kU64);
     }
-    Status st;
-    set_ = MetricSet::Create(mem, schema, producer + "/chaos", producer, 1,
-                             &st);
-    if (set_ == nullptr) return st;
-    return sets.Add(set_);
+    for (std::size_t k = 0; k < num_sets_; ++k) {
+      const std::string instance =
+          producer + "/chaos" + (k == 0 ? "" : std::to_string(k));
+      Status st;
+      auto set = MetricSet::Create(mem, schema, instance, producer, 1, &st);
+      if (set == nullptr) return st;
+      st = sets.Add(set);
+      if (!st.ok()) return st;
+      sets_.push_back(std::move(set));
+    }
+    return Status::Ok();
   }
 
   Status Sample(TimeNs now) override {
-    set_->BeginTransaction();
-    for (std::size_t i = 0; i < metrics_; ++i) set_->SetU64(i, seq_);
-    set_->EndTransaction(now);
+    for (auto& set : sets_) {
+      set->BeginTransaction();
+      for (std::size_t i = 0; i < metrics_; ++i) set->SetU64(i, seq_);
+      set->EndTransaction(now);
+    }
     ++seq_;
     return Status::Ok();
   }
 
-  std::vector<MetricSetPtr> Sets() const override { return {set_}; }
+  std::vector<MetricSetPtr> Sets() const override { return sets_; }
 
  private:
   std::string name_ = "chaos";
   std::size_t metrics_;
+  std::size_t num_sets_;
   std::uint64_t seq_ = 0;
-  MetricSetPtr set_;
+  std::vector<MetricSetPtr> sets_;
 };
 
 }  // namespace
@@ -155,7 +165,9 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeSampler(std::size_t i) {
   SamplerConfig sc;
   sc.interval = options_.sample_interval;
   Status st = daemon->AddSampler(
-      std::make_shared<CounterSampler>(options_.metrics_per_set), sc);
+      std::make_shared<CounterSampler>(options_.metrics_per_set,
+                                       options_.sets_per_sampler),
+      sc);
   if (!st.ok()) return nullptr;
   if (!daemon->Start().ok()) return nullptr;
   return daemon;

@@ -46,6 +46,10 @@ struct MiniClusterOptions {
   /// Metrics per sampler set ("seq" plus padding, all written with the same
   /// sequence value so torn applies are detectable).
   std::size_t metrics_per_set = 8;
+  /// Sets each sampler daemon serves ("chaos", "chaos1", ...). More than one
+  /// makes every collect cycle a genuine multi-entry batch, so mid-batch
+  /// fault injection exercises whole-batch failure semantics.
+  std::size_t sets_per_sampler = 1;
 
   // --- storage path -------------------------------------------------------
 

@@ -159,6 +159,67 @@ TEST_F(ControlTest, StorePolicyStatusAndCountersOverSocket) {
   }
 }
 
+TEST_F(ControlTest, PrdcrStatusReportsBatchCounters) {
+  // Stand up a separate sampler daemon; the fixture daemon becomes the
+  // aggregator and pulls from it, so prdcr_status and the new batch counters
+  // can be observed over the control socket.
+  LdmsdOptions sopts;
+  sopts.name = "ctl-sampler";
+  sopts.listen_transport = "local";
+  sopts.listen_address = "ctl/prdcr-sampler";
+  sopts.worker_threads = 1;
+  Ldmsd sampler(sopts);
+  SamplerConfig sc;
+  sc.interval = 500 * kNsPerMs;  // slow: most aggregator pulls see no new DGN
+  ASSERT_TRUE(
+      sampler
+          .AddSampler(std::make_shared<MeminfoSampler>(
+                          cluster_->MakeDataSource(0)),
+                      sc)
+          .ok());
+  ASSERT_TRUE(sampler.Start().ok());
+
+  std::string reply;
+  ASSERT_TRUE(Send("prdcr_status", &reply).ok());
+  EXPECT_EQ(reply, "OK");  // no producers yet
+  ASSERT_TRUE(Send("prdcr_add name=ctl-sampler xprt=local "
+                   "host=ctl/prdcr-sampler interval=20000")
+                  .ok());
+  EXPECT_FALSE(Send("prdcr_status name=missing", &reply).ok());
+  EXPECT_TRUE(reply.rfind("ERROR", 0) == 0) << reply;
+
+  // Let a few collect cycles run; poll until batched updates show up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool batched = false;
+  while (std::chrono::steady_clock::now() < deadline && !batched) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    batched = daemon_->counters().updates_batched.load() > 3 &&
+              daemon_->counters().updates_unchanged.load() > 0;
+  }
+  ASSERT_TRUE(batched) << "aggregator never reached batched steady state";
+
+  ASSERT_TRUE(Send("prdcr_status", &reply).ok());
+  EXPECT_EQ(reply, "OK ctl-sampler");
+  ASSERT_TRUE(Send("prdcr_status name=ctl-sampler", &reply).ok());
+  EXPECT_NE(reply.find("connected=1"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("sets=1"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("updates_batched="), std::string::npos) << reply;
+  EXPECT_NE(reply.find("updates_unchanged="), std::string::npos) << reply;
+  EXPECT_NE(reply.find("update_bytes_on_wire="), std::string::npos) << reply;
+  // Non-zero values actually made it into the per-producer status.
+  EXPECT_EQ(reply.find("updates_batched=0 "), std::string::npos) << reply;
+  EXPECT_EQ(reply.find("update_bytes_on_wire=0 "), std::string::npos) << reply;
+
+  ASSERT_TRUE(Send("counters", &reply).ok());
+  for (const char* key :
+       {"updates_batched=", "updates_unchanged=", "update_bytes_on_wire="}) {
+    EXPECT_NE(reply.find(key), std::string::npos) << key << " in " << reply;
+  }
+
+  sampler.Stop();
+}
+
 TEST_F(ControlTest, ConnectToMissingSocketFails) {
   std::string reply;
   EXPECT_FALSE(

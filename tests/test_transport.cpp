@@ -604,6 +604,332 @@ TEST_P(TransportSuite, UpdateAllAppliesEveryMirror) {
   EXPECT_EQ(m2->GetU64(0), 77u);
 }
 
+// ---------------------------------------------------------------------------
+// Batch update protocol: codecs, version negotiation, and interop
+// ---------------------------------------------------------------------------
+
+TEST(BatchCodecTest, RequestRoundTrip) {
+  UpdateBatchRequest in;
+  in.entries = {{7, 100}, {9, 0}, {1234567, 0xdeadbeefull}};
+  UpdateBatchRequest out;
+  ASSERT_TRUE(DecodeUpdateBatchRequest(EncodeUpdateBatchRequest(in), &out));
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].handle, 7u);
+  EXPECT_EQ(out.entries[0].last_dgn, 100u);
+  EXPECT_EQ(out.entries[2].handle, 1234567u);
+  EXPECT_EQ(out.entries[2].last_dgn, 0xdeadbeefull);
+}
+
+TEST(BatchCodecTest, ResponseRoundTripAllKinds) {
+  UpdateBatchResponse in;
+  in.code = 0;
+  UpdateBatchResponse::Entry unchanged;
+  unchanged.handle = 1;
+  unchanged.kind = BatchEntryKind::kUnchanged;
+  UpdateBatchResponse::Entry data;
+  data.handle = 2;
+  data.kind = BatchEntryKind::kData;
+  data.data.assign(48, std::byte{0x5a});
+  UpdateBatchResponse::Entry error;
+  error.handle = 3;
+  error.kind = BatchEntryKind::kError;
+  error.code = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+  in.entries = {unchanged, data, error};
+  UpdateBatchResponse out;
+  ASSERT_TRUE(DecodeUpdateBatchResponse(EncodeUpdateBatchResponse(in), &out));
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].kind, BatchEntryKind::kUnchanged);
+  EXPECT_EQ(out.entries[1].kind, BatchEntryKind::kData);
+  EXPECT_EQ(out.entries[1].data, data.data);
+  EXPECT_EQ(out.entries[2].kind, BatchEntryKind::kError);
+  EXPECT_EQ(out.entries[2].code, static_cast<std::uint8_t>(ErrorCode::kNotFound));
+}
+
+TEST(BatchCodecTest, UnchangedMarkerIsExactlyFiveBytes) {
+  UpdateBatchResponse one;
+  one.entries.resize(1);
+  one.entries[0].handle = 42;
+  one.entries[0].kind = BatchEntryKind::kUnchanged;
+  // u8 code + u32 count + (u32 handle + u8 kind)
+  EXPECT_EQ(EncodeUpdateBatchResponse(one).size(), 1u + 4u + 5u);
+}
+
+TEST(BatchCodecTest, TruncatedRequestRejected) {
+  UpdateBatchRequest in;
+  in.entries = {{1, 10}, {2, 20}};
+  auto bytes = EncodeUpdateBatchRequest(in);
+  bytes.resize(bytes.size() - 3);  // cut into the last entry
+  UpdateBatchRequest out;
+  EXPECT_FALSE(DecodeUpdateBatchRequest(bytes, &out));
+}
+
+TEST(BatchCodecTest, DuplicateHandlesRejected) {
+  UpdateBatchRequest in;
+  in.entries = {{5, 10}, {6, 20}, {5, 30}};
+  UpdateBatchRequest out;
+  EXPECT_FALSE(DecodeUpdateBatchRequest(EncodeUpdateBatchRequest(in), &out));
+}
+
+TEST(BatchCodecTest, OversizedCountRejected) {
+  // A count field claiming far more entries than the payload could hold must
+  // be rejected before any allocation sized from it.
+  ByteWriter w;
+  w.U32(0x10000000u);
+  w.U32(1);
+  w.U64(1);
+  UpdateBatchRequest req_out;
+  EXPECT_FALSE(DecodeUpdateBatchRequest(w.buffer(), &req_out));
+
+  ByteWriter rw;
+  rw.U8(0);
+  rw.U32(0x10000000u);
+  UpdateBatchResponse resp_out;
+  EXPECT_FALSE(DecodeUpdateBatchResponse(rw.buffer(), &resp_out));
+}
+
+TEST(BatchCodecTest, TruncatedDataEntryRejected) {
+  UpdateBatchResponse in;
+  in.entries.resize(1);
+  in.entries[0].handle = 1;
+  in.entries[0].kind = BatchEntryKind::kData;
+  in.entries[0].data.assign(64, std::byte{1});
+  auto bytes = EncodeUpdateBatchResponse(in);
+  bytes.resize(bytes.size() - 32);  // chunk shorter than its length prefix
+  UpdateBatchResponse out;
+  EXPECT_FALSE(DecodeUpdateBatchResponse(bytes, &out));
+}
+
+TEST(BatchCodecTest, UnknownEntryKindRejected) {
+  ByteWriter w;
+  w.U8(0);   // top-level code
+  w.U32(1);  // one entry
+  w.U32(9);  // handle
+  w.U8(77);  // bogus kind
+  UpdateBatchResponse out;
+  EXPECT_FALSE(DecodeUpdateBatchResponse(w.buffer(), &out));
+}
+
+TEST(BatchCodecTest, LookupResponseVersionNegotiation) {
+  // New encoder + new decoder: version and handle survive the round trip.
+  LookupResponse in;
+  in.metadata.assign(16, std::byte{3});
+  in.version = kBatchProtocolVersion;
+  in.handle = 99;
+  auto bytes = EncodeLookupResponse(in);
+  LookupResponse out;
+  ASSERT_TRUE(DecodeLookupResponse(bytes, &out));
+  EXPECT_EQ(out.version, kBatchProtocolVersion);
+  EXPECT_EQ(out.handle, 99u);
+
+  // A legacy peer's response carries no trailing bytes; the new decoder must
+  // land on version 0 / no handle rather than misparse.
+  bytes.resize(bytes.size() - 5);
+  LookupResponse legacy;
+  ASSERT_TRUE(DecodeLookupResponse(bytes, &legacy));
+  EXPECT_EQ(legacy.metadata, in.metadata);
+  EXPECT_EQ(legacy.version, 0);
+  EXPECT_EQ(legacy.handle, kInvalidSetHandle);
+}
+
+// TestHandler plus handle assignment: a batch-capable (version >= 1) server.
+class BatchHandler : public TestHandler {
+ public:
+  std::uint32_t HandleAssignHandle(const std::string& instance) override {
+    return instance == "host/tset" ? kHandle : kInvalidSetHandle;
+  }
+  MetricSetPtr HandleResolveHandle(std::uint32_t handle) override {
+    return handle == kHandle ? set_ : nullptr;
+  }
+  static constexpr std::uint32_t kHandle = 17;
+};
+
+TEST(BatchProtocolTest, SockBatchDataUnchangedAndUnknownHandle) {
+  auto transport = TransportRegistry::Default().Get("sock");
+  BatchHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/tset", &metadata, &extra).ok());
+  EXPECT_EQ(extra.version, kBatchProtocolVersion);
+  EXPECT_EQ(extra.handle, BatchHandler::kHandle);
+
+  handler.Update(5);
+  const std::uint64_t live_gn = handler.set_->data_gn();
+
+  // Entry 0 is stale (gets data), entry 1 is current (unchanged marker),
+  // entry 2 is a handle the server never issued (per-entry kNotFound).
+  std::vector<Endpoint::BatchUpdateSpec> specs(3);
+  specs[0] = {"host/tset", BatchHandler::kHandle, 0};
+  specs[1] = {"host/tset", BatchHandler::kHandle, live_gn};
+  specs[2] = {"host/tset", 0xbadbad, 0};
+  // Entries 0 and 1 collide on the handle; the dedup in UpdateBatch must
+  // route one through the batch frame and the other down the legacy path
+  // rather than send a duplicate the server would reject. Run them
+  // separately so each outcome is unambiguous.
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({specs[0], specs[2]}, &results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].batched);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_FALSE(results[0].unchanged);
+  EXPECT_EQ(results[0].data.size(), handler.set_->data_size());
+  EXPECT_TRUE(results[1].batched);
+  EXPECT_EQ(results[1].status.code(), ErrorCode::kNotFound);
+
+  ep->UpdateBatch({specs[1]}, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].batched);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_TRUE(results[0].unchanged);
+  EXPECT_TRUE(results[0].data.empty());
+
+  EXPECT_GE(ep->stats().update_batches.load(), 2u);
+  EXPECT_GE(ep->stats().updates_unchanged.load(), 1u);
+}
+
+TEST(BatchProtocolTest, DuplicateHandlesInOneBatchBothSucceed) {
+  auto transport = TransportRegistry::Default().Get("sock");
+  BatchHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/tset", &metadata, &extra).ok());
+
+  handler.Update(6);
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({{"host/tset", BatchHandler::kHandle, 0},
+                   {"host/tset", BatchHandler::kHandle, 0}},
+                  &results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_TRUE(results[1].status.ok()) << results[1].status.ToString();
+  // One rides the batch frame, the duplicate falls back to a per-set update.
+  EXPECT_NE(results[0].batched, results[1].batched);
+  EXPECT_FALSE(results[0].data.empty());
+  EXPECT_FALSE(results[1].data.empty());
+}
+
+TEST(BatchProtocolTest, NewClientAgainstLegacyServerFallsBack) {
+  // TestHandler never assigns handles: it models a pre-batch peer. The
+  // client must see version 0 and route every set through per-set updates
+  // without ever emitting a kUpdateBatchReq frame.
+  auto transport = TransportRegistry::Default().Get("sock");
+  TestHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/tset", &metadata, &extra).ok());
+  EXPECT_EQ(extra.version, 0);
+  EXPECT_EQ(extra.handle, kInvalidSetHandle);
+
+  handler.Update(9);
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({{"host/tset", extra.handle, 0}}, &results);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_FALSE(results[0].batched);
+  EXPECT_FALSE(results[0].data.empty());
+  EXPECT_EQ(ep->stats().update_batches.load(), 0u);
+  EXPECT_EQ(handler.updates, 1);
+}
+
+TEST(BatchProtocolTest, LegacyClientAgainstBatchServerStillWorks) {
+  // An old aggregator speaks plain Lookup/Update to a batch-capable server:
+  // the trailing lookup bytes are ignored and per-set updates behave as
+  // before.
+  auto transport = TransportRegistry::Default().Get("sock");
+  BatchHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+
+  std::vector<std::byte> metadata;
+  ASSERT_TRUE(ep->Lookup("host/tset", &metadata).ok());
+  MemManager mem(1 << 20);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  handler.Update(31);
+  ASSERT_TRUE(ep->Update("host/tset", *mirror).ok());
+  EXPECT_EQ(mirror->GetU64(0), 31u);
+}
+
+TEST(BatchProtocolTest, MalformedBatchFrameGetsErrorResponse) {
+  // Hand-feed the server a kUpdateBatchReq whose payload is garbage and
+  // check it answers with a top-level error instead of dropping the
+  // connection or crashing.
+  auto transport = TransportRegistry::Default().Get("sock");
+  BatchHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+
+  // Raw TCP client so we can put exact bytes on the wire.
+  const std::string addr = listener->address();
+  const auto colon = addr.rfind(':');
+  ASSERT_NE(colon, std::string::npos);
+  const int port = std::stoi(addr.substr(colon + 1));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+
+  // Duplicate handles are rejected by the server-side decoder.
+  ByteWriter payload;
+  payload.U32(2);
+  payload.U32(5);
+  payload.U64(0);
+  payload.U32(5);
+  payload.U64(0);
+  auto frame = EncodeFrame(MsgType::kUpdateBatchReq, 1, payload.buffer());
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+
+  auto read_exact = [&](void* dst, std::size_t n) {
+    auto* p = static_cast<char*>(dst);
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd, p + got, n - got);
+      if (r <= 0) return false;
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  };
+  std::byte hdr_bytes[kFrameHeaderSize];
+  ASSERT_TRUE(read_exact(hdr_bytes, sizeof(hdr_bytes)));
+  const FrameHeader hdr = DecodeFrameHeader(hdr_bytes);
+  EXPECT_EQ(hdr.type, MsgType::kUpdateBatchResp);
+  EXPECT_EQ(hdr.request_id, 1u);
+  std::vector<std::byte> resp_payload(hdr.payload_len);
+  ASSERT_TRUE(read_exact(resp_payload.data(), resp_payload.size()));
+  UpdateBatchResponse resp;
+  ASSERT_TRUE(DecodeUpdateBatchResponse(resp_payload, &resp));
+  EXPECT_EQ(resp.code, static_cast<std::uint8_t>(ErrorCode::kInvalidArgument));
+  EXPECT_TRUE(resp.entries.empty());
+
+  // The connection survives the bad frame: a well-formed request still works.
+  auto dir_frame = EncodeFrame(MsgType::kDirReq, 2, {});
+  ASSERT_EQ(::write(fd, dir_frame.data(), dir_frame.size()),
+            static_cast<ssize_t>(dir_frame.size()));
+  ASSERT_TRUE(read_exact(hdr_bytes, sizeof(hdr_bytes)));
+  EXPECT_EQ(DecodeFrameHeader(hdr_bytes).type, MsgType::kDirResp);
+  ::close(fd);
+}
+
 TEST(TransportRegistryTest, DefaultHasAllFour) {
   auto& registry = TransportRegistry::Default();
   for (const char* name : {"local", "sock", "rdma", "ugni"}) {
