@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against its committed baseline.
+
+Only scale-free metrics are compared: wire bytes per cycle, request frames,
+unchanged/delta entry counts, and the derived reduction/ratio fields. These
+are protocol-determined — the same binary produces the same values on any
+machine — so a shift beyond the threshold means the wire protocol or the
+gating logic changed, not that the CI box was slow. Timing fields (`*_us`,
+`*_per_sec`, throughput, percentiles) are machine-dependent and skipped.
+
+Exit status: 0 = within threshold, 1 = regression(s) flagged, 2 = usage or
+structural mismatch (a case disappeared from the fresh run).
+
+Usage: bench_compare.py BASELINE CURRENT [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+# A numeric leaf is compared iff its key matches INCLUDE and not EXCLUDE.
+INCLUDE = ("bytes", "frames", "unchanged", "delta", "reduction", "ratio",
+           "shed", "write", "breaker_trips", "submits")
+EXCLUDE = ("_us", "_ms", "_per_sec", "per_pull", "fanin", "elapsed",
+           "throughput")
+
+
+def comparable(key):
+    k = key.lower()
+    if any(pat in k for pat in EXCLUDE):
+        return False
+    return any(pat in k for pat in INCLUDE)
+
+
+def walk(base, cur, path, rows, missing):
+    """Collect (path, base, cur) for comparable numeric leaves present in
+    both trees; record baseline paths absent from the fresh run."""
+    if isinstance(base, dict):
+        if not isinstance(cur, dict):
+            missing.append(path or "<root>")
+            return
+        for key, bval in base.items():
+            child = f"{path}.{key}" if path else key
+            if key not in cur:
+                if comparable(key) or isinstance(bval, (dict, list)):
+                    missing.append(child)
+                continue
+            walk(bval, cur[key], child, rows, missing)
+    elif isinstance(base, list):
+        if not isinstance(cur, list):
+            missing.append(path)
+            return
+        if len(cur) < len(base):
+            missing.append(f"{path}[{len(cur)}..{len(base) - 1}]")
+        for i, bval in enumerate(base[: len(cur)]):
+            walk(bval, cur[i], f"{path}[{i}]", rows, missing)
+    elif isinstance(base, (int, float)) and not isinstance(base, bool):
+        key = path.rsplit(".", 1)[-1].split("[")[0]
+        if comparable(key) and isinstance(cur, (int, float)):
+            rows.append((path, float(base), float(cur)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative change that counts as a regression "
+                             "(default 0.15)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.current) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    rows, missing = [], []
+    walk(base, cur, "", rows, missing)
+
+    if missing:
+        for path in missing:
+            print(f"bench_compare: MISSING {path} (present in baseline, "
+                  f"absent from current run)")
+        return 2
+    if not rows:
+        print("bench_compare: no comparable metrics found", file=sys.stderr)
+        return 2
+
+    flagged = []
+    for path, bval, cval in rows:
+        denom = max(abs(bval), abs(cval))
+        rel = 0.0 if denom < 1e-12 else (cval - bval) / denom
+        if abs(rel) > args.threshold:
+            flagged.append((path, bval, cval, rel))
+
+    name = base.get("bench", args.baseline) if isinstance(base, dict) \
+        else args.baseline
+    if flagged:
+        print(f"bench_compare[{name}]: {len(flagged)} metric(s) moved "
+              f">{args.threshold:.0%} vs baseline:")
+        for path, bval, cval, rel in flagged:
+            print(f"  {path}: {bval:g} -> {cval:g} ({rel:+.1%})")
+        return 1
+    print(f"bench_compare[{name}]: {len(rows)} scale-free metrics within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

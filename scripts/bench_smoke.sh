@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # Crash-check the benches in a seconds-long configuration and verify they
 # produce their machine-readable BENCH_*.json artifacts. Usage:
-#   scripts/bench_smoke.sh [build-dir]   (default: build)
+#   scripts/bench_smoke.sh [build-dir] [artifact-dir]
+# default build-dir: build. When artifact-dir is given the JSON artifacts are
+# left there for the caller (bench_compare.py); otherwise they go to a temp
+# dir that is cleaned up on exit.
 set -euo pipefail
 
 build_dir="${1:-build}"
-out_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir"' EXIT
+if [[ $# -ge 2 ]]; then
+  out_dir="$2"
+  mkdir -p "$out_dir"
+  out_dir="$(realpath "$out_dir")"
+else
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+fi
 
 run_bench() {
   local name="$1" artifact="$2"

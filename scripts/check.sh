@@ -20,7 +20,12 @@ for preset in "${presets[@]}"; do
     echo "==> [$preset] full test suite"
     ctest --preset "$preset" --output-on-failure
     echo "==> [$preset] bench smoke (crash check + JSON artifacts)"
-    scripts/bench_smoke.sh build
+    scripts/bench_smoke.sh build build/bench-artifacts
+    echo "==> [$preset] bench regression gate (scale-free metrics vs baseline)"
+    for artifact in BENCH_fanin.json BENCH_store_overload.json; do
+      scripts/bench_compare.py "bench/baselines/$artifact" \
+        "build/bench-artifacts/$artifact"
+    done
   else
     # Sanitizer presets focus on the concurrency-heavy fault suites and the
     # wire codecs (the preset's own filter applies on top of the labels).

@@ -24,6 +24,14 @@ std::uint32_t HashMetadata(std::span<const std::byte> bytes) {
 
 constexpr std::size_t kMgnFieldOffset = 4;  // after magic
 
+// Adjacent dirty extents closer than this many clean bytes are merged:
+// shipping a few unchanged padding/neighbour bytes is cheaper than another
+// 8-byte extent table entry (and keeps the gather loop cache-friendly).
+constexpr std::uint32_t kDeltaMergeSlack = 16;
+
+// Bounded seqlock retries, shared by SnapshotData and SnapshotDelta.
+constexpr int kSnapshotAttempts = 8;
+
 // Per-metric name field width in the serialized metadata. Fixed-width, like
 // the C implementation's metric descriptors — this is what puts the paper's
 // set sizes at ~124 B/metric (24 kB for the 194-metric Blue Waters set) and
@@ -103,6 +111,12 @@ Status MetricSet::AllocateChunks(std::span<const std::byte> serialized_meta) {
   }
   std::memcpy(meta_, serialized_meta.data(), meta_size_);
   std::memset(data_, 0, data_size_);
+  const std::size_t metrics = schema_.metric_count();
+  dirty_words_.assign((metrics + 63) / 64, 0);
+  delta_extent_cap_ = static_cast<std::uint32_t>(metrics);
+  if (metrics > 0) {
+    delta_extents_ = std::make_unique<DeltaExtent[]>(metrics);
+  }
   std::uint32_t mgn;
   std::memcpy(&mgn, meta_ + kMgnFieldOffset, sizeof mgn);
   auto* hdr = header();
@@ -201,12 +215,42 @@ void MetricSet::BeginTransaction() {
       .store(0, std::memory_order_release);
   // Make the inconsistent mark visible before any value writes.
   std::atomic_thread_fence(std::memory_order_release);
+  // Start recording this transaction's change set.
+  std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
+}
+
+void MetricSet::CompileDirtyExtents(std::uint64_t base_dgn) {
+  std::uint32_t count = 0;
+  const std::size_t metrics = schema_.metric_count();
+  // Layout assigns offsets in index order, so scanning by index walks the
+  // value area monotonically and extents come out sorted.
+  for (std::size_t i = 0; i < metrics; ++i) {
+    if ((dirty_words_[i >> 6] & (1ull << (i & 63))) == 0) continue;
+    const MetricDef& def = schema_.metric(i);
+    const std::uint32_t off = def.data_offset;
+    const auto len = static_cast<std::uint32_t>(MetricTypeSize(def.type));
+    if (count > 0) {
+      DeltaExtent& last = delta_extents_[count - 1];
+      if (off <= last.offset + last.len + kDeltaMergeSlack) {
+        last.len = std::max(last.len, off + len - last.offset);
+        continue;
+      }
+    }
+    delta_extents_[count] = {off, len};
+    ++count;
+  }
+  delta_extent_count_ = count;
+  delta_base_dgn_ = base_dgn;
 }
 
 void MetricSet::EndTransaction(TimeNs ts) {
   auto* hdr = header();
   hdr->ts_sec = static_cast<std::uint32_t>(ts / kNsPerSec);
   hdr->ts_usec = static_cast<std::uint32_t>((ts % kNsPerSec) / kNsPerUs);
+  // Compile the change set while still inside the transaction window, so a
+  // seqlock reader can never observe a half-written extent table as valid.
+  CompileDirtyExtents(std::atomic_ref<const std::uint64_t>(hdr->data_gn)
+                          .load(std::memory_order_relaxed));
   // Publish values before bumping the DGN and consistent flag.
   std::atomic_thread_fence(std::memory_order_release);
   std::atomic_ref<std::uint64_t>(hdr->data_gn)
@@ -218,6 +262,7 @@ void MetricSet::EndTransaction(TimeNs ts) {
 void MetricSet::StoreScalar(std::size_t idx, const void* src) {
   const MetricDef& def = schema_.metric(idx);
   std::memcpy(value_area() + def.data_offset, src, MetricTypeSize(def.type));
+  MarkDirty(idx);
 }
 
 void MetricSet::SetValue(std::size_t idx, const MetricValue& v) {
@@ -357,7 +402,8 @@ Status MetricSet::SnapshotData(std::span<std::byte> out) const {
     return {ErrorCode::kInvalidArgument, "snapshot buffer too small"};
   }
   const auto* hdr = header();
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  for (int attempt = 0; attempt < kSnapshotAttempts; ++attempt) {
+    if (attempt > 0) snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t gn_before =
         std::atomic_ref<const std::uint64_t>(hdr->data_gn)
             .load(std::memory_order_acquire);
@@ -375,7 +421,178 @@ Status MetricSet::SnapshotData(std::span<std::byte> out) const {
             .load(std::memory_order_acquire) != 0;
     if (gn_before == gn_after && consistent_after) return Status::Ok();
   }
+  snapshot_starved_.fetch_add(1, std::memory_order_relaxed);
   return {ErrorCode::kInconsistent, "could not obtain stable snapshot"};
+}
+
+Status MetricSet::SnapshotDelta(std::uint64_t base_dgn, ByteWriter& w) const {
+  const auto* hdr = header();
+  const std::size_t rollback = w.size();
+  const std::size_t value_size = data_size_ - sizeof(DataHeader);
+  for (int attempt = 0; attempt < kSnapshotAttempts; ++attempt) {
+    if (attempt > 0) snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
+    w.Truncate(rollback);
+    const std::uint64_t gn_before =
+        std::atomic_ref<const std::uint64_t>(hdr->data_gn)
+            .load(std::memory_order_acquire);
+    const bool consistent_before =
+        std::atomic_ref<const std::uint32_t>(hdr->consistent)
+            .load(std::memory_order_acquire) != 0;
+    if (!consistent_before) continue;  // writer active; retry
+    // Plain reads of the delta bookkeeping. A torn read either fails the
+    // checks below (downgrading to "no delta", which is always safe — the
+    // caller ships a full chunk) or is caught by the gn re-check at the end.
+    const std::uint64_t delta_base = delta_base_dgn_;
+    const std::uint32_t count = delta_extent_count_;
+    if (delta_base != base_dgn || gn_before != base_dgn + 1 ||
+        count > delta_extent_cap_ || count > 0xffff) {
+      return {ErrorCode::kNotFound, "no delta for base dgn"};
+    }
+    w.U32(hdr->meta_gn);
+    w.U64(base_dgn);
+    w.U64(gn_before);
+    w.U32(hdr->ts_sec);
+    w.U32(hdr->ts_usec);
+    w.U16(static_cast<std::uint16_t>(count));
+    const std::size_t table_bytes = static_cast<std::size_t>(count) * 8;
+    const std::size_t table_off = w.Extend(table_bytes);
+    if (count > 0) {
+      std::memcpy(w.MutableSpan(table_off, table_bytes).data(),
+                  delta_extents_.get(), table_bytes);
+    }
+    // Validate the private copy of the table just written into the frame
+    // (the live table may still be racing): monotonic, non-overlapping,
+    // inside the value area. Any violation means a torn read — retry.
+    std::size_t total = 0;
+    std::uint64_t prev_end = 0;
+    bool valid = true;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      DeltaExtent e;
+      std::memcpy(&e, w.buffer().data() + table_off + i * 8, sizeof e);
+      const std::uint64_t end =
+          static_cast<std::uint64_t>(e.offset) + e.len;
+      if (e.len == 0 || e.offset < prev_end || end > value_size) {
+        valid = false;
+        break;
+      }
+      prev_end = end;
+      total += e.len;
+    }
+    if (!valid) continue;
+    // Size gate: a delta no smaller than the full chunk is pointless.
+    if (kDeltaPayloadHeaderSize + table_bytes + total >= data_size_) {
+      w.Truncate(rollback);
+      return {ErrorCode::kNotFound, "delta not smaller than chunk"};
+    }
+    const std::size_t values_off = w.Extend(total);
+    auto dst = w.MutableSpan(values_off, total);
+    std::size_t o = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      DeltaExtent e;
+      std::memcpy(&e, w.buffer().data() + table_off + i * 8, sizeof e);
+      std::memcpy(dst.data() + o, value_area() + e.offset, e.len);
+      o += e.len;
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t gn_after =
+        std::atomic_ref<const std::uint64_t>(hdr->data_gn)
+            .load(std::memory_order_acquire);
+    const bool consistent_after =
+        std::atomic_ref<const std::uint32_t>(hdr->consistent)
+            .load(std::memory_order_acquire) != 0;
+    if (gn_before == gn_after && consistent_after) return Status::Ok();
+  }
+  w.Truncate(rollback);
+  snapshot_starved_.fetch_add(1, std::memory_order_relaxed);
+  return {ErrorCode::kInconsistent, "could not obtain stable delta snapshot"};
+}
+
+bool MetricSet::ValidateDeltaPayload(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  r.U32();  // meta_gn: schema-aware checks happen in ApplyDelta
+  const std::uint64_t base_dgn = r.U64();
+  const std::uint64_t new_dgn = r.U64();
+  r.U32();  // ts_sec
+  r.U32();  // ts_usec
+  const std::uint32_t count = r.U16();
+  if (!r.ok() || new_dgn <= base_dgn) return false;
+  // Each extent costs 8 table bytes and at least 1 value byte.
+  if (static_cast<std::size_t>(count) > r.remaining() / 8) return false;
+  std::uint64_t prev_end = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t off = r.U32();
+    const std::uint32_t len = r.U32();
+    if (!r.ok() || len == 0 || off < prev_end) return false;
+    prev_end = static_cast<std::uint64_t>(off) + len;
+    total += len;
+  }
+  return r.ok() && r.remaining() == total;
+}
+
+Status MetricSet::ApplyDelta(std::span<const std::byte> payload) {
+  if (!ValidateDeltaPayload(payload)) {
+    return {ErrorCode::kInvalidArgument, "malformed delta payload"};
+  }
+  ByteReader r(payload);
+  const std::uint32_t mgn = r.U32();
+  const std::uint64_t base_dgn = r.U64();
+  const std::uint64_t new_dgn = r.U64();
+  const std::uint32_t ts_sec = r.U32();
+  const std::uint32_t ts_usec = r.U32();
+  const std::uint32_t count = r.U16();
+  if (mgn != meta_gn()) {
+    return {ErrorCode::kInvalidArgument, "metadata generation mismatch"};
+  }
+  // No delta chains: the delta must extend exactly the state this chunk
+  // holds. A gap (missed cycle) or a previously torn apply forces the
+  // caller back to a full chunk.
+  if (base_dgn != data_gn() || !consistent()) {
+    return {ErrorCode::kInconsistent, "delta base does not match mirror dgn"};
+  }
+  if (count > delta_extent_cap_) {
+    return {ErrorCode::kInvalidArgument, "delta extent count exceeds schema"};
+  }
+  const std::size_t value_size = data_size_ - sizeof(DataHeader);
+  const std::size_t table_bytes = static_cast<std::size_t>(count) * 8;
+  // Bounds pass before touching the chunk: every extent inside the value
+  // area. (Monotonicity/overlap already established by the validator.)
+  {
+    ByteReader t(payload.subspan(kDeltaPayloadHeaderSize, table_bytes));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t off = t.U32();
+      const std::uint32_t len = t.U32();
+      if (static_cast<std::uint64_t>(off) + len > value_size) {
+        return {ErrorCode::kInvalidArgument, "delta extent out of bounds"};
+      }
+    }
+  }
+  // Apply under the writer-side seqlock discipline so a local reader (e.g.
+  // this mirror being re-served to a second-level aggregator) never sees a
+  // half-applied delta as consistent.
+  auto* hdr = header();
+  std::atomic_ref<std::uint32_t>(hdr->consistent)
+      .store(0, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  ByteReader t(payload.subspan(kDeltaPayloadHeaderSize, table_bytes));
+  const std::byte* src = payload.data() + kDeltaPayloadHeaderSize + table_bytes;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t off = t.U32();
+    const std::uint32_t len = t.U32();
+    std::memcpy(value_area() + off, src, len);
+    delta_extents_[i] = {off, len};
+    src += len;
+  }
+  hdr->ts_sec = ts_sec;
+  hdr->ts_usec = ts_usec;
+  delta_extent_count_ = count;
+  delta_base_dgn_ = base_dgn;
+  std::atomic_thread_fence(std::memory_order_release);
+  std::atomic_ref<std::uint64_t>(hdr->data_gn)
+      .store(new_dgn, std::memory_order_release);
+  std::atomic_ref<std::uint32_t>(hdr->consistent)
+      .store(1, std::memory_order_release);
+  return Status::Ok();
 }
 
 Status MetricSet::ApplyData(std::span<const std::byte> data) {
@@ -393,6 +610,10 @@ Status MetricSet::ApplyData(std::span<const std::byte> data) {
   if (incoming.consistent == 0) {
     return {ErrorCode::kInconsistent, "peer sample was torn"};
   }
+  // A full chunk carries no per-metric change information, so this set can
+  // no longer serve deltas until the next delta apply (or transaction).
+  delta_base_dgn_ = kNoDeltaBase;
+  delta_extent_count_ = 0;
   std::memcpy(data_, data.data(), data_size_);
   return Status::Ok();
 }

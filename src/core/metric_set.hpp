@@ -16,10 +16,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/mem_manager.hpp"
 #include "core/schema.hpp"
 #include "core/value.hpp"
+#include "core/wire.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -125,6 +127,66 @@ class MetricSet {
   /// retries next interval, exactly the paper's behaviour.
   Status ApplyData(std::span<const std::byte> data);
 
+  // --- delta update path ------------------------------------------------
+  //
+  // A writer-side dirty bitmap (maintained by the Set* calls between
+  // Begin/EndTransaction) is compiled at commit into run-length {offset,len}
+  // extents over the value area. A reader that already holds the previous
+  // DGN can then pull just the changed bytes. Payload layout (all LE):
+  //
+  //   u32 meta_gn | u64 base_dgn | u64 new_dgn | u32 ts_sec | u32 ts_usec |
+  //   u16 extent_count | extent_count x (u32 offset, u32 len) |
+  //   packed values (sum of extent lengths bytes)
+  //
+  // Extents are value-area-relative, strictly increasing, non-overlapping.
+  // There are no delta chains: a delta is only offered for the exact
+  // predecessor DGN, so a missed cycle forces a full chunk.
+
+  /// One changed byte range in the value area. Matches the wire encoding.
+  struct DeltaExtent {
+    std::uint32_t offset;
+    std::uint32_t len;
+  };
+  static_assert(sizeof(DeltaExtent) == 8);
+
+  /// Bytes before the extent table in a delta payload.
+  static constexpr std::size_t kDeltaPayloadHeaderSize = 4 + 8 + 8 + 4 + 4 + 2;
+
+  /// Gather-encode a delta payload for a reader whose mirror holds
+  /// @p base_dgn, appending to @p w (extent bytes go straight from the live
+  /// chunk into the writer via Extend/MutableSpan — no staging buffer) under
+  /// the same seqlock validation as SnapshotData. Returns kOk with the
+  /// payload appended, kNotFound when no delta exists for that base or the
+  /// delta would not be smaller than the full chunk (caller ships kData), or
+  /// kInconsistent when the writer stayed active through every retry. On
+  /// anything but kOk the writer is rolled back to its original size.
+  Status SnapshotDelta(std::uint64_t base_dgn, ByteWriter& w) const;
+
+  /// Apply a delta payload to this mirror's chunk. Validates structure
+  /// (ValidateDeltaPayload), MGN, that base_dgn matches the chunk's current
+  /// DGN with the chunk consistent (a torn or skipped apply forces a full
+  /// chunk), and that every extent is inside the value area; then copies
+  /// extent bytes straight from @p payload into the chunk and stamps the
+  /// header. The applied extents are recorded so a second-level aggregator
+  /// can be served deltas off this mirror.
+  Status ApplyDelta(std::span<const std::byte> payload);
+
+  /// Structural validation only (no schema knowledge): header present,
+  /// extent table complete, extents strictly increasing and non-overlapping,
+  /// new_dgn > base_dgn, and the value region exactly the sum of extent
+  /// lengths. Transports use this to reject malformed frames early.
+  static bool ValidateDeltaPayload(std::span<const std::byte> payload);
+
+  /// Seqlock contention counters: retries = snapshot attempts that observed
+  /// a concurrent writer and looped; starved = snapshot calls that exhausted
+  /// every retry (kInconsistent against a continuously-active writer).
+  std::uint64_t snapshot_retries() const {
+    return snapshot_retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshot_starved() const {
+    return snapshot_starved_.load(std::memory_order_relaxed);
+  }
+
   /// DGN value of the last ApplyData/EndTransaction the caller consumed;
   /// aggregator bookkeeping uses this to detect "no new sample".
   std::uint64_t last_consumed_gn() const {
@@ -151,6 +213,14 @@ class MetricSet {
 
   void StoreScalar(std::size_t idx, const void* src);
 
+  void MarkDirty(std::size_t idx) {
+    dirty_words_[idx >> 6] |= 1ull << (idx & 63);
+  }
+  /// Compile the dirty bitmap into delta_extents_ for the transaction
+  /// committing at @p base_dgn -> base_dgn + 1. Writer-side only, called
+  /// inside the transaction window (consistent == 0).
+  void CompileDirtyExtents(std::uint64_t base_dgn);
+
   /// Serialize header+schema into metadata bytes; MGN is a content hash so
   /// identical schemas produce identical MGNs across restarts.
   static std::vector<std::byte> SerializeMetadata(
@@ -171,6 +241,24 @@ class MetricSet {
   std::size_t data_size_ = 0;
 
   std::atomic<std::uint64_t> last_consumed_gn_{0};
+
+  /// Sentinel for "no delta information" (fresh set, or after a full-chunk
+  /// ApplyData which loses per-metric change knowledge).
+  static constexpr std::uint64_t kNoDeltaBase = ~0ull;
+
+  /// One bit per metric, set by the Set* writers, cleared at
+  /// BeginTransaction. Only meaningful between Begin and EndTransaction.
+  std::vector<std::uint64_t> dirty_words_;
+  /// Compiled extents for the last committed transaction (or last applied
+  /// delta, on mirrors). Fixed capacity = metric count, allocated once, so a
+  /// concurrent seqlock-validated reader never races a reallocation.
+  std::unique_ptr<DeltaExtent[]> delta_extents_;
+  std::uint32_t delta_extent_cap_ = 0;
+  std::uint32_t delta_extent_count_ = 0;
+  std::uint64_t delta_base_dgn_ = kNoDeltaBase;
+
+  mutable std::atomic<std::uint64_t> snapshot_retries_{0};
+  mutable std::atomic<std::uint64_t> snapshot_starved_{0};
 };
 
 }  // namespace ldmsxx

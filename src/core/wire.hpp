@@ -13,15 +13,26 @@
 
 namespace ldmsxx {
 
-/// Append-only binary writer.
+/// Append-only binary writer. Unencodable input (a string longer than its
+/// u16 length prefix can express, an out-of-range back-patch) sets a sticky
+/// failure flag instead of silently corrupting the frame; callers check
+/// ok() once after building a payload, mirroring ByteReader.
 class ByteWriter {
  public:
   ByteWriter() = default;
   /// Adopt @p buf as the backing store (cleared but capacity kept), so hot
   /// paths can reuse one arena across frames instead of allocating per frame.
-  explicit ByteWriter(std::vector<std::byte> buf) : buf_(std::move(buf)) {
-    buf_.clear();
+  explicit ByteWriter(std::vector<std::byte> buf) : owned_(std::move(buf)) {
+    owned_.clear();
   }
+  /// Borrow @p external as the backing store without clearing it: writes
+  /// append in place, which is what lets a server gather-encode straight
+  /// into a connection's output arena. Take() is invalid in this mode.
+  explicit ByteWriter(std::vector<std::byte>* external) : buf_(external) {}
+
+  // buf_ points into this object; default copy/move would leave it dangling.
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
 
   void U8(std::uint8_t v) { Raw(&v, 1); }
   void U16(std::uint16_t v) { Raw(&v, 2); }
@@ -29,8 +40,15 @@ class ByteWriter {
   void U64(std::uint64_t v) { Raw(&v, 8); }
   void D64(double v) { Raw(&v, 8); }
 
-  /// Length-prefixed (u16) string.
+  /// Length-prefixed (u16) string. Strings longer than 65535 bytes cannot be
+  /// represented; they are rejected outright (nothing is appended) and the
+  /// writer is marked failed, rather than truncating the length prefix and
+  /// desynchronizing every field that follows.
   void Str(std::string_view s) {
+    if (s.size() > 0xffff) {
+      ok_ = false;
+      return;
+    }
     U16(static_cast<std::uint16_t>(s.size()));
     Raw(s.data(), s.size());
   }
@@ -42,37 +60,54 @@ class ByteWriter {
 
   void Raw(const void* data, std::size_t size) {
     const auto* p = static_cast<const std::byte*>(data);
-    buf_.insert(buf_.end(), p, p + size);
+    buf_->insert(buf_->end(), p, p + size);
   }
 
-  const std::vector<std::byte>& buffer() const { return buf_; }
-  std::vector<std::byte> Take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  /// False once any write was unencodable; the buffer contents are then not
+  /// a valid frame and must not be sent.
+  bool ok() const { return ok_; }
+
+  const std::vector<std::byte>& buffer() const { return *buf_; }
+  std::vector<std::byte> Take() { return std::move(*buf_); }
+  std::size_t size() const { return buf_->size(); }
 
   /// Overwrite 4 bytes at @p offset (for back-patched length fields).
+  /// An offset whose 4-byte window is not entirely inside the written region
+  /// marks the writer failed instead of scribbling out of bounds.
   void PatchU32(std::size_t offset, std::uint32_t v) {
-    std::memcpy(buf_.data() + offset, &v, 4);
+    if (buf_->size() < 4 || offset > buf_->size() - 4) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(buf_->data() + offset, &v, 4);
   }
 
   /// Grow the buffer by @p n uninitialized-ish bytes and return the offset of
   /// the new region. Lets callers snapshot data straight into the frame
   /// (gather-encode) instead of staging it in a temporary vector.
   std::size_t Extend(std::size_t n) {
-    const std::size_t off = buf_.size();
-    buf_.resize(off + n);
+    const std::size_t off = buf_->size();
+    buf_->resize(off + n);
     return off;
   }
 
-  /// Writable view of a previously Extend()ed region.
+  /// Writable view of a previously Extend()ed region. A window outside the
+  /// written region marks the writer failed and returns an empty span.
   std::span<std::byte> MutableSpan(std::size_t offset, std::size_t n) {
-    return {buf_.data() + offset, n};
+    if (n > buf_->size() || offset > buf_->size() - n) {
+      ok_ = false;
+      return {};
+    }
+    return {buf_->data() + offset, n};
   }
 
   /// Roll the buffer back to @p size (undo a partially written entry).
-  void Truncate(std::size_t size) { buf_.resize(size); }
+  void Truncate(std::size_t size) { buf_->resize(size); }
 
  private:
-  std::vector<std::byte> buf_;
+  std::vector<std::byte> owned_;
+  std::vector<std::byte>* buf_ = &owned_;
+  bool ok_ = true;
 };
 
 /// Sequential binary reader over a borrowed span. Out-of-bounds reads set a
@@ -105,6 +140,16 @@ class ByteReader {
     return out;
   }
 
+  /// Borrowed view of the next @p len bytes without copying; empty (and the
+  /// reader failed) on overrun. This is what lets a delta apply copy extent
+  /// bytes straight from the wire buffer into the destination chunk.
+  std::span<const std::byte> View(std::size_t len) {
+    if (!Ensure(len)) return {};
+    std::span<const std::byte> v = data_.subspan(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
   bool ok() const { return ok_; }
   std::size_t remaining() const { return data_.size() - pos_; }
   std::size_t position() const { return pos_; }
@@ -120,7 +165,10 @@ class ByteReader {
   }
 
   bool Ensure(std::size_t n) {
-    if (pos_ + n > data_.size()) {
+    // `pos_ + n` would wrap for adversarial length fields near SIZE_MAX
+    // (a u32/u16 prefix read from the wire), turning an overrun into an
+    // accepted read; compare against the remaining bytes instead.
+    if (n > data_.size() - pos_) {
       ok_ = false;
       return false;
     }

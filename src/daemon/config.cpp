@@ -183,6 +183,8 @@ Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
       if (!inst.empty()) config.set_instances.emplace_back(inst);
     }
   }
+  if (auto it = args.find("delta"); it != args.end())
+    config.delta_updates = it->second == "1";
   if (auto it = args.find("standby"); it != args.end())
     config.standby = it->second == "1";
   if (auto it = args.find("standby_for"); it != args.end())
@@ -275,6 +277,8 @@ Status ConfigProcessor::CmdPrdcrStatus(const PluginParams& args,
               " reconnects=" + std::to_string(s.reconnects) +
               " updates_batched=" + std::to_string(s.updates_batched) +
               " updates_unchanged=" + std::to_string(s.updates_unchanged) +
+              " updates_delta=" + std::to_string(s.updates_delta) +
+              " delta_bytes_saved=" + std::to_string(s.delta_bytes_saved) +
               " update_bytes_on_wire=" +
               std::to_string(s.update_bytes_on_wire) +
               " backoff_us=" + std::to_string(s.current_backoff / kNsPerUs);
@@ -308,7 +312,22 @@ Status ConfigProcessor::CmdCounters(std::string* output) {
             " backoff_deferrals=" + get(c.backoff_deferrals) +
             " updates_batched=" + get(c.updates_batched) +
             " updates_unchanged=" + get(c.updates_unchanged) +
+            " updates_delta=" + get(c.updates_delta) +
+            " delta_bytes_saved=" + get(c.delta_bytes_saved) +
             " update_bytes_on_wire=" + get(c.update_bytes_on_wire);
+  // Snapshot-contention counters aggregated over the whole registry (local
+  // sets and mirrors alike): how often a reader's seqlock snapshot had to
+  // retry against a concurrent writer, and how often it gave up starved.
+  std::uint64_t retries = 0;
+  std::uint64_t starved = 0;
+  for (const auto& instance : daemon_.sets().List()) {
+    if (MetricSetPtr set = daemon_.sets().Find(instance)) {
+      retries += set->snapshot_retries();
+      starved += set->snapshot_starved();
+    }
+  }
+  *output += " snapshot_retries=" + std::to_string(retries) +
+             " snapshot_starved=" + std::to_string(starved);
   return Status::Ok();
 }
 

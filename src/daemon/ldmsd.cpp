@@ -320,6 +320,8 @@ Ldmsd::ProducerStatus Ldmsd::producer_status(
   status.current_backoff = producer->backoff;
   status.updates_batched = producer->updates_batched;
   status.updates_unchanged = producer->updates_unchanged;
+  status.updates_delta = producer->updates_delta;
+  status.delta_bytes_saved = producer->delta_bytes_saved;
   status.update_bytes_on_wire = producer->update_bytes_on_wire;
   return status;
 }
@@ -367,6 +369,7 @@ void Ldmsd::ConnectProducer(const std::shared_ptr<Producer>& producer) {
   if (producer->config.request_timeout > 0) {
     producer->endpoint->set_request_timeout(producer->config.request_timeout);
   }
+  producer->endpoint->set_delta_updates(producer->config.delta_updates);
   producer->connected = true;
   producer->backoff = 0;
   producer->next_connect_attempt = 0;
@@ -529,7 +532,24 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
     Status st = std::move(result.status);
     if (st.ok() && !result.unchanged) {
       std::lock_guard<std::mutex> set_lock(*mirror.mu);
-      st = mirror.set->ApplyData(result.data);
+      if (result.delta) {
+        // Delta payload: changed extents only, decoded straight into the
+        // mirror's data chunk. A mirror whose DGN drifted from the delta's
+        // base rejects it with kInconsistent — treated like any failed
+        // pull; the next cycle's DGN mismatch fetches the full chunk.
+        st = mirror.set->ApplyDelta(result.data);
+        if (st.ok()) {
+          ++producer.updates_delta;
+          counters_.updates_delta.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t saved =
+              mirror.set->data_size() - result.data.size();
+          producer.delta_bytes_saved += saved;
+          counters_.delta_bytes_saved.fetch_add(saved,
+                                                std::memory_order_relaxed);
+        }
+      } else {
+        st = mirror.set->ApplyData(result.data);
+      }
     }
     if (!st.ok()) {
       counters_.updates_failed.fetch_add(1, std::memory_order_relaxed);

@@ -94,6 +94,11 @@ struct ProducerConfig {
   DurationNs reconnect_max_backoff = 2 * kNsPerSec;
   /// Set instances to collect; empty = discover all via dir().
   std::vector<std::string> set_instances;
+  /// Declare delta-capable to the producer (protocol v2): sets that advanced
+  /// exactly one transaction arrive as RLE extent deltas instead of full
+  /// data chunks. Disable to force the full-chunk path (ablation, or as an
+  /// escape hatch against a misbehaving peer).
+  bool delta_updates = true;
   /// Standby connections are established (connect + lookup) but not pulled
   /// from until ActivateStandby() — fast failover (§IV-B).
   bool standby = false;
@@ -116,6 +121,11 @@ class Ldmsd final : public ServiceHandler {
     /// Pulls the producer answered with the 5-byte DGN-gate marker (no new
     /// sample), so no data chunk crossed the wire.
     std::atomic<std::uint64_t> updates_unchanged{0};
+    /// Pulls answered with a delta payload (changed extents only) instead of
+    /// the full data chunk, and the wire bytes that saved versus shipping
+    /// the whole chunk.
+    std::atomic<std::uint64_t> updates_delta{0};
+    std::atomic<std::uint64_t> delta_bytes_saved{0};
     /// Transport bytes (tx+rx) attributable to collect cycles, as reported
     /// by the producer endpoints' stats deltas.
     std::atomic<std::uint64_t> update_bytes_on_wire{0};
@@ -148,6 +158,8 @@ class Ldmsd final : public ServiceHandler {
     /// Batch-protocol accounting for this producer (see Counters).
     std::uint64_t updates_batched = 0;
     std::uint64_t updates_unchanged = 0;
+    std::uint64_t updates_delta = 0;
+    std::uint64_t delta_bytes_saved = 0;
     std::uint64_t update_bytes_on_wire = 0;
   };
 
@@ -279,6 +291,8 @@ class Ldmsd final : public ServiceHandler {
     /// Batch accounting mirrored into ProducerStatus (guarded by mu).
     std::uint64_t updates_batched = 0;
     std::uint64_t updates_unchanged = 0;
+    std::uint64_t updates_delta = 0;
+    std::uint64_t delta_bytes_saved = 0;
     std::uint64_t update_bytes_on_wire = 0;
     /// Collect-cycle scratch (guarded by mu): reused across cycles so the
     /// steady-state pull path recycles capacity instead of reallocating.

@@ -82,7 +82,8 @@ std::vector<Status> Endpoint::UpdateAll(
     Status st = std::move(results[i].status);
     MetricSet* mirror = i < mirrors.size() ? mirrors[i] : nullptr;
     if (st.ok() && !results[i].unchanged && mirror != nullptr) {
-      st = mirror->ApplyData(results[i].data);
+      st = results[i].delta ? mirror->ApplyDelta(results[i].data)
+                            : mirror->ApplyData(results[i].data);
     }
     statuses[i] = std::move(st);
   }
@@ -118,6 +119,24 @@ void ServeUpdateBatch(ServiceHandler& handler, const UpdateBatchRequest& req,
       }
       resp->entries.push_back(std::move(out));
       continue;
+    }
+    // Delta path: only for clients that declared they can decode it, and
+    // only when the set advanced exactly one transaction past what the
+    // client holds (no delta chains across gaps). Anything else — including
+    // a torn delta snapshot — falls through to the full chunk.
+    if (req.version >= kDeltaProtocolVersion) {
+      ByteWriter dw(&out.data);
+      if (set->SnapshotDelta(e.last_dgn, dw).ok()) {
+        out.kind = BatchEntryKind::kDelta;
+        if (stats != nullptr) {
+          stats->updates_delta.fetch_add(1, std::memory_order_relaxed);
+          stats->delta_bytes_saved.fetch_add(
+              set->data_size() - out.data.size(), std::memory_order_relaxed);
+        }
+        resp->entries.push_back(std::move(out));
+        continue;
+      }
+      out.data.clear();
     }
     out.data.resize(set->data_size());
     Status st = set->SnapshotData(out.data);

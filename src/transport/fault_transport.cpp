@@ -133,6 +133,10 @@ class FaultEndpoint final : public Endpoint {
     if (max_delay > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(max_delay));
     }
+    // The inner endpoint is the one that negotiates deltas; keep its knob in
+    // lockstep with the decorator's so tests toggling the outer endpoint get
+    // the path they asked for.
+    inner_->set_delta_updates(delta_updates());
     inner_->UpdateBatch(specs, results);
     for (std::size_t i = 0; i < n; ++i) {
       BatchUpdateResult& r = (*results)[i];
@@ -140,7 +144,12 @@ class FaultEndpoint final : public Endpoint {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      if (r.delta) stats_.updates_delta.fetch_add(1, std::memory_order_relaxed);
       if (r.unchanged || r.data.empty()) continue;
+      // Truncate/corrupt mangle whatever payload the entry carried — full
+      // chunk or delta alike. A mangled delta fails ApplyDelta's structural
+      // validation (or its MGN/DGN checks) on the client, never a
+      // half-applied mirror.
       if (draws[i].kind == FaultKind::kTruncate ||
           draws[i].kind == FaultKind::kCorrupt) {
         MutatePayload(draws[i].kind, draws[i].mutation, &r.data);

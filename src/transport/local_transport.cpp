@@ -148,6 +148,28 @@ class LocalEndpoint final : public Endpoint {
           }
           continue;
         }
+        // Delta path, gated on the client-side knob exactly like the wire
+        // client's declared protocol version; falls back to the full chunk
+        // whenever no (smaller) delta exists for this base DGN.
+        if (delta_updates()) {
+          ByteWriter dw(&r.data);
+          if (set->SnapshotDelta(specs[i].last_dgn, dw).ok()) {
+            r.status = Status::Ok();
+            r.delta = true;
+            resp_bytes += 9 + r.data.size();  // handle + kind + len + delta
+            const std::uint64_t saved = set->data_size() - r.data.size();
+            stats_.updates_delta.fetch_add(1, std::memory_order_relaxed);
+            stats_.delta_bytes_saved.fetch_add(saved,
+                                               std::memory_order_relaxed);
+            if (srv != nullptr) {
+              srv->updates_delta.fetch_add(1, std::memory_order_relaxed);
+              srv->delta_bytes_saved.fetch_add(saved,
+                                               std::memory_order_relaxed);
+            }
+            continue;
+          }
+          r.data.clear();
+        }
         r.data.resize(set->data_size());
         r.status = set->SnapshotData(r.data);
         if (!r.status.ok()) {
@@ -158,7 +180,9 @@ class LocalEndpoint final : public Endpoint {
         }
       }
       ChargeServer(srv, NowSteadyNs() - t0);
-      Account(kFrameHeaderSize + 4 + 12 * batched_entries, resp_bytes, srv);
+      // +1: the request's trailing client-version byte.
+      Account(kFrameHeaderSize + 4 + 12 * batched_entries + 1, resp_bytes,
+              srv);
       if (srv != nullptr) {
         srv->update_batches.fetch_add(1, std::memory_order_relaxed);
         srv->updates.fetch_add(n, std::memory_order_relaxed);

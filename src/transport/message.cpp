@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/metric_set.hpp"
+
 namespace ldmsxx {
 
 std::vector<std::byte> EncodeFrame(MsgType type, std::uint64_t request_id,
@@ -139,6 +141,9 @@ std::vector<std::byte> EncodeUpdateBatchRequest(const UpdateBatchRequest& msg) {
     w.U32(e.handle);
     w.U64(e.last_dgn);
   }
+  // Trailing client-revision byte; v1 decoders read their entries and never
+  // look at it (ByteReader only faults on overrun).
+  w.U8(msg.version);
   return w.Take();
 }
 
@@ -162,6 +167,8 @@ bool DecodeUpdateBatchRequest(std::span<const std::byte> payload,
     if (!seen.insert(e.handle).second) return false;
     out->entries.push_back(e);
   }
+  // Absent trailing byte = a v1 client that never learned to decode kDelta.
+  out->version = r.ok() && r.remaining() >= 1 ? r.U8() : 1;
   return r.ok();
 }
 
@@ -177,6 +184,7 @@ std::vector<std::byte> EncodeUpdateBatchResponse(
       case BatchEntryKind::kUnchanged:
         break;
       case BatchEntryKind::kData:
+      case BatchEntryKind::kDelta:
         w.Bytes(e.data);
         break;
       case BatchEntryKind::kError:
@@ -207,6 +215,14 @@ bool DecodeUpdateBatchResponse(std::span<const std::byte> payload,
       case static_cast<std::uint8_t>(BatchEntryKind::kData):
         e.kind = BatchEntryKind::kData;
         e.data = r.Bytes();
+        break;
+      case static_cast<std::uint8_t>(BatchEntryKind::kDelta):
+        e.kind = BatchEntryKind::kDelta;
+        e.data = r.Bytes();
+        // Reject structurally malformed deltas (truncated extent table,
+        // overlapping/unsorted extents, value bytes not matching the table)
+        // at the framing layer, before they reach any mirror.
+        if (!r.ok() || !MetricSet::ValidateDeltaPayload(e.data)) return false;
         break;
       case static_cast<std::uint8_t>(BatchEntryKind::kError):
         e.kind = BatchEntryKind::kError;

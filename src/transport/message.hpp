@@ -35,7 +35,17 @@ enum class MsgType : std::uint8_t {
 /// with no trailing bytes at all, i.e. a pre-batch peer) means the client
 /// must stick to per-set kUpdateReq frames — old servers silently drop
 /// unknown frame types, which would otherwise turn into request timeouts.
-constexpr std::uint8_t kBatchProtocolVersion = 1;
+/// Version >= 2 peers additionally understand kDelta batch-response entries;
+/// a client declares its own revision in a trailing byte of the batch
+/// request (absent = version 1), and the server only emits kDelta entries to
+/// clients that declared >= kDeltaProtocolVersion. Both extensions ride in
+/// ignored-by-old-decoders trailing bytes, so every version pairing
+/// interoperates (worst case: full chunks).
+constexpr std::uint8_t kBatchProtocolVersion = 2;
+/// Minimum peer revision at which the batch protocol itself is usable.
+constexpr std::uint8_t kMinBatchProtocolVersion = 1;
+/// Minimum declared client revision at which a server may answer kDelta.
+constexpr std::uint8_t kDeltaProtocolVersion = 2;
 
 /// "No handle assigned." Handles are compact u32 ids a producer assigns at
 /// lookup time; they address the set in batch updates without re-sending the
@@ -84,15 +94,19 @@ struct UpdateResponse {
 };
 
 /// One batched pull for every set on a producer. Wire form:
-///   u32 count | count x (u32 handle, u64 last_dgn)
+///   u32 count | count x (u32 handle, u64 last_dgn) | [u8 version]
 /// The decoder rejects duplicate handles — response entries are keyed by
-/// handle, so a duplicate would make the reply ambiguous.
+/// handle, so a duplicate would make the reply ambiguous. The trailing
+/// version byte declares the client's protocol revision (v1 encoders omit
+/// it; decoders treat absence as 1): it is what authorizes the server to
+/// answer with kDelta entries.
 struct UpdateBatchRequest {
   struct Entry {
     std::uint32_t handle = kInvalidSetHandle;
     std::uint64_t last_dgn = 0;
   };
   std::vector<Entry> entries;
+  std::uint8_t version = kBatchProtocolVersion;
 };
 
 /// Per-entry result kind inside a batch response.
@@ -100,13 +114,20 @@ enum class BatchEntryKind : std::uint8_t {
   kUnchanged = 0,  // DGN has not advanced past last_dgn; no payload
   kData = 1,       // full data chunk follows
   kError = 2,      // per-set failure (unknown handle, torn snapshot, ...)
+  kDelta = 3,      // changed-extents delta against the client's last_dgn
 };
 
 /// Batch response. Wire form:
 ///   u8 code | u32 count | count x entry
 ///   entry: u32 handle | u8 kind | (kData: u32 len, bytes)
+///                                 (kDelta: u32 len, delta payload)
 ///                                 (kError: u8 code)
 ///                                 (kUnchanged: nothing)  -- exactly 5 bytes
+/// A kDelta payload is the MetricSet delta format (see metric_set.hpp):
+///   u32 meta_gn | u64 base_dgn | u64 new_dgn | u32 ts_sec | u32 ts_usec |
+///   u16 extent_count | extents | packed values
+/// and is structurally validated at decode time, so a malformed delta is a
+/// framing error, never a half-applied mirror.
 /// A non-zero top-level code means the whole request failed (e.g. malformed)
 /// and count is 0.
 struct UpdateBatchResponse {

@@ -156,6 +156,22 @@ class RdmaEndpoint final : public Endpoint {
         continue;
       }
       if (options_.read_latency_ns > 0) SpinFor(options_.read_latency_ns);
+      // Delta read: the extent table lives beside the pinned chunk, so a
+      // one-sided reader can pull just the changed bytes when the set
+      // advanced exactly one transaction. Still no server CPU charged.
+      if (delta_updates()) {
+        ByteWriter dw(&r.data);
+        if (target.SnapshotDelta(specs[i].last_dgn, dw).ok()) {
+          r.status = Status::Ok();
+          r.delta = true;
+          stats_.bytes_rx.fetch_add(r.data.size(), std::memory_order_relaxed);
+          stats_.updates_delta.fetch_add(1, std::memory_order_relaxed);
+          stats_.delta_bytes_saved.fetch_add(
+              target.data_size() - r.data.size(), std::memory_order_relaxed);
+          continue;
+        }
+        r.data.clear();
+      }
       r.data.resize(target.data_size());
       r.status = target.SnapshotData(r.data);
       if (!r.status.ok()) {

@@ -422,6 +422,28 @@ class SockListener final : public Listener {
             stats_.updates_unchanged.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
+          // Delta gather-encode, only for clients that declared they can
+          // decode it: the changed extents go straight from the live chunk
+          // into the connection's write buffer. Any failure (gn gap, torn
+          // snapshot, delta not smaller) rolls the entry back and falls
+          // through to the full chunk.
+          if (req.version >= kDeltaProtocolVersion) {
+            AppendU8(out, static_cast<std::uint8_t>(BatchEntryKind::kDelta));
+            const std::size_t len_pos = out.size();
+            AppendU32(out, 0);  // payload length, patched below
+            const std::size_t payload_pos = out.size();
+            ByteWriter dw(&out);
+            if (set->SnapshotDelta(e.last_dgn, dw).ok()) {
+              const auto dlen =
+                  static_cast<std::uint32_t>(out.size() - payload_pos);
+              std::memcpy(out.data() + len_pos, &dlen, 4);
+              stats_.updates_delta.fetch_add(1, std::memory_order_relaxed);
+              stats_.delta_bytes_saved.fetch_add(set->data_size() - dlen,
+                                                 std::memory_order_relaxed);
+              continue;
+            }
+            out.resize(kind_pos);
+          }
           // Gather-encode: reserve the chunk inside the frame and snapshot
           // the live set straight into it.
           AppendU8(out, static_cast<std::uint8_t>(BatchEntryKind::kData));
@@ -624,7 +646,8 @@ class SockEndpoint final : public Endpoint {
     results->assign(n, BatchUpdateResult{});
     if (n == 0) return;
     const bool peer_batches =
-        peer_version_.load(std::memory_order_relaxed) >= kBatchProtocolVersion;
+        peer_version_.load(std::memory_order_relaxed) >=
+        kMinBatchProtocolVersion;
     // Partition: handle-addressed specs ride in one kUpdateBatchReq frame;
     // the rest (no handle, legacy peer, or a duplicated handle — the reply
     // is keyed by handle, so a dup would be ambiguous) fall back to per-set
@@ -650,6 +673,10 @@ class SockEndpoint final : public Endpoint {
     CorkWrites();
     if (!batch_idx.empty()) {
       UpdateBatchRequest req;
+      // Declare v2 (delta-capable) unless the knob forces full chunks; the
+      // server never sends kDelta to a lower declared revision.
+      req.version =
+          delta_updates() ? kBatchProtocolVersion : kMinBatchProtocolVersion;
       req.entries.reserve(batch_idx.size());
       for (const std::size_t i : batch_idx) {
         req.entries.push_back({specs[i].handle, specs[i].last_dgn});
@@ -829,6 +856,15 @@ class SockEndpoint final : public Endpoint {
         case BatchEntryKind::kData:
           r.status = Status::Ok();
           r.data = std::move(e.data);
+          break;
+        case BatchEntryKind::kDelta:
+          // Structural validity was already enforced by the decoder; the
+          // caller applies the payload straight into its mirror chunk via
+          // ApplyDelta (which re-checks MGN/base-DGN against the mirror).
+          r.status = Status::Ok();
+          r.delta = true;
+          r.data = std::move(e.data);
+          stats_.updates_delta.fetch_add(1, std::memory_order_relaxed);
           break;
         case BatchEntryKind::kError:
           r.status = {static_cast<ErrorCode>(e.code), "batch entry failed"};

@@ -47,6 +47,13 @@ struct TransportStats {
   /// Batch entries answered with the 5-byte "unchanged" marker instead of a
   /// full data chunk (DGN gate hit).
   std::atomic<std::uint64_t> updates_unchanged{0};
+  /// Batch entries answered with a changed-extents delta instead of a full
+  /// data chunk (the DGN advanced exactly one transaction and the dirty set
+  /// was small enough to win).
+  std::atomic<std::uint64_t> updates_delta{0};
+  /// Wire bytes avoided by those deltas: sum over delta entries of
+  /// (full data chunk size - delta payload size).
+  std::atomic<std::uint64_t> delta_bytes_saved{0};
 };
 
 /// Service interface a daemon exposes to its listeners. Implemented by
@@ -162,6 +169,9 @@ class Endpoint {
     Status status;
     bool unchanged = false;  // peer answered with the 5-byte DGN-gate marker
     bool batched = false;    // travelled in a kUpdateBatchReq frame
+    /// data holds a delta payload (apply with MetricSet::ApplyDelta) rather
+    /// than a full data chunk.
+    bool delta = false;
     std::vector<std::byte> data;  // data chunk; empty if unchanged or failed
   };
 
@@ -193,6 +203,17 @@ class Endpoint {
   virtual void CorkWrites() {}
   virtual void UncorkWrites() {}
 
+  /// Whether this client asks peers for delta-encoded batch entries
+  /// (declared in the batch request's trailing version byte). On by
+  /// default; tests and ablation benches turn it off to force the
+  /// full-chunk path on an otherwise identical schedule.
+  void set_delta_updates(bool enabled) {
+    delta_updates_.store(enabled, std::memory_order_relaxed);
+  }
+  bool delta_updates() const {
+    return delta_updates_.load(std::memory_order_relaxed);
+  }
+
   /// Per-request deadline; a request not completed within it finishes with
   /// kTimeout. 0 disables the deadline. Only transports with a real wire in
   /// between enforce it (sock); in-process transports complete inline.
@@ -208,14 +229,18 @@ class Endpoint {
  protected:
   TransportStats stats_;
   std::atomic<DurationNs> request_timeout_ns_{kDefaultRequestTimeoutNs};
+  std::atomic<bool> delta_updates_{true};
 };
 
 /// Server-side batch service logic shared by the in-process transports (the
 /// sock listener gather-encodes the same semantics straight into its write
-/// buffer): resolve each handle, DGN-gate, snapshot changed sets. Unknown
-/// handles become per-entry kNotFound errors; a torn snapshot becomes
-/// kInconsistent. @p stats (optional) receives updates/updates_unchanged/
-/// update_batches accounting.
+/// buffer): resolve each handle, DGN-gate, then — when the client declared
+/// protocol version >= kDeltaProtocolVersion and the set advanced exactly
+/// one transaction — answer with a changed-extents kDelta entry, else a
+/// full-chunk snapshot. Unknown handles become per-entry kNotFound errors; a
+/// torn snapshot becomes kInconsistent. @p stats (optional) receives
+/// updates/updates_unchanged/updates_delta/delta_bytes_saved/update_batches
+/// accounting.
 void ServeUpdateBatch(ServiceHandler& handler, const UpdateBatchRequest& req,
                       UpdateBatchResponse* resp, TransportStats* stats);
 

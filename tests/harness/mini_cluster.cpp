@@ -13,9 +13,11 @@ namespace {
 /// apply is visible as a row whose values disagree.
 class CounterSampler final : public SamplerPlugin {
  public:
-  CounterSampler(std::size_t metrics, std::size_t num_sets)
+  CounterSampler(std::size_t metrics, std::size_t num_sets,
+                 bool sparse = false)
       : metrics_(std::max<std::size_t>(1, metrics)),
-        num_sets_(std::max<std::size_t>(1, num_sets)) {}
+        num_sets_(std::max<std::size_t>(1, num_sets)),
+        sparse_(sparse) {}
 
   const std::string& name() const override { return name_; }
 
@@ -45,7 +47,12 @@ class CounterSampler final : public SamplerPlugin {
   Status Sample(TimeNs now) override {
     for (auto& set : sets_) {
       set->BeginTransaction();
-      for (std::size_t i = 0; i < metrics_; ++i) set->SetU64(i, seq_);
+      // Sparse mode writes the full set once, then only "seq": steady-state
+      // transactions dirty a single metric, which is what makes the delta
+      // update path fire under chaos (a full-width write never beats the
+      // delta size gate on small sets).
+      const std::size_t width = sparse_ && seq_ > 0 ? 1 : metrics_;
+      for (std::size_t i = 0; i < width; ++i) set->SetU64(i, seq_);
       set->EndTransaction(now);
     }
     ++seq_;
@@ -58,6 +65,7 @@ class CounterSampler final : public SamplerPlugin {
   std::string name_ = "chaos";
   std::size_t metrics_;
   std::size_t num_sets_;
+  bool sparse_;
   std::uint64_t seq_ = 0;
   std::vector<MetricSetPtr> sets_;
 };
@@ -166,7 +174,8 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeSampler(std::size_t i) {
   sc.interval = options_.sample_interval;
   Status st = daemon->AddSampler(
       std::make_shared<CounterSampler>(options_.metrics_per_set,
-                                       options_.sets_per_sampler),
+                                       options_.sets_per_sampler,
+                                       options_.sparse_writes),
       sc);
   if (!st.ok()) return nullptr;
   if (!daemon->Start().ok()) return nullptr;
@@ -206,6 +215,7 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
     pc.interval = options_.collect_interval;
     pc.reconnect_min_backoff = options_.reconnect_min_backoff;
     pc.reconnect_max_backoff = options_.reconnect_max_backoff;
+    pc.delta_updates = options_.delta_updates;
     pc.standby = is_standby;
     if (is_standby) pc.standby_for = "agg0";
     if (!daemon->AddProducer(pc).ok()) return nullptr;

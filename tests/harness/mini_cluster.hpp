@@ -46,10 +46,18 @@ struct MiniClusterOptions {
   /// Metrics per sampler set ("seq" plus padding, all written with the same
   /// sequence value so torn applies are detectable).
   std::size_t metrics_per_set = 8;
+  /// Write only "seq" after the first sample (instead of the whole set).
+  /// Steady-state transactions then dirty one metric, which is what lets the
+  /// delta update path fire under chaos.
+  bool sparse_writes = false;
   /// Sets each sampler daemon serves ("chaos", "chaos1", ...). More than one
   /// makes every collect cycle a genuine multi-entry batch, so mid-batch
   /// fault injection exercises whole-batch failure semantics.
   std::size_t sets_per_sampler = 1;
+  /// Declare delta capability on every producer connection. Off forces the
+  /// full-chunk path on the same fault schedule — the chaos suite compares
+  /// both modes under the same seed to prove delta changes no outcomes.
+  bool delta_updates = true;
 
   // --- storage path -------------------------------------------------------
 

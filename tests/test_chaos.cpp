@@ -283,6 +283,44 @@ TEST(ChaosTest, QuiescentSetsRideUnchangedMarkers) {
             opts.sample_interval + 3 * opts.collect_interval);
 }
 
+// --- delta updates under chaos ----------------------------------------------
+
+TEST(ChaosTest, MidDeltaDisconnectRecoversWithBoundedGaps) {
+  // Sparse writes make the steady-state pull a delta payload; an injected
+  // disconnect then lands mid-delta. The whole batch must fail, the mirror
+  // must stay on its last good generation (no torn apply), and the full-
+  // chunk fallback after reconnect must close the gap within the same bound
+  // the full-chunk protocol guarantees.
+  MiniClusterOptions opts;
+  opts.samplers = 1;
+  opts.sets_per_sampler = 4;
+  opts.sparse_writes = true;
+  MiniCluster cluster(opts);
+
+  cluster.Advance(500 * kNsPerMs);
+  const auto& counters = cluster.aggregator(0).counters();
+  EXPECT_GT(counters.updates_delta.load(), 0u)
+      << "steady-state pulls are not actually using deltas";
+  EXPECT_GT(counters.delta_bytes_saved.load(), 0u);
+
+  for (int i = 0; i < 20; ++i) {
+    cluster.faults().InjectNext(FaultOp::kUpdate, FaultKind::kDisconnect);
+    cluster.Advance(4 * kTick);
+  }
+
+  EXPECT_EQ(cluster.faults().stats().disconnects.load(), 20u);
+  EXPECT_EQ(counters.reconnects.load(), 20u);
+  EXPECT_TRUE(cluster.sampler_alive(0));
+  EXPECT_TRUE(cluster.aggregator_alive(0));
+  const auto gap = cluster.DataGap(0);
+  EXPECT_LE(gap.max_gap, 3 * opts.sample_interval);
+  EXPECT_GE(gap.rows, 30u);
+
+  const auto status = cluster.aggregator(0).producer_status("node0");
+  EXPECT_GT(status.updates_delta, 0u);
+  EXPECT_GT(status.delta_bytes_saved, 0u);
+}
+
 // --- determinism: same seed => same run -------------------------------------
 
 struct RunDigest {
@@ -302,19 +340,41 @@ struct RunDigest {
   }
 };
 
-RunDigest ChaosRun(std::uint64_t seed, std::size_t sets_per_sampler = 1) {
+struct ChaosRunKnobs {
+  std::size_t sets_per_sampler = 1;
+  bool sparse_writes = false;
+  bool delta_updates = true;
+  /// Include the payload-mutating faults (truncate/corrupt). Off leaves only
+  /// faults whose outcome is payload-independent, which is what makes a
+  /// delta-on and a delta-off run bit-comparable.
+  bool mutations = true;
+  std::uint64_t* updates_delta = nullptr;  // optional out-param
+};
+
+RunDigest ChaosRun(std::uint64_t seed, const ChaosRunKnobs& knobs = {}) {
   MiniClusterOptions opts;
   opts.samplers = 3;
   opts.aggregators = 2;
-  opts.sets_per_sampler = sets_per_sampler;
+  opts.sets_per_sampler = knobs.sets_per_sampler;
+  opts.sparse_writes = knobs.sparse_writes;
+  opts.delta_updates = knobs.delta_updates;
   opts.seed = seed;
   opts.faults.refuse_connect = 0.10;
   opts.faults.disconnect = 0.03;
   opts.faults.stall = 0.03;
-  opts.faults.truncate = 0.03;
-  opts.faults.corrupt = 0.03;
+  if (knobs.mutations) {
+    opts.faults.truncate = 0.03;
+    opts.faults.corrupt = 0.03;
+  }
   MiniCluster cluster(opts);
   cluster.Advance(10 * kNsPerSec);
+  if (knobs.updates_delta != nullptr) {
+    *knobs.updates_delta = 0;
+    for (std::size_t a = 0; a < opts.aggregators; ++a) {
+      *knobs.updates_delta +=
+          cluster.aggregator(a).counters().updates_delta.load();
+    }
+  }
 
   const auto& stats = cluster.faults().stats();
   RunDigest digest;
@@ -349,13 +409,58 @@ TEST(ChaosTest, SameSeedIdenticalWithMultiSetBatches) {
   // The batch path draws exactly one fault decision per entry, so the rng
   // stream stays aligned with the per-set protocol and multi-entry batches
   // replay bit-identically under the same seed.
-  const RunDigest first = ChaosRun(11, 3);
-  const RunDigest second = ChaosRun(11, 3);
+  const RunDigest first = ChaosRun(11, {.sets_per_sampler = 3});
+  const RunDigest second = ChaosRun(11, {.sets_per_sampler = 3});
   EXPECT_EQ(first.tie(), second.tie());
   EXPECT_GT(first.refused + first.disconnects + first.truncations +
                 first.corruptions + first.stalls,
             0u);
   EXPECT_GT(first.rows, 0u);
+}
+
+TEST(ChaosTest, SameSeedIdenticalWithDeltaUpdates) {
+  // Delta payloads change what crosses the wire but not when faults are
+  // drawn (still one decision per batch entry), so a delta-heavy run —
+  // including truncate/corrupt faults that mangle delta payloads mid-flight
+  // — replays bit-identically under the same seed.
+  std::uint64_t deltas = 0;
+  ChaosRunKnobs knobs{.sets_per_sampler = 2,
+                      .sparse_writes = true,
+                      .updates_delta = &deltas};
+  const RunDigest first = ChaosRun(13, knobs);
+  const std::uint64_t deltas_first = deltas;
+  const RunDigest second = ChaosRun(13, knobs);
+  EXPECT_EQ(first.tie(), second.tie());
+  EXPECT_EQ(deltas_first, deltas);
+  EXPECT_GT(deltas_first, 0u) << "run never exercised the delta path";
+  EXPECT_GT(first.truncations + first.corruptions, 0u)
+      << "run never mutated a payload";
+  EXPECT_GT(first.rows, 0u);
+}
+
+TEST(ChaosTest, DeltaOnAndOffProduceIdenticalOutcomes) {
+  // With payload-mutating faults disabled, every remaining fault kind
+  // (refused connect, disconnect, stall) fails a pull regardless of how the
+  // payload was encoded — so the delta knob must change wire bytes only,
+  // never which rows get stored or when. Same seed, knob flipped: identical
+  // digests.
+  std::uint64_t deltas_on = 0;
+  std::uint64_t deltas_off = 0;
+  const RunDigest on = ChaosRun(21, {.sets_per_sampler = 2,
+                                     .sparse_writes = true,
+                                     .delta_updates = true,
+                                     .mutations = false,
+                                     .updates_delta = &deltas_on});
+  const RunDigest off = ChaosRun(21, {.sets_per_sampler = 2,
+                                      .sparse_writes = true,
+                                      .delta_updates = false,
+                                      .mutations = false,
+                                      .updates_delta = &deltas_off});
+  EXPECT_EQ(on.tie(), off.tie());
+  EXPECT_GT(deltas_on, 0u) << "delta-on run never served a delta";
+  EXPECT_EQ(deltas_off, 0u) << "delta-off run must never serve deltas";
+  EXPECT_GT(on.rows, 0u);
+  EXPECT_GT(on.refused + on.disconnects + on.stalls, 0u);
 }
 
 }  // namespace

@@ -301,6 +301,189 @@ TEST_F(MetricSetTest, ConcurrentWriterNeverYieldsTornSnapshot) {
   EXPECT_GT(successes, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Delta snapshots (dirty-extent tracking)
+// ---------------------------------------------------------------------------
+
+TEST_F(MetricSetTest, DeltaRoundTripSingleDirtyMetric) {
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  set->SetD64(1, 1.0);
+  set->SetValue(2, MetricValue::S64(1));
+  set->EndTransaction(kNsPerSec);
+
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem_, set->metadata_bytes(), &st);
+  ASSERT_TRUE(st.ok());
+  std::vector<std::byte> full(set->data_size());
+  ASSERT_TRUE(set->SnapshotData(full).ok());
+  ASSERT_TRUE(mirror->ApplyData(full).ok());
+
+  // Second transaction touches only metric 0: the delta should carry one
+  // extent and be much smaller than the chunk.
+  set->BeginTransaction();
+  set->SetU64(0, 42);
+  set->EndTransaction(2 * kNsPerSec);
+
+  ByteWriter w;
+  ASSERT_TRUE(set->SnapshotDelta(1, w).ok());
+  EXPECT_LT(w.size(), set->data_size());
+  EXPECT_EQ(w.size(), MetricSet::kDeltaPayloadHeaderSize + 8 + 8);
+
+  ASSERT_TRUE(mirror->ApplyDelta(w.buffer()).ok());
+  EXPECT_EQ(mirror->data_gn(), 2u);
+  EXPECT_TRUE(mirror->consistent());
+  EXPECT_EQ(mirror->GetU64(0), 42u);
+  EXPECT_DOUBLE_EQ(mirror->GetD64(1), 1.0);  // untouched metrics preserved
+  EXPECT_EQ(mirror->GetValue(2).v.s64, 1);
+  EXPECT_EQ(mirror->timestamp(), 2 * kNsPerSec);
+}
+
+TEST_F(MetricSetTest, DeltaServedOnlyForExactPredecessor) {
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  set->EndTransaction(kNsPerSec);
+  set->BeginTransaction();
+  set->SetU64(0, 2);
+  set->EndTransaction(2 * kNsPerSec);
+  // gn is now 2; only base 1 has a delta. A gap (base 0) must refuse — no
+  // delta chains — as must a future base.
+  ByteWriter w;
+  EXPECT_EQ(set->SnapshotDelta(0, w).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(set->SnapshotDelta(2, w).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(set->SnapshotDelta(1, w).ok());
+}
+
+TEST_F(MetricSetTest, DeltaNotSmallerThanChunkRefused) {
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  set->EndTransaction(kNsPerSec);
+  // All three metrics dirty: adjacent offsets merge into one extent whose
+  // payload (header + table + 24 value bytes) is no smaller than the 56-byte
+  // chunk, so the size gate refuses and the caller ships the full chunk.
+  set->BeginTransaction();
+  set->SetU64(0, 2);
+  set->SetD64(1, 2.0);
+  set->SetValue(2, MetricValue::S64(2));
+  set->EndTransaction(2 * kNsPerSec);
+  ByteWriter w;
+  EXPECT_EQ(set->SnapshotDelta(1, w).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST_F(MetricSetTest, EmptyTransactionYieldsHeaderOnlyDelta) {
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 7);
+  set->EndTransaction(kNsPerSec);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem_, set->metadata_bytes(), &st);
+  ASSERT_TRUE(st.ok());
+  std::vector<std::byte> full(set->data_size());
+  ASSERT_TRUE(set->SnapshotData(full).ok());
+  ASSERT_TRUE(mirror->ApplyData(full).ok());
+  // A transaction that wrote nothing still bumps the DGN; the delta is just
+  // the 30-byte header (zero extents) and applies as a gn/timestamp bump.
+  set->BeginTransaction();
+  set->EndTransaction(2 * kNsPerSec);
+  ByteWriter w;
+  ASSERT_TRUE(set->SnapshotDelta(1, w).ok());
+  EXPECT_EQ(w.size(), MetricSet::kDeltaPayloadHeaderSize);
+  ASSERT_TRUE(mirror->ApplyDelta(w.buffer()).ok());
+  EXPECT_EQ(mirror->data_gn(), 2u);
+  EXPECT_EQ(mirror->GetU64(0), 7u);
+}
+
+TEST_F(MetricSetTest, MirrorReservesDeltaDownstream) {
+  // Daisy-chain: a first-level aggregator that applied a delta can serve the
+  // same transition to a second-level aggregator as a delta.
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  set->SetD64(1, 1.0);
+  set->SetValue(2, MetricValue::S64(1));
+  set->EndTransaction(kNsPerSec);
+  Status st;
+  auto l1 = MetricSet::CreateMirror(mem_, set->metadata_bytes(), &st);
+  ASSERT_TRUE(st.ok());
+  auto l2 = MetricSet::CreateMirror(mem_, set->metadata_bytes(), &st);
+  ASSERT_TRUE(st.ok());
+  std::vector<std::byte> full(set->data_size());
+  ASSERT_TRUE(set->SnapshotData(full).ok());
+  ASSERT_TRUE(l1->ApplyData(full).ok());
+  ASSERT_TRUE(l2->ApplyData(full).ok());
+
+  set->BeginTransaction();
+  set->SetU64(0, 99);
+  set->EndTransaction(2 * kNsPerSec);
+  ByteWriter w;
+  ASSERT_TRUE(set->SnapshotDelta(1, w).ok());
+  ASSERT_TRUE(l1->ApplyDelta(w.buffer()).ok());
+
+  ByteWriter w2;
+  ASSERT_TRUE(l1->SnapshotDelta(1, w2).ok());
+  ASSERT_TRUE(l2->ApplyDelta(w2.buffer()).ok());
+  EXPECT_EQ(l2->GetU64(0), 99u);
+  EXPECT_EQ(l2->data_gn(), 2u);
+
+  // A full-chunk apply wipes the change information: no more delta serving.
+  ASSERT_TRUE(set->SnapshotData(full).ok());
+  ASSERT_TRUE(l1->ApplyData(full).ok());
+  ByteWriter w3;
+  EXPECT_EQ(l1->SnapshotDelta(1, w3).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MetricSetTest, ApplyDeltaRejectsBaseMismatchAndWrongMgn) {
+  auto set = MakeSet();
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  set->EndTransaction(kNsPerSec);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem_, set->metadata_bytes(), &st);
+  ASSERT_TRUE(st.ok());
+  // Mirror never received the base chunk: its DGN (0) cannot anchor a delta
+  // whose base is 1.
+  set->BeginTransaction();
+  set->SetU64(0, 2);
+  set->EndTransaction(2 * kNsPerSec);
+  ByteWriter w;
+  ASSERT_TRUE(set->SnapshotDelta(1, w).ok());
+  EXPECT_EQ(mirror->ApplyDelta(w.buffer()).code(), ErrorCode::kInconsistent);
+  EXPECT_EQ(mirror->data_gn(), 0u) << "rejected delta must not mutate";
+
+  // Same payload against a set with a different schema: MGN mismatch.
+  Schema other("otherschema");
+  other.AddMetric("z", MetricType::kU64);
+  auto stranger = MetricSet::Create(mem_, other, "n/o", "n", 0, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(stranger->ApplyDelta(w.buffer()).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(MetricSetTest, SnapshotContentionCounters) {
+  auto set = MakeSet();
+  EXPECT_EQ(set->snapshot_retries(), 0u);
+  EXPECT_EQ(set->snapshot_starved(), 0u);
+  set->BeginTransaction();
+  set->SetU64(0, 1);
+  // Writer parked mid-transaction: every snapshot attempt sees
+  // consistent == 0, exhausts its retries, and records starvation.
+  std::vector<std::byte> buf(set->data_size());
+  EXPECT_EQ(set->SnapshotData(buf).code(), ErrorCode::kInconsistent);
+  EXPECT_GT(set->snapshot_retries(), 0u);
+  EXPECT_EQ(set->snapshot_starved(), 1u);
+  set->EndTransaction(kNsPerSec);
+  const std::uint64_t retries_after = set->snapshot_retries();
+  EXPECT_TRUE(set->SnapshotData(buf).ok());
+  EXPECT_EQ(set->snapshot_retries(), retries_after)
+      << "clean snapshot must not count retries";
+  EXPECT_EQ(set->snapshot_starved(), 1u);
+}
+
 TEST(MetricSetOomTest, PoolExhaustionSurfaced) {
   MemManager tiny(1024);
   Schema schema("big");

@@ -930,6 +930,456 @@ TEST(BatchProtocolTest, MalformedBatchFrameGetsErrorResponse) {
   ::close(fd);
 }
 
+// ---------------------------------------------------------------------------
+// Wire codec hardening: ByteWriter sticky errors, ByteReader overflow
+// ---------------------------------------------------------------------------
+
+TEST(WireHardeningTest, OversizedStrRejectedWithoutDesync) {
+  ByteWriter w;
+  w.U32(7);
+  const std::size_t before = w.size();
+  w.Str(std::string(0x10000, 'x'));  // one past the u16 prefix's range
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.size(), before) << "a rejected string must append nothing";
+  // The flag is sticky: later successful writes don't clear it.
+  w.U32(8);
+  EXPECT_FALSE(w.ok());
+  // A maximum-length string is still representable.
+  ByteWriter w2;
+  w2.Str(std::string(0xffff, 'y'));
+  EXPECT_TRUE(w2.ok());
+  EXPECT_EQ(w2.size(), 2u + 0xffffu);
+}
+
+TEST(WireHardeningTest, PatchU32BoundsChecked) {
+  ByteWriter w;
+  w.PatchU32(0, 1);  // empty buffer: no 4-byte window exists
+  EXPECT_FALSE(w.ok());
+  ByteWriter w2;
+  w2.U32(0);
+  w2.PatchU32(1, 5);  // window [1,5) overhangs the 4-byte buffer
+  EXPECT_FALSE(w2.ok());
+  ByteWriter w3;
+  w3.U32(0);
+  w3.U32(9);
+  w3.PatchU32(0, 0xdeadbeef);
+  EXPECT_TRUE(w3.ok());
+  std::uint32_t patched = 0;
+  std::memcpy(&patched, w3.buffer().data(), 4);
+  EXPECT_EQ(patched, 0xdeadbeefu);
+}
+
+TEST(WireHardeningTest, MutableSpanBoundsChecked) {
+  ByteWriter w;
+  const std::size_t off = w.Extend(8);
+  EXPECT_TRUE(w.MutableSpan(off, 8).size() == 8);
+  EXPECT_TRUE(w.ok());
+  EXPECT_TRUE(w.MutableSpan(4, 8).empty());  // overhangs the end
+  EXPECT_FALSE(w.ok());
+  ByteWriter w2;
+  w2.Extend(8);
+  EXPECT_TRUE(w2.MutableSpan(0, 16).empty());  // longer than the buffer
+  EXPECT_FALSE(w2.ok());
+}
+
+TEST(WireHardeningTest, ReaderEnsureDoesNotWrapOnHugeLengths) {
+  // A length near SIZE_MAX would make `pos + n` wrap to a small value and
+  // pass a naive bounds check; the reader must still refuse.
+  const std::byte bytes[4] = {};
+  ByteReader r(bytes);
+  r.U32();
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.View(SIZE_MAX - 2).empty());
+  EXPECT_FALSE(r.ok());
+
+  // The same property via a wire-carried u32 length prefix.
+  ByteWriter w;
+  w.U32(0xffffffffu);
+  ByteReader r2(w.buffer());
+  EXPECT_TRUE(r2.Bytes().empty());
+  EXPECT_FALSE(r2.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Delta entries: codec validation and end-to-end sock round trip
+// ---------------------------------------------------------------------------
+
+// Hand-built delta payload: header {mgn, base, new, ts_sec, ts_usec, count}
+// + extent table + value bytes. Structural validity only — MGN/base checks
+// happen at ApplyDelta.
+std::vector<std::byte> ValidDeltaPayload() {
+  ByteWriter p;
+  p.U32(0x1234);  // meta_gn (opaque to the codec)
+  p.U64(5);       // base_dgn
+  p.U64(6);       // new_dgn
+  p.U32(1);       // ts_sec
+  p.U32(2);       // ts_usec
+  p.U16(1);       // extent count
+  p.U32(0);       // extent offset
+  p.U32(8);       // extent len
+  p.U64(0xabcdef);
+  return p.Take();
+}
+
+std::vector<std::byte> WrapDeltaEntry(std::span<const std::byte> payload) {
+  ByteWriter w;
+  w.U8(0);   // top-level code
+  w.U32(1);  // one entry
+  w.U32(7);  // handle
+  w.U8(3);   // kind = kDelta
+  w.Bytes(payload);
+  return w.Take();
+}
+
+TEST(BatchCodecTest, DeltaEntryRoundTrip) {
+  const auto payload = ValidDeltaPayload();
+  UpdateBatchResponse out;
+  ASSERT_TRUE(DecodeUpdateBatchResponse(WrapDeltaEntry(payload), &out));
+  ASSERT_EQ(out.entries.size(), 1u);
+  EXPECT_EQ(out.entries[0].kind, BatchEntryKind::kDelta);
+  EXPECT_EQ(out.entries[0].handle, 7u);
+  EXPECT_EQ(out.entries[0].data, payload);
+}
+
+TEST(BatchCodecTest, MalformedDeltaEntriesRejected) {
+  // Truncated value run: the table promises 8 value bytes, the payload
+  // carries 6.
+  {
+    auto payload = ValidDeltaPayload();
+    payload.resize(payload.size() - 2);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(payload), &out));
+  }
+  // Trailing garbage after the promised value bytes.
+  {
+    auto payload = ValidDeltaPayload();
+    payload.push_back(std::byte{0});
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(payload), &out));
+  }
+  // Overlapping extents: (0,8) then (4,8).
+  {
+    ByteWriter p;
+    p.U32(0x1234);
+    p.U64(5);
+    p.U64(6);
+    p.U32(1);
+    p.U32(2);
+    p.U16(2);
+    p.U32(0);
+    p.U32(8);
+    p.U32(4);
+    p.U32(8);
+    p.Extend(16);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(p.buffer()), &out));
+  }
+  // Zero-length extent.
+  {
+    ByteWriter p;
+    p.U32(0x1234);
+    p.U64(5);
+    p.U64(6);
+    p.U32(1);
+    p.U32(2);
+    p.U16(1);
+    p.U32(0);
+    p.U32(0);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(p.buffer()), &out));
+  }
+  // Extent count far larger than the payload could hold: must be rejected
+  // before any table walk sized from it.
+  {
+    ByteWriter p;
+    p.U32(0x1234);
+    p.U64(5);
+    p.U64(6);
+    p.U32(1);
+    p.U32(2);
+    p.U16(0xffff);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(p.buffer()), &out));
+  }
+  // Non-advancing generation (new_dgn <= base_dgn).
+  {
+    ByteWriter p;
+    p.U32(0x1234);
+    p.U64(6);
+    p.U64(6);
+    p.U32(1);
+    p.U32(2);
+    p.U16(0);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(p.buffer()), &out));
+  }
+  // Truncated header (cut inside the timestamp).
+  {
+    auto payload = ValidDeltaPayload();
+    payload.resize(20);
+    UpdateBatchResponse out;
+    EXPECT_FALSE(DecodeUpdateBatchResponse(WrapDeltaEntry(payload), &out));
+  }
+}
+
+TEST(BatchCodecTest, RequestCarriesClientVersionWithLegacyFallback) {
+  UpdateBatchRequest in;
+  in.entries = {{7, 100}};
+  in.version = kBatchProtocolVersion;
+  auto bytes = EncodeUpdateBatchRequest(in);
+  UpdateBatchRequest out;
+  ASSERT_TRUE(DecodeUpdateBatchRequest(bytes, &out));
+  EXPECT_EQ(out.version, kBatchProtocolVersion);
+  // A v1 encoder emits no trailing version byte; the decoder must land on
+  // version 1 (batch-capable, not delta-capable) rather than misparse.
+  bytes.pop_back();
+  UpdateBatchRequest legacy;
+  ASSERT_TRUE(DecodeUpdateBatchRequest(bytes, &legacy));
+  EXPECT_EQ(legacy.version, 1);
+  ASSERT_EQ(legacy.entries.size(), 1u);
+  EXPECT_EQ(legacy.entries[0].handle, 7u);
+}
+
+// A batch-capable server over a 32-metric set: wide enough that a sparse
+// change produces a delta comfortably smaller than the full chunk.
+class WideHandler : public ServiceHandler {
+ public:
+  WideHandler() : mem_(1 << 20) {
+    Schema schema("wide");
+    for (int i = 0; i < 32; ++i) {
+      schema.AddMetric("m" + std::to_string(i), MetricType::kU64);
+    }
+    Status st;
+    set_ = MetricSet::Create(mem_, schema, "host/wide", "host", 1, &st);
+    FullSample(1);
+  }
+
+  void FullSample(std::uint64_t v) {
+    set_->BeginTransaction();
+    for (std::size_t i = 0; i < 32; ++i) set_->SetU64(i, v);
+    set_->EndTransaction(v * kNsPerSec);
+  }
+
+  void Touch(std::size_t idx, std::uint64_t v) {
+    set_->BeginTransaction();
+    set_->SetU64(idx, v);
+    set_->EndTransaction(v * kNsPerSec);
+  }
+
+  std::vector<std::string> HandleDir() override { return {"host/wide"}; }
+  Status HandleLookup(const std::string& instance,
+                      std::vector<std::byte>* metadata) override {
+    if (instance != "host/wide") return {ErrorCode::kNotFound, instance};
+    auto bytes = set_->metadata_bytes();
+    metadata->assign(bytes.begin(), bytes.end());
+    return Status::Ok();
+  }
+  Status HandleUpdate(const std::string& instance,
+                      std::vector<std::byte>* data) override {
+    if (instance != "host/wide") return {ErrorCode::kNotFound, instance};
+    data->resize(set_->data_size());
+    return set_->SnapshotData(*data);
+  }
+  void HandleAdvertise(const AdvertiseMsg&) override {}
+  MetricSetPtr HandleRdmaExpose(const std::string& instance) override {
+    return instance == "host/wide" ? set_ : nullptr;
+  }
+  std::uint32_t HandleAssignHandle(const std::string& instance) override {
+    return instance == "host/wide" ? kHandle : kInvalidSetHandle;
+  }
+  MetricSetPtr HandleResolveHandle(std::uint32_t handle) override {
+    return handle == kHandle ? set_ : nullptr;
+  }
+  static constexpr std::uint32_t kHandle = 23;
+
+  MemManager mem_;
+  MetricSetPtr set_;
+};
+
+TEST(BatchProtocolTest, SockDeltaRoundTripAndFullChunkFallback) {
+  auto transport = TransportRegistry::Default().Get("sock");
+  WideHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/wide", &metadata, &extra).ok());
+  ASSERT_EQ(extra.handle, WideHandler::kHandle);
+
+  MemManager mem(1 << 20);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // First pull: every metric changed in the base sample, so the delta would
+  // be no smaller than the chunk — the server must fall back to kData.
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, 0}}, &results);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_FALSE(results[0].delta);
+  ASSERT_EQ(results[0].data.size(), handler.set_->data_size());
+  ASSERT_TRUE(mirror->ApplyData(results[0].data).ok());
+
+  // Sparse change: one metric out of 32. The pull must come back as a delta
+  // far smaller than the chunk and decode straight into the mirror.
+  handler.Touch(3, 42);
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, mirror->data_gn()}},
+                  &results);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_TRUE(results[0].delta);
+  EXPECT_LT(results[0].data.size(), handler.set_->data_size() / 4);
+  ASSERT_TRUE(mirror->ApplyDelta(results[0].data).ok());
+  EXPECT_EQ(mirror->GetU64(3), 42u);
+  EXPECT_EQ(mirror->GetU64(0), 1u);
+  EXPECT_EQ(mirror->data_gn(), handler.set_->data_gn());
+  EXPECT_GE(ep->stats().updates_delta.load(), 1u);
+
+  // Knob off: the client declares v1, so the same sparse change arrives as
+  // a full chunk on the next pull.
+  ep->set_delta_updates(false);
+  handler.Touch(4, 43);
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, mirror->data_gn()}},
+                  &results);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_FALSE(results[0].delta);
+  ASSERT_EQ(results[0].data.size(), handler.set_->data_size());
+  ASSERT_TRUE(mirror->ApplyData(results[0].data).ok());
+  EXPECT_EQ(mirror->GetU64(4), 43u);
+}
+
+TEST(BatchProtocolTest, StaleMirrorDeltaRejectedThenFullChunkRecovers) {
+  // A mirror that missed a cycle (DGN gap) must reject the server's delta
+  // for a later base and recover via the full chunk on the next pull.
+  auto transport = TransportRegistry::Default().Get("sock");
+  WideHandler handler;
+  std::unique_ptr<Listener> listener;
+  ASSERT_TRUE(transport->Listen("127.0.0.1:0", &handler, &listener).ok());
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(transport->Connect(listener->address(), &ep).ok());
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/wide", &metadata, &extra).ok());
+  MemManager mem(1 << 20);
+  Status st;
+  auto mirror = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok());
+
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, 0}}, &results);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(mirror->ApplyData(results[0].data).ok());
+  const std::uint64_t held = mirror->data_gn();
+
+  // Two transactions while the mirror sleeps: the server only remembers a
+  // delta for the *latest* transition, so a pull anchored two behind must
+  // come back as a full chunk (no delta chains across gaps).
+  handler.Touch(5, 50);
+  handler.Touch(6, 60);
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, held}}, &results);
+  ASSERT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[0].delta);
+  ASSERT_EQ(results[0].data.size(), handler.set_->data_size());
+  ASSERT_TRUE(mirror->ApplyData(results[0].data).ok());
+  EXPECT_EQ(mirror->GetU64(5), 50u);
+  EXPECT_EQ(mirror->GetU64(6), 60u);
+  EXPECT_EQ(mirror->data_gn(), handler.set_->data_gn());
+
+  // A delta pulled for the current transition must still be refused by a
+  // mirror that never caught up (base mismatch), leaving it untouched.
+  handler.Touch(7, 70);
+  ep->UpdateBatch({{"host/wide", WideHandler::kHandle, mirror->data_gn()}},
+                  &results);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[0].delta);
+  auto stale = MetricSet::CreateMirror(mem, metadata, &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(stale->ApplyDelta(results[0].data).code(),
+            ErrorCode::kInconsistent);
+  EXPECT_EQ(stale->data_gn(), 0u);
+  // The in-sync mirror applies the same payload fine.
+  ASSERT_TRUE(mirror->ApplyDelta(results[0].data).ok());
+  EXPECT_EQ(mirror->GetU64(7), 70u);
+}
+
+TEST(SockTransportTest, MalformedDeltaFromPeerFailsEntryNotConnection) {
+  // A hostile server answers a batch pull with a structurally invalid delta
+  // payload. The client must fail that batch cleanly (decode rejects the
+  // frame) and keep the connection usable.
+  RawPeer peer([](int fd) {
+    FrameHeader hdr;
+    std::vector<std::byte> payload;
+    // Frame 1: LookupEx. Answer with junk metadata + batch version/handle.
+    if (!ReadFrame(fd, &hdr, &payload)) return;
+    LookupResponse lr;
+    lr.code = 0;
+    lr.metadata.assign(16, std::byte{9});
+    lr.version = kBatchProtocolVersion;
+    lr.handle = 7;
+    auto f1 = EncodeFrame(MsgType::kLookupResp, hdr.request_id,
+                          EncodeLookupResponse(lr));
+    WriteAllFd(fd, f1.data(), f1.size());
+    // Frame 2: the batch request. Answer with an overlapping-extent delta.
+    if (!ReadFrame(fd, &hdr, &payload)) return;
+    ByteWriter p;
+    p.U32(0x1234);
+    p.U64(0);
+    p.U64(1);
+    p.U32(1);
+    p.U32(2);
+    p.U16(2);
+    p.U32(0);
+    p.U32(8);
+    p.U32(4);  // overlaps the previous extent
+    p.U32(8);
+    p.Extend(16);
+    ByteWriter resp;
+    resp.U8(0);
+    resp.U32(1);
+    resp.U32(7);
+    resp.U8(3);
+    resp.Bytes(p.buffer());
+    auto f2 = EncodeFrame(MsgType::kUpdateBatchResp, hdr.request_id,
+                          resp.buffer());
+    WriteAllFd(fd, f2.data(), f2.size());
+    // Frame 3: the survival probe (Dir).
+    if (!ReadFrame(fd, &hdr, &payload)) return;
+    DirResponse dr;
+    dr.code = 0;
+    dr.instances = {"a/b"};
+    auto f3 = EncodeFrame(MsgType::kDirResp, hdr.request_id,
+                          EncodeDirResponse(dr));
+    WriteAllFd(fd, f3.data(), f3.size());
+  });
+
+  SockTransport sock;
+  std::unique_ptr<Endpoint> ep;
+  ASSERT_TRUE(sock.Connect(peer.address(), &ep).ok());
+  std::vector<std::byte> metadata;
+  Endpoint::LookupExtra extra;
+  ASSERT_TRUE(ep->LookupEx("host/x", &metadata, &extra).ok());
+  ASSERT_EQ(extra.handle, 7u);
+
+  std::vector<Endpoint::BatchUpdateResult> results;
+  ep->UpdateBatch({{"host/x", 7, 0}}, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), ErrorCode::kInternal)
+      << results[0].status.ToString();
+  EXPECT_FALSE(results[0].delta);
+  EXPECT_TRUE(results[0].data.empty());
+
+  // The connection survives: a well-formed request still round-trips.
+  EXPECT_TRUE(ep->connected());
+  std::vector<std::string> instances;
+  EXPECT_TRUE(ep->Dir(&instances).ok());
+  EXPECT_EQ(instances, std::vector<std::string>{"a/b"});
+}
+
 TEST(TransportRegistryTest, DefaultHasAllFour) {
   auto& registry = TransportRegistry::Default();
   for (const char* name : {"local", "sock", "rdma", "ugni"}) {
