@@ -1,0 +1,323 @@
+// T-tree (§IV-B): the multi-level aggregation tree at the paper's Blue
+// Waters envelope. N simulated sampler nodes (hosted a few hundred sets per
+// host daemon, so 27k nodes fit in one process) are rendezvous-partitioned
+// over L leaf aggregators (daemon/topology.hpp) feeding one root; both hops
+// run the batched kUpdateBatchReq path over the in-process "local"
+// transport, whose byte accounting matches sock. We measure steady-state
+// collect-cycle wall time per tier and update_bytes_on_wire per cycle at
+// 1k / 8k / 27k samplers — the paper's daisy-chain scales (§IV-B reports
+// aggregators sustaining a fan-in of ~9,000:1).
+//
+// Wire bytes per cycle are protocol-determined (same on any machine) and
+// regression-gated against bench/baselines/BENCH_tree.json by
+// scripts/bench_compare.py; wall times (_ms fields) are machine-dependent
+// and reported for trend only. LDMSXX_BENCH_SMOKE=1 keeps the same
+// topologies (so byte metrics stay comparable) and only trims the measured
+// cycle count.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "core/schema.hpp"
+#include "daemon/ldmsd.hpp"
+#include "daemon/topology.hpp"
+#include "transport/fabric.hpp"
+#include "transport/local_transport.hpp"
+#include "transport/registry.hpp"
+
+namespace ldmsxx::bench {
+namespace {
+
+constexpr int kMetricsPerSet = 32;
+
+struct ScaleCase {
+  int samplers;
+  int leaves;
+  int hosts;  // sampler daemons; each hosts samplers/hosts node sets
+};
+
+/// One sampler-host daemon's plugin: serves the sets of a contiguous block
+/// of simulated nodes and writes the cycle sequence number into every
+/// metric each Sample() (fully dirty: every pull ships a data chunk, the
+/// worst-case steady state for the wire).
+class HostSampler final : public SamplerPlugin {
+ public:
+  HostSampler(int first_node, int nodes) : first_(first_node), nodes_(nodes) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Init(MemManager& mem, SetRegistry& sets,
+              const PluginParams& params) override {
+    (void)params;
+    Schema schema("tree");
+    for (int m = 0; m < kMetricsPerSet; ++m) {
+      schema.AddMetric("m" + std::to_string(m), MetricType::kU64);
+    }
+    for (int n = 0; n < nodes_; ++n) {
+      const std::string node = "node" + std::to_string(first_ + n);
+      Status st;
+      auto set = MetricSet::Create(mem, schema, node + "/tree", node,
+                                   static_cast<std::uint64_t>(first_ + n), &st);
+      if (set == nullptr) return st;
+      st = sets.Add(set);
+      if (!st.ok()) return st;
+      sets_.push_back(std::move(set));
+    }
+    return Status::Ok();
+  }
+
+  Status Sample(TimeNs now) override {
+    for (auto& set : sets_) {
+      set->BeginTransaction();
+      for (int m = 0; m < kMetricsPerSet; ++m) set->SetU64(m, seq_);
+      set->EndTransaction(now);
+    }
+    ++seq_;
+    return Status::Ok();
+  }
+
+  std::vector<MetricSetPtr> Sets() const override { return sets_; }
+
+ private:
+  std::string name_ = "tree_host";
+  int first_;
+  int nodes_;
+  std::uint64_t seq_ = 0;
+  std::vector<MetricSetPtr> sets_;
+};
+
+struct ScaleResult {
+  std::size_t shard_min = 0;
+  std::size_t shard_max = 0;
+  double leaf_collect_ms = 0.0;
+  double root_collect_ms = 0.0;
+  std::uint64_t leaf_bytes_per_cycle = 0;
+  std::uint64_t root_bytes_per_cycle = 0;
+};
+
+ScaleResult MeasureScale(const ScaleCase& sc, int measured_cycles) {
+  Fabric fabric;
+  TransportRegistry registry;
+  registry.Add(std::make_shared<LocalTransport>(&fabric));
+  // Per-daemon sim clocks (the bench_fanin pattern): RunUntil drops
+  // deadlines that fell behind a shared clock, so each daemon keeps its own
+  // timeline and the bench drives the tiers in sampling order.
+  std::vector<std::unique_ptr<SimClock>> host_clocks;
+  std::vector<std::unique_ptr<SimClock>> leaf_clocks;
+  SimClock root_clock(0);
+
+  // Placement over the simulated torus: node i at torus position i.
+  TreeOptions topts;
+  topts.seed = 2014;  // SC'14
+  for (int i = 0; i < sc.samplers; ++i) {
+    topts.samplers.push_back(
+        {"node" + std::to_string(i), static_cast<std::uint64_t>(i)});
+  }
+  for (int j = 0; j < sc.leaves; ++j) {
+    topts.leaves.push_back("tleaf" + std::to_string(j));
+  }
+  TreeManager tree(std::move(topts));
+
+  const int per_host = sc.samplers / sc.hosts;
+  auto host_of = [per_host](int node) { return node / per_host; };
+  auto base_opts = [&](const std::string& name) {
+    LdmsdOptions opts;
+    opts.name = name;
+    opts.worker_threads = 0;
+    opts.connection_threads = 0;
+    opts.store_threads = 0;
+    opts.log_level = LogLevel::kOff;
+    opts.transports = &registry;
+    return opts;
+  };
+
+  // Sampler-host tier.
+  std::vector<std::unique_ptr<Ldmsd>> hosts;
+  hosts.reserve(static_cast<std::size_t>(sc.hosts));
+  for (int h = 0; h < sc.hosts; ++h) {
+    LdmsdOptions opts = base_opts("thost" + std::to_string(h));
+    opts.listen_transport = "local";
+    opts.listen_address = "thost" + std::to_string(h) + "/listen";
+    opts.set_memory = static_cast<std::size_t>(per_host) * (4 << 10);
+    host_clocks.push_back(std::make_unique<SimClock>(0));
+    opts.clock = host_clocks.back().get();
+    auto d = std::make_unique<Ldmsd>(opts);
+    SamplerConfig config;
+    config.interval = kNsPerSec;
+    (void)d->AddSampler(std::make_shared<HostSampler>(h * per_host, per_host),
+                        config);
+    (void)d->Start();
+    hosts.push_back(std::move(d));
+  }
+
+  // Leaf tier: one producer per (leaf, host) pair covering the shard's
+  // instances on that host, so each leaf pulls ~samplers/leaves sets in
+  // hosts-many batched requests per cycle.
+  std::vector<std::unique_ptr<Ldmsd>> leaves;
+  leaves.reserve(static_cast<std::size_t>(sc.leaves));
+  ScaleResult result;
+  result.shard_min = static_cast<std::size_t>(sc.samplers);
+  for (int j = 0; j < sc.leaves; ++j) {
+    LdmsdOptions opts = base_opts("tleaf" + std::to_string(j));
+    opts.listen_transport = "local";
+    opts.listen_address = "tleaf" + std::to_string(j) + "/listen";
+    const auto shard = tree.shard(static_cast<std::size_t>(j));
+    result.shard_min = std::min(result.shard_min, shard.size());
+    result.shard_max = std::max(result.shard_max, shard.size());
+    opts.set_memory = std::max<std::size_t>(1 << 20, shard.size() * (8 << 10));
+    leaf_clocks.push_back(std::make_unique<SimClock>(0));
+    opts.clock = leaf_clocks.back().get();
+    auto d = std::make_unique<Ldmsd>(opts);
+    std::vector<std::vector<std::string>> by_host(
+        static_cast<std::size_t>(sc.hosts));
+    for (const auto& node : shard) {
+      const int id = std::stoi(node.substr(4));
+      by_host[static_cast<std::size_t>(host_of(id))].push_back(node + "/tree");
+    }
+    for (int h = 0; h < sc.hosts; ++h) {
+      auto& instances = by_host[static_cast<std::size_t>(h)];
+      if (instances.empty()) continue;
+      ProducerConfig pc;
+      pc.name = "thost" + std::to_string(h);
+      pc.transport = "local";
+      pc.address = "thost" + std::to_string(h) + "/listen";
+      pc.interval = kNsPerSec;
+      pc.set_instances = std::move(instances);
+      (void)d->AddProducer(pc);
+    }
+    (void)d->Start();
+    leaves.push_back(std::move(d));
+  }
+
+  // Root tier: one producer per leaf, explicit shard instance list.
+  LdmsdOptions root_opts = base_opts("troot");
+  root_opts.set_memory = std::max<std::size_t>(
+      8 << 20, static_cast<std::size_t>(sc.samplers) * (8 << 10));
+  root_opts.clock = &root_clock;
+  Ldmsd root(root_opts);
+  for (int j = 0; j < sc.leaves; ++j) {
+    ProducerConfig pc;
+    pc.name = "tleaf" + std::to_string(j);
+    pc.transport = "local";
+    pc.address = "tleaf" + std::to_string(j) + "/listen";
+    pc.interval = kNsPerSec;
+    for (const auto& node : tree.shard(static_cast<std::size_t>(j))) {
+      pc.set_instances.push_back(node + "/tree");
+    }
+    (void)root.AddProducer(pc);
+  }
+  (void)root.Start();
+  root.set_tree(&tree);
+
+  // One simulated second per cycle, tiers in sampling order: hosts sample,
+  // leaves pull fresh data, the root pulls the fresh mirrors — a full
+  // two-hop collect per cycle, like the deterministic harness event order.
+  auto run_tier = [](auto& tier, auto& clocks, TimeNs until) {
+    for (std::size_t i = 0; i < tier.size(); ++i) {
+      tier[i]->RunUntil(*clocks[i], until);
+    }
+  };
+  TimeNs now = 0;
+  constexpr int kWarmupCycles = 2;  // connect + lookup, then steady state
+  for (int c = 0; c < kWarmupCycles; ++c) {
+    now += kNsPerSec;
+    run_tier(hosts, host_clocks, now);
+    run_tier(leaves, leaf_clocks, now);
+    root.RunUntil(root_clock, now);
+  }
+
+  auto tier_bytes = [](auto& tier) {
+    std::uint64_t bytes = 0;
+    for (auto& d : tier) bytes += d->counters().update_bytes_on_wire.load();
+    return bytes;
+  };
+  const std::uint64_t leaf_bytes_before = tier_bytes(leaves);
+  const std::uint64_t root_bytes_before =
+      root.counters().update_bytes_on_wire.load();
+  double leaf_s = 0.0;
+  double root_s = 0.0;
+  for (int c = 0; c < measured_cycles; ++c) {
+    now += kNsPerSec;
+    run_tier(hosts, host_clocks, now);
+    leaf_s += TimeSeconds([&] { run_tier(leaves, leaf_clocks, now); });
+    root_s += TimeSeconds([&] { root.RunUntil(root_clock, now); });
+  }
+  result.leaf_collect_ms = leaf_s / measured_cycles * 1e3;
+  result.root_collect_ms = root_s / measured_cycles * 1e3;
+  result.leaf_bytes_per_cycle =
+      (tier_bytes(leaves) - leaf_bytes_before) /
+      static_cast<std::uint64_t>(measured_cycles);
+  result.root_bytes_per_cycle =
+      (root.counters().update_bytes_on_wire.load() - root_bytes_before) /
+      static_cast<std::uint64_t>(measured_cycles);
+  return result;
+}
+
+}  // namespace
+}  // namespace ldmsxx::bench
+
+int main() {
+  using namespace ldmsxx;
+  using namespace ldmsxx::bench;
+
+  Banner("T-tree", "multi-level aggregation tree at 1k/8k/27k samplers");
+  PaperRow("Blue Waters: >25,000 nodes through a daisy chain of aggregator "
+           "levels; fan-in ~9,000:1 per aggregator (sock)");
+
+  const ScaleCase scales[] = {
+      {1000, 4, 4},
+      {8000, 8, 32},
+      {27000, 27, 108},
+  };
+  const int measured_cycles = SmokeMode() ? 1 : 3;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("tree"));
+  json.Field("smoke", SmokeMode());
+  json.Field("metrics_per_set", kMetricsPerSet);
+  json.BeginArray("scales");
+  for (const ScaleCase& sc : scales) {
+    const ScaleResult r = MeasureScale(sc, measured_cycles);
+    MeasuredRow(
+        "%5d samplers x%3d leaves: leaf tier %.1f ms + root tier %.1f ms "
+        "per cycle; wire %.2f MB/cycle (leaf) + %.2f MB/cycle (root); "
+        "shards %zu..%zu",
+        sc.samplers, sc.leaves, r.leaf_collect_ms, r.root_collect_ms,
+        static_cast<double>(r.leaf_bytes_per_cycle) / 1e6,
+        static_cast<double>(r.root_bytes_per_cycle) / 1e6, r.shard_min,
+        r.shard_max);
+    json.BeginObject();
+    json.Field("samplers", sc.samplers);
+    json.Field("leaves", sc.leaves);
+    json.Field("hosts", sc.hosts);
+    json.Field("shard_min", static_cast<std::uint64_t>(r.shard_min));
+    json.Field("shard_max", static_cast<std::uint64_t>(r.shard_max));
+    json.Field("leaf_collect_ms", r.leaf_collect_ms);
+    json.Field("root_collect_ms", r.root_collect_ms);
+    json.Field("collect_cycle_ms", r.leaf_collect_ms + r.root_collect_ms);
+    json.Field("leaf_update_bytes_per_cycle", r.leaf_bytes_per_cycle);
+    json.Field("root_update_bytes_per_cycle", r.root_bytes_per_cycle);
+    json.Field("update_bytes_per_cycle_total",
+               r.leaf_bytes_per_cycle + r.root_bytes_per_cycle);
+    json.Field("bytes_per_sampler_per_cycle",
+               static_cast<double>(r.leaf_bytes_per_cycle +
+                                   r.root_bytes_per_cycle) /
+                   sc.samplers);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile("BENCH_tree.json")) {
+    std::fprintf(stderr, "failed to write BENCH_tree.json\n");
+    return 1;
+  }
+  NoteRow("wall times are per-tier sums over one steady cycle; wire bytes "
+          "are protocol-determined and regression-gated (bench_compare.py)");
+  NoteRow("machine-readable results: BENCH_tree.json");
+  return 0;
+}

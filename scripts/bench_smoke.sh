@@ -36,5 +36,6 @@ run_bench() {
 
 run_bench bench_fanin BENCH_fanin.json
 run_bench bench_store_overload BENCH_store_overload.json
+run_bench bench_tree BENCH_tree.json
 
 echo "bench_smoke: all benches passed"

@@ -22,15 +22,16 @@ for preset in "${presets[@]}"; do
     echo "==> [$preset] bench smoke (crash check + JSON artifacts)"
     scripts/bench_smoke.sh build build/bench-artifacts
     echo "==> [$preset] bench regression gate (scale-free metrics vs baseline)"
-    for artifact in BENCH_fanin.json BENCH_store_overload.json; do
+    for artifact in BENCH_fanin.json BENCH_store_overload.json \
+                    BENCH_tree.json; do
       scripts/bench_compare.py "bench/baselines/$artifact" \
         "build/bench-artifacts/$artifact"
     done
   else
     # Sanitizer presets focus on the concurrency-heavy fault suites and the
     # wire codecs (the preset's own filter applies on top of the labels).
-    echo "==> [$preset] chaos + overload + codec suites"
-    ctest --preset "$preset" --output-on-failure -L 'chaos|overload|codec'
+    echo "==> [$preset] chaos + overload + codec + tree suites"
+    ctest --preset "$preset" --output-on-failure -L 'chaos|overload|codec|tree'
   fi
 done
 echo "==> all presets green"

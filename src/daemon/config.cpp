@@ -1,5 +1,6 @@
 #include "daemon/config.hpp"
 
+#include "daemon/topology.hpp"
 #include "util/strings.hpp"
 
 namespace ldmsxx {
@@ -61,6 +62,10 @@ Status ConfigProcessor::Execute(std::string_view line, std::string* output) {
   if (verb == "counters") {
     std::string local;
     return CmdCounters(output != nullptr ? output : &local);
+  }
+  if (verb == "tree_status") {
+    std::string local;
+    return CmdTreeStatus(args, output != nullptr ? output : &local);
   }
   return {ErrorCode::kInvalidArgument, "unknown command: " + verb};
 }
@@ -182,6 +187,9 @@ Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
     for (auto inst : Split(it->second, ',')) {
       if (!inst.empty()) config.set_instances.emplace_back(inst);
     }
+  }
+  if (auto rediscover = IntervalUsParam(args, "rediscover")) {
+    config.rediscover_interval = *rediscover;
   }
   if (auto it = args.find("delta"); it != args.end())
     config.delta_updates = it->second == "1";
@@ -328,6 +336,26 @@ Status ConfigProcessor::CmdCounters(std::string* output) {
   }
   *output += " snapshot_retries=" + std::to_string(retries) +
              " snapshot_starved=" + std::to_string(starved);
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdTreeStatus(const PluginParams& args,
+                                      std::string* output) {
+  TreeManager* tree = daemon_.tree();
+  if (tree == nullptr) {
+    return {ErrorCode::kUnsupported,
+            "no aggregation tree attached to this daemon"};
+  }
+  if (auto it = args.find("leaf"); it != args.end()) {
+    auto leaf = ParseU64(it->second);
+    const std::size_t slots = tree->leaf_count() + (tree->has_spare() ? 1 : 0);
+    if (!leaf || *leaf >= slots) {
+      return {ErrorCode::kInvalidArgument, "bad leaf=" + it->second};
+    }
+    *output = tree->LeafStatusString(static_cast<std::size_t>(*leaf));
+    return Status::Ok();
+  }
+  *output = tree->StatusString();
   return Status::Ok();
 }
 

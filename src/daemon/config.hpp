@@ -10,7 +10,8 @@
 //   stop       name=<plugin>
 //   prdcr_add  name=<producer> xprt=<transport> host=<address>
 //              interval=<usec> [offset=<usec>] [sync=1]
-//              [sets=<a,b,c>] [standby=1] [standby_for=<primary>]
+//              [sets=<a,b,c>] [rediscover=<usec>] [standby=1]
+//              [standby_for=<primary>]
 //   strgp_add  name=<policy> plugin=<store plugin> [path=<dir>]
 //              [schema=<filter>] [producer=<filter>] [altheader=1]
 //              [queue=<max samples>] [shed=drop_oldest|drop_newest|block]
@@ -20,6 +21,9 @@
 //   strgp_status [name=<policy>]   (queue depth, shed counts, breaker state)
 //   prdcr_status [name=<producer>]  (connection state, batch-update counters)
 //   counters                        (daemon-wide activity counters)
+//   tree_status [leaf=<index>]      (aggregation-tree depth, shard sizes,
+//                                    repair events; requires an attached
+//                                    TreeManager — see daemon/topology.hpp)
 //
 // Intervals are microseconds, matching ldmsd's convention. Lines starting
 // with '#' and blank lines are ignored. Query verbs report through the
@@ -61,6 +65,7 @@ class ConfigProcessor {
   Status CmdStrgpStatus(const PluginParams& args, std::string* output);
   Status CmdPrdcrStatus(const PluginParams& args, std::string* output);
   Status CmdCounters(std::string* output);
+  Status CmdTreeStatus(const PluginParams& args, std::string* output);
 
   Ldmsd& daemon_;
   PluginRegistry* registry_;

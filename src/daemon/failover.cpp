@@ -15,11 +15,15 @@ std::size_t FailoverWatchdog::Poll() {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t triggered_now = 0;
   for (auto& state : rules_) {
-    if (state.triggered) continue;
     if (state.rule.primary_alive()) {
+      // A recovered primary re-arms the rule, so a later death of the same
+      // primary triggers again (tree repair needs repeated kill/restart
+      // cycles); rules whose primary stays dead remain one-shot.
       state.consecutive_failures = 0;
+      state.triggered = false;
       continue;
     }
+    if (state.triggered) continue;
     if (++state.consecutive_failures < state.rule.failure_threshold) continue;
     state.triggered = true;
     ++triggered_now;

@@ -57,6 +57,8 @@ class FailoverWatchdog {
   struct RuleState {
     FailoverRule rule;
     std::uint64_t consecutive_failures = 0;
+    /// Sticky while the primary stays dead (one failover per outage);
+    /// re-armed when primary_alive() observes a recovery.
     bool triggered = false;
   };
 

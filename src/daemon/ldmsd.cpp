@@ -243,6 +243,21 @@ Status Ldmsd::DeactivateProducer(const std::string& producer_name) {
   return Status::Ok();
 }
 
+Status Ldmsd::RefreshProducer(const std::string& producer_name) {
+  std::shared_ptr<Producer> producer;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = producers_.find(producer_name);
+    if (it == producers_.end()) {
+      return {ErrorCode::kNotFound, "no such producer: " + producer_name};
+    }
+    producer = it->second;
+  }
+  std::lock_guard<std::mutex> lock(producer->mu);
+  producer->need_lookup = true;
+  return Status::Ok();
+}
+
 Status Ldmsd::AddStorePolicy(StorePolicy policy) {
   if (policy.store == nullptr) {
     return {ErrorCode::kInvalidArgument, "null store"};
@@ -475,10 +490,20 @@ void Ldmsd::CollectCycle(const std::shared_ptr<Producer>& producer_ptr) {
   std::lock_guard<std::mutex> lock(producer.mu);
   if (!producer.connected) return;
   // Pick up sets that appeared since connect, or re-lookup after a schema
-  // change dropped a mirror.
-  if (producer.mirrors.empty() || producer.need_lookup ||
+  // change dropped a mirror. With rediscover_interval, dir()-discovered
+  // producers also re-dir periodically so sets the peer started re-serving
+  // later (tree repair, late samplers) show up without a nudge.
+  bool want_lookup =
+      producer.mirrors.empty() || producer.need_lookup ||
       (!producer.config.set_instances.empty() &&
-       producer.mirrors.size() < producer.config.set_instances.size())) {
+       producer.mirrors.size() < producer.config.set_instances.size());
+  if (producer.config.rediscover_interval > 0 &&
+      clock_->Now() >= producer.next_rediscover) {
+    want_lookup = true;
+    producer.next_rediscover =
+        clock_->Now() + producer.config.rediscover_interval;
+  }
+  if (want_lookup) {
     producer.need_lookup = false;
     (void)LookupSets(producer);
   }

@@ -36,6 +36,8 @@
 
 namespace ldmsxx {
 
+class TreeManager;
+
 struct LdmsdOptions {
   /// Daemon name; also the default producer name stamped on local sets.
   std::string name = "ldmsd";
@@ -94,6 +96,12 @@ struct ProducerConfig {
   DurationNs reconnect_max_backoff = 2 * kNsPerSec;
   /// Set instances to collect; empty = discover all via dir().
   std::vector<std::string> set_instances;
+  /// With dir()-discovery (set_instances empty), re-run dir+lookup at this
+  /// cadence even while mirrors exist, so sets that appear on the peer
+  /// *after* the first lookup (a mid-tier aggregator re-serving a repaired
+  /// shard, late-starting samplers) are picked up without operator action.
+  /// 0 = only the initial discovery (and explicit RefreshProducer() nudges).
+  DurationNs rediscover_interval = 0;
   /// Declare delta-capable to the producer (protocol v2): sets that advanced
   /// exactly one transaction arrive as RLE extent deltas instead of full
   /// data chunks. Disable to force the full-chunk path (ablation, or as an
@@ -196,6 +204,11 @@ class Ldmsd final : public ServiceHandler {
   /// Stop pulling from a producer (does not drop the connection).
   Status DeactivateProducer(const std::string& producer_name);
 
+  /// Force a dir+lookup on the producer's next collect cycle. Tree repair
+  /// uses this to make the root re-discover a shard that moved to a new
+  /// leaf without waiting out the rediscover_interval.
+  Status RefreshProducer(const std::string& producer_name);
+
   /// Register a store policy. An empty policy.name is derived from the
   /// store's plugin name and uniquified with a "#N" suffix.
   Status AddStorePolicy(StorePolicy policy);
@@ -243,6 +256,10 @@ class Ldmsd final : public ServiceHandler {
   /// Sampling/collection firings skipped because the previous execution was
   /// still in flight (surfaced so operators can spot over-tight intervals).
   std::uint64_t skipped_firings() const { return scheduler_.skipped_total(); }
+  /// Attach the aggregation-tree view this daemon roots (not owned); the
+  /// tree_status control verb reads it. nullptr = no tree.
+  void set_tree(TreeManager* tree) { tree_ = tree; }
+  TreeManager* tree() const { return tree_; }
   /// Actual listener address (resolves ephemeral ports).
   std::string listen_address() const;
   /// Announce this daemon to an aggregator and ask it to connect back.
@@ -285,6 +302,9 @@ class Ldmsd final : public ServiceHandler {
     /// next connect attempt may run.
     DurationNs backoff = 0;
     TimeNs next_connect_attempt = 0;
+    /// Earliest time the next periodic re-discovery (rediscover_interval)
+    /// may run; 0 arms it on the first pull cycle.
+    TimeNs next_rediscover = 0;
     /// Deterministic jitter stream, seeded from the producer name.
     Rng jitter_rng{0};
     TimerScheduler::TaskId task = 0;
@@ -342,6 +362,7 @@ class Ldmsd final : public ServiceHandler {
       std::make_shared<PolicyList>();
 
   Counters counters_;
+  TreeManager* tree_ = nullptr;
   std::atomic<bool> started_{false};
 };
 

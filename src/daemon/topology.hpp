@@ -1,0 +1,134 @@
+// Multi-level aggregation topology (§IV-B): N samplers are partitioned over
+// L leaf aggregators feeding a root, the paper's Blue Waters daisy chain
+// (27k nodes → leaf tier → root tier). TreeManager owns the placement and
+// the repair bookkeeping; it does not own daemons — harnesses and benches
+// wire Ldmsd instances to the shards it computes.
+//
+// Placement is rendezvous (highest-random-weight) hashing: every sampler
+// scores every leaf with a seeded mix of the sampler key and the leaf key,
+// and is owned by the highest-scoring *alive* leaf. The sampler key folds in
+// the node id and its Gemini router id (node_id / 2 on the simulated torus,
+// see sim/gemini.hpp), so placement is a pure function of
+// (seed, node ids, alive leaf set). That gives, by construction:
+//
+//   stability — same seed + same node set → same assignment;
+//   balance   — scores are uniform, shards stay within ~2x of each other;
+//   minimal movement — removing one leaf reassigns only that leaf's shard
+//     (every other sampler's argmax is unchanged), and a rejoining leaf
+//     reclaims exactly its old shard.
+//
+// Repair: MarkLeafDown/MarkLeafUp recompute ownership and return the delta
+// as Reassignments for the caller to apply to live daemons (activate a
+// standby, add producers on the new owner, refresh the root's view). With a
+// spare configured, a dead leaf's whole shard promotes to the spare
+// (standby promotion) instead of redistributing across survivors.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace ldmsxx {
+
+/// Seeded rendezvous score of (sampler, leaf); the owner of a sampler is the
+/// alive leaf maximizing this. splitmix64-style finalizers give full
+/// avalanche so per-leaf score streams are independent.
+std::uint64_t RendezvousScore(std::uint64_t seed, std::uint64_t sampler_key,
+                              std::uint64_t leaf_key);
+
+/// One simulated sampler host: name (set-instance prefix / producer name)
+/// plus its node id on the simulated torus.
+struct TreeSamplerId {
+  std::string name;
+  std::uint64_t node_id = 0;
+};
+
+struct TreeOptions {
+  std::vector<TreeSamplerId> samplers;
+  /// Leaf aggregator names, index order is the leaf index used everywhere.
+  std::vector<std::string> leaves;
+  std::string root_name = "root";
+  /// Optional spare leaf: when non-empty, a dead leaf's shard promotes here
+  /// wholesale instead of redistributing. Addressed as leaf index
+  /// leaves.size().
+  std::string spare_name;
+  std::uint64_t seed = 1;
+};
+
+class TreeManager {
+ public:
+  /// Sampler index not owned by any leaf (all leaves dead, no spare).
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+  struct Reassignment {
+    std::string sampler;
+    std::size_t from_leaf = kUnassigned;
+    std::size_t to_leaf = kUnassigned;
+  };
+
+  struct RepairEvent {
+    TimeNs at = 0;
+    std::string kind;  // "redistribute" | "promote" | "rejoin"
+    std::string leaf;
+    std::size_t sets_moved = 0;
+  };
+
+  explicit TreeManager(TreeOptions options);
+
+  std::size_t sampler_count() const { return options_.samplers.size(); }
+  std::size_t leaf_count() const { return options_.leaves.size(); }
+  bool has_spare() const { return !options_.spare_name.empty(); }
+  /// Leaf index of the spare (valid only when has_spare()).
+  std::size_t spare_index() const { return options_.leaves.size(); }
+  /// Levels in the tree: samplers → leaves → root.
+  std::size_t depth() const { return 3; }
+  const std::string& root_name() const { return options_.root_name; }
+  /// Display name of leaf index i (the spare index maps to spare_name).
+  const std::string& leaf_name(std::size_t leaf) const;
+
+  /// Current owner of @p sampler (kUnassigned if orphaned or unknown).
+  std::size_t leaf_of(const std::string& sampler) const;
+  /// Samplers currently owned by leaf index @p leaf (spare index allowed).
+  std::vector<std::string> shard(std::size_t leaf) const;
+  bool leaf_alive(std::size_t leaf) const;
+  std::size_t alive_leaf_count() const;
+
+  /// Mark a leaf dead and recompute ownership; returns the moves the caller
+  /// must apply downstream. Idempotent: a second MarkLeafDown on the same
+  /// leaf returns no moves and records no event.
+  std::vector<Reassignment> MarkLeafDown(std::size_t leaf, TimeNs now);
+  /// Mark a restarted leaf alive again; it reclaims exactly the shard
+  /// rendezvous assigns it (its pre-death shard, if the node set is stable).
+  std::vector<Reassignment> MarkLeafUp(std::size_t leaf, TimeNs now);
+
+  std::vector<RepairEvent> events() const;
+  std::uint64_t repairs() const;
+
+  /// Single-line summary for the tree_status control verb: per-level depth,
+  /// shard sizes, repair counters and the last repair event.
+  std::string StatusString() const;
+  /// Single-line shard listing for `tree_status leaf=<i>`.
+  std::string LeafStatusString(std::size_t leaf) const;
+
+ private:
+  std::uint64_t SamplerKey(const TreeSamplerId& sampler) const;
+  /// Rendezvous owner of sampler index @p i over the current alive set;
+  /// mu_ held by caller.
+  std::size_t PickLocked(std::size_t i) const;
+  /// Recompute all owners, appending moves vs. the previous assignment;
+  /// mu_ held by caller.
+  std::vector<Reassignment> RecomputeLocked();
+
+  TreeOptions options_;
+  mutable std::mutex mu_;
+  std::vector<bool> alive_;                // per leaf (spare excluded: always up)
+  std::vector<std::size_t> owner_;         // sampler index -> leaf index
+  std::vector<std::uint64_t> leaf_keys_;   // hashed leaf names (incl. spare)
+  std::vector<std::uint64_t> sampler_keys_;
+  std::vector<RepairEvent> events_;
+};
+
+}  // namespace ldmsxx

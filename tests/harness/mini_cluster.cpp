@@ -86,7 +86,6 @@ MiniCluster::MiniCluster(const MiniClusterOptions& options)
   for (std::size_t i = 0; i < options_.samplers; ++i) {
     samplers_[i].daemon = MakeSampler(i);
   }
-  aggregators_.resize(options_.aggregators + (options_.standby ? 1 : 0));
   auto init_stores = [this](AggregatorSlot& slot) {
     slot.store = std::make_shared<MemoryStore>();
     slot.faulted =
@@ -95,6 +94,44 @@ MiniCluster::MiniCluster(const MiniClusterOptions& options)
       slot.secondary = std::make_shared<MemoryStore>();
     }
   };
+  if (options_.tree_leaves > 0) {
+    // Tree mode: samplers → leaves (+ optional spare) → root. The stores
+    // live at the root, so every gap/row assertion is end-to-end across
+    // both hops. Placement comes from the rendezvous TreeManager; the
+    // watchdog owns failure detection + repair ("no operator action").
+    TreeOptions topts;
+    topts.seed = options_.seed;
+    for (std::size_t i = 0; i < options_.samplers; ++i) {
+      topts.samplers.push_back({sampler_name(i), i});
+    }
+    for (std::size_t j = 0; j < options_.tree_leaves; ++j) {
+      topts.leaves.push_back("leaf" + std::to_string(j));
+    }
+    if (options_.tree_spare) topts.spare_name = "spare";
+    tree_ = std::make_unique<TreeManager>(std::move(topts));
+
+    aggregators_.resize(options_.tree_leaves + (options_.tree_spare ? 1 : 0));
+    for (std::size_t j = 0; j < aggregators_.size(); ++j) {
+      aggregators_[j].is_standby = options_.tree_spare &&
+                                   j == options_.tree_leaves;
+      aggregators_[j].daemon = MakeLeaf(j);
+    }
+    init_stores(root_);
+    root_.daemon = MakeRoot();
+    if (root_.daemon != nullptr) root_.daemon->set_tree(tree_.get());
+
+    for (std::size_t j = 0; j < options_.tree_leaves; ++j) {
+      FailoverRule rule;
+      rule.primary_alive = [this, j] {
+        return aggregators_[j].daemon != nullptr;
+      };
+      rule.failure_threshold = options_.failure_threshold;
+      rule.on_failure = [this, j] { RepairLeaf(j); };
+      watchdog_.AddRule(std::move(rule));
+    }
+    return;
+  }
+  aggregators_.resize(options_.aggregators + (options_.standby ? 1 : 0));
   for (std::size_t j = 0; j < options_.aggregators; ++j) {
     init_stores(aggregators_[j]);
     aggregators_[j].daemon = MakeAggregator(j, false);
@@ -122,6 +159,7 @@ MiniCluster::MiniCluster(const MiniClusterOptions& options)
 }
 
 MiniCluster::~MiniCluster() {
+  if (root_.daemon != nullptr) root_.daemon->Stop();
   for (auto& slot : aggregators_) {
     if (slot.daemon != nullptr) slot.daemon->Stop();
   }
@@ -136,6 +174,15 @@ std::string MiniCluster::sampler_name(std::size_t i) const {
 
 std::string MiniCluster::SamplerAddress(std::size_t i) const {
   return sampler_name(i) + "/listen";
+}
+
+std::string MiniCluster::leaf_name(std::size_t j) const {
+  if (options_.tree_spare && j == options_.tree_leaves) return "spare";
+  return "leaf" + std::to_string(j);
+}
+
+std::string MiniCluster::LeafAddress(std::size_t j) const {
+  return leaf_name(j) + "/listen";
 }
 
 Ldmsd* MiniCluster::standby() {
@@ -172,14 +219,158 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeSampler(std::size_t i) {
   auto daemon = std::make_unique<Ldmsd>(opts);
   SamplerConfig sc;
   sc.interval = options_.sample_interval;
+  const std::size_t metrics = samplers_.at(i).metrics != 0
+                                  ? samplers_.at(i).metrics
+                                  : options_.metrics_per_set;
   Status st = daemon->AddSampler(
-      std::make_shared<CounterSampler>(options_.metrics_per_set,
-                                       options_.sets_per_sampler,
+      std::make_shared<CounterSampler>(metrics, options_.sets_per_sampler,
                                        options_.sparse_writes),
       sc);
   if (!st.ok()) return nullptr;
   if (!daemon->Start().ok()) return nullptr;
   return daemon;
+}
+
+std::unique_ptr<Ldmsd> MiniCluster::MakeLeaf(std::size_t j) {
+  const bool is_spare = options_.tree_spare && j == options_.tree_leaves;
+  LdmsdOptions opts;
+  opts.name = leaf_name(j);
+  opts.listen_transport = "fault";  // the root pulls this leaf
+  opts.listen_address = LeafAddress(j);
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  if (is_spare) {
+    // The spare keeps warm standby connections to every sampler; promotion
+    // activates exactly the dead leaf's shard (§IV-B fast failover).
+    for (std::size_t i = 0; i < options_.samplers; ++i) {
+      const std::size_t owner = tree_->leaf_of(sampler_name(i));
+      const std::string owner_name = owner == TreeManager::kUnassigned
+                                         ? std::string()
+                                         : leaf_name(owner);
+      AddSamplerProducer(*daemon, i, /*standby=*/true, owner_name);
+    }
+  } else {
+    for (const auto& sampler : tree_->shard(j)) {
+      for (std::size_t i = 0; i < options_.samplers; ++i) {
+        if (sampler_name(i) == sampler) {
+          AddSamplerProducer(*daemon, i, /*standby=*/false, "");
+        }
+      }
+    }
+  }
+  if (!daemon->Start().ok()) return nullptr;
+  return daemon;
+}
+
+std::unique_ptr<Ldmsd> MiniCluster::MakeRoot() {
+  LdmsdOptions opts;
+  opts.name = "root";
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  StorePolicy primary(root_.faulted);
+  primary.name = "primary";
+  primary.queue_capacity = options_.store_queue_capacity;
+  primary.shed_policy = options_.store_shed;
+  primary.breaker_threshold = options_.store_breaker_threshold;
+  primary.breaker_min_backoff = options_.store_breaker_min_backoff;
+  primary.breaker_max_backoff = options_.store_breaker_max_backoff;
+  (void)daemon->AddStorePolicy(std::move(primary));
+  if (root_.secondary != nullptr) {
+    StorePolicy secondary(root_.secondary);
+    secondary.name = "secondary";
+    (void)daemon->AddStorePolicy(std::move(secondary));
+  }
+  for (std::size_t j = 0; j < options_.tree_leaves; ++j) {
+    AddRootProducer(*daemon, j);
+  }
+  // After a root restart mid-promotion, the spare is already serving a
+  // shard: re-add its producer too (a fresh root starts spare-less).
+  if (options_.tree_spare && !tree_->shard(tree_->spare_index()).empty()) {
+    AddRootProducer(*daemon, tree_->spare_index());
+  }
+  if (!daemon->Start().ok()) return nullptr;
+  return daemon;
+}
+
+Ldmsd* MiniCluster::LeafDaemon(std::size_t j) {
+  if (j >= aggregators_.size()) return nullptr;
+  return aggregators_[j].daemon.get();
+}
+
+void MiniCluster::AddSamplerProducer(Ldmsd& daemon, std::size_t i,
+                                     bool standby,
+                                     const std::string& standby_for) {
+  ProducerConfig pc;
+  pc.name = sampler_name(i);
+  pc.transport = "fault";
+  pc.address = SamplerAddress(i);
+  pc.interval = options_.collect_interval;
+  pc.reconnect_min_backoff = options_.reconnect_min_backoff;
+  pc.reconnect_max_backoff = options_.reconnect_max_backoff;
+  pc.delta_updates = options_.delta_updates;
+  pc.standby = standby;
+  pc.standby_for = standby_for;
+  (void)daemon.AddProducer(pc);
+}
+
+void MiniCluster::AddRootProducer(Ldmsd& daemon, std::size_t j) {
+  ProducerConfig pc;
+  pc.name = leaf_name(j);
+  pc.transport = "fault";
+  pc.address = LeafAddress(j);
+  pc.interval = options_.collect_interval;
+  pc.reconnect_min_backoff = options_.reconnect_min_backoff;
+  pc.reconnect_max_backoff = options_.reconnect_max_backoff;
+  pc.delta_updates = options_.delta_updates;
+  // Dir discovery + periodic re-dir: a repaired shard re-served by a
+  // surviving leaf shows up without reconfiguration.
+  pc.rediscover_interval = options_.tree_rediscover != 0
+                               ? options_.tree_rediscover
+                               : options_.collect_interval;
+  (void)daemon.AddProducer(pc);
+}
+
+void MiniCluster::RepairLeaf(std::size_t j) {
+  if (tree_ == nullptr) return;
+  const auto moves = tree_->MarkLeafDown(j, clock_.Now());
+  std::vector<std::size_t> touched;
+  for (const auto& m : moves) {
+    if (m.to_leaf == TreeManager::kUnassigned) continue;
+    Ldmsd* to = LeafDaemon(m.to_leaf);
+    if (to == nullptr) continue;
+    std::size_t sampler_index = options_.samplers;
+    for (std::size_t i = 0; i < options_.samplers; ++i) {
+      if (sampler_name(i) == m.sampler) sampler_index = i;
+    }
+    if (sampler_index == options_.samplers) continue;
+    if (to->producer_status(m.sampler).known) {
+      (void)to->ActivateStandby(m.sampler);  // spare promotion (warm)
+    } else {
+      AddSamplerProducer(*to, sampler_index, /*standby=*/false, "");
+    }
+    if (std::find(touched.begin(), touched.end(), m.to_leaf) ==
+        touched.end()) {
+      touched.push_back(m.to_leaf);
+    }
+  }
+  Ldmsd* root = root_.daemon.get();
+  if (root == nullptr) return;
+  for (const std::size_t l : touched) {
+    if (!root->producer_status(leaf_name(l)).known) {
+      AddRootProducer(*root, l);  // first promotion onto the spare
+    }
+    (void)root->RefreshProducer(leaf_name(l));
+  }
 }
 
 std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
@@ -240,6 +431,7 @@ void MiniCluster::Advance(DurationNs delta) {
     };
     for (auto& slot : samplers_) consider(slot.daemon.get());
     for (auto& slot : aggregators_) consider(slot.daemon.get());
+    consider(root_.daemon.get());
 
     // Watchdog polls participate in the same timeline; on a tie the
     // watchdog goes first (fixed order = determinism).
@@ -272,6 +464,13 @@ void MiniCluster::RestartSampler(std::size_t i) {
   slot.daemon = MakeSampler(i);
 }
 
+void MiniCluster::RestartSampler(std::size_t i, std::size_t metrics_per_set) {
+  auto& slot = samplers_.at(i);
+  if (slot.daemon != nullptr) return;
+  slot.metrics = metrics_per_set;
+  slot.daemon = MakeSampler(i);
+}
+
 void MiniCluster::KillAggregator(std::size_t i) {
   auto& slot = aggregators_.at(i);
   if (slot.daemon == nullptr) return;
@@ -282,18 +481,48 @@ void MiniCluster::KillAggregator(std::size_t i) {
 void MiniCluster::RestartAggregator(std::size_t i) {
   auto& slot = aggregators_.at(i);
   if (slot.daemon != nullptr) return;
+  if (tree_ != nullptr) {
+    // A rejoining leaf reclaims exactly its rendezvous shard; interim
+    // owners stop pulling the returned samplers (a spare drops back to
+    // warm standby, a surviving leaf just goes idle on them) and the root
+    // re-discovers the leaf's re-served sets on its next cycle.
+    const auto moves = tree_->MarkLeafUp(i, clock_.Now());
+    slot.daemon = MakeLeaf(i);
+    for (const auto& m : moves) {
+      Ldmsd* from = LeafDaemon(m.from_leaf);
+      if (from != nullptr) (void)from->DeactivateProducer(m.sampler);
+    }
+    if (root_.daemon != nullptr) {
+      (void)root_.daemon->RefreshProducer(leaf_name(i));
+    }
+    return;
+  }
   slot.daemon = MakeAggregator(slot.is_standby ? 0 : i, slot.is_standby);
+}
+
+void MiniCluster::KillRoot() {
+  if (root_.daemon == nullptr) return;
+  root_.daemon->Stop();
+  root_.daemon.reset();
+}
+
+void MiniCluster::RestartRoot() {
+  if (root_.daemon != nullptr || tree_ == nullptr) return;
+  root_.daemon = MakeRoot();  // keeps its stores: history spans the restart
+  if (root_.daemon != nullptr) root_.daemon->set_tree(tree_.get());
 }
 
 MiniCluster::GapReport MiniCluster::DataGap(std::size_t i) const {
   const std::string producer = sampler_name(i);
   std::vector<TimeNs> stamps;
-  for (const auto& slot : aggregators_) {
-    if (slot.store == nullptr) continue;
+  auto collect = [&](const AggregatorSlot& slot) {
+    if (slot.store == nullptr) return;
     for (const auto& row : slot.store->Rows("chaos")) {
       if (row.producer == producer) stamps.push_back(row.timestamp);
     }
-  }
+  };
+  for (const auto& slot : aggregators_) collect(slot);
+  collect(root_);
   std::sort(stamps.begin(), stamps.end());
   stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
   GapReport report;
@@ -309,6 +538,7 @@ std::size_t MiniCluster::StoredRows() const {
   for (const auto& slot : aggregators_) {
     if (slot.store != nullptr) rows += slot.store->RowCount("chaos");
   }
+  if (root_.store != nullptr) rows += root_.store->RowCount("chaos");
   return rows;
 }
 

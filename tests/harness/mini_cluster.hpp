@@ -7,6 +7,12 @@
 // harness calls replay the exact same interleaving of samples, collections,
 // faults, and failovers. This is the substrate the chaos suite (and future
 // robustness/scale PRs) test against.
+//
+// Tree mode (tree_leaves > 0) builds the paper's §IV-B multi-level daisy
+// chain instead: samplers → K leaf aggregators → one root, with rendezvous
+// shard placement (daemon/topology.hpp), watchdog-driven tree repair on
+// leaf death, and per-level kill/restart addressing (KillSampler /
+// KillAggregator(leaf) / KillRoot).
 #pragma once
 
 #include <memory>
@@ -15,6 +21,7 @@
 
 #include "daemon/failover.hpp"
 #include "daemon/ldmsd.hpp"
+#include "daemon/topology.hpp"
 #include "store/fault_store.hpp"
 #include "store/memory_store.hpp"
 #include "transport/fabric.hpp"
@@ -74,6 +81,27 @@ struct MiniClusterOptions {
   /// Give each aggregator a second, fault-free "secondary" store policy so
   /// tests can assert a broken primary never affects its sibling.
   bool secondary_store = false;
+
+  // --- tree topology (multi-level aggregation) ----------------------------
+
+  /// When > 0, build a three-level tree instead of the flat topology:
+  /// samplers → tree_leaves leaf aggregators → one root. Sampler shards are
+  /// rendezvous-placed by a TreeManager (seeded from `seed` + node ids over
+  /// the simulated torus); leaves re-serve their mirrors upward and the
+  /// root pulls every leaf over the same fault transport and owns the
+  /// stores, so DataGap/StoredRows measure end-to-end (two-hop) continuity.
+  /// Leaf death is detected by the watchdog, which repairs the tree
+  /// automatically (redistribute, or promote with tree_spare). The
+  /// `aggregators` / `standby` options are ignored in tree mode.
+  std::size_t tree_leaves = 0;
+  /// Add a spare leaf holding warm standby producers for every sampler; a
+  /// dead leaf's whole shard is promoted onto it (instead of being
+  /// redistributed across the surviving leaves).
+  bool tree_spare = false;
+  /// Cadence at which the root re-dirs its leaf producers so re-served sets
+  /// that appear after the first lookup (repair, restarts) are discovered;
+  /// 0 = every collect_interval.
+  DurationNs tree_rediscover = 0;
 };
 
 class MiniCluster {
@@ -103,6 +131,18 @@ class MiniCluster {
     return aggregators_.at(aggregator_index).secondary;
   }
 
+  // --- tree topology ------------------------------------------------------
+
+  /// The placement/repair manager, or nullptr in flat mode.
+  TreeManager* tree() { return tree_.get(); }
+  /// Leaf aggregator j (tree mode); the spare is index tree_leaves.
+  Ldmsd& leaf(std::size_t j) { return *aggregators_.at(j).daemon; }
+  /// The root aggregator (tree mode).
+  Ldmsd& root() { return *root_.daemon; }
+  bool root_alive() const { return root_.daemon != nullptr; }
+  std::shared_ptr<MemoryStore> root_store() { return root_.store; }
+  std::string leaf_name(std::size_t j) const;
+
   SimClock& clock() { return clock_; }
   FaultSchedule& faults() { return *schedule_; }
   /// Disk-fault schedule shared by every aggregator's primary store.
@@ -128,11 +168,19 @@ class MiniCluster {
   /// Tear a daemon down (its listener vanishes; peers see kDisconnected).
   void KillSampler(std::size_t i);
   void KillAggregator(std::size_t i);
+  void KillRoot();
   /// Bring a previously killed daemon back with the same name, address, and
   /// plugin/producer wiring. Aggregators keep their MemoryStore, so stored
-  /// history spans the restart.
+  /// history spans the restart. In tree mode a restarted leaf reclaims its
+  /// rendezvous shard (interim owners are deactivated) and the root is
+  /// nudged to re-discover it.
   void RestartSampler(std::size_t i);
+  /// Restart sampler @p i with a different metric count: the schema (and
+  /// meta generation) change, so every downstream mirror must be dropped
+  /// and re-looked-up — the relookup-vs-upward-batch regression path.
+  void RestartSampler(std::size_t i, std::size_t metrics_per_set);
   void RestartAggregator(std::size_t i);
+  void RestartRoot();
 
   // --- assertions ---------------------------------------------------------
 
@@ -152,6 +200,8 @@ class MiniCluster {
  private:
   struct SamplerSlot {
     std::unique_ptr<Ldmsd> daemon;
+    /// Metric count override (schema-change restarts); 0 = options value.
+    std::size_t metrics = 0;
   };
   struct AggregatorSlot {
     std::unique_ptr<Ldmsd> daemon;
@@ -165,12 +215,27 @@ class MiniCluster {
   };
 
   std::string SamplerAddress(std::size_t i) const;
+  std::string LeafAddress(std::size_t j) const;
   std::unique_ptr<Ldmsd> MakeSampler(std::size_t i);
   std::unique_ptr<Ldmsd> MakeAggregator(std::size_t index, bool is_standby);
   /// Samplers assigned to primary aggregator @p index (i % M == index);
   /// the standby mirrors aggregator 0's assignment.
   std::vector<std::size_t> AssignedSamplers(std::size_t index,
                                             bool is_standby) const;
+
+  // --- tree topology internals --------------------------------------------
+
+  std::unique_ptr<Ldmsd> MakeLeaf(std::size_t j);
+  std::unique_ptr<Ldmsd> MakeRoot();
+  Ldmsd* LeafDaemon(std::size_t j);
+  /// Add a (possibly standby) producer for sampler @p i on a leaf daemon.
+  void AddSamplerProducer(Ldmsd& daemon, std::size_t i, bool standby,
+                          const std::string& standby_for);
+  /// Add the root's dir-discovery producer for leaf index @p j.
+  void AddRootProducer(Ldmsd& daemon, std::size_t j);
+  /// Watchdog-triggered tree repair: reassign the dead leaf's shard
+  /// (standby promotion or redistribution) and refresh the root's view.
+  void RepairLeaf(std::size_t j);
 
   MiniClusterOptions options_;
   SimClock clock_{0};
@@ -183,7 +248,13 @@ class MiniCluster {
   TimeNs next_watchdog_poll_ = 0;
 
   std::vector<SamplerSlot> samplers_;
-  std::vector<AggregatorSlot> aggregators_;  // standby last, when present
+  /// Flat mode: primary aggregators, standby last. Tree mode: leaves, spare
+  /// last when tree_spare.
+  std::vector<AggregatorSlot> aggregators_;
+  /// Tree mode only: the placement manager and the root aggregator (which
+  /// owns the stores in tree mode).
+  std::unique_ptr<TreeManager> tree_;
+  AggregatorSlot root_;
 };
 
 }  // namespace ldmsxx::harness

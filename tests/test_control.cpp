@@ -93,6 +93,10 @@ TEST_F(ControlTest, ErrorsAreReported) {
   EXPECT_TRUE(reply.rfind("ERROR", 0) == 0) << reply;
   st = Send("gibberish", &reply);
   EXPECT_FALSE(st.ok());
+  // tree_status requires an attached TreeManager (tree-mode roots only).
+  st = Send("tree_status", &reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(reply.find("no aggregation tree"), std::string::npos) << reply;
   // The daemon survives bad commands.
   EXPECT_TRUE(Send("load name=meminfo").ok());
 }

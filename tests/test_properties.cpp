@@ -13,6 +13,7 @@
 #include "core/metric_set.hpp"
 #include "core/wire.hpp"
 #include "daemon/scheduler.hpp"
+#include "daemon/topology.hpp"
 #include "store/sos_store.hpp"
 #include "transport/message.hpp"
 #include "util/rng.hpp"
@@ -311,6 +312,68 @@ TEST_P(SeqlockPropertyTest, SnapshotNeverTornButConsistentFlagged) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeqlockPropertyTest, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Rendezvous tree placement (daemon/topology.hpp)
+// ---------------------------------------------------------------------------
+
+class TreePlacementPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreePlacementPropertyTest, StableBalancedMinimalMovement) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 104729 + 17;
+  TreeOptions topts;
+  topts.seed = seed;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    topts.samplers.push_back({"node" + std::to_string(i), i});
+  }
+  const std::size_t leaves = 4 + static_cast<std::size_t>(GetParam()) % 5;
+  for (std::size_t j = 0; j < leaves; ++j) {
+    topts.leaves.push_back("leaf" + std::to_string(j));
+  }
+  TreeManager a(topts);
+  TreeManager b(topts);
+
+  // Stable: identical assignment from identical inputs; balanced: shard
+  // sizes within 2x of each other at 1k samplers.
+  std::size_t min_shard = topts.samplers.size();
+  std::size_t max_shard = 0;
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < leaves; ++j) {
+    const auto shard = a.shard(j);
+    EXPECT_EQ(shard, b.shard(j));
+    min_shard = std::min(min_shard, shard.size());
+    max_shard = std::max(max_shard, shard.size());
+    total += shard.size();
+  }
+  EXPECT_EQ(total, topts.samplers.size());
+  ASSERT_GT(min_shard, 0u);
+  EXPECT_LE(max_shard, 2 * min_shard);
+
+  // Removing any one leaf moves exactly that leaf's shard and nothing else;
+  // rejoining restores the original assignment bit-for-bit.
+  const std::size_t victim = seed % leaves;
+  std::vector<std::size_t> before(topts.samplers.size());
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    before[i] = a.leaf_of(topts.samplers[i].name);
+  }
+  const auto moves = a.MarkLeafDown(victim, 0);
+  EXPECT_EQ(moves.size(), b.shard(victim).size());
+  for (const auto& m : moves) EXPECT_EQ(m.from_leaf, victim);
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    if (before[i] != victim) {
+      EXPECT_EQ(a.leaf_of(topts.samplers[i].name), before[i]);
+    } else {
+      EXPECT_NE(a.leaf_of(topts.samplers[i].name), victim);
+    }
+  }
+  (void)a.MarkLeafUp(victim, 0);
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    EXPECT_EQ(a.leaf_of(topts.samplers[i].name), before[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreePlacementPropertyTest,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace ldmsxx

@@ -1,0 +1,483 @@
+// Hierarchical aggregation tree suite (§IV-B daisy chain): deterministic
+// scenarios over the MiniCluster tree mode — samplers → rendezvous-sharded
+// leaf aggregators → one root, all on a shared SimClock with inline pools.
+// Covers placement properties, leaf death → automatic shard reassignment
+// with bounded end-to-end data gaps, spare (standby) promotion, two-hop
+// delta re-serving, the relookup-vs-upward-batch race, per-level
+// kill/restart, the tree_status control verb, and same-seed digest
+// equality with the tree enabled. See EXPERIMENTS.md ("Aggregation tree")
+// for the reproduction recipe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "daemon/config.hpp"
+#include "daemon/topology.hpp"
+#include "harness/mini_cluster.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using harness::MiniCluster;
+using harness::MiniClusterOptions;
+
+constexpr DurationNs kTick = 100 * kNsPerMs;  // default sample/collect period
+
+MiniClusterOptions TreeOpts(std::size_t samplers, std::size_t leaves) {
+  MiniClusterOptions opts;
+  opts.samplers = samplers;
+  opts.tree_leaves = leaves;
+  return opts;
+}
+
+// Worst-case time for a dead leaf's shard to flow again at the root:
+// watchdog detection (threshold polls) + the new owner's connect + lookup
+// + one pull, + the root's rediscovery of the re-served sets.
+DurationNs RepairBound(const MiniClusterOptions& opts) {
+  return opts.failure_threshold * opts.watchdog_interval +
+         opts.reconnect_max_backoff + 4 * kTick;
+}
+
+// --- basic multi-level collection -------------------------------------------
+
+TEST(TreeTest, BuildsThreeLevelsAndCollectsEndToEnd) {
+  MiniClusterOptions opts = TreeOpts(9, 3);
+  MiniCluster cluster(opts);
+
+  ASSERT_NE(cluster.tree(), nullptr);
+  EXPECT_EQ(cluster.tree()->depth(), 3u);
+  EXPECT_EQ(cluster.tree()->leaf_count(), 3u);
+
+  // Every sampler is owned by exactly one leaf, and that leaf (and only
+  // that leaf) has a producer for it.
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    const std::size_t owner = cluster.tree()->leaf_of(cluster.sampler_name(i));
+    ASSERT_LT(owner, opts.tree_leaves);
+    for (std::size_t j = 0; j < opts.tree_leaves; ++j) {
+      const auto status =
+          cluster.leaf(j).producer_status(cluster.sampler_name(i));
+      EXPECT_EQ(status.known, j == owner) << "sampler " << i << " leaf " << j;
+    }
+  }
+
+  cluster.Advance(2 * kNsPerSec);
+
+  // Rows land at the root (two hops), for every sampler, with no gaps.
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    const auto gap = cluster.DataGap(i);
+    EXPECT_GE(gap.rows, 15u) << "sampler " << i;
+    EXPECT_LE(gap.max_gap, 2 * kTick) << "sampler " << i;
+  }
+  // The upward hop re-used the batched update path.
+  EXPECT_GT(cluster.root().counters().updates_batched.load(), 0u);
+  for (std::size_t j = 0; j < opts.tree_leaves; ++j) {
+    EXPECT_GT(cluster.leaf(j).counters().updates_batched.load(), 0u);
+  }
+}
+
+// --- placement properties ---------------------------------------------------
+
+TEST(TreeTest, PlacementStableBalancedAndMinimalMovement) {
+  TreeOptions topts;
+  topts.seed = 42;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    topts.samplers.push_back({"node" + std::to_string(i), i});
+  }
+  for (std::size_t j = 0; j < 8; ++j) {
+    topts.leaves.push_back("leaf" + std::to_string(j));
+  }
+  TreeManager a(topts);
+  TreeManager b(topts);
+
+  // Stable: same seed + same node set → identical assignment.
+  std::size_t min_shard = topts.samplers.size();
+  std::size_t max_shard = 0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(a.shard(j), b.shard(j));
+    min_shard = std::min(min_shard, a.shard(j).size());
+    max_shard = std::max(max_shard, a.shard(j).size());
+  }
+  // Balanced: max/min shard size within 2x at 1k samplers.
+  ASSERT_GT(min_shard, 0u);
+  EXPECT_LE(max_shard, 2 * min_shard);
+
+  // A different seed shuffles the placement.
+  topts.seed = 43;
+  TreeManager c(topts);
+  bool any_differs = false;
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (a.shard(j) != c.shard(j)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+
+  // Removing one leaf moves only the dead leaf's shard...
+  const auto dead_shard = a.shard(3);
+  std::vector<std::size_t> before(topts.samplers.size());
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    before[i] = a.leaf_of(topts.samplers[i].name);
+  }
+  const auto moves = a.MarkLeafDown(3, 0);
+  EXPECT_EQ(moves.size(), dead_shard.size());
+  for (const auto& m : moves) {
+    EXPECT_EQ(m.from_leaf, 3u);
+    EXPECT_NE(m.to_leaf, 3u);
+    EXPECT_NE(m.to_leaf, TreeManager::kUnassigned);
+  }
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    if (before[i] != 3) {
+      EXPECT_EQ(a.leaf_of(topts.samplers[i].name), before[i]);
+    }
+  }
+  // ...and a rejoining leaf reclaims exactly that shard.
+  const auto returns = a.MarkLeafUp(3, 0);
+  EXPECT_EQ(returns.size(), dead_shard.size());
+  for (std::size_t i = 0; i < topts.samplers.size(); ++i) {
+    EXPECT_EQ(a.leaf_of(topts.samplers[i].name), before[i]);
+  }
+  // Both transitions were recorded as repair events.
+  EXPECT_EQ(a.repairs(), 2u);
+  ASSERT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(a.events()[0].kind, "redistribute");
+  EXPECT_EQ(a.events()[1].kind, "rejoin");
+}
+
+// --- leaf death → redistribution with bounded gaps --------------------------
+
+TEST(TreeTest, LeafDeathRedistributesShardWithBoundedGap) {
+  MiniClusterOptions opts = TreeOpts(9, 3);
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+
+  const std::size_t victim = 1;
+  const auto shard = cluster.tree()->shard(victim);
+  ASSERT_FALSE(shard.empty());
+
+  cluster.KillAggregator(victim);
+  cluster.Advance(4 * kNsPerSec);
+
+  // The watchdog repaired the tree with no harness/operator involvement.
+  EXPECT_EQ(cluster.tree()->repairs(), 1u);
+  EXPECT_EQ(cluster.tree()->events().back().kind, "redistribute");
+  EXPECT_EQ(cluster.tree()->alive_leaf_count(), 2u);
+
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    const std::string name = cluster.sampler_name(i);
+    const std::size_t owner = cluster.tree()->leaf_of(name);
+    ASSERT_NE(owner, TreeManager::kUnassigned);
+    ASSERT_NE(owner, victim);
+    // The new owner actively pulls the moved sampler.
+    const auto status = cluster.leaf(owner).producer_status(name);
+    EXPECT_TRUE(status.known) << name;
+    EXPECT_TRUE(status.active) << name;
+    EXPECT_TRUE(status.connected) << name;
+    // End-to-end gap at the root stays bounded: detection + reassignment +
+    // root rediscovery.
+    const auto gap = cluster.DataGap(i);
+    EXPECT_LE(gap.max_gap, RepairBound(opts)) << name;
+  }
+}
+
+TEST(TreeTest, RootCollectionContinuityForSurvivorsDuringRepair) {
+  MiniClusterOptions opts = TreeOpts(9, 3);
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+
+  const std::size_t victim = 0;
+  const auto dead_shard = cluster.tree()->shard(victim);
+  std::set<std::string> moved(dead_shard.begin(), dead_shard.end());
+
+  cluster.KillAggregator(victim);
+  cluster.Advance(4 * kNsPerSec);
+
+  // Samplers that never moved must not see any repair-induced gap at all.
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    if (moved.count(cluster.sampler_name(i)) != 0) continue;
+    const auto gap = cluster.DataGap(i);
+    EXPECT_LE(gap.max_gap, 2 * kTick) << cluster.sampler_name(i);
+    EXPECT_GE(gap.rows, 40u);
+  }
+}
+
+// --- leaf restart → shard reclaim -------------------------------------------
+
+TEST(TreeTest, LeafRestartReclaimsShardAndResumesService) {
+  MiniClusterOptions opts = TreeOpts(9, 3);
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+
+  const std::size_t victim = 2;
+  const auto shard_before = cluster.tree()->shard(victim);
+  ASSERT_FALSE(shard_before.empty());
+
+  cluster.KillAggregator(victim);
+  cluster.Advance(3 * kNsPerSec);
+  ASSERT_EQ(cluster.tree()->repairs(), 1u);
+  cluster.RestartAggregator(victim);
+  cluster.Advance(3 * kNsPerSec);
+
+  // The rejoining leaf reclaimed exactly its rendezvous shard and serves
+  // it again (its own update counters moved after the restart).
+  EXPECT_EQ(cluster.tree()->shard(victim), shard_before);
+  EXPECT_EQ(cluster.tree()->events().back().kind, "rejoin");
+  EXPECT_GT(cluster.leaf(victim).counters().updates_ok.load(), 0u);
+  for (const auto& name : shard_before) {
+    const auto status = cluster.leaf(victim).producer_status(name);
+    EXPECT_TRUE(status.connected) << name;
+    EXPECT_TRUE(status.active) << name;
+  }
+  // Interim owners stopped pulling the returned samplers.
+  for (std::size_t j = 0; j < opts.tree_leaves; ++j) {
+    if (j == victim) continue;
+    for (const auto& name : shard_before) {
+      const auto status = cluster.leaf(j).producer_status(name);
+      if (status.known) EXPECT_FALSE(status.active) << name;
+    }
+  }
+  // End-to-end continuity across the whole death/repair/rejoin sequence.
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    EXPECT_LE(cluster.DataGap(i).max_gap, RepairBound(opts));
+  }
+  // A second outage of the same leaf triggers repair again (the watchdog
+  // rule re-armed on recovery).
+  cluster.KillAggregator(victim);
+  cluster.Advance(3 * kNsPerSec);
+  EXPECT_EQ(cluster.tree()->repairs(), 3u);
+  EXPECT_EQ(cluster.tree()->events().back().kind, "redistribute");
+}
+
+// --- spare promotion --------------------------------------------------------
+
+TEST(TreeTest, SparePromotionTakesOverDeadLeafShard) {
+  MiniClusterOptions opts = TreeOpts(9, 3);
+  opts.tree_spare = true;
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+
+  const std::size_t victim = 1;
+  const auto shard = cluster.tree()->shard(victim);
+  ASSERT_FALSE(shard.empty());
+  const std::size_t spare = cluster.tree()->spare_index();
+
+  cluster.KillAggregator(victim);
+  cluster.Advance(4 * kNsPerSec);
+
+  // The whole shard promoted onto the spare — nothing redistributed.
+  EXPECT_EQ(cluster.tree()->events().back().kind, "promote");
+  std::vector<std::string> spare_shard = cluster.tree()->shard(spare);
+  EXPECT_EQ(std::set<std::string>(spare_shard.begin(), spare_shard.end()),
+            std::set<std::string>(shard.begin(), shard.end()));
+  for (const auto& name : shard) {
+    const auto status = cluster.leaf(spare).producer_status(name);
+    EXPECT_TRUE(status.active) << name;
+    EXPECT_TRUE(status.connected) << name;
+  }
+  // The root picked up the spare as a producer and data kept flowing.
+  EXPECT_TRUE(cluster.root().producer_status("spare").known);
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    EXPECT_LE(cluster.DataGap(i).max_gap, RepairBound(opts));
+  }
+  // Restarting the leaf reclaims the shard; the spare drops back to warm
+  // standby for those samplers.
+  cluster.RestartAggregator(victim);
+  cluster.Advance(3 * kNsPerSec);
+  EXPECT_TRUE(cluster.tree()->shard(spare).empty());
+  for (const auto& name : shard) {
+    EXPECT_FALSE(cluster.leaf(spare).producer_status(name).active) << name;
+    EXPECT_TRUE(cluster.leaf(victim).producer_status(name).active) << name;
+  }
+}
+
+// --- two-hop delta re-serving -----------------------------------------------
+
+TEST(TreeTest, DeltaReServedAcrossTwoHops) {
+  MiniClusterOptions opts = TreeOpts(4, 2);
+  opts.sparse_writes = true;  // steady state dirties one metric per sample
+  MiniCluster cluster(opts);
+  cluster.Advance(3 * kNsPerSec);
+
+  // Both hops used the delta path: sampler→leaf, and leaf→root re-serving
+  // the recorded extents off the mirror.
+  std::uint64_t leaf_deltas = 0;
+  for (std::size_t j = 0; j < opts.tree_leaves; ++j) {
+    leaf_deltas += cluster.leaf(j).counters().updates_delta.load();
+  }
+  EXPECT_GT(leaf_deltas, 0u);
+  EXPECT_GT(cluster.root().counters().updates_delta.load(), 0u);
+
+  // Within one tick the data flows sampler → leaf → root (samplers run
+  // first in the deterministic event order), so after Advance() the root's
+  // mirror holds the identical transition: same DGN, byte-identical data.
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    const std::string instance = cluster.sampler_name(i) + "/chaos";
+    MetricSetPtr origin = cluster.sampler(i).sets().Find(instance);
+    MetricSetPtr mirror = cluster.root().sets().Find(instance);
+    ASSERT_NE(origin, nullptr) << instance;
+    ASSERT_NE(mirror, nullptr) << instance;
+    EXPECT_EQ(mirror->data_gn(), origin->data_gn()) << instance;
+    std::vector<std::byte> origin_bytes(origin->data_size());
+    std::vector<std::byte> mirror_bytes(mirror->data_size());
+    ASSERT_TRUE(origin->SnapshotData(origin_bytes).ok());
+    ASSERT_TRUE(mirror->SnapshotData(mirror_bytes).ok());
+    ASSERT_EQ(origin_bytes.size(), mirror_bytes.size());
+    EXPECT_EQ(0, std::memcmp(origin_bytes.data(), mirror_bytes.data(),
+                             origin_bytes.size()))
+        << instance;
+  }
+}
+
+// --- relookup racing an upward batch (mid-tier is client + server) ----------
+
+TEST(TreeTest, SchemaChangeRelookupRacesUpwardBatchAndRecovers) {
+  MiniClusterOptions opts = TreeOpts(2, 1);
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+  const auto rows_before = cluster.DataGap(0).rows;
+  ASSERT_GT(rows_before, 0u);
+
+  // Restart sampler 0 with a different schema width. The leaf's relookup
+  // drops + recreates its mirror (new MGN ⇒ registry handle churn) while
+  // the root keeps issuing handle-addressed upward batches against the old
+  // handle: per-entry kNotFound must flip need_lookup and refresh, never
+  // wedge or crash the mid-tier.
+  cluster.KillSampler(0);
+  cluster.Advance(500 * kNsPerMs);
+  cluster.RestartSampler(0, opts.metrics_per_set + 4);
+  cluster.Advance(4 * kNsPerSec);
+
+  // Both tiers recovered: the root serves the new-schema mirror and rows
+  // keep accumulating with a bounded gap.
+  MetricSetPtr mirror = cluster.root().sets().Find("node0/chaos");
+  ASSERT_NE(mirror, nullptr);
+  EXPECT_EQ(mirror->schema().metric_count(), opts.metrics_per_set + 4);
+  const auto gap = cluster.DataGap(0);
+  EXPECT_GT(gap.rows, rows_before);
+  EXPECT_LE(gap.max_gap, 500 * kNsPerMs + opts.reconnect_max_backoff +
+                             500 * kNsPerMs + 4 * kTick);
+  // The untouched sampler never skipped a beat.
+  EXPECT_LE(cluster.DataGap(1).max_gap, 2 * kTick);
+}
+
+// --- per-level kill/restart: root -------------------------------------------
+
+TEST(TreeTest, RootRestartResumesCollectionWithStoreIntact) {
+  MiniClusterOptions opts = TreeOpts(6, 2);
+  MiniCluster cluster(opts);
+  cluster.Advance(2 * kNsPerSec);
+  const std::size_t rows_before = cluster.StoredRows();
+  ASSERT_GT(rows_before, 0u);
+
+  cluster.KillRoot();
+  EXPECT_FALSE(cluster.root_alive());
+  cluster.Advance(1 * kNsPerSec);  // leaves keep mirroring, nothing stores
+  cluster.RestartRoot();
+  cluster.Advance(2 * kNsPerSec);
+
+  ASSERT_TRUE(cluster.root_alive());
+  EXPECT_GT(cluster.StoredRows(), rows_before);
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    const auto gap = cluster.DataGap(i);
+    // Root downtime + reconnect + rediscovery.
+    EXPECT_LE(gap.max_gap,
+              1 * kNsPerSec + opts.reconnect_max_backoff + 4 * kTick);
+  }
+}
+
+// --- tree_status control verb -----------------------------------------------
+
+TEST(TreeTest, TreeStatusVerbExposesDepthShardsAndRepairs) {
+  MiniClusterOptions opts = TreeOpts(6, 2);
+  MiniCluster cluster(opts);
+  cluster.Advance(1 * kNsPerSec);
+
+  ConfigProcessor config(cluster.root());
+  std::string out;
+  ASSERT_TRUE(config.Execute("tree_status", &out).ok());
+  EXPECT_NE(out.find("levels=3"), std::string::npos);
+  EXPECT_NE(out.find("samplers=6"), std::string::npos);
+  EXPECT_NE(out.find("leaves=2"), std::string::npos);
+  EXPECT_NE(out.find("alive=2"), std::string::npos);
+  EXPECT_NE(out.find("repairs=0"), std::string::npos);
+
+  // Shard-ownership listing per leaf.
+  ASSERT_TRUE(config.Execute("tree_status leaf=0", &out).ok());
+  EXPECT_NE(out.find("leaf=leaf0"), std::string::npos);
+  EXPECT_NE(out.find("alive=1"), std::string::npos);
+  for (const auto& name : cluster.tree()->shard(0)) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+  EXPECT_FALSE(config.Execute("tree_status leaf=9", &out).ok());
+
+  // Repair events show up after a leaf dies.
+  cluster.KillAggregator(1);
+  cluster.Advance(2 * kNsPerSec);
+  ASSERT_TRUE(config.Execute("tree_status", &out).ok());
+  EXPECT_NE(out.find("repairs=1"), std::string::npos);
+  EXPECT_NE(out.find("last_repair=redistribute:leaf1"), std::string::npos);
+  EXPECT_NE(out.find("alive=1"), std::string::npos);
+
+  // Daemons without an attached tree reject the verb.
+  ConfigProcessor leaf_config(cluster.leaf(0));
+  EXPECT_FALSE(leaf_config.Execute("tree_status", &out).ok());
+}
+
+// --- determinism: same seed ⇒ same run, tree enabled ------------------------
+
+struct TreeDigest {
+  std::size_t rows = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t repairs = 0;
+  DurationNs gap0 = 0;
+  DurationNs gap1 = 0;
+  DurationNs gap2 = 0;
+
+  auto tie() const {
+    return std::tie(rows, refused, disconnects, stalls, repairs, gap0, gap1,
+                    gap2);
+  }
+};
+
+TreeDigest TreeRun(std::uint64_t seed) {
+  MiniClusterOptions opts = TreeOpts(6, 2);
+  opts.seed = seed;
+  opts.faults.refuse_connect = 0.05;
+  opts.faults.disconnect = 0.02;
+  opts.faults.stall = 0.02;
+  MiniCluster cluster(opts);
+  cluster.Advance(3 * kNsPerSec);
+  cluster.KillAggregator(0);  // scripted leaf outage inside the digest
+  cluster.Advance(3 * kNsPerSec);
+  cluster.RestartAggregator(0);
+  cluster.Advance(3 * kNsPerSec);
+
+  const auto& stats = cluster.faults().stats();
+  TreeDigest digest;
+  digest.rows = cluster.StoredRows();
+  digest.refused = stats.refused_connects.load();
+  digest.disconnects = stats.disconnects.load();
+  digest.stalls = stats.stalls.load();
+  digest.repairs = cluster.tree()->repairs();
+  digest.gap0 = cluster.DataGap(0).max_gap;
+  digest.gap1 = cluster.DataGap(1).max_gap;
+  digest.gap2 = cluster.DataGap(2).max_gap;
+  return digest;
+}
+
+TEST(TreeTest, SameSeedTreeRunsAreIdentical) {
+  const TreeDigest first = TreeRun(21);
+  const TreeDigest second = TreeRun(21);
+  EXPECT_EQ(first.tie(), second.tie());
+  EXPECT_GT(first.rows, 0u);
+  EXPECT_GE(first.repairs, 2u);  // the scripted outage + rejoin at least
+
+  const TreeDigest other = TreeRun(22);
+  EXPECT_NE(first.tie(), other.tie());
+}
+
+}  // namespace
+}  // namespace ldmsxx
