@@ -27,6 +27,14 @@ std::optional<DurationNs> IntervalUsParam(const PluginParams& args,
 
 }  // namespace
 
+bool IsMutatingControlVerb(std::string_view verb) {
+  // Query verbs are the explicit allowlist; everything else — including
+  // verbs added later and typos — requires auth (fail closed).
+  return !(verb == "counters" || verb == "strgp_status" ||
+           verb == "prdcr_status" || verb == "tree_status" ||
+           verb == "registry_status" || verb == "auth_status");
+}
+
 ConfigProcessor::ConfigProcessor(Ldmsd& daemon, PluginRegistry* registry)
     : daemon_(daemon),
       registry_(registry != nullptr ? registry : &PluginRegistry::Instance()) {}
@@ -50,7 +58,14 @@ Status ConfigProcessor::Execute(std::string_view line, std::string* output) {
   if (verb == "stop") return CmdStop(args);
   if (verb == "interval") return CmdInterval(args);
   if (verb == "prdcr_add") return CmdPrdcrAdd(args);
+  if (verb == "prdcr_del") return CmdPrdcrDel(args);
   if (verb == "strgp_add") return CmdStrgpAdd(args);
+  if (verb == "registry_export") return CmdRegistryExport(args);
+  if (verb == "registry_import") return CmdRegistryImport(args);
+  if (verb == "registry_status") {
+    std::string local;
+    return CmdRegistryStatus(output != nullptr ? output : &local);
+  }
   if (verb == "strgp_status") {
     std::string local;
     return CmdStrgpStatus(args, output != nullptr ? output : &local);
@@ -200,6 +215,14 @@ Status ConfigProcessor::CmdPrdcrAdd(const PluginParams& args) {
   return daemon_.AddProducer(config);
 }
 
+Status ConfigProcessor::CmdPrdcrDel(const PluginParams& args) {
+  auto it = args.find("name");
+  if (it == args.end()) {
+    return {ErrorCode::kInvalidArgument, "prdcr_del requires name="};
+  }
+  return daemon_.RemoveProducer(it->second);
+}
+
 Status ConfigProcessor::CmdStrgpAdd(const PluginParams& args) {
   auto plugin_it = args.find("plugin");
   if (plugin_it == args.end()) {
@@ -212,6 +235,10 @@ Status ConfigProcessor::CmdStrgpAdd(const PluginParams& args) {
   }
   StorePolicy policy;
   policy.store = std::move(store);
+  // Provenance for restart-resume: the cluster registry records the plugin
+  // name + args so a restarted daemon can re-make this store.
+  policy.plugin = plugin_it->second;
+  policy.plugin_params = args;
   if (auto it = args.find("name"); it != args.end()) policy.name = it->second;
   if (auto it = args.find("schema"); it != args.end())
     policy.schema_filter = it->second;
@@ -357,6 +384,39 @@ Status ConfigProcessor::CmdTreeStatus(const PluginParams& args,
   }
   *output = tree->StatusString();
   return Status::Ok();
+}
+
+Status ConfigProcessor::CmdRegistryStatus(std::string* output) {
+  ClusterRegistry* registry = daemon_.registry();
+  if (registry == nullptr) {
+    return {ErrorCode::kUnsupported, "no cluster registry configured"};
+  }
+  *output = registry->StatusString();
+  return Status::Ok();
+}
+
+Status ConfigProcessor::CmdRegistryExport(const PluginParams& args) {
+  ClusterRegistry* registry = daemon_.registry();
+  if (registry == nullptr) {
+    return {ErrorCode::kUnsupported, "no cluster registry configured"};
+  }
+  auto it = args.find("path");
+  if (it == args.end() || it->second.empty()) {
+    return {ErrorCode::kInvalidArgument, "registry_export requires path="};
+  }
+  return registry->ExportTo(it->second);
+}
+
+Status ConfigProcessor::CmdRegistryImport(const PluginParams& args) {
+  ClusterRegistry* registry = daemon_.registry();
+  if (registry == nullptr) {
+    return {ErrorCode::kUnsupported, "no cluster registry configured"};
+  }
+  auto it = args.find("path");
+  if (it == args.end() || it->second.empty()) {
+    return {ErrorCode::kInvalidArgument, "registry_import requires path="};
+  }
+  return registry->ImportFrom(it->second);
 }
 
 }  // namespace ldmsxx

@@ -17,6 +17,8 @@
 //              [queue=<max samples>] [shed=drop_oldest|drop_newest|block]
 //              [breaker_k=<consecutive failures>] [breaker_min=<usec>]
 //              [breaker_max=<usec>]
+//   prdcr_del  name=<producer>      (stop collecting; drops mirrors and the
+//                                    registry record)
 //   interval   name=<plugin> interval=<usec>       (on-the-fly change)
 //   strgp_status [name=<policy>]   (queue depth, shed counts, breaker state)
 //   prdcr_status [name=<producer>]  (connection state, batch-update counters)
@@ -24,6 +26,11 @@
 //   tree_status [leaf=<index>]      (aggregation-tree depth, shard sizes,
 //                                    repair events; requires an attached
 //                                    TreeManager — see daemon/topology.hpp)
+//   registry_status                 (cluster-registry path, record counts,
+//                                    save/quarantine stats)
+//   registry_export path=<file>     (write the registry snapshot to a file)
+//   registry_import path=<file>     (strict-parse a file and replace the
+//                                    registry contents with it)
 //
 // Intervals are microseconds, matching ldmsd's convention. Lines starting
 // with '#' and blank lines are ignored. Query verbs report through the
@@ -36,6 +43,11 @@
 #include "daemon/plugin_registry.hpp"
 
 namespace ldmsxx {
+
+/// Does @p verb change daemon state (as opposed to querying it)? The
+/// control server requires a valid auth MAC for mutating verbs when a key
+/// manager is attached. Unknown verbs count as mutating (fail closed).
+bool IsMutatingControlVerb(std::string_view verb);
 
 class ConfigProcessor {
  public:
@@ -61,11 +73,15 @@ class ConfigProcessor {
   Status CmdStop(const PluginParams& args);
   Status CmdInterval(const PluginParams& args);
   Status CmdPrdcrAdd(const PluginParams& args);
+  Status CmdPrdcrDel(const PluginParams& args);
   Status CmdStrgpAdd(const PluginParams& args);
   Status CmdStrgpStatus(const PluginParams& args, std::string* output);
   Status CmdPrdcrStatus(const PluginParams& args, std::string* output);
   Status CmdCounters(std::string* output);
   Status CmdTreeStatus(const PluginParams& args, std::string* output);
+  Status CmdRegistryStatus(std::string* output);
+  Status CmdRegistryExport(const PluginParams& args);
+  Status CmdRegistryImport(const PluginParams& args);
 
   Ldmsd& daemon_;
   PluginRegistry* registry_;

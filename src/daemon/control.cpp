@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/strings.hpp"
+
 namespace ldmsxx {
 namespace {
 
@@ -58,10 +60,12 @@ Status WriteLine(int fd, const std::string& line) {
 
 }  // namespace
 
-ControlServer::ControlServer(Ldmsd& daemon, std::string socket_path)
+ControlServer::ControlServer(Ldmsd& daemon, std::string socket_path,
+                             KeyManager* keys)
     : daemon_(daemon),
       processor_(daemon),
-      socket_path_(std::move(socket_path)) {}
+      socket_path_(std::move(socket_path)),
+      keys_(keys) {}
 
 ControlServer::~ControlServer() { Stop(); }
 
@@ -90,10 +94,13 @@ Status ControlServer::Start() {
 
 void ControlServer::Stop() {
   if (!running_.exchange(false)) return;
+  // Wake the blocked accept() with shutdown, but only touch listen_fd_
+  // (close + reset) after the server thread has joined — it reads the fd
+  // until then.
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (server_.joinable()) server_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (server_.joinable()) server_.join();
   ::unlink(socket_path_.c_str());
 }
 
@@ -111,27 +118,91 @@ void ControlServer::ServeLoop() {
 }
 
 void ControlServer::ServeClient(int fd) {
-  std::string line;
-  while (ReadLine(fd, &line).ok()) {
-    if (line.empty()) continue;
-    commands_.fetch_add(1, std::memory_order_relaxed);
-    std::string output;
-    Status st = processor_.Execute(line, &output);
-    std::string reply;
-    if (!st.ok()) {
-      reply = "ERROR: " + st.ToString();
-    } else {
-      // Query verbs reply "OK <payload>"; mutating verbs keep the bare "OK".
-      reply = output.empty() ? "OK" : "OK " + output;
+  // Buffered line framing. A client may dribble a command byte by byte or
+  // pack several newline-terminated verbs into a single write; either way
+  // each complete line gets exactly one reply, in order. A trailing
+  // fragment with no terminating newline at EOF is discarded, never
+  // executed half-parsed.
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return;  // EOF; any partial line in `buffer` is dropped
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
     }
-    Status wst = WriteLine(fd, reply);
-    if (!wst.ok()) return;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    std::size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      const std::string_view line(buffer.data() + start, newline - start);
+      start = newline + 1;
+      if (Trim(line).empty()) continue;
+      commands_.fetch_add(1, std::memory_order_relaxed);
+      if (!WriteLine(fd, HandleLine(line)).ok()) return;
+    }
+    buffer.erase(0, start);
   }
+}
+
+std::string ControlServer::HandleLine(std::string_view line) {
+  std::string_view body = Trim(line);
+  bool authenticated = false;
+  if (StartsWith(body, "auth ")) {
+    // auth <key_id>:<mac_hex> <verb ...> — the MAC covers everything after
+    // the token, so a verb (or its arguments) can't be swapped under a
+    // captured prefix.
+    const std::string_view rest = Trim(body.substr(5));
+    const std::size_t space = rest.find(' ');
+    if (space == std::string_view::npos) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return "ERROR: malformed auth prefix";
+    }
+    const std::string_view token = rest.substr(0, space);
+    body = Trim(rest.substr(space + 1));
+    if (keys_ == nullptr || !keys_->Verify(token, body)) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return "ERROR: authentication failed";
+    }
+    authenticated = true;
+  }
+  const std::size_t space = body.find(' ');
+  const std::string_view verb =
+      body.substr(0, space == std::string_view::npos ? body.size() : space);
+  if (keys_ != nullptr && !authenticated && IsMutatingControlVerb(verb)) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    return "ERROR: auth required for " + std::string(verb);
+  }
+  // Key management lives at the server, not the config processor: rotation
+  // must go through the same KeyManager that gates this socket.
+  if (verb == "key_rotate") {
+    if (keys_ == nullptr) return "ERROR: no control key configured";
+    Status st = keys_->Rotate();
+    if (!st.ok()) return "ERROR: " + st.ToString();
+    daemon_.log().Info("control key rotated, key_id=", keys_->current().id);
+    return "OK key_id=" + std::to_string(keys_->current().id);
+  }
+  if (verb == "auth_status") {
+    std::string out = keys_ == nullptr ? "enabled=0" : "enabled=1";
+    if (keys_ != nullptr) {
+      out += " key_id=" + std::to_string(keys_->current().id);
+      out += " rotations=" + std::to_string(keys_->rotations());
+    }
+    out += " failures=" +
+           std::to_string(auth_failures_.load(std::memory_order_relaxed));
+    return "OK " + out;
+  }
+  std::string output;
+  Status st = processor_.Execute(body, &output);
+  if (!st.ok()) return "ERROR: " + st.ToString();
+  // Query verbs reply "OK <payload>"; mutating verbs keep the bare "OK".
+  return output.empty() ? "OK" : "OK " + output;
 }
 
 Status ControlServer::SendCommand(const std::string& socket_path,
                                   const std::string& command,
-                                  std::string* reply) {
+                                  std::string* reply, const KeyManager* keys) {
   sockaddr_un addr{};
   Status st = FillSockaddr(socket_path, &addr);
   if (!st.ok()) return st;
@@ -142,7 +213,9 @@ Status ControlServer::SendCommand(const std::string& socket_path,
     ::close(fd);
     return {ErrorCode::kDisconnected, "connect " + socket_path + ": " + err};
   }
-  st = WriteLine(fd, command);
+  std::string wire(Trim(command));
+  if (keys != nullptr) wire = "auth " + keys->Sign(wire) + " " + wire;
+  st = WriteLine(fd, wire);
   if (st.ok()) st = ReadLine(fd, reply);
   ::close(fd);
   if (!st.ok()) return st;

@@ -4,6 +4,18 @@
 // ldmsd configuration language; the reply is "OK" or "ERROR: <detail>".
 // This is what lets users reconfigure sampling (including the on-the-fly
 // interval change) on a live daemon without restarting it.
+//
+// Hardening (ISSUE 8): with a KeyManager attached, socket permissions are
+// no longer the only gate — mutating verbs must carry a MAC proving
+// possession of the pre-shared control key:
+//
+//   auth <key_id>:<mac_hex> <verb ...>
+//
+// (see daemon/keys.hpp for the MAC construction). Query verbs stay open;
+// failed or missing auth on a mutating verb is refused and counted. The
+// server also handles two key verbs itself: `key_rotate` (mutating —
+// generate + persist a new key, old MACs fail closed) and `auth_status`
+// (query — key id, rotations, failure counter).
 #pragma once
 
 #include <atomic>
@@ -12,6 +24,7 @@
 #include <vector>
 
 #include "daemon/config.hpp"
+#include "daemon/keys.hpp"
 
 namespace ldmsxx {
 
@@ -20,7 +33,11 @@ class ControlServer {
   /// @param daemon daemon the commands apply to
   /// @param socket_path filesystem path of the UNIX domain socket; an
   ///        existing file at the path is replaced
-  ControlServer(Ldmsd& daemon, std::string socket_path);
+  /// @param keys pre-shared control key (not owned; may be shared with the
+  ///        daemon for registry stamping). nullptr = unauthenticated
+  ///        operation, socket permissions only (the paper's model).
+  ControlServer(Ldmsd& daemon, std::string socket_path,
+                KeyManager* keys = nullptr);
   ~ControlServer();
 
   ControlServer(const ControlServer&) = delete;
@@ -35,23 +52,33 @@ class ControlServer {
   std::uint64_t commands_served() const {
     return commands_.load(std::memory_order_relaxed);
   }
+  /// Mutating commands refused for a missing, malformed, or wrong MAC.
+  std::uint64_t auth_failures() const {
+    return auth_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Client helper: send one command line to a control socket and return
-  /// the daemon's reply ("OK" or "ERROR: ...").
+  /// the daemon's reply ("OK" or "ERROR: ..."). With @p keys, the command
+  /// is sent with an auth prefix signed under the current key.
   static Status SendCommand(const std::string& socket_path,
-                            const std::string& command, std::string* reply);
+                            const std::string& command, std::string* reply,
+                            const KeyManager* keys = nullptr);
 
  private:
   void ServeLoop();
   void ServeClient(int fd);
+  /// Authenticate + dispatch one complete command line; returns the reply.
+  std::string HandleLine(std::string_view line);
 
   Ldmsd& daemon_;
   ConfigProcessor processor_;
   std::string socket_path_;
+  KeyManager* keys_;
   int listen_fd_ = -1;
   std::thread server_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> commands_{0};
+  std::atomic<std::uint64_t> auth_failures_{0};
 };
 
 }  // namespace ldmsxx

@@ -1,0 +1,228 @@
+#include "daemon/keys.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <random>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace ldmsxx {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+std::uint64_t LoadLe64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::uint64_t SipHash24(const std::array<std::uint8_t, 16>& key,
+                        std::string_view data) {
+  const std::uint64_t k0 = LoadLe64(key.data());
+  const std::uint64_t k1 = LoadLe64(key.data() + 8);
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ k1;
+
+  const auto* in = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t full = len / 8;
+  for (std::size_t i = 0; i < full; ++i) {
+    const std::uint64_t m = LoadLe64(in + 8 * i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = 0; i < (len & 7); ++i) {
+    last |= static_cast<std::uint64_t>(in[8 * full + i]) << (8 * i);
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::string MacToHex(std::uint64_t mac) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[mac & 0xf];
+    mac >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+ControlKey FreshKey(std::uint32_t id) {
+  ControlKey key;
+  key.id = id;
+  std::random_device rd;  // key material must not be reproducible
+  for (auto& b : key.secret) {
+    b = static_cast<std::uint8_t>(rd() & 0xff);
+  }
+  return key;
+}
+
+std::string SerializeKey(const ControlKey& key) {
+  std::string out = "id " + std::to_string(key.id) + "\nkey ";
+  for (const std::uint8_t b : key.secret) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+bool ParseHexByte(char hi, char lo, std::uint8_t* out) {
+  auto nibble = [](char c, int* v) {
+    if (c >= '0' && c <= '9') *v = c - '0';
+    else if (c >= 'a' && c <= 'f') *v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') *v = c - 'A' + 10;
+    else return false;
+    return true;
+  };
+  int h = 0;
+  int l = 0;
+  if (!nibble(hi, &h) || !nibble(lo, &l)) return false;
+  *out = static_cast<std::uint8_t>((h << 4) | l);
+  return true;
+}
+
+bool ParseKeyFile(const std::string& text, ControlKey* out) {
+  bool have_id = false;
+  bool have_key = false;
+  for (const auto line : Split(text, '\n')) {
+    const auto fields = SplitWhitespace(line);
+    if (fields.size() != 2) continue;
+    if (fields[0] == "id") {
+      const auto id = ParseU64(fields[1]);
+      if (!id || *id > 0xffffffffull) return false;
+      out->id = static_cast<std::uint32_t>(*id);
+      have_id = true;
+    } else if (fields[0] == "key") {
+      if (fields[1].size() != 32) return false;
+      for (std::size_t i = 0; i < 16; ++i) {
+        if (!ParseHexByte(fields[1][2 * i], fields[1][2 * i + 1],
+                          &out->secret[i])) {
+          return false;
+        }
+      }
+      have_key = true;
+    }
+  }
+  return have_id && have_key;
+}
+
+}  // namespace
+
+Status KeyManager::LoadOrCreate(const std::string& path,
+                                std::unique_ptr<KeyManager>* out) {
+  out->reset();
+  std::string text;
+  Status st = ReadFileToString(path, &text);
+  if (st.ok()) {
+    struct stat info{};
+    if (::stat(path.c_str(), &info) == 0 && (info.st_mode & 0077) != 0) {
+      return {ErrorCode::kInvalidArgument,
+              "key file " + path + " is group/world accessible; chmod 600 it"};
+    }
+    ControlKey key;
+    if (!ParseKeyFile(text, &key)) {
+      return {ErrorCode::kInvalidArgument, "malformed key file: " + path};
+    }
+    out->reset(new KeyManager(path, key));
+    return Status::Ok();
+  }
+  if (st.code() != ErrorCode::kNotFound) return st;
+  const ControlKey key = FreshKey(1);
+  st = AtomicWriteFile(path, SerializeKey(key), 0600);
+  if (!st.ok()) return st;
+  out->reset(new KeyManager(path, key));
+  return Status::Ok();
+}
+
+ControlKey KeyManager::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return key_;
+}
+
+Status KeyManager::Persist() const {
+  return AtomicWriteFile(path_, SerializeKey(key_), 0600);
+}
+
+Status KeyManager::Rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ControlKey next = FreshKey(key_.id + 1);
+  const ControlKey previous = key_;
+  key_ = next;
+  Status st = Persist();
+  if (!st.ok()) {
+    key_ = previous;  // keep the on-disk and in-memory keys consistent
+    return st;
+  }
+  ++rotations_;
+  return Status::Ok();
+}
+
+std::string KeyManager::Sign(std::string_view line) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::to_string(key_.id) + ":" + MacToHex(SipHash24(key_.secret, line));
+}
+
+bool KeyManager::Verify(std::string_view token, std::string_view line) const {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos) return false;
+  const auto id = ParseU64(token.substr(0, colon));
+  if (!id) return false;
+  const std::string_view mac_hex = token.substr(colon + 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (*id != key_.id) return false;
+  const std::string expected = MacToHex(SipHash24(key_.secret, line));
+  if (mac_hex.size() != expected.size()) return false;
+  // Constant-time compare; a timing oracle on a 64-bit MAC is far-fetched
+  // over a UNIX socket, but it costs nothing to do it right.
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<unsigned>(mac_hex[i]) ^
+            static_cast<unsigned>(expected[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace ldmsxx

@@ -1,0 +1,81 @@
+// Pre-shared-key authentication for the control socket (ISSUE 8 hardening,
+// the lokinet key_manager pattern). The paper's access control is UNIX
+// socket permissions alone (§IV-G); production ops want mutating verbs to
+// additionally prove possession of a key so a leaked socket path (or a
+// future TCP control channel) cannot reconfigure the daemon.
+//
+// Model: one active 128-bit key, stored in a 0600 key file the KeyManager
+// creates on first use. A client signs each mutating command line with
+// SipHash-2-4 (a keyed MAC designed for exactly this short-input use; no
+// external crypto dependency) and prefixes the line with
+//
+//   auth <key_id>:<mac_hex> <verb ...>
+//
+// where the MAC covers the verb and everything after it. Rotation bumps the
+// key id and rewrites the file atomically; old-key MACs fail closed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// SipHash-2-4 (Aumasson & Bernstein reference algorithm) of @p data under
+/// a 128-bit key. Deterministic, keyed, and cheap on short inputs.
+std::uint64_t SipHash24(const std::array<std::uint8_t, 16>& key,
+                        std::string_view data);
+
+struct ControlKey {
+  std::uint32_t id = 0;
+  std::array<std::uint8_t, 16> secret{};
+};
+
+/// Owns the on-disk key file. File format (plain text, 0600):
+///   id <decimal>
+///   key <32 hex chars>
+class KeyManager {
+ public:
+  /// Load the key file, creating it with a fresh random key (and 0600
+  /// permissions) when absent. A malformed or world-readable file is an
+  /// error, never silently accepted.
+  static Status LoadOrCreate(const std::string& path,
+                             std::unique_ptr<KeyManager>* out);
+
+  const std::string& path() const { return path_; }
+  ControlKey current() const;
+
+  /// Generate a new key (id + 1), persist it atomically with 0600 perms,
+  /// and make it the only valid key.
+  Status Rotate();
+
+  /// Client side: "<id>:<mac_hex>" over @p line under the current key.
+  std::string Sign(std::string_view line) const;
+
+  /// Server side: does @p token (the "<id>:<mac_hex>" from an auth prefix)
+  /// authenticate @p line under the current key?
+  bool Verify(std::string_view token, std::string_view line) const;
+
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  KeyManager(std::string path, ControlKey key)
+      : path_(std::move(path)), key_(key) {}
+
+  Status Persist() const;
+
+  std::string path_;
+  mutable std::mutex mu_;
+  ControlKey key_;
+  std::uint64_t rotations_ = 0;
+};
+
+/// Format a MAC as fixed-width lowercase hex (16 chars).
+std::string MacToHex(std::uint64_t mac);
+
+}  // namespace ldmsxx

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,7 +26,9 @@
 
 #include "core/mem_manager.hpp"
 #include "core/set_registry.hpp"
+#include "daemon/keys.hpp"
 #include "daemon/plugin.hpp"
+#include "daemon/registry.hpp"
 #include "daemon/scheduler.hpp"
 #include "daemon/store_runtime.hpp"
 #include "store/store.hpp"
@@ -36,7 +39,7 @@
 
 namespace ldmsxx {
 
-class TreeManager;
+class PluginRegistry;
 
 struct LdmsdOptions {
   /// Daemon name; also the default producer name stamped on local sets.
@@ -62,6 +65,15 @@ struct LdmsdOptions {
   bool accept_advertised_producers = false;
   /// Collection interval used for advertised producers.
   DurationNs advertised_interval = kNsPerSec;
+  /// Crash-safe cluster registry file; empty = no registry. With one set,
+  /// producer/store/tree topology is persisted (atomically) across restarts
+  /// and RestoreFromRegistry() can resume the whole configuration with no
+  /// config script.
+  std::string registry_path;
+  /// Cadence of the periodic snapshot that flushes freshness-only registry
+  /// changes (last-seen ticks, schema digests); topology mutations save
+  /// eagerly regardless. 0 = only eager saves and the clean-shutdown save.
+  DurationNs registry_snapshot_interval = 10 * kNsPerSec;
 };
 
 /// Per-sampler schedule (the `start name=X interval=...` command).
@@ -198,6 +210,10 @@ class Ldmsd final : public ServiceHandler {
 
   Status AddProducer(const ProducerConfig& config);
 
+  /// Stop collecting from a producer and drop its mirrors (the `prdcr_del`
+  /// shape); removes it from the cluster registry too.
+  Status RemoveProducer(const std::string& producer_name);
+
   /// Begin pulling from a standby producer (manual or watchdog failover).
   Status ActivateStandby(const std::string& producer_name);
 
@@ -257,13 +273,50 @@ class Ldmsd final : public ServiceHandler {
   /// still in flight (surfaced so operators can spot over-tight intervals).
   std::uint64_t skipped_firings() const { return scheduler_.skipped_total(); }
   /// Attach the aggregation-tree view this daemon roots (not owned); the
-  /// tree_status control verb reads it. nullptr = no tree.
-  void set_tree(TreeManager* tree) { tree_ = tree; }
+  /// tree_status control verb reads it, and the current tree state is
+  /// snapshotted into the cluster registry. nullptr = no tree.
+  void set_tree(TreeManager* tree) {
+    tree_ = tree;
+    RecordTreeState();
+  }
+  /// Like set_tree, but the daemon owns the manager — the shape restart-
+  /// resume produces (the restored tree has no external owner).
+  void AdoptTree(std::unique_ptr<TreeManager> tree);
   TreeManager* tree() const { return tree_; }
   /// Actual listener address (resolves ephemeral ports).
   std::string listen_address() const;
   /// Announce this daemon to an aggregator and ask it to connect back.
   Status AdvertiseTo(const std::string& transport, const std::string& address);
+  /// Self-assembly: announce to a seed aggregator with our torus node id so
+  /// it assigns us a leaf in its aggregation tree and persists the
+  /// assignment (ISSUE 8 tentpole part 3).
+  Status AnnounceTo(const std::string& transport, const std::string& address,
+                    std::uint64_t node_id);
+
+  // --- cluster registry (crash-safe restart-resume) -----------------------
+
+  /// The attached registry; nullptr when options.registry_path is empty.
+  ClusterRegistry* registry() const { return registry_.get(); }
+  /// Load the registry file and reconstitute producers, store policies
+  /// (re-made through @p plugins), and the owned aggregation tree — no
+  /// config script. Reconnection/lookup re-validation rides the existing
+  /// collect-cycle backoff machinery. kUnsupported without a registry.
+  Status RestoreFromRegistry(PluginRegistry* plugins);
+  /// Re-snapshot the attached tree (options + down leaves) into the
+  /// registry and save. Call after applying repairs (MarkLeafDown/Up).
+  void RecordTreeState();
+  /// Key manager whose current key id is stamped on registry records (not
+  /// owned; typically shared with the control server). nullptr = id 0.
+  void set_key_manager(KeyManager* keys) { keys_ = keys; }
+  /// Invoked when an announce-flagged advertise is placed into the tree:
+  /// (message, assigned leaf index). The wiring layer (harness/operator
+  /// tooling) uses it to add the producer on the assigned leaf daemon.
+  /// Without a hook, the announce falls back to local collection.
+  using AnnounceHook =
+      std::function<void(const AdvertiseMsg&, std::size_t leaf)>;
+  void set_announce_hook(AnnounceHook hook) {
+    announce_hook_ = std::move(hook);
+  }
 
  private:
   struct SamplerEntry {
@@ -325,6 +378,14 @@ class Ldmsd final : public ServiceHandler {
   using PolicyList = std::vector<std::shared_ptr<StorePolicyRuntime>>;
 
   void SampleOnce(SamplerEntry& entry);
+  /// Record @p config into the registry (with the current key id) and save,
+  /// unless restoring. No-op without a registry.
+  void RecordProducer(const ProducerConfig& config);
+  /// Flush freshness-only registry changes (periodic snapshot task).
+  void SnapshotRegistry();
+  Status AdvertiseInternal(const std::string& transport,
+                           const std::string& address, bool announce,
+                           std::uint64_t node_id);
   void CollectCycle(const std::shared_ptr<Producer>& producer);
   void ConnectProducer(const std::shared_ptr<Producer>& producer);
   /// Grow the backoff window after a failed connect; caller holds producer.mu.
@@ -363,6 +424,14 @@ class Ldmsd final : public ServiceHandler {
 
   Counters counters_;
   TreeManager* tree_ = nullptr;
+  /// Set only by AdoptTree (restart-resume); tree_ aliases it then.
+  std::unique_ptr<TreeManager> owned_tree_;
+  std::unique_ptr<ClusterRegistry> registry_;  // null without registry_path
+  KeyManager* keys_ = nullptr;                 // not owned
+  AnnounceHook announce_hook_;
+  /// Suppresses per-record eager saves while RestoreFromRegistry replays
+  /// the snapshot (one save at the end instead of one per record).
+  std::atomic<bool> restoring_{false};
   std::atomic<bool> started_{false};
 };
 

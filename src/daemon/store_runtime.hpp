@@ -27,6 +27,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +73,12 @@ struct StorePolicy {
         producer_filter(std::move(producer)) {}
 
   std::shared_ptr<Store> store;
+  /// Provenance for the cluster registry: the plugin name + params this
+  /// policy's store was built from, so a restarted daemon can re-make the
+  /// store through the PluginRegistry. Empty plugin = not reconstructible
+  /// (hand-built store object), recorded but skipped on restore.
+  std::string plugin;
+  std::map<std::string, std::string> plugin_params;
   /// Only store sets whose schema name matches; empty = all.
   std::string schema_filter;
   /// Only store sets from this producer; empty = all.

@@ -141,6 +141,41 @@ std::vector<TreeManager::Reassignment> TreeManager::MarkLeafUp(
   return moves;
 }
 
+std::size_t TreeManager::AddSampler(const TreeSamplerId& sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < options_.samplers.size(); ++i) {
+    if (options_.samplers[i].name == sampler.name) return owner_[i];
+  }
+  options_.samplers.push_back(sampler);
+  sampler_keys_.push_back(SamplerKey(sampler));
+  owner_.push_back(kUnassigned);
+  const std::size_t i = owner_.size() - 1;
+  owner_[i] = PickLocked(i);
+  return owner_[i];
+}
+
+TreeOptions TreeManager::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+std::vector<std::size_t> TreeManager::down_leaves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::size_t> down;
+  for (std::size_t l = 0; l < alive_.size(); ++l) {
+    if (!alive_[l]) down.push_back(l);
+  }
+  return down;
+}
+
+void TreeManager::RestoreDownLeaves(const std::vector<std::size_t>& down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::size_t leaf : down) {
+    if (leaf < alive_.size()) alive_[leaf] = false;
+  }
+  (void)RecomputeLocked();  // reconstruction, not repair: no events
+}
+
 std::vector<TreeManager::RepairEvent> TreeManager::events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;

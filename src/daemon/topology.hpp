@@ -104,6 +104,20 @@ class TreeManager {
   /// rendezvous assigns it (its pre-death shard, if the node set is stable).
   std::vector<Reassignment> MarkLeafUp(std::size_t leaf, TimeNs now);
 
+  /// Add one sampler dynamically (self-assembly announce) and return its
+  /// owner leaf. Rendezvous placement means adding a sampler moves nothing
+  /// else. Re-announcing a known name just re-reports its current owner.
+  std::size_t AddSampler(const TreeSamplerId& sampler);
+
+  /// Full option set (for persisting the tree to the cluster registry: the
+  /// assignment is a pure function of these plus the alive set).
+  TreeOptions options() const;
+  /// Leaf indices currently marked down (registry snapshot of alive state).
+  std::vector<std::size_t> down_leaves() const;
+  /// Re-apply a persisted alive set without recording repair events — the
+  /// restart path reconstructs state, it does not repair anything.
+  void RestoreDownLeaves(const std::vector<std::size_t>& down);
+
   std::vector<RepairEvent> events() const;
   std::uint64_t repairs() const;
 

@@ -1,14 +1,13 @@
 #include "store/csv_store.hpp"
 
-#include <filesystem>
+#include "util/atomic_file.hpp"
 
 namespace ldmsxx {
 
 CsvStore::CsvStore(CsvStoreOptions options) : options_(std::move(options)) {
   // Failure is surfaced by StoreSet (unopenable writer), not thrown here: a
   // store pointed at a dead path must report a Status the breaker can count.
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
 }
 
 std::string CsvStore::FilePath(const std::string& schema) const {
@@ -24,8 +23,7 @@ CsvStore::SchemaFile& CsvStore::FileFor(const MetricSet& set) {
     if (it->second.writer->is_open()) return it->second;
     files_.erase(it);
   }
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
   SchemaFile file;
   file.writer = std::make_unique<CsvWriter>(FilePath(schema), options_.truncate);
   auto [ins, ok] = files_.emplace(schema, std::move(file));

@@ -1,6 +1,6 @@
 #include "store/flatfile_store.hpp"
 
-#include <filesystem>
+#include "util/atomic_file.hpp"
 
 namespace ldmsxx {
 namespace {
@@ -21,8 +21,7 @@ FlatFileStore::FlatFileStore(FlatFileStoreOptions options)
     : options_(std::move(options)) {
   // Failure is surfaced by StoreSet (unopenable stream), not thrown here: a
   // store pointed at a dead path must report a Status the breaker can count.
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
 }
 
 std::string FlatFileStore::FilePath(const std::string& metric_name) const {
@@ -37,8 +36,7 @@ std::ofstream& FlatFileStore::FileFor(const std::string& metric_name) {
     if (it->second.is_open()) return it->second;
     files_.erase(it);
   }
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
   auto mode = options_.truncate ? std::ios::trunc : std::ios::app;
   auto [ins, ok] =
       files_.emplace(metric_name, std::ofstream(FilePath(metric_name), mode));

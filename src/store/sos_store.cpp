@@ -1,9 +1,9 @@
 #include "store/sos_store.hpp"
 
 #include <cstring>
-#include <filesystem>
 
 #include "core/wire.hpp"
+#include "util/atomic_file.hpp"
 
 namespace ldmsxx {
 namespace {
@@ -60,8 +60,7 @@ SosStore::SosStore(SosStoreOptions options) : options_(std::move(options)) {
   // Failure is surfaced by StoreSet (failed container open), not thrown
   // here: a store pointed at a dead path must report a Status the breaker
   // can count.
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
 }
 
 SosStore::~SosStore() {
@@ -87,8 +86,7 @@ SosStore::Container& SosStore::ContainerFor(const MetricSet& set) {
 
   Container container;
   container.record_size = 16 + 8 * set.schema().metric_count();
-  std::error_code ec;
-  std::filesystem::create_directories(options_.root_path, ec);
+  (void)EnsureDirectories(options_.root_path);
   const std::string path = FilePath(schema_name);
   container.file = std::fopen(path.c_str(), options_.truncate ? "wb" : "ab");
   if (container.file != nullptr) {

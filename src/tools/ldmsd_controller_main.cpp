@@ -3,36 +3,56 @@
 //
 //   ldmsd_controller -S /tmp/ldmsd.sock -c "interval name=meminfo interval=1000000"
 //   echo "stop name=meminfo" | ldmsd_controller -S /tmp/ldmsd.sock
+//
+// When the daemon was started with a control key (`ldmsd -k keyfile`),
+// mutating verbs must be signed: pass the same key file with -k and every
+// command is sent with an `auth <key_id>:<mac>` prefix.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "daemon/control.hpp"
+#include "daemon/keys.hpp"
 
 int main(int argc, char** argv) {
   using namespace ldmsxx;
 
   std::string socket_path;
   std::string command;
+  std::string key_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-S" && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (arg == "-c" && i + 1 < argc) {
       command = argv[++i];
+    } else if (arg == "-k" && i + 1 < argc) {
+      key_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s -S socket [-c command]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s -S socket [-k keyfile] [-c command]\n",
+                   argv[0]);
       return 2;
     }
   }
   if (socket_path.empty()) {
-    std::fprintf(stderr, "usage: %s -S socket [-c command]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s -S socket [-k keyfile] [-c command]\n",
+                 argv[0]);
     return 2;
+  }
+
+  std::unique_ptr<KeyManager> keys;
+  if (!key_path.empty()) {
+    if (Status st = KeyManager::LoadOrCreate(key_path, &keys); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   auto run = [&](const std::string& line) {
     std::string reply;
-    Status st = ControlServer::SendCommand(socket_path, line, &reply);
+    Status st = ControlServer::SendCommand(socket_path, line, &reply,
+                                           keys.get());
     if (!reply.empty()) std::printf("%s\n", reply.c_str());
     if (!st.ok() && reply.empty()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());

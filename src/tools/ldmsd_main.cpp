@@ -13,6 +13,12 @@
 //   -l file                log file (default stderr)
 //   -S path                UNIX domain control socket (runtime reconfig via
 //                          ldmsd_controller)
+//   -r path                cluster registry file: producers/stores/tree are
+//                          persisted crash-safely and restored at startup, so
+//                          a restart resumes collection with no config script
+//   -k path                control-socket key file (created 0600 if absent);
+//                          mutating control verbs then require a MAC
+//                          (ldmsd_controller -k) — see daemon/keys.hpp
 //   -v                     verbose (info-level) logging
 //   -F                     stay in the foreground for N seconds then exit
 //                          (default: run until SIGINT/SIGTERM)
@@ -26,7 +32,9 @@
 
 #include "daemon/config.hpp"
 #include "daemon/control.hpp"
+#include "daemon/keys.hpp"
 #include "daemon/ldmsd.hpp"
+#include "daemon/plugin_registry.hpp"
 #include "sampler/samplers.hpp"
 #include "util/strings.hpp"
 
@@ -39,7 +47,8 @@ void HandleSignal(int) { g_shutdown.release(); }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-x transport:addr] [-n name] [-c config] "
-               "[-m bytes] [-l log] [-v] [-F seconds]\n",
+               "[-m bytes] [-l log] [-S ctl] [-r registry] [-k keyfile] "
+               "[-v] [-F seconds]\n",
                argv0);
 }
 
@@ -53,6 +62,7 @@ int main(int argc, char** argv) {
   options.set_memory = 1 << 20;
   std::string config_path;
   std::string control_socket;
+  std::string key_path;
   int foreground_seconds = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +93,10 @@ int main(int argc, char** argv) {
       options.log_path = next();
     } else if (arg == "-S") {
       control_socket = next();
+    } else if (arg == "-r") {
+      options.registry_path = next();
+    } else if (arg == "-k") {
+      key_path = next();
     } else if (arg == "-v") {
       options.log_level = LogLevel::kInfo;
     } else if (arg == "-F") {
@@ -99,6 +113,17 @@ int main(int argc, char** argv) {
   RegisterBuiltinStores();
 
   Ldmsd daemon(options);
+  if (!options.registry_path.empty()) {
+    // Resume producers/stores/tree from the crash-safe registry before the
+    // daemon starts collecting; a missing file is a clean first boot and a
+    // corrupt one is quarantined (we keep going and rebuild from traffic).
+    if (Status st = daemon.RestoreFromRegistry(&PluginRegistry::Instance());
+        !st.ok()) {
+      std::fprintf(stderr, "ldmsd: registry restore failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
   if (Status st = daemon.Start(); !st.ok()) {
     std::fprintf(stderr, "ldmsd: start failed: %s\n", st.ToString().c_str());
     return 1;
@@ -125,9 +150,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<KeyManager> keys;
+  if (!key_path.empty()) {
+    if (Status st = KeyManager::LoadOrCreate(key_path, &keys); !st.ok()) {
+      std::fprintf(stderr, "ldmsd: key file: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   std::unique_ptr<ControlServer> control;
   if (!control_socket.empty()) {
-    control = std::make_unique<ControlServer>(daemon, control_socket);
+    control =
+        std::make_unique<ControlServer>(daemon, control_socket, keys.get());
     if (Status st = control->Start(); !st.ok()) {
       std::fprintf(stderr, "ldmsd: control socket failed: %s\n",
                    st.ToString().c_str());

@@ -123,6 +123,10 @@ std::vector<std::byte> EncodeAdvertise(const AdvertiseMsg& msg) {
   w.Str(msg.producer);
   w.Str(msg.dialback_address);
   w.Str(msg.transport);
+  // Trailing extension (self-assembly announce); old decoders stop after the
+  // three strings and ignore these bytes.
+  w.U8(msg.announce ? 1 : 0);
+  w.U64(msg.node_id);
   return w.Take();
 }
 
@@ -131,6 +135,13 @@ bool DecodeAdvertise(std::span<const std::byte> payload, AdvertiseMsg* out) {
   out->producer = r.Str();
   out->dialback_address = r.Str();
   out->transport = r.Str();
+  if (r.ok() && r.remaining() >= 9) {
+    out->announce = r.U8() != 0;
+    out->node_id = r.U64();
+  } else {
+    out->announce = false;
+    out->node_id = 0;
+  }
   return r.ok();
 }
 

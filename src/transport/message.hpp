@@ -145,6 +145,14 @@ struct AdvertiseMsg {
   std::string producer;
   std::string dialback_address;  // where the aggregator should connect
   std::string transport;         // transport plugin name for dialback
+  /// Trailing extension (same idiom as the lookup-response version byte:
+  /// old decoders stop after the three strings and ignore these). announce
+  /// upgrades a plain advertise to self-assembly: "place me in the
+  /// aggregation tree" — the receiving seed aggregator consults its
+  /// TreeManager, assigns a leaf, and persists the assignment. node_id is
+  /// the announcing host's torus node id, the rendezvous placement input.
+  bool announce = false;
+  std::uint64_t node_id = 0;
 };
 
 /// Encode a complete frame (header + payload).

@@ -1,0 +1,113 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ldmsxx {
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return {ErrorCode::kInternal, what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Status EnsureDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec && !std::filesystem::is_directory(path)) {
+    return {ErrorCode::kInternal, "mkdir " + path + ": " + ec.message()};
+  }
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       unsigned mode) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        static_cast<mode_t>(mode));
+  if (fd < 0) return ErrnoStatus("open " + tmp);
+  // O_CREAT mode is filtered by umask; key files need the exact bits.
+  if (::fchmod(fd, static_cast<mode_t>(mode)) != 0) {
+    const Status st = ErrnoStatus("fchmod " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = ErrnoStatus("write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = ErrnoStatus("fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    const Status st = ErrnoStatus("close " + tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = ErrnoStatus("rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // Make the rename durable: fsync the containing directory. Failure here is
+  // reported (the caller may retry) but the file content is already safe.
+  const std::string dir = ParentDir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    const int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) return ErrnoStatus("fsync " + dir);
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return {ErrorCode::kNotFound, "no file: " + path};
+    return ErrnoStatus("open " + path);
+  }
+  char buf[1 << 14];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = ErrnoStatus("read " + path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace ldmsxx

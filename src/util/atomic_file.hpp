@@ -1,0 +1,33 @@
+// Crash-safe file writes, the lokinet-nodedb pattern: write the whole
+// payload to a sibling temp file, fsync it, rename() over the target, then
+// fsync the directory so the rename itself is durable. A reader never sees
+// a half-written file — it sees the old contents or the new ones. Shared by
+// the cluster registry (src/daemon/registry) and the file stores' directory
+// creation paths so there is exactly one audited implementation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Non-throwing mkdir -p. Ok when the directories already exist; the error
+/// message carries errno detail otherwise. File stores call this at open
+/// time so a probe after disk recovery can succeed (never throw from a
+/// store constructor — the breaker needs a Status to count).
+Status EnsureDirectories(const std::string& path);
+
+/// Atomically replace @p path with @p contents: write "<path>.tmp.<pid>",
+/// fsync, rename over @p path, fsync the parent directory. On any failure
+/// the temp file is unlinked and @p path is untouched.
+/// @param mode permission bits for a newly created file (e.g. 0600 for key
+///        material, 0644 for world-readable state).
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       unsigned mode = 0644);
+
+/// Read a whole file into @p out. kNotFound when it does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace ldmsxx

@@ -82,6 +82,26 @@ MiniCluster::MiniCluster(const MiniClusterOptions& options)
   registry_.Add(std::make_shared<FaultInjectingTransport>(
       std::make_shared<LocalTransport>(&fabric_), schedule_, "fault"));
 
+  // The store plugin a registry-restored daemon re-binds: resolves the
+  // persistent per-slot stores by name, so stored history (and injected-
+  // fault accounting) spans a restart-from-registry-alone.
+  plugins_.AddStore(
+      "harness_store",
+      [this](const PluginParams& params) -> std::shared_ptr<Store> {
+        const auto slot_it = params.find("slot");
+        const auto role_it = params.find("role");
+        if (slot_it == params.end() || role_it == params.end()) return nullptr;
+        const AggregatorSlot* slot =
+            slot_it->second == "root" ? &root_ : nullptr;
+        for (std::size_t j = 0; j < aggregators_.size() && slot == nullptr;
+             ++j) {
+          if (AggregatorName(j) == slot_it->second) slot = &aggregators_[j];
+        }
+        if (slot == nullptr) return nullptr;
+        if (role_it->second == "secondary") return slot->secondary;
+        return slot->faulted;
+      });
+
   samplers_.resize(options_.samplers);
   for (std::size_t i = 0; i < options_.samplers; ++i) {
     samplers_[i].daemon = MakeSampler(i);
@@ -185,6 +205,17 @@ std::string MiniCluster::LeafAddress(std::size_t j) const {
   return leaf_name(j) + "/listen";
 }
 
+std::string MiniCluster::AggregatorName(std::size_t index) const {
+  if (options_.tree_leaves > 0) return leaf_name(index);
+  if (options_.standby && index == options_.aggregators) return "standby";
+  return "agg" + std::to_string(index);
+}
+
+std::string MiniCluster::RegistryPathFor(const std::string& name) const {
+  if (options_.registry_dir.empty()) return "";
+  return options_.registry_dir + "/" + name + ".registry";
+}
+
 Ldmsd* MiniCluster::standby() {
   if (!options_.standby) return nullptr;
   return aggregators_.back().daemon.get();
@@ -243,6 +274,8 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeLeaf(std::size_t j) {
   opts.log_level = LogLevel::kOff;
   opts.clock = &clock_;
   opts.transports = &registry_;
+  opts.registry_path = RegistryPathFor(opts.name);
+  opts.registry_snapshot_interval = options_.registry_snapshot_interval;
   auto daemon = std::make_unique<Ldmsd>(opts);
   if (is_spare) {
     // The spare keeps warm standby connections to every sampler; promotion
@@ -270,15 +303,27 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeLeaf(std::size_t j) {
 std::unique_ptr<Ldmsd> MiniCluster::MakeRoot() {
   LdmsdOptions opts;
   opts.name = "root";
+  // The root listens so starting samplers can announce themselves to it
+  // (self-assembly); it also accepts the resulting advertises.
+  opts.listen_transport = "fault";
+  opts.listen_address = "root/listen";
+  opts.accept_advertised_producers = true;
   opts.worker_threads = 0;
   opts.connection_threads = 0;
   opts.store_threads = 0;
   opts.log_level = LogLevel::kOff;
   opts.clock = &clock_;
   opts.transports = &registry_;
+  opts.registry_path = RegistryPathFor(opts.name);
+  opts.registry_snapshot_interval = options_.registry_snapshot_interval;
   auto daemon = std::make_unique<Ldmsd>(opts);
+  daemon->set_announce_hook([this](const AdvertiseMsg& msg, std::size_t leaf) {
+    OnAnnounce(msg, leaf);
+  });
   StorePolicy primary(root_.faulted);
   primary.name = "primary";
+  primary.plugin = "harness_store";
+  primary.plugin_params = {{"slot", "root"}, {"role", "primary"}};
   primary.queue_capacity = options_.store_queue_capacity;
   primary.shed_policy = options_.store_shed;
   primary.breaker_threshold = options_.store_breaker_threshold;
@@ -288,6 +333,8 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeRoot() {
   if (root_.secondary != nullptr) {
     StorePolicy secondary(root_.secondary);
     secondary.name = "secondary";
+    secondary.plugin = "harness_store";
+    secondary.plugin_params = {{"slot", "root"}, {"role", "secondary"}};
     (void)daemon->AddStorePolicy(std::move(secondary));
   }
   for (std::size_t j = 0; j < options_.tree_leaves; ++j) {
@@ -371,6 +418,7 @@ void MiniCluster::RepairLeaf(std::size_t j) {
     }
     (void)root->RefreshProducer(leaf_name(l));
   }
+  root->RecordTreeState();  // persist the repair (down leaf + new owners)
 }
 
 std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
@@ -383,10 +431,14 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
   opts.log_level = LogLevel::kOff;
   opts.clock = &clock_;
   opts.transports = &registry_;
+  opts.registry_path = RegistryPathFor(opts.name);
+  opts.registry_snapshot_interval = options_.registry_snapshot_interval;
   auto daemon = std::make_unique<Ldmsd>(opts);
   auto& slot = is_standby ? aggregators_.back() : aggregators_[index];
   StorePolicy primary(slot.faulted);
   primary.name = "primary";
+  primary.plugin = "harness_store";
+  primary.plugin_params = {{"slot", opts.name}, {"role", "primary"}};
   primary.queue_capacity = options_.store_queue_capacity;
   primary.shed_policy = options_.store_shed;
   primary.breaker_threshold = options_.store_breaker_threshold;
@@ -396,6 +448,8 @@ std::unique_ptr<Ldmsd> MiniCluster::MakeAggregator(std::size_t index,
   if (slot.secondary != nullptr) {
     StorePolicy secondary(slot.secondary);
     secondary.name = "secondary";
+    secondary.plugin = "harness_store";
+    secondary.plugin_params = {{"slot", opts.name}, {"role", "secondary"}};
     (void)daemon->AddStorePolicy(std::move(secondary));
   }
   for (const std::size_t i : AssignedSamplers(index, is_standby)) {
@@ -494,6 +548,7 @@ void MiniCluster::RestartAggregator(std::size_t i) {
     }
     if (root_.daemon != nullptr) {
       (void)root_.daemon->RefreshProducer(leaf_name(i));
+      root_.daemon->RecordTreeState();  // persist the leaf's return
     }
     return;
   }
@@ -510,6 +565,114 @@ void MiniCluster::RestartRoot() {
   if (root_.daemon != nullptr || tree_ == nullptr) return;
   root_.daemon = MakeRoot();  // keeps its stores: history spans the restart
   if (root_.daemon != nullptr) root_.daemon->set_tree(tree_.get());
+}
+
+Status MiniCluster::RestartAggregatorFromRegistry(std::size_t i) {
+  auto& slot = aggregators_.at(i);
+  if (slot.daemon != nullptr) {
+    return {ErrorCode::kAlreadyExists, "aggregator still alive"};
+  }
+  if (options_.registry_dir.empty()) {
+    return {ErrorCode::kUnsupported, "registry_dir not configured"};
+  }
+  if (options_.tree_leaves > 0) {
+    return {ErrorCode::kUnsupported,
+            "tree leaves restart via RestartAggregator"};
+  }
+  // Deliberately bare: name, clock, transports, registry path — no
+  // producers, no store policies. Everything else must come back from the
+  // registry file.
+  LdmsdOptions opts;
+  opts.name = AggregatorName(i);
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  opts.registry_path = RegistryPathFor(opts.name);
+  opts.registry_snapshot_interval = options_.registry_snapshot_interval;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  Status st = daemon->RestoreFromRegistry(&plugins_);
+  if (!st.ok()) return st;
+  st = daemon->Start();
+  if (!st.ok()) return st;
+  slot.daemon = std::move(daemon);
+  return Status::Ok();
+}
+
+Status MiniCluster::RestartRootFromRegistry() {
+  if (tree_ == nullptr) {
+    return {ErrorCode::kUnsupported, "tree mode required"};
+  }
+  if (root_.daemon != nullptr) {
+    return {ErrorCode::kAlreadyExists, "root still alive"};
+  }
+  if (options_.registry_dir.empty()) {
+    return {ErrorCode::kUnsupported, "registry_dir not configured"};
+  }
+  LdmsdOptions opts;
+  opts.name = "root";
+  opts.listen_transport = "fault";
+  opts.listen_address = "root/listen";
+  opts.accept_advertised_producers = true;
+  opts.worker_threads = 0;
+  opts.connection_threads = 0;
+  opts.store_threads = 0;
+  opts.log_level = LogLevel::kOff;
+  opts.clock = &clock_;
+  opts.transports = &registry_;
+  opts.registry_path = RegistryPathFor(opts.name);
+  opts.registry_snapshot_interval = options_.registry_snapshot_interval;
+  auto daemon = std::make_unique<Ldmsd>(opts);
+  daemon->set_announce_hook([this](const AdvertiseMsg& msg, std::size_t leaf) {
+    OnAnnounce(msg, leaf);
+  });
+  Status st = daemon->RestoreFromRegistry(&plugins_);
+  if (!st.ok()) return st;
+  st = daemon->Start();
+  if (!st.ok()) return st;
+  // The restored daemon owns its TreeManager (AdoptTree); the harness tree_
+  // keeps serving the still-running leaves' repair rules. Tests assert the
+  // two agree via root().tree().
+  root_.daemon = std::move(daemon);
+  return Status::Ok();
+}
+
+Status MiniCluster::AddAnnouncedSampler(std::size_t* index_out) {
+  if (tree_ == nullptr || root_.daemon == nullptr) {
+    return {ErrorCode::kUnsupported, "tree mode with a live root required"};
+  }
+  const std::size_t i = samplers_.size();
+  samplers_.emplace_back();
+  samplers_[i].daemon = MakeSampler(i);
+  if (samplers_[i].daemon == nullptr) {
+    samplers_.pop_back();
+    return {ErrorCode::kInternal, "sampler construction failed"};
+  }
+  // The torus node id doubles as the sampler index in this harness.
+  Status st = samplers_[i].daemon->AnnounceTo("fault", "root/listen", i);
+  if (!st.ok()) return st;
+  if (index_out != nullptr) *index_out = i;
+  return Status::Ok();
+}
+
+void MiniCluster::OnAnnounce(const AdvertiseMsg& msg, std::size_t leaf) {
+  if (leaf == TreeManager::kUnassigned) return;
+  Ldmsd* to = LeafDaemon(leaf);
+  if (to == nullptr) return;
+  std::size_t index = samplers_.size();
+  for (std::size_t i = 0; i < samplers_.size(); ++i) {
+    if (sampler_name(i) == msg.producer) index = i;
+  }
+  if (index == samplers_.size()) return;
+  if (!to->producer_status(msg.producer).known) {
+    AddSamplerProducer(*to, index, /*standby=*/false, "");
+  }
+  // Nudge the root to discover the leaf's newly re-served set.
+  if (root_.daemon != nullptr) {
+    (void)root_.daemon->RefreshProducer(leaf_name(leaf));
+  }
 }
 
 MiniCluster::GapReport MiniCluster::DataGap(std::size_t i) const {

@@ -21,6 +21,7 @@
 
 #include "daemon/failover.hpp"
 #include "daemon/ldmsd.hpp"
+#include "daemon/plugin_registry.hpp"
 #include "daemon/topology.hpp"
 #include "store/fault_store.hpp"
 #include "store/memory_store.hpp"
@@ -102,6 +103,18 @@ struct MiniClusterOptions {
   /// that appear after the first lookup (repair, restarts) are discovered;
   /// 0 = every collect_interval.
   DurationNs tree_rediscover = 0;
+
+  // --- crash-safe registry (restart-resume, self-assembly) ----------------
+
+  /// When non-empty, every aggregator (and the tree root) persists a
+  /// cluster registry at <registry_dir>/<name>.registry and can be brought
+  /// back from that file alone (RestartAggregatorFromRegistry /
+  /// RestartRootFromRegistry). Store policies are recorded with the
+  /// harness's "harness_store" plugin so a restored daemon re-binds the
+  /// same persistent in-memory stores (history spans the restart).
+  std::string registry_dir;
+  /// Freshness snapshot cadence; 0 = eager + clean-shutdown saves only.
+  DurationNs registry_snapshot_interval = 500 * kNsPerMs;
 };
 
 class MiniCluster {
@@ -182,6 +195,25 @@ class MiniCluster {
   void RestartAggregator(std::size_t i);
   void RestartRoot();
 
+  // --- registry restart-resume & self-assembly ----------------------------
+
+  /// Bring a killed flat-mode aggregator back from its registry file ALONE:
+  /// the new daemon gets no producers or store policies from the harness —
+  /// RestoreFromRegistry reconstitutes both, re-binding the slot's
+  /// persistent stores through the harness plugin factory. Requires
+  /// registry_dir; tree leaves are out of scope (use RestartAggregator).
+  Status RestartAggregatorFromRegistry(std::size_t i);
+  /// Same for the tree-mode root. The restored daemon owns its TreeManager
+  /// (rebuilt from the persisted tree record); assert on root().tree().
+  Status RestartRootFromRegistry();
+  /// Self-assembly (tree mode): start a brand-new sampler daemon (index =
+  /// sampler_count()) and have it announce to the root, which places it via
+  /// TreeManager::AddSampler, persists the assignment, and — through the
+  /// harness announce hook — wires a collecting producer onto the owning
+  /// leaf daemon. Returns the new sampler's index through @p index_out
+  /// (may be null).
+  Status AddAnnouncedSampler(std::size_t* index_out = nullptr);
+
   // --- assertions ---------------------------------------------------------
 
   struct GapReport {
@@ -216,6 +248,13 @@ class MiniCluster {
 
   std::string SamplerAddress(std::size_t i) const;
   std::string LeafAddress(std::size_t j) const;
+  /// Slot name used for daemon names, registry files, and store-factory
+  /// params ("agg<j>"/"standby" flat, leaf_name(j) in tree mode).
+  std::string AggregatorName(std::size_t index) const;
+  /// <registry_dir>/<name>.registry, or "" when registries are disabled.
+  std::string RegistryPathFor(const std::string& name) const;
+  /// Wire a just-announced sampler onto its assigned leaf (announce hook).
+  void OnAnnounce(const AdvertiseMsg& msg, std::size_t leaf);
   std::unique_ptr<Ldmsd> MakeSampler(std::size_t i);
   std::unique_ptr<Ldmsd> MakeAggregator(std::size_t index, bool is_standby);
   /// Samplers assigned to primary aggregator @p index (i % M == index);
@@ -244,6 +283,9 @@ class MiniCluster {
   std::shared_ptr<FaultSchedule> schedule_;
   std::shared_ptr<StoreFaultSchedule> store_schedule_;
   TransportRegistry registry_;
+  /// Private store-factory registry ("harness_store"): resolves persistent
+  /// per-slot stores by name, so registry-restored daemons keep history.
+  PluginRegistry plugins_;
   FailoverWatchdog watchdog_;
   TimeNs next_watchdog_poll_ = 0;
 

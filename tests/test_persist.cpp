@@ -1,0 +1,697 @@
+// Crash-safe registry + restart-resume suite (ISSUE 8). Three layers:
+//
+//   1. format      — SerializeRegistry/ParseRegistry round-trips, tamper and
+//                    truncation rejection, quarantine-and-rebuild recovery;
+//   2. daemon      — record-on-mutate, restore-from-registry-alone (flat
+//                    aggregator and tree root), announce-driven growth,
+//                    registry_* control verbs;
+//   3. hardening   — keyed control-socket auth (key file perms, MAC gating,
+//                    rotation, failure counters) and the buffered line
+//                    framing fix (byte dribble, pipelined verbs, partial
+//                    line at EOF).
+//
+// Chaos scenarios ride the MiniCluster (shared SimClock, seeded faults), so
+// every failure here replays deterministically. See EXPERIMENTS.md
+// ("Unattended restart drill").
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "daemon/control.hpp"
+#include "daemon/keys.hpp"
+#include "daemon/registry.hpp"
+#include "harness/mini_cluster.hpp"
+#include "store/memory_store.hpp"
+#include "util/atomic_file.hpp"
+
+namespace ldmsxx {
+namespace {
+
+using harness::MiniCluster;
+using harness::MiniClusterOptions;
+
+constexpr DurationNs kTick = 100 * kNsPerMs;
+
+/// Fresh per-test scratch directory under /tmp (removed lazily by the OS).
+std::string ScratchDir(const std::string& tag) {
+  std::string tmpl = "/tmp/ldmsxx_" + tag + "_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+RegistrySnapshot SampleSnapshot() {
+  RegistrySnapshot snap;
+  snap.daemon_name = "agg 0/strange=name";  // exercises percent-encoding
+  snap.saved_tick = 12345678901ull;
+  ProducerRecord p;
+  p.name = "node 1";
+  p.transport = "fault";
+  p.address = "node 1/listen";
+  p.interval = 250 * kNsPerMs;
+  p.offset = 7;
+  p.synchronous = true;
+  p.request_timeout = 3 * kNsPerSec;
+  p.reconnect_min_backoff = 20 * kNsPerMs;
+  p.reconnect_max_backoff = 800 * kNsPerMs;
+  p.set_instances = {"node 1/chaos", "node 1/chaos1"};
+  p.rediscover_interval = kNsPerSec;
+  p.delta_updates = false;
+  p.standby = true;
+  p.standby_for = "agg=primary";
+  p.auth_key_id = 3;
+  p.last_seen = 999;
+  p.schema_digests = {{"chaos", 0xdeadbeefull}, {"mem info", 42}};
+  snap.producers.push_back(p);
+  StoreRecord s;
+  s.name = "primary";
+  s.plugin = "store_csv";
+  s.params = {{"path", "/var/x y"}, {"altheader", "1"}};
+  s.schema_filter = "chaos";
+  s.producer_filter = "node 1";
+  s.queue_capacity = 64;
+  s.shed_policy = "drop_newest";
+  s.breaker_threshold = 3;
+  s.breaker_min_backoff = kNsPerMs;
+  s.breaker_max_backoff = kNsPerSec;
+  snap.stores.push_back(s);
+  snap.tree.present = true;
+  snap.tree.role = "root";
+  snap.tree.samplers = {{"node 1", 11}, {"node 2", 22}};
+  snap.tree.leaves = {"leaf0", "leaf 1"};
+  snap.tree.spare_name = "spare";
+  snap.tree.seed = 77;
+  snap.tree.down_leaves = {1};
+  return snap;
+}
+
+// --- format layer -----------------------------------------------------------
+
+TEST(RegistryFormatTest, SerializeParseRoundTrip) {
+  const RegistrySnapshot snap = SampleSnapshot();
+  RegistrySnapshot out;
+  ASSERT_TRUE(ParseRegistry(SerializeRegistry(snap), &out).ok());
+
+  EXPECT_EQ(out.daemon_name, snap.daemon_name);
+  EXPECT_EQ(out.saved_tick, snap.saved_tick);
+  ASSERT_EQ(out.producers.size(), 1u);
+  const auto& p = out.producers[0];
+  const auto& q = snap.producers[0];
+  EXPECT_EQ(p.name, q.name);
+  EXPECT_EQ(p.transport, q.transport);
+  EXPECT_EQ(p.address, q.address);
+  EXPECT_EQ(p.interval, q.interval);
+  EXPECT_EQ(p.offset, q.offset);
+  EXPECT_EQ(p.synchronous, q.synchronous);
+  EXPECT_EQ(p.request_timeout, q.request_timeout);
+  EXPECT_EQ(p.reconnect_min_backoff, q.reconnect_min_backoff);
+  EXPECT_EQ(p.reconnect_max_backoff, q.reconnect_max_backoff);
+  EXPECT_EQ(p.set_instances, q.set_instances);
+  EXPECT_EQ(p.rediscover_interval, q.rediscover_interval);
+  EXPECT_EQ(p.delta_updates, q.delta_updates);
+  EXPECT_EQ(p.standby, q.standby);
+  EXPECT_EQ(p.standby_for, q.standby_for);
+  EXPECT_EQ(p.auth_key_id, q.auth_key_id);
+  EXPECT_EQ(p.last_seen, q.last_seen);
+  EXPECT_EQ(p.schema_digests, q.schema_digests);
+  ASSERT_EQ(out.stores.size(), 1u);
+  const auto& s = out.stores[0];
+  const auto& t = snap.stores[0];
+  EXPECT_EQ(s.name, t.name);
+  EXPECT_EQ(s.plugin, t.plugin);
+  EXPECT_EQ(s.params, t.params);
+  EXPECT_EQ(s.schema_filter, t.schema_filter);
+  EXPECT_EQ(s.producer_filter, t.producer_filter);
+  EXPECT_EQ(s.queue_capacity, t.queue_capacity);
+  EXPECT_EQ(s.shed_policy, t.shed_policy);
+  EXPECT_EQ(s.breaker_threshold, t.breaker_threshold);
+  EXPECT_EQ(s.breaker_min_backoff, t.breaker_min_backoff);
+  EXPECT_EQ(s.breaker_max_backoff, t.breaker_max_backoff);
+  ASSERT_TRUE(out.tree.present);
+  EXPECT_EQ(out.tree.role, "root");
+  ASSERT_EQ(out.tree.samplers.size(), 2u);
+  EXPECT_EQ(out.tree.leaves, snap.tree.leaves);
+  EXPECT_EQ(out.tree.spare_name, snap.tree.spare_name);
+  EXPECT_EQ(out.tree.seed, snap.tree.seed);
+  EXPECT_EQ(out.tree.down_leaves, snap.tree.down_leaves);
+
+  // Serialization is deterministic (same snapshot -> same bytes), which is
+  // what makes same-seed registry digests comparable across runs.
+  EXPECT_EQ(SerializeRegistry(snap), SerializeRegistry(out));
+}
+
+TEST(RegistryFormatTest, RejectsTamperTruncationAndGarbage) {
+  const std::string text = SerializeRegistry(SampleSnapshot());
+  RegistrySnapshot out;
+
+  // Flip one byte in the body: crc mismatch.
+  std::string flipped = text;
+  flipped[flipped.size() / 2] ^= 0x20;
+  EXPECT_FALSE(ParseRegistry(flipped, &out).ok());
+
+  // Drop the trailing record line (and fix nothing else): crc mismatch.
+  std::string truncated = text.substr(0, text.rfind("tree "));
+  EXPECT_FALSE(ParseRegistry(truncated, &out).ok());
+
+  EXPECT_FALSE(ParseRegistry("", &out).ok());
+  EXPECT_FALSE(ParseRegistry("#not-a-registry v9\n", &out).ok());
+  EXPECT_EQ(ParseRegistry("junk with no header\nmore junk\n", &out).code(),
+            ErrorCode::kInconsistent);
+}
+
+TEST(RegistryFormatTest, SaveLoadAndQuarantineLadder) {
+  const std::string dir = ScratchDir("reg");
+  const std::string path = dir + "/cluster.registry";
+
+  {
+    ClusterRegistry reg(path);
+    ASSERT_TRUE(reg.Load().ok());  // missing file = clean first boot
+    EXPECT_FALSE(reg.last_load_quarantined());
+    reg.SetMeta("agg0", 100);
+    ProducerRecord p;
+    p.name = "node0";
+    reg.UpsertProducer(p);
+    ASSERT_TRUE(reg.Save().ok());
+  }
+  {
+    ClusterRegistry reg(path);
+    ASSERT_TRUE(reg.Load().ok());
+    EXPECT_EQ(reg.stats().last_load_records, 2u);  // meta + prdcr
+    ASSERT_EQ(reg.snapshot().producers.size(), 1u);
+    EXPECT_EQ(reg.snapshot().producers[0].name, "node0");
+  }
+
+  // Corrupt the file on disk: load quarantines it and starts empty instead
+  // of refusing to boot (rebuild-from-traffic is the last recovery rung).
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  contents[contents.size() - 2] ^= 0x01;
+  ASSERT_TRUE(AtomicWriteFile(path, contents).ok());
+  {
+    ClusterRegistry reg(path);
+    ASSERT_TRUE(reg.Load().ok());
+    EXPECT_TRUE(reg.last_load_quarantined());
+    EXPECT_EQ(reg.stats().quarantines, 1u);
+    EXPECT_TRUE(reg.snapshot().producers.empty());
+    std::string quarantined;
+    EXPECT_TRUE(ReadFileToString(path + ".corrupt.1", &quarantined).ok());
+    EXPECT_EQ(quarantined, contents);  // evidence preserved byte-for-byte
+    // The registry still works: rebuild and save over the bad file.
+    ProducerRecord p;
+    p.name = "node1";
+    reg.UpsertProducer(p);
+    ASSERT_TRUE(reg.Save().ok());
+  }
+  {
+    ClusterRegistry reg(path);
+    ASSERT_TRUE(reg.Load().ok());
+    EXPECT_FALSE(reg.last_load_quarantined());
+    ASSERT_EQ(reg.snapshot().producers.size(), 1u);
+    EXPECT_EQ(reg.snapshot().producers[0].name, "node1");
+  }
+}
+
+TEST(RegistryFormatTest, ExportImport) {
+  const std::string dir = ScratchDir("regio");
+  ClusterRegistry reg(dir + "/a.registry");
+  ProducerRecord p;
+  p.name = "node0";
+  reg.UpsertProducer(p);
+  ASSERT_TRUE(reg.ExportTo(dir + "/exported").ok());
+
+  ClusterRegistry other(dir + "/b.registry");
+  ASSERT_TRUE(other.ImportFrom(dir + "/exported").ok());
+  ASSERT_EQ(other.snapshot().producers.size(), 1u);
+  EXPECT_EQ(other.snapshot().producers[0].name, "node0");
+  // Import persisted immediately: a fresh instance sees it.
+  ClusterRegistry reload(dir + "/b.registry");
+  ASSERT_TRUE(reload.Load().ok());
+  EXPECT_EQ(reload.snapshot().producers.size(), 1u);
+
+  // Unlike Load, an operator-supplied bad file fails loudly, and the
+  // current contents are untouched.
+  ASSERT_TRUE(AtomicWriteFile(dir + "/bad", "garbage\n").ok());
+  EXPECT_FALSE(other.ImportFrom(dir + "/bad").ok());
+  EXPECT_EQ(other.snapshot().producers.size(), 1u);
+}
+
+// --- daemon layer: restart-resume and self-assembly -------------------------
+
+/// FNV-1a digest over every stored row (producer, timestamp, values) of
+/// every aggregator store — the cross-run determinism fingerprint.
+std::uint64_t StoreDigest(MiniCluster& cluster) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t j = 0; j < cluster.aggregator_count(); ++j) {
+    auto store = cluster.store(j);
+    if (store == nullptr) continue;
+    for (const auto& row : store->Rows("chaos")) {
+      mix(row.producer.data(), row.producer.size());
+      mix(&row.timestamp, sizeof row.timestamp);
+      for (const double v : row.values) mix(&v, sizeof v);
+    }
+  }
+  return h;
+}
+
+/// The ISSUE 8 drill: kill the only aggregator mid-collect, bring it back
+/// from its registry file ALONE (no producers or stores re-configured by
+/// the harness), and require bounded gaps. Writes the final store digest.
+void RunRestartDrill(const std::string& dir, std::uint64_t* digest) {
+  MiniClusterOptions opts;
+  opts.samplers = 2;
+  opts.seed = 42;
+  opts.registry_dir = dir;
+  MiniCluster cluster(opts);
+
+  cluster.Advance(1 * kNsPerSec);
+  const std::size_t rows_before = cluster.StoredRows();
+  EXPECT_GE(rows_before, 16u);
+
+  cluster.KillAggregator(0);
+  cluster.Advance(500 * kNsPerMs);
+  Status st = cluster.RestartAggregatorFromRegistry(0);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  cluster.Advance(2 * kNsPerSec);
+
+  EXPECT_GT(cluster.StoredRows(), rows_before);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto status =
+        cluster.aggregator(0).producer_status(cluster.sampler_name(i));
+    EXPECT_TRUE(status.known) << "producer " << i << " not restored";
+    EXPECT_TRUE(status.connected) << "producer " << i;
+    const auto gap = cluster.DataGap(i);
+    // 500ms downtime + reconnect backoff overshoot + re-lookup cycles.
+    EXPECT_LE(gap.max_gap, 1500 * kNsPerMs + 3 * kTick) << "producer " << i;
+  }
+  *digest = StoreDigest(cluster);
+}
+
+TEST(PersistChaosTest, AggregatorRestartFromRegistryAlone) {
+  std::uint64_t first = 0;
+  RunRestartDrill(ScratchDir("drill_a"), &first);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Same seed, fresh directory: the whole drill — samples, faults, crash,
+  // registry restore — replays to the identical stored history.
+  std::uint64_t second = 0;
+  RunRestartDrill(ScratchDir("drill_b"), &second);
+  EXPECT_EQ(first, second) << "restart drill is not seed-deterministic";
+}
+
+TEST(PersistChaosTest, RestoredRegistryKeepsStoreProvenanceAndFreshness) {
+  const std::string dir = ScratchDir("fresh");
+  MiniClusterOptions opts;
+  opts.samplers = 1;
+  opts.registry_dir = dir;
+  MiniCluster cluster(opts);
+  cluster.Advance(1 * kNsPerSec);
+
+  cluster.KillAggregator(0);  // Stop() saves: freshness flushed cleanly
+  ClusterRegistry reg(dir + "/agg0.registry");
+  ASSERT_TRUE(reg.Load().ok());
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.daemon_name, "agg0");
+  ASSERT_EQ(snap.producers.size(), 1u);
+  EXPECT_EQ(snap.producers[0].name, "node0");
+  EXPECT_GT(snap.producers[0].last_seen, 0u) << "collects never touched";
+  EXPECT_EQ(snap.producers[0].schema_digests.count("chaos"), 1u)
+      << "lookup never recorded the schema digest";
+  ASSERT_GE(snap.stores.size(), 1u);
+  EXPECT_EQ(snap.stores[0].plugin, "harness_store");
+  EXPECT_EQ(snap.stores[0].params.at("slot"), "agg0");
+}
+
+TEST(PersistChaosTest, RootRestartFromRegistryRebuildsTree) {
+  const std::string dir = ScratchDir("tree");
+  MiniClusterOptions opts;
+  opts.samplers = 4;
+  opts.tree_leaves = 2;
+  opts.registry_dir = dir;
+  MiniCluster cluster(opts);
+
+  cluster.Advance(2 * kNsPerSec);
+  const std::size_t rows_before = cluster.StoredRows();
+  EXPECT_GT(rows_before, 0u);
+
+  cluster.KillRoot();
+  cluster.Advance(500 * kNsPerMs);
+  Status st = cluster.RestartRootFromRegistry();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  cluster.Advance(3 * kNsPerSec);
+
+  // The restored root owns a TreeManager rebuilt from the persisted
+  // TreeOptions; rendezvous placement is a pure function of those, so its
+  // shards must match the harness manager's exactly.
+  TreeManager* restored = cluster.root().tree();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_NE(restored, cluster.tree());
+  for (std::size_t j = 0; j < opts.tree_leaves; ++j) {
+    EXPECT_EQ(restored->shard(j), cluster.tree()->shard(j)) << "leaf " << j;
+  }
+  // Leaf producers came back from the registry and collection resumed
+  // end-to-end (two hops) into the same persistent stores.
+  EXPECT_GT(cluster.StoredRows(), rows_before);
+  for (std::size_t i = 0; i < opts.samplers; ++i) {
+    EXPECT_GT(cluster.DataGap(i).rows, 0u) << "sampler " << i;
+  }
+}
+
+TEST(PersistChaosTest, AnnouncedSamplerJoinsTreeAndPersists) {
+  const std::string dir = ScratchDir("announce");
+  MiniClusterOptions opts;
+  opts.samplers = 3;
+  opts.tree_leaves = 2;
+  opts.registry_dir = dir;
+  MiniCluster cluster(opts);
+  cluster.Advance(1 * kNsPerSec);
+
+  std::size_t added = 0;
+  Status st = cluster.AddAnnouncedSampler(&added);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(added, 3u);
+  const std::string name = cluster.sampler_name(added);
+
+  // Placed immediately (announce -> TreeManager::AddSampler on the root's
+  // tree), and the placement was persisted before any collection happened.
+  const std::size_t leaf = cluster.tree()->leaf_of(name);
+  ASSERT_NE(leaf, TreeManager::kUnassigned);
+  {
+    ClusterRegistry reg(dir + "/root.registry");
+    ASSERT_TRUE(reg.Load().ok());
+    const auto& samplers = reg.snapshot().tree.samplers;
+    bool recorded = false;
+    for (const auto& s : samplers) recorded = recorded || s.name == name;
+    EXPECT_TRUE(recorded) << "announce placement not persisted";
+  }
+
+  // The wiring hook put a producer on the assigned leaf; data flows to the
+  // root without any operator configuration.
+  cluster.Advance(2 * kNsPerSec);
+  EXPECT_TRUE(cluster.leaf(leaf).producer_status(name).connected);
+  EXPECT_GT(cluster.DataGap(added).rows, 4u);
+}
+
+// --- hardening layer: keyed auth + framing ----------------------------------
+
+TEST(AuthTest, KeyFileLifecycle) {
+  const std::string dir = ScratchDir("keys");
+  const std::string path = dir + "/control.key";
+  std::unique_ptr<KeyManager> keys;
+  ASSERT_TRUE(KeyManager::LoadOrCreate(path, &keys).ok());
+  EXPECT_EQ(keys->current().id, 1u);
+
+  struct stat info{};
+  ASSERT_EQ(::stat(path.c_str(), &info), 0);
+  EXPECT_EQ(info.st_mode & 0777, 0600u) << "key file must be owner-only";
+
+  // Reload sees the same key; sign/verify round-trips.
+  std::unique_ptr<KeyManager> reloaded;
+  ASSERT_TRUE(KeyManager::LoadOrCreate(path, &reloaded).ok());
+  EXPECT_EQ(reloaded->current().id, 1u);
+  const std::string token = keys->Sign("prdcr_del name=node0");
+  EXPECT_TRUE(reloaded->Verify(token, "prdcr_del name=node0"));
+  EXPECT_FALSE(reloaded->Verify(token, "prdcr_del name=node1"));
+  EXPECT_FALSE(reloaded->Verify("1:0000000000000000", "prdcr_del name=node0"));
+  EXPECT_FALSE(reloaded->Verify("nonsense", "prdcr_del name=node0"));
+
+  // Rotation bumps the id, persists, and fails old MACs closed.
+  ASSERT_TRUE(keys->Rotate().ok());
+  EXPECT_EQ(keys->current().id, 2u);
+  EXPECT_EQ(keys->rotations(), 1u);
+  EXPECT_FALSE(keys->Verify(token, "prdcr_del name=node0"));
+  std::unique_ptr<KeyManager> after;
+  ASSERT_TRUE(KeyManager::LoadOrCreate(path, &after).ok());
+  EXPECT_EQ(after->current().id, 2u);
+
+  // A group/world-readable key file is refused outright.
+  ASSERT_EQ(::chmod(path.c_str(), 0644), 0);
+  std::unique_ptr<KeyManager> lax;
+  EXPECT_FALSE(KeyManager::LoadOrCreate(path, &lax).ok());
+}
+
+TEST(AuthTest, MutatingVerbClassification) {
+  for (const char* verb : {"counters", "strgp_status", "prdcr_status",
+                           "tree_status", "registry_status", "auth_status"}) {
+    EXPECT_FALSE(IsMutatingControlVerb(verb)) << verb;
+  }
+  for (const char* verb :
+       {"load", "start", "stop", "prdcr_add", "prdcr_del", "strgp_add",
+        "interval", "registry_import", "registry_export", "key_rotate",
+        "some_future_verb"}) {
+    EXPECT_TRUE(IsMutatingControlVerb(verb)) << verb;
+  }
+}
+
+class AuthedControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinStores();  // strgp_add is the mutating verb under test
+    dir_ = ScratchDir("authctl");
+    ASSERT_TRUE(KeyManager::LoadOrCreate(dir_ + "/control.key", &keys_).ok());
+    LdmsdOptions opts;
+    opts.name = "auth-test";
+    opts.worker_threads = 1;
+    daemon_ = std::make_unique<Ldmsd>(opts);
+    ASSERT_TRUE(daemon_->Start().ok());
+    socket_path_ = dir_ + "/ctl.sock";
+    control_ =
+        std::make_unique<ControlServer>(*daemon_, socket_path_, keys_.get());
+    ASSERT_TRUE(control_->Start().ok());
+  }
+
+  void TearDown() override {
+    control_->Stop();
+    daemon_->Stop();
+  }
+
+  std::string dir_;
+  std::unique_ptr<KeyManager> keys_;
+  std::unique_ptr<Ldmsd> daemon_;
+  std::unique_ptr<ControlServer> control_;
+  std::string socket_path_;
+};
+
+TEST_F(AuthedControlTest, MutatingVerbsRequireMac) {
+  std::string reply;
+  // Unauthenticated queries stay open (monitoring keeps working)...
+  ASSERT_TRUE(ControlServer::SendCommand(socket_path_, "counters", &reply)
+                  .ok());
+  // ...but an unauthenticated mutation is refused and counted.
+  Status st = ControlServer::SendCommand(socket_path_,
+                                         "interval name=x interval=1", &reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(reply.find("auth required"), std::string::npos) << reply;
+  EXPECT_EQ(control_->auth_failures(), 1u);
+
+  // A wrong MAC is refused too.
+  st = ControlServer::SendCommand(
+      socket_path_, "auth 1:0123456789abcdef prdcr_del name=x", &reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(reply.find("authentication failed"), std::string::npos) << reply;
+  EXPECT_EQ(control_->auth_failures(), 2u);
+
+  // A properly signed mutation goes through (bad args != auth failure).
+  st = ControlServer::SendCommand(socket_path_,
+                                  "strgp_add plugin=store_mem name=authed",
+                                  &reply, keys_.get());
+  EXPECT_TRUE(st.ok()) << reply;
+  EXPECT_EQ(control_->auth_failures(), 2u);
+
+  ASSERT_TRUE(
+      ControlServer::SendCommand(socket_path_, "auth_status", &reply).ok());
+  EXPECT_NE(reply.find("enabled=1"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("failures=2"), std::string::npos) << reply;
+}
+
+TEST_F(AuthedControlTest, KeyRotationOverSocket) {
+  std::string reply;
+  // key_rotate is itself mutating: refused without a MAC.
+  EXPECT_FALSE(
+      ControlServer::SendCommand(socket_path_, "key_rotate", &reply).ok());
+  ASSERT_TRUE(ControlServer::SendCommand(socket_path_, "key_rotate", &reply,
+                                         keys_.get())
+                  .ok());
+  EXPECT_EQ(reply, "OK key_id=2");
+  EXPECT_EQ(keys_->current().id, 2u);
+  // The client shares the KeyManager, so post-rotation signing still works.
+  EXPECT_TRUE(ControlServer::SendCommand(
+                  socket_path_, "strgp_add plugin=store_mem name=rotated",
+                  &reply, keys_.get())
+                  .ok());
+}
+
+// --- framing: dribble, pipelining, partial line at EOF ----------------------
+
+class RawSocketClient {
+ public:
+  explicit RawSocketClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawSocketClient() { Close(); }
+
+  bool ok() const { return fd_ >= 0; }
+  void Send(std::string_view bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// Read exactly @p n newline-terminated replies.
+  std::vector<std::string> ReadReplies(std::size_t n) {
+    std::vector<std::string> replies;
+    std::string line;
+    char c;
+    while (replies.size() < n && ::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') {
+        replies.push_back(line);
+        line.clear();
+      } else {
+        line.push_back(c);
+      }
+    }
+    return replies;
+  }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+using FramingControlTest = AuthedControlTest;
+
+TEST_F(FramingControlTest, ByteDribbleYieldsExactlyOneReply) {
+  RawSocketClient client(socket_path_);
+  ASSERT_TRUE(client.ok());
+  const std::string command = "counters\n";
+  for (const char c : command) {
+    client.Send(std::string_view(&c, 1));
+  }
+  const auto replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("OK", 0), 0u) << replies[0];
+}
+
+TEST_F(FramingControlTest, PipelinedVerbsGetOneReplyEach) {
+  RawSocketClient client(socket_path_);
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t before = control_->commands_served();
+  client.Send("counters\nauth_status\n");  // two verbs, one write
+  const auto replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].rfind("OK ", 0), 0u) << replies[0];
+  EXPECT_NE(replies[0].find("samples="), std::string::npos) << replies[0];
+  EXPECT_EQ(replies[1].rfind("OK enabled=1", 0), 0u) << replies[1];
+  EXPECT_EQ(control_->commands_served(), before + 2);
+}
+
+TEST_F(FramingControlTest, PartialLineAtEofIsDiscardedNotExecuted) {
+  const std::uint64_t before = control_->commands_served();
+  {
+    RawSocketClient client(socket_path_);
+    ASSERT_TRUE(client.ok());
+    client.Send("counters");  // no newline — never a complete command
+    client.Close();
+  }
+  // Prove the server processed the disconnect (and didn't execute the
+  // fragment) by running a full command afterwards.
+  std::string reply;
+  ASSERT_TRUE(
+      ControlServer::SendCommand(socket_path_, "counters", &reply).ok());
+  EXPECT_EQ(control_->commands_served(), before + 1)
+      << "partial line at EOF must not be executed";
+}
+
+// --- registry control verbs over the socket ---------------------------------
+
+TEST(RegistryVerbTest, StatusExportImportAndPrdcrDel) {
+  const std::string dir = ScratchDir("regverb");
+  LdmsdOptions opts;
+  opts.name = "verb-test";
+  opts.worker_threads = 1;
+  opts.registry_path = dir + "/cluster.registry";
+  Ldmsd daemon(opts);
+  ASSERT_TRUE(daemon.Start().ok());
+  ControlServer control(daemon, dir + "/ctl.sock");
+  ASSERT_TRUE(control.Start().ok());
+  auto send = [&](const std::string& cmd, std::string* reply) {
+    return ControlServer::SendCommand(control.socket_path(), cmd, reply);
+  };
+
+  std::string reply;
+  ASSERT_TRUE(send("prdcr_add name=ghost xprt=local host=nowhere/listen "
+                   "interval=50000",
+                   &reply)
+                  .ok());
+  ASSERT_TRUE(send("registry_status", &reply).ok());
+  EXPECT_NE(reply.find("producers=1"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("quarantines=0"), std::string::npos) << reply;
+
+  ASSERT_TRUE(send("registry_export path=" + dir + "/snap", &reply).ok());
+  RegistrySnapshot snap;
+  std::string exported;
+  ASSERT_TRUE(ReadFileToString(dir + "/snap", &exported).ok());
+  ASSERT_TRUE(ParseRegistry(exported, &snap).ok());
+  ASSERT_EQ(snap.producers.size(), 1u);
+  EXPECT_EQ(snap.producers[0].name, "ghost");
+
+  // prdcr_del drops the producer from the daemon AND the registry.
+  ASSERT_TRUE(send("prdcr_del name=ghost", &reply).ok());
+  EXPECT_FALSE(daemon.producer_status("ghost").known);
+  ASSERT_TRUE(send("registry_status", &reply).ok());
+  EXPECT_NE(reply.find("producers=0"), std::string::npos) << reply;
+  EXPECT_FALSE(send("prdcr_del name=ghost", &reply).ok());
+
+  // registry_import restores the exported topology wholesale.
+  ASSERT_TRUE(send("registry_import path=" + dir + "/snap", &reply).ok());
+  ASSERT_TRUE(send("registry_status", &reply).ok());
+  EXPECT_NE(reply.find("producers=1"), std::string::npos) << reply;
+  EXPECT_FALSE(send("registry_import path=" + dir + "/missing", &reply).ok());
+
+  control.Stop();
+  daemon.Stop();
+}
+
+TEST(RegistryVerbTest, UnconfiguredRegistryReportsUnsupported) {
+  const std::string dir = ScratchDir("noreg");
+  LdmsdOptions opts;
+  opts.name = "noreg-test";
+  opts.worker_threads = 1;
+  Ldmsd daemon(opts);
+  ASSERT_TRUE(daemon.Start().ok());
+  ControlServer control(daemon, dir + "/ctl.sock");
+  ASSERT_TRUE(control.Start().ok());
+
+  std::string reply;
+  Status st =
+      ControlServer::SendCommand(control.socket_path(), "registry_status",
+                                 &reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(reply.find("no cluster registry"), std::string::npos) << reply;
+
+  control.Stop();
+  daemon.Stop();
+}
+
+}  // namespace
+}  // namespace ldmsxx
