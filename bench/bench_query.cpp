@@ -1,0 +1,265 @@
+// T-query (ISSUE 9): the columnar storage engine's two promises, measured.
+//
+//   ingest — rows/s through store_tsdb's columnar append path vs. the CSV
+//            store fed the same samples (the paper-era baseline format);
+//            columnar must not cost more than row-at-a-time CSV.
+//   query  — p50/p99 latency of a time-range x node-set x metric query
+//            answered by the footer index (prune on min/max ts + node
+//            dictionary, read only the selected columns) vs. the full-scan
+//            path that re-reads every column of every segment the way a
+//            CSV consumer would. At the 1M-row scale the indexed path must
+//            be >= 20x faster.
+//
+// The dataset is deterministic (no RNG): 64 nodes x 16 metrics, value =
+// f(node, tick). Deterministic metrics — rows/bytes written, segment
+// counts, bytes read per query path — are regression-gated against
+// bench/baselines/BENCH_query.json by scripts/bench_compare.py; the _us
+// latencies and rows-per-second rates are machine-dependent trend data.
+// LDMSXX_BENCH_SMOKE=1 shrinks row counts and repetitions.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "core/schema.hpp"
+#include "store/csv_store.hpp"
+#include "store/tsdb/tsdb_store.hpp"
+
+namespace ldmsxx::bench {
+namespace {
+
+constexpr std::size_t kNodes = 64;
+constexpr std::size_t kMetrics = 16;
+constexpr DurationNs kTick = 100 * kNsPerMs;
+
+Schema MakeSchema() {
+  Schema schema("gpcdr");
+  for (std::size_t m = 0; m < kMetrics; ++m) {
+    schema.AddMetric("m" + std::to_string(m), MetricType::kU64);
+  }
+  return schema;
+}
+
+std::vector<MetricSetPtr> MakeSets(MemManager& mem, const Schema& schema) {
+  std::vector<MetricSetPtr> sets;
+  sets.reserve(kNodes);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    const std::string node = "nid" + std::to_string(n);
+    Status st;
+    MetricSetPtr set = MetricSet::Create(mem, schema, node + "/gpcdr", node,
+                                         n, &st);
+    if (set == nullptr) {
+      std::fprintf(stderr, "set create failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+/// One collection cycle: stamp every node's set at @p tick and store it.
+template <typename StoreFn>
+void IngestRows(std::vector<MetricSetPtr>& sets, std::size_t ticks,
+                StoreFn&& store_one) {
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const TimeNs ts = static_cast<TimeNs>(t) * kTick;
+    for (std::size_t n = 0; n < sets.size(); ++n) {
+      MetricSet& set = *sets[n];
+      set.BeginTransaction();
+      for (std::size_t m = 0; m < kMetrics; ++m) {
+        set.SetU64(m, t * kNodes + n + m);
+      }
+      set.EndTransaction(ts);
+      store_one(set);
+    }
+  }
+}
+
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+template <typename Fn>
+LatencyStats MeasureLatency(int reps, Fn&& fn) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    samples.push_back(
+        static_cast<std::uint64_t>(TimeSeconds(fn) * 1e9));
+  }
+  return {PercentileUs(samples, 0.50), PercentileUs(samples, 0.99)};
+}
+
+}  // namespace
+}  // namespace ldmsxx::bench
+
+int main() {
+  using namespace ldmsxx;
+  using namespace ldmsxx::bench;
+  namespace fs = std::filesystem;
+
+  Banner("T-query", "columnar ingest + indexed vs full-scan query latency");
+  PaperRow("\"analysis of both current and historical data\" (SVI) needs "
+           "queries served from storage, not from the daemons");
+
+  const bool smoke = SmokeMode();
+  // Query dataset: 1M rows (64 nodes x 15625 ticks) in the full run.
+  const std::size_t query_ticks = smoke ? 320 : 15625;
+  const std::size_t ingest_ticks = smoke ? 80 : 1600;
+  const int indexed_reps = smoke ? 5 : 64;
+  const int scan_reps = smoke ? 3 : 8;
+
+  std::string dir = "/tmp/ldmsxx_bench_query_XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  Schema schema = MakeSchema();
+  MemManager mem(static_cast<std::size_t>(kNodes) << 14);
+  std::vector<MetricSetPtr> sets = MakeSets(mem, schema);
+
+  // --- ingest leg: columnar vs CSV on identical samples ---------------------
+  const std::size_t ingest_rows = ingest_ticks * kNodes;
+  TsdbOptions ingest_opts;
+  ingest_opts.root_path = dir + "/ingest_tsdb";
+  ingest_opts.segment_rows = 8192;
+  TsdbStore ingest_tsdb(ingest_opts);
+  const double tsdb_s = TimeSeconds([&] {
+    IngestRows(sets, ingest_ticks,
+               [&](const MetricSet& s) { (void)ingest_tsdb.StoreSet(s); });
+    (void)ingest_tsdb.Flush();
+  });
+  CsvStoreOptions csv_opts;
+  csv_opts.root_path = dir + "/ingest_csv";
+  CsvStore csv(csv_opts);
+  const double csv_s = TimeSeconds([&] {
+    IngestRows(sets, ingest_ticks,
+               [&](const MetricSet& s) { (void)csv.StoreSet(s); });
+    (void)csv.Flush();
+  });
+  const double tsdb_rows_per_sec = static_cast<double>(ingest_rows) / tsdb_s;
+  const double csv_rows_per_sec = static_cast<double>(ingest_rows) / csv_s;
+  MeasuredRow("ingest %zu rows: tsdb %.2f Mrows/s, csv %.2f Mrows/s "
+              "(%.2fx csv)",
+              ingest_rows, tsdb_rows_per_sec / 1e6, csv_rows_per_sec / 1e6,
+              tsdb_rows_per_sec / csv_rows_per_sec);
+
+  // --- query leg: build the big dataset, then race the two paths ------------
+  TsdbOptions opts;
+  opts.root_path = dir + "/tsdb";
+  opts.segment_rows = 8192;
+  opts.rollup_granularity = 60 * kNsPerSec;
+  auto store = std::make_unique<TsdbStore>(opts);
+  IngestRows(sets, query_ticks,
+             [&](const MetricSet& s) { (void)store->StoreSet(s); });
+  if (Status st = store->Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::size_t rows_written = query_ticks * kNodes;
+  const std::uint64_t segments = store->segments_sealed();
+  std::uint64_t file_bytes = 0;
+  for (const auto& entry : fs::directory_iterator(opts.root_path)) {
+    file_bytes += fs::file_size(entry.path());
+  }
+  MeasuredRow("dataset: %zu rows, %llu sealed segments, %.1f MB on disk",
+              rows_written, static_cast<unsigned long long>(segments),
+              static_cast<double>(file_bytes) / 1e6);
+
+  // ~1% time window x 4 of 64 nodes x 2 of 16 metrics: the dashboard query.
+  TsdbQuery q;
+  q.table = "gpcdr";
+  q.t0 = static_cast<TimeNs>(query_ticks / 2) * kTick;
+  q.t1 = q.t0 + static_cast<TimeNs>(query_ticks / 100 + 1) * kTick;
+  q.nodes = {3, 17, 42, 63};
+  q.metrics = {"m2", "m11"};
+
+  TsdbQueryResult indexed, scanned;
+  const LatencyStats indexed_lat = MeasureLatency(indexed_reps, [&] {
+    indexed = TsdbQueryResult();
+    (void)store->Query(q, &indexed);
+  });
+  const LatencyStats scan_lat = MeasureLatency(scan_reps, [&] {
+    scanned = TsdbQueryResult();
+    (void)store->QueryFullScan(q, &scanned);
+  });
+  if (indexed.rows.size() != scanned.rows.size() || indexed.rows.empty()) {
+    std::fprintf(stderr, "query paths disagree: indexed %zu vs scan %zu\n",
+                 indexed.rows.size(), scanned.rows.size());
+    return 1;
+  }
+  const double speedup = scan_lat.p50_us / indexed_lat.p50_us;
+  MeasuredRow("indexed: p50 %.0f us, p99 %.0f us (%llu of %llu segments "
+              "pruned, %.2f MB read)",
+              indexed_lat.p50_us, indexed_lat.p99_us,
+              static_cast<unsigned long long>(indexed.segments_pruned),
+              static_cast<unsigned long long>(indexed.segments_considered),
+              static_cast<double>(indexed.bytes_read) / 1e6);
+  MeasuredRow("full scan: p50 %.0f us, p99 %.0f us (%.2f MB read)",
+              scan_lat.p50_us, scan_lat.p99_us,
+              static_cast<double>(scanned.bytes_read) / 1e6);
+  MeasuredRow("indexed speedup: %.1fx at p50 (acceptance: >= 20x at 1M rows)",
+              speedup);
+
+  // Rollup path: the downsampled answer over the full range.
+  TsdbQuery rq = q;
+  rq.t0 = 0;
+  rq.t1 = ~TimeNs{0};
+  std::vector<TsdbRollupRow> rollups;
+  const LatencyStats rollup_lat = MeasureLatency(indexed_reps, [&] {
+    rollups.clear();
+    (void)store->QueryRollup(rq, &rollups);
+  });
+  MeasuredRow("rollup (60s buckets, full range): %zu buckets, p50 %.0f us",
+              rollups.size(), rollup_lat.p50_us);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("query"));
+  json.Field("smoke", smoke);
+  json.BeginObject("ingest");
+  json.Field("rows", ingest_rows);
+  json.Field("tsdb_rows_per_sec", tsdb_rows_per_sec);
+  json.Field("csv_rows_per_sec", csv_rows_per_sec);
+  json.Field("tsdb_vs_csv_x", tsdb_rows_per_sec / csv_rows_per_sec);
+  json.EndObject();
+  json.BeginObject("dataset");
+  json.Field("rows_written", rows_written);
+  json.Field("nodes", kNodes);
+  json.Field("columns", kMetrics);
+  json.Field("segments_sealed", segments);
+  json.Field("file_bytes", file_bytes);
+  json.EndObject();
+  json.BeginObject("window_query");
+  json.Field("rows_returned", indexed.rows.size());
+  json.Field("segments_considered", indexed.segments_considered);
+  json.Field("segments_pruned", indexed.segments_pruned);
+  json.Field("indexed_read_bytes", indexed.bytes_read);
+  json.Field("scan_read_bytes", scanned.bytes_read);
+  json.Field("indexed_p50_us", indexed_lat.p50_us);
+  json.Field("indexed_p99_us", indexed_lat.p99_us);
+  json.Field("scan_p50_us", scan_lat.p50_us);
+  json.Field("scan_p99_us", scan_lat.p99_us);
+  json.Field("speedup_x", speedup);
+  json.EndObject();
+  json.BeginObject("rollup_query");
+  json.Field("buckets", rollups.size());
+  json.Field("p50_us", rollup_lat.p50_us);
+  json.EndObject();
+  json.EndObject();
+  if (!json.WriteFile("BENCH_query.json")) {
+    std::fprintf(stderr, "failed to write BENCH_query.json\n");
+    return 1;
+  }
+  NoteRow("rows/bytes/segment metrics are data-determined and "
+          "regression-gated (bench_compare.py); _us and rows-per-second "
+          "figures are machine-dependent trend data");
+  NoteRow("machine-readable results: BENCH_query.json");
+  fs::remove_all(dir);
+  return 0;
+}

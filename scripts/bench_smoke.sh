@@ -38,5 +38,6 @@ run_bench bench_fanin BENCH_fanin.json
 run_bench bench_store_overload BENCH_store_overload.json
 run_bench bench_tree BENCH_tree.json
 run_bench bench_restart BENCH_restart.json
+run_bench bench_query BENCH_query.json
 
 echo "bench_smoke: all benches passed"

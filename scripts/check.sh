@@ -23,16 +23,16 @@ for preset in "${presets[@]}"; do
     scripts/bench_smoke.sh build build/bench-artifacts
     echo "==> [$preset] bench regression gate (scale-free metrics vs baseline)"
     for artifact in BENCH_fanin.json BENCH_store_overload.json \
-                    BENCH_tree.json BENCH_restart.json; do
+                    BENCH_tree.json BENCH_restart.json BENCH_query.json; do
       scripts/bench_compare.py "bench/baselines/$artifact" \
         "build/bench-artifacts/$artifact"
     done
   else
     # Sanitizer presets focus on the concurrency-heavy fault suites and the
     # wire codecs (the preset's own filter applies on top of the labels).
-    echo "==> [$preset] chaos + overload + codec + tree + persist suites"
+    echo "==> [$preset] chaos + overload + codec + tree + persist + query suites"
     ctest --preset "$preset" --output-on-failure \
-      -L 'chaos|overload|codec|tree|persist'
+      -L 'chaos|overload|codec|tree|persist|query'
   fi
 done
 echo "==> all presets green"

@@ -1,6 +1,8 @@
 #include "daemon/config.hpp"
 
+#include "daemon/decomp/decomp.hpp"
 #include "daemon/topology.hpp"
+#include "store/tsdb/tsdb_store.hpp"
 #include "util/strings.hpp"
 
 namespace ldmsxx {
@@ -32,7 +34,8 @@ bool IsMutatingControlVerb(std::string_view verb) {
   // verbs added later and typos — requires auth (fail closed).
   return !(verb == "counters" || verb == "strgp_status" ||
            verb == "prdcr_status" || verb == "tree_status" ||
-           verb == "registry_status" || verb == "auth_status");
+           verb == "registry_status" || verb == "auth_status" ||
+           verb == "query");
 }
 
 ConfigProcessor::ConfigProcessor(Ldmsd& daemon, PluginRegistry* registry)
@@ -81,6 +84,10 @@ Status ConfigProcessor::Execute(std::string_view line, std::string* output) {
   if (verb == "tree_status") {
     std::string local;
     return CmdTreeStatus(args, output != nullptr ? output : &local);
+  }
+  if (verb == "query") {
+    std::string local;
+    return CmdQuery(args, output != nullptr ? output : &local);
   }
   return {ErrorCode::kInvalidArgument, "unknown command: " + verb};
 }
@@ -267,6 +274,20 @@ Status ConfigProcessor::CmdStrgpAdd(const PluginParams& args) {
   if (auto max_backoff = IntervalUsParam(args, "breaker_max")) {
     policy.breaker_max_backoff = *max_backoff;
   }
+  if (auto it = args.find("decomp"); it != args.end()) {
+    // Validate the spec here so a typo fails the command, not (silently)
+    // the first stored sample. Metric resolution against the schema still
+    // happens lazily at first sample — config does not know schemas.
+    DecompSpec spec;
+    Status st = ParseDecompSpec(it->second, &spec);
+    if (!st.ok()) return st;
+    if (!policy.store->row_capable()) {
+      return {ErrorCode::kUnsupported,
+              "decomp= requires a row-capable store plugin (" +
+                  policy.plugin + " stores whole sets)"};
+    }
+    policy.decomp = it->second;
+  }
   return daemon_.AddStorePolicy(std::move(policy));
 }
 
@@ -287,7 +308,9 @@ Status ConfigProcessor::CmdStrgpStatus(const PluginParams& args,
               " trips=" + std::to_string(s.breaker_trips) +
               " recoveries=" + std::to_string(s.breaker_recoveries) +
               " gap=" + std::to_string(s.quarantine_gap) +
-              " backoff_us=" + std::to_string(s.current_backoff / kNsPerUs);
+              " backoff_us=" + std::to_string(s.current_backoff / kNsPerUs) +
+              " evictions=" + std::to_string(s.store_evictions) +
+              " decomp_failures=" + std::to_string(s.decompose_failures);
     return Status::Ok();
   }
   for (const auto& name : daemon_.store_policy_names()) {
@@ -345,6 +368,7 @@ Status ConfigProcessor::CmdCounters(std::string* output) {
             " connects_failed=" + get(c.connects_failed) +
             " reconnects=" + get(c.reconnects) +
             " backoff_deferrals=" + get(c.backoff_deferrals) +
+            " announce_retries=" + get(c.announce_retries) +
             " updates_batched=" + get(c.updates_batched) +
             " updates_unchanged=" + get(c.updates_unchanged) +
             " updates_delta=" + get(c.updates_delta) +
@@ -405,6 +429,103 @@ Status ConfigProcessor::CmdRegistryExport(const PluginParams& args) {
     return {ErrorCode::kInvalidArgument, "registry_export requires path="};
   }
   return registry->ExportTo(it->second);
+}
+
+Status ConfigProcessor::CmdQuery(const PluginParams& args,
+                                 std::string* output) {
+  auto strgp = args.find("strgp");
+  if (strgp == args.end()) {
+    return {ErrorCode::kInvalidArgument, "query requires strgp="};
+  }
+  std::shared_ptr<Store> store = daemon_.store_for_policy(strgp->second);
+  if (store == nullptr) {
+    return {ErrorCode::kNotFound, "no such store policy: " + strgp->second};
+  }
+  auto* tsdb = dynamic_cast<TsdbStore*>(store.get());
+  if (tsdb == nullptr) {
+    return {ErrorCode::kUnsupported,
+            "strgp " + strgp->second + " is not backed by store_tsdb"};
+  }
+  std::string mode = "rows";
+  if (auto it = args.find("mode"); it != args.end()) mode = it->second;
+  if (mode == "tables") {
+    for (const auto& table : tsdb->Tables()) {
+      if (!output->empty()) output->push_back(' ');
+      *output += table;
+    }
+    return Status::Ok();
+  }
+
+  TsdbQuery q;
+  if (auto it = args.find("table"); it != args.end()) {
+    q.table = it->second;
+  } else {
+    return {ErrorCode::kInvalidArgument, "query requires table="};
+  }
+  if (auto t0 = IntervalUsParam(args, "t0_us")) q.t0 = *t0;
+  if (auto t1 = IntervalUsParam(args, "t1_us")) q.t1 = *t1;
+  if (auto it = args.find("nodes"); it != args.end()) {
+    for (auto node_sv : Split(it->second, ',')) {
+      auto node = ParseU64(node_sv);
+      if (!node) {
+        return {ErrorCode::kInvalidArgument,
+                "bad nodes=" + it->second};
+      }
+      q.nodes.push_back(*node);
+    }
+  }
+  if (auto it = args.find("metrics"); it != args.end()) {
+    for (auto metric : Split(it->second, ',')) {
+      if (!metric.empty()) q.metrics.emplace_back(metric);
+    }
+  }
+  std::size_t limit = 64;
+  if (auto it = args.find("limit"); it != args.end()) {
+    auto n = ParseU64(it->second);
+    if (!n) return {ErrorCode::kInvalidArgument, "bad limit=" + it->second};
+    limit = static_cast<std::size_t>(*n);
+  }
+
+  if (mode == "rollup") {
+    std::vector<TsdbRollupRow> rollups;
+    Status st = tsdb->QueryRollup(q, &rollups);
+    if (!st.ok()) return st;
+    *output = "buckets=" + std::to_string(rollups.size());
+    std::size_t emitted = 0;
+    for (const auto& r : rollups) {
+      if (emitted++ >= limit) break;
+      *output += " rollup=" + std::to_string(r.bucket / kNsPerUs) + ":" +
+                 std::to_string(r.node) + ":" + r.metric + ":" +
+                 std::to_string(r.min) + ":" + std::to_string(r.max) + ":" +
+                 std::to_string(r.avg) + ":" + std::to_string(r.count);
+    }
+    return Status::Ok();
+  }
+  if (mode != "rows") {
+    return {ErrorCode::kInvalidArgument, "bad mode=" + mode};
+  }
+  TsdbQueryResult result;
+  Status st = tsdb->Query(q, &result);
+  if (!st.ok()) return st;
+  std::string columns;
+  for (const auto& column : result.columns) {
+    if (!columns.empty()) columns.push_back(',');
+    columns += column;
+  }
+  *output = "columns=" + columns +
+            " rows=" + std::to_string(result.rows.size()) +
+            " segments_considered=" + std::to_string(result.segments_considered) +
+            " segments_pruned=" + std::to_string(result.segments_pruned) +
+            " segments_read=" + std::to_string(result.segments_read) +
+            " bytes_read=" + std::to_string(result.bytes_read);
+  std::size_t emitted = 0;
+  for (const auto& row : result.rows) {
+    if (emitted++ >= limit) break;
+    *output += " row=" + std::to_string(row.ts / kNsPerUs) + ":" +
+               std::to_string(row.node);
+    for (const double v : row.values) *output += ":" + std::to_string(v);
+  }
+  return Status::Ok();
 }
 
 Status ConfigProcessor::CmdRegistryImport(const PluginParams& args) {

@@ -16,7 +16,10 @@
 //              [schema=<filter>] [producer=<filter>] [altheader=1]
 //              [queue=<max samples>] [shed=drop_oldest|drop_newest|block]
 //              [breaker_k=<consecutive failures>] [breaker_min=<usec>]
-//              [breaker_max=<usec>]
+//              [breaker_max=<usec>] [decomp=<spec>] [max_samples=<rows>]
+//              (decomp= requires a row-capable plugin such as store_tsdb;
+//               spec grammar is in daemon/decomp/decomp.hpp. max_samples=
+//               caps store_mem's per-schema row ring, drop-oldest.)
 //   prdcr_del  name=<producer>      (stop collecting; drops mirrors and the
 //                                    registry record)
 //   interval   name=<plugin> interval=<usec>       (on-the-fly change)
@@ -31,6 +34,11 @@
 //   registry_export path=<file>     (write the registry snapshot to a file)
 //   registry_import path=<file>     (strict-parse a file and replace the
 //                                    registry contents with it)
+//   query      strgp=<policy> table=<t> [mode=rows|rollup|tables]
+//              [t0_us=<usec>] [t1_us=<usec>] [nodes=<1,2,3>]
+//              [metrics=<a,b>] [limit=<rows, default 64>]
+//              (serve a time-range x node-set x metric query from a
+//               store_tsdb policy's indexed segments)
 //
 // Intervals are microseconds, matching ldmsd's convention. Lines starting
 // with '#' and blank lines are ignored. Query verbs report through the
@@ -82,6 +90,7 @@ class ConfigProcessor {
   Status CmdRegistryStatus(std::string* output);
   Status CmdRegistryExport(const PluginParams& args);
   Status CmdRegistryImport(const PluginParams& args);
+  Status CmdQuery(const PluginParams& args, std::string* output);
 
   Ldmsd& daemon_;
   PluginRegistry* registry_;

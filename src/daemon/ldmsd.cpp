@@ -393,6 +393,7 @@ Status Ldmsd::AddStorePolicy(StorePolicy policy) {
     record.params = final_policy.plugin_params;
     record.schema_filter = final_policy.schema_filter;
     record.producer_filter = final_policy.producer_filter;
+    record.decomp = final_policy.decomp;
     record.queue_capacity = final_policy.queue_capacity;
     record.shed_policy = ShedPolicyName(final_policy.shed_policy);
     record.breaker_threshold = final_policy.breaker_threshold;
@@ -880,6 +881,76 @@ Status Ldmsd::AnnounceTo(const std::string& transport,
   return AdvertiseInternal(transport, address, /*announce=*/true, node_id);
 }
 
+Status Ldmsd::AnnounceWithRetry(std::vector<AnnounceTarget> targets,
+                                std::uint64_t node_id,
+                                DurationNs min_backoff,
+                                DurationNs max_backoff) {
+  if (targets.empty()) {
+    return {ErrorCode::kInvalidArgument, "no announce targets"};
+  }
+  // First attempt runs inline against the primary: the common case (seed
+  // aggregator healthy) never touches the scheduler.
+  Status st = AdvertiseInternal(targets[0].transport, targets[0].address,
+                                /*announce=*/true, node_id);
+  if (st.ok()) return st;
+  log_.Warn("announce to ", targets[0].address, " failed (", st.ToString(),
+            "); re-seeding against ", targets.size() - 1, " standby(s)");
+
+  // Retry state lives in a shared_ptr owned by the task closure; the task
+  // cancels itself on success (Cancel from within a task is safe — the
+  // scheduler runs fn with its lock released).
+  struct RetryState {
+    std::vector<AnnounceTarget> targets;
+    std::uint64_t node_id = 0;
+    std::size_t next = 1;          // targets[0] just failed; rotate on
+    DurationNs backoff = 0;
+    TimeNs next_attempt_at = 0;    // gate: the task ticks faster than this
+    TimerScheduler::TaskId task = 0;
+    std::mutex mu;
+  };
+  auto state = std::make_shared<RetryState>();
+  state->targets = std::move(targets);
+  state->node_id = node_id;
+  state->backoff = min_backoff;
+  state->next_attempt_at = clock_->Now() + min_backoff;
+  const DurationNs capped_max = std::max(max_backoff, min_backoff);
+  TimerScheduler::TaskOptions topts;
+  topts.interval = min_backoff;
+  state->task = scheduler_.Schedule(
+      [this, state, capped_max] {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (clock_->Now() < state->next_attempt_at) return;
+        const AnnounceTarget& target =
+            state->targets[state->next % state->targets.size()];
+        ++state->next;
+        counters_.announce_retries.fetch_add(1, std::memory_order_relaxed);
+        const Status ast = AdvertiseInternal(target.transport, target.address,
+                                             /*announce=*/true,
+                                             state->node_id);
+        if (ast.ok()) {
+          log_.Info("announce re-seeded via ", target.address, " after ",
+                    counters_.announce_retries.load(std::memory_order_relaxed),
+                    " retries");
+          scheduler_.Cancel(state->task);
+          return;
+        }
+        state->backoff = std::min(state->backoff * 2, capped_max);
+        state->next_attempt_at = clock_->Now() + state->backoff;
+      },
+      topts);
+  return {ErrorCode::kDisconnected,
+          "announce failed; retrying against standby targets"};
+}
+
+std::shared_ptr<Store> Ldmsd::store_for_policy(
+    const std::string& policy_name) const {
+  auto snapshot = policies();
+  for (const auto& runtime : *snapshot) {
+    if (runtime->name() == policy_name) return runtime->policy().store;
+  }
+  return nullptr;
+}
+
 // ---------------------------------------------------------------------------
 // Cluster registry: crash-safe restart-resume
 // ---------------------------------------------------------------------------
@@ -976,6 +1047,7 @@ Status Ldmsd::RestoreFromRegistry(PluginRegistry* plugins) {
     policy.name = record.name;
     policy.plugin = record.plugin;
     policy.plugin_params = record.params;
+    policy.decomp = record.decomp;
     policy.queue_capacity = record.queue_capacity;
     (void)ParseShedPolicy(record.shed_policy, &policy.shed_policy);
     policy.breaker_threshold = record.breaker_threshold;

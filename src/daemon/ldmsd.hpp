@@ -162,6 +162,9 @@ class Ldmsd final : public ServiceHandler {
     /// Collection cycles that skipped a connect attempt because the
     /// producer's reconnect backoff window had not yet elapsed.
     std::atomic<std::uint64_t> backoff_deferrals{0};
+    /// Announce attempts re-fired by AnnounceWithRetry after the current
+    /// seed-aggregator target failed (failover re-seeding, ISSUE 9).
+    std::atomic<std::uint64_t> announce_retries{0};
   };
 
   /// Health of one producer connection.
@@ -292,6 +295,25 @@ class Ldmsd final : public ServiceHandler {
   /// assignment (ISSUE 8 tentpole part 3).
   Status AnnounceTo(const std::string& transport, const std::string& address,
                     std::uint64_t node_id);
+  /// One seed-aggregator announce target for AnnounceWithRetry.
+  struct AnnounceTarget {
+    std::string transport;
+    std::string address;
+  };
+  /// AnnounceTo with failover re-seeding: try @p targets in order (primary
+  /// first, standbys after); if every target refuses, keep retrying on the
+  /// scheduler with exponential backoff, rotating through the targets, until
+  /// one accepts. Each re-fired attempt bumps Counters.announce_retries, so
+  /// a sampler stuck re-seeding is visible through the counters verb.
+  /// Returns Ok when the first synchronous attempt landed; kDisconnected
+  /// (with retries armed) otherwise.
+  Status AnnounceWithRetry(std::vector<AnnounceTarget> targets,
+                           std::uint64_t node_id,
+                           DurationNs min_backoff = 50 * kNsPerMs,
+                           DurationNs max_backoff = 2 * kNsPerSec);
+  /// Store object behind a named policy (the `query` verb resolves its
+  /// strgp name through this); nullptr for an unknown policy.
+  std::shared_ptr<Store> store_for_policy(const std::string& policy_name) const;
 
   // --- cluster registry (crash-safe restart-resume) -----------------------
 

@@ -5,6 +5,7 @@
 #include "store/flatfile_store.hpp"
 #include "store/memory_store.hpp"
 #include "store/sos_store.hpp"
+#include "store/tsdb/tsdb_store.hpp"
 #include "util/strings.hpp"
 
 namespace ldmsxx {
@@ -76,8 +77,28 @@ void RegisterBuiltinStores() {
       opts.root_path = it->second;
     return std::make_shared<SosStore>(std::move(opts));
   });
-  registry.AddStore("store_mem", [](const PluginParams&) {
-    return std::make_shared<MemoryStore>();
+  registry.AddStore("store_mem", [](const PluginParams& params) {
+    std::size_t max_samples = 0;
+    if (auto it = params.find("max_samples"); it != params.end()) {
+      if (auto v = ParseU64(it->second)) max_samples = *v;
+    }
+    return std::make_shared<MemoryStore>(max_samples);
+  });
+  // Columnar time-series backend with indexed segments and rollups, e.g.
+  //   strgp_add plugin=store_tsdb path=/data/tsdb segment_rows=4096
+  //             rollup_sec=60 decomp=hot@cpu_user:user:rate,cpu_idle
+  registry.AddStore("store_tsdb", [](const PluginParams& params) {
+    TsdbOptions opts;
+    if (auto it = params.find("path"); it != params.end())
+      opts.root_path = it->second;
+    if (auto it = params.find("segment_rows"); it != params.end()) {
+      if (auto v = ParseU64(it->second); v && *v > 0) opts.segment_rows = *v;
+    }
+    if (auto it = params.find("rollup_sec"); it != params.end()) {
+      if (auto v = ParseU64(it->second))
+        opts.rollup_granularity = *v * kNsPerSec;
+    }
+    return std::make_shared<TsdbStore>(std::move(opts));
   });
   // Decorator: wraps another registered store plugin with a seeded fault
   // schedule. Probabilities are permille (integer config language); e.g.

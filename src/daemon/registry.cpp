@@ -255,6 +255,7 @@ std::string SerializeStore(const StoreRecord& s) {
   AppendField(&line, "plugin", s.plugin);
   AppendField(&line, "schema", s.schema_filter);
   AppendField(&line, "producer", s.producer_filter);
+  AppendField(&line, "decomp", s.decomp);
   AppendU64(&line, "queue", s.queue_capacity);
   AppendField(&line, "shed", s.shed_policy);
   AppendU64(&line, "breaker", s.breaker_threshold);
@@ -276,6 +277,7 @@ bool ParseStore(std::string_view line, StoreRecord* out) {
   out->plugin = r.Str("plugin");
   out->schema_filter = r.Str("schema");
   out->producer_filter = r.Str("producer");
+  out->decomp = r.Str("decomp");  // absent in pre-decomp registries
   out->queue_capacity = static_cast<std::size_t>(r.U64("queue", 1024));
   out->shed_policy = r.Str("shed", "drop_oldest");
   out->breaker_threshold = r.U64("breaker", 5);

@@ -80,6 +80,8 @@ struct StoreRecord {
   std::map<std::string, std::string> params;
   std::string schema_filter;
   std::string producer_filter;
+  /// Row-decomposition spec (strgp_add decomp=...); empty = whole sets.
+  std::string decomp;
   std::size_t queue_capacity = 1024;
   std::string shed_policy = "drop_oldest";
   std::uint64_t breaker_threshold = 5;

@@ -70,7 +70,20 @@ StorePolicyRuntime::StorePolicyRuntime(StorePolicy policy, Clock* clock,
       clock_(clock),
       log_(log),
       counters_(counters),
-      jitter_rng_(HashName(policy_.name) ^ 0x73747267705f6271ull) {}
+      jitter_rng_(HashName(policy_.name) ^ 0x73747267705f6271ull) {
+  if (!policy_.decomp.empty()) {
+    DecompSpec spec;
+    const Status st = ParseDecompSpec(policy_.decomp, &spec);
+    if (st.ok()) {
+      decomposer_ = std::make_unique<Decomposer>(std::move(spec));
+    } else {
+      // Config validates the spec before the policy reaches us; a bad spec
+      // here means a hand-built policy — store whole sets rather than drop.
+      log_->Error("strgp ", policy_.name, " decomp rejected: ",
+                  st.ToString());
+    }
+  }
+}
 
 bool StorePolicyRuntime::Matches(const MetricSet& set) const {
   if (!policy_.schema_filter.empty() &&
@@ -93,7 +106,11 @@ void StorePolicyRuntime::Submit(MetricSetPtr set,
   if (pool == nullptr) {
     // Inline mode (store_threads = 0): no queue, but the breaker still
     // gates the write so a dead store cannot stall a simulation loop.
-    WriteOne(item);
+    if (batched()) {
+      WriteBatch(&item, 1);
+    } else {
+      WriteOne(item);
+    }
     return;
   }
 
@@ -165,7 +182,14 @@ void StorePolicyRuntime::DrainBatch(ThreadPool* pool) {
     }
   }
   space_cv_.notify_all();
-  for (const Pending& item : batch) WriteOne(item);
+  if (batched()) {
+    // One store call per drain trip: the columnar path amortizes the
+    // store's internal lock and plan lookup over the whole batch instead
+    // of paying them per sample.
+    WriteBatch(batch.data(), batch.size());
+  } else {
+    for (const Pending& item : batch) WriteOne(item);
+  }
   bool more = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -193,7 +217,11 @@ void StorePolicyRuntime::DrainInline() {
       queue_.pop_front();
     }
     space_cv_.notify_all();
-    WriteOne(item);
+    if (batched()) {
+      WriteBatch(&item, 1);
+    } else {
+      WriteOne(item);
+    }
   }
 }
 
@@ -223,10 +251,11 @@ bool StorePolicyRuntime::AdmitLocked() {
   return true;
 }
 
-void StorePolicyRuntime::RecordOutcomeLocked(bool ok, const Status& st) {
+void StorePolicyRuntime::RecordOutcomeLocked(bool ok, const Status& st,
+                                             std::uint64_t samples) {
   if (ok) {
-    ++stores_;
-    counters_->stores.fetch_add(1, std::memory_order_relaxed);
+    stores_ += samples;
+    counters_->stores.fetch_add(samples, std::memory_order_relaxed);
     consecutive_failures_ = 0;
     if (breaker_ == BreakerState::kHalfOpen) {
       breaker_ = BreakerState::kClosed;
@@ -296,6 +325,67 @@ void StorePolicyRuntime::WriteOne(const Pending& item) {
   RecordOutcomeLocked(st.ok(), st);
 }
 
+void StorePolicyRuntime::WriteBatch(const Pending* items, std::size_t n) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!AdmitLocked()) {
+      shed_samples_ += n;
+      quarantine_gap_ += n;
+      episode_gap_ += n;
+      counters_->shed_samples.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const std::uint64_t t0 = NowSteadyNs();
+  Status st;
+  std::uint64_t written = n;
+  std::uint64_t decomp_failed = 0;
+  if (decomposer_ != nullptr) {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    row_scratch_.Clear();
+    written = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::lock_guard<std::mutex> set_lock(*items[i].set_mu);
+      const Status ds = decomposer_->Decompose(*items[i].set, &row_scratch_);
+      if (ds.ok()) {
+        ++written;
+      } else {
+        ++decomp_failed;
+        if (st.ok()) st = ds;
+      }
+    }
+    if (written > 0) {
+      const Status ws = policy_.store->StoreRows(row_scratch_);
+      if (!ws.ok()) {
+        st = ws;
+        written = 0;
+      }
+    }
+  } else {
+    std::vector<Store::BatchItem> batch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i] = {items[i].set.get(), items[i].set_mu.get()};
+    }
+    std::size_t stored = 0;
+    st = policy_.store->StoreSetBatch(batch.data(), n, &stored);
+    written = st.ok() ? n : stored;
+  }
+  counters_->store_ns.fetch_add(NowSteadyNs() - t0,
+                                std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  decompose_failures_ += decomp_failed;
+  // A fully-decomposed, fully-written batch is one success; anything short
+  // of that is one failure episode for the breaker, with the samples that
+  // did land still counted.
+  if (written > 0) {
+    RecordOutcomeLocked(true, Status::Ok(), written);
+  }
+  if (!st.ok()) {
+    RecordOutcomeLocked(false, st);
+  }
+}
+
 StorePolicyStatus StorePolicyRuntime::status() const {
   StorePolicyStatus s;
   std::lock_guard<std::mutex> lock(mu_);
@@ -312,6 +402,8 @@ StorePolicyStatus StorePolicyRuntime::status() const {
   s.breaker_recoveries = breaker_recoveries_;
   s.quarantine_gap = quarantine_gap_;
   s.current_backoff = breaker_ == BreakerState::kClosed ? 0 : backoff_;
+  s.store_evictions = policy_.store->rows_evicted();
+  s.decompose_failures = decompose_failures_;
   return s;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/metric_set.hpp"
+#include "daemon/decomp/decomp.hpp"
 #include "store/store.hpp"
 #include "util/clock.hpp"
 #include "util/logging.hpp"
@@ -83,6 +84,10 @@ struct StorePolicy {
   std::string schema_filter;
   /// Only store sets from this producer; empty = all.
   std::string producer_filter;
+  /// Row-decomposition spec (`strgp_add decomp=...`), compiled once per
+  /// schema digest into a flat column plan; empty = store whole sets. Only
+  /// meaningful with a row_capable() store — config rejects the rest.
+  std::string decomp;
   /// Policy name for logs/control queries; empty = derived from the store.
   std::string name;
   /// Max samples queued ahead of the storer pool; 0 = unbounded (old
@@ -126,6 +131,10 @@ struct StorePolicyStatus {
   std::uint64_t quarantine_gap = 0;
   /// Current quarantine backoff span; 0 when closed.
   DurationNs current_backoff = 0;
+  /// Rows evicted by the store itself (e.g. memory_store's ring cap).
+  std::uint64_t store_evictions = 0;
+  /// Samples that failed row decomposition (plan compile or derive error).
+  std::uint64_t decompose_failures = 0;
 };
 
 /// Per-policy storage runtime: bounded queue + breaker + drain scheduling.
@@ -175,19 +184,38 @@ class StorePolicyRuntime {
   /// the sample must be shed (open breaker, or half-open with a probe
   /// already in flight).
   bool AdmitLocked();
-  /// Record a write outcome; caller holds mu_.
-  void RecordOutcomeLocked(bool ok, const Status& st);
+  /// Record a write outcome covering @p samples; caller holds mu_.
+  void RecordOutcomeLocked(bool ok, const Status& st,
+                           std::uint64_t samples = 1);
   /// Pop-and-write up to kDrainBatch samples; resubmits itself while work
   /// remains. Runs on the storer pool.
   void DrainBatch(ThreadPool* pool);
   /// Write one sample through the store (outside mu_), then record the
   /// outcome (under mu_).
   void WriteOne(const Pending& item);
+  /// Does this policy take the batched path (one store call per drain batch
+  /// instead of one per sample)? True for decomposing policies and
+  /// batch-capable stores; everything else keeps the historical per-sample
+  /// WriteOne semantics exactly.
+  bool batched() const {
+    return decomposer_ != nullptr || policy_.store->batch_capable();
+  }
+  /// Write @p n samples in one store call: decomposed rows via StoreRows
+  /// when the policy has a decomp spec, whole sets via StoreSetBatch
+  /// otherwise. One breaker admission and one outcome per batch.
+  void WriteBatch(const Pending* items, std::size_t n);
 
   const StorePolicy policy_;
   Clock* clock_;
   Logger* log_;
   StoreCounters* counters_;
+
+  /// Set iff policy_.decomp parsed; Decomposer keeps per-series history for
+  /// delta/rate columns, so writes through it serialize on write_mu_.
+  std::unique_ptr<Decomposer> decomposer_;
+  std::mutex write_mu_;
+  RowBatch row_scratch_;             // guarded by write_mu_
+  std::uint64_t decompose_failures_ = 0;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable space_cv_;  // block-mode submitters wait here

@@ -19,6 +19,10 @@ Status MemoryStore::StoreSet(const MetricSet& set) {
     row.values.push_back(set.GetValue(i).AsDouble());
   }
   table.rows.push_back(std::move(row));
+  if (max_samples_ > 0 && table.rows.size() > max_samples_) {
+    table.rows.pop_front();
+    CountEvicted();
+  }
   CountRow(8 * set.schema().metric_count() + 24);
   return Status::Ok();
 }
@@ -35,7 +39,7 @@ std::vector<MemRow> MemoryStore::Rows(const std::string& schema) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(schema);
   if (it == tables_.end()) return {};
-  return it->second.rows;
+  return {it->second.rows.begin(), it->second.rows.end()};
 }
 
 std::size_t MemoryStore::RowCount(const std::string& schema) const {

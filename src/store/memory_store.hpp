@@ -3,6 +3,7 @@
 // simulated day of samples without round-tripping through the filesystem).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -22,8 +23,17 @@ struct MemRow {
 
 class MemoryStore final : public Store {
  public:
+  /// @p max_samples caps each schema's row ring (`strgp_add ...
+  /// max_samples=N`): past the cap the oldest row is evicted, and the
+  /// eviction is surfaced through rows_evicted() / strgp_status. 0 keeps
+  /// the historical unbounded behaviour.
+  explicit MemoryStore(std::size_t max_samples = 0)
+      : max_samples_(max_samples) {}
+
   const std::string& name() const override { return name_; }
   Status StoreSet(const MetricSet& set) override;
+
+  std::size_t max_samples() const { return max_samples_; }
 
   /// Metric names for @p schema as of the first stored row.
   std::vector<std::string> MetricNames(const std::string& schema) const;
@@ -42,10 +52,11 @@ class MemoryStore final : public Store {
  private:
   struct Table {
     std::vector<std::string> metric_names;
-    std::vector<MemRow> rows;
+    std::deque<MemRow> rows;  ///< ring when max_samples_ > 0
   };
 
   std::string name_ = "store_mem";
+  std::size_t max_samples_ = 0;
   mutable std::mutex mu_;
   std::map<std::string, Table> tables_;
 };

@@ -1,0 +1,30 @@
+#include "store/store.hpp"
+
+namespace ldmsxx {
+
+Status Store::StoreRows(const RowBatch&) {
+  return {ErrorCode::kUnsupported, name() + " does not accept decomposed rows"};
+}
+
+Status Store::StoreSetBatch(const BatchItem* items, std::size_t n,
+                            std::size_t* stored) {
+  std::size_t ok = 0;
+  Status st;
+  for (std::size_t i = 0; i < n; ++i) {
+    Status one;
+    {
+      std::lock_guard<std::mutex> lock(*items[i].mu);
+      one = StoreSet(*items[i].set);
+    }
+    if (one.ok()) {
+      ++ok;
+    } else {
+      st = one;
+      break;
+    }
+  }
+  if (stored != nullptr) *stored = ok;
+  return st;
+}
+
+}  // namespace ldmsxx

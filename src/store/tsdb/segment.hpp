@@ -1,0 +1,138 @@
+// Time-partitioned columnar segments (ISSUE 9 tentpole part 2). A segment is
+// an append-only batch of rows for one table, stored column-major: every
+// column is a contiguous run of 8-byte slots, so a query that wants 2 of 18
+// metrics reads 2/18ths of the data. Segments are built in memory
+// (preallocated column buffers) and sealed to disk in one AtomicWriteFile —
+// a reader never sees a torn segment.
+//
+// On-disk layout (ByteWriter little-endian):
+//
+//   header : u32 magic "LSG1" | str table | u16 ncols
+//   body   : ts[rows] u64 | node[rows] u64 | prod_idx[rows] u64 |
+//            ncols x (col[rows] u64)
+//   footer : str table | u64 min_ts | u64 max_ts | u64 row_count |
+//            u8 node_overflow | u16 nnodes | nnodes x u64 (sorted unique) |
+//            u16 nproducers | nproducers x str |
+//            u16 ncols | ncols x (str name, u8 type) |
+//            (3 + ncols) x u64 column offsets | (3 + ncols) x u64 column CRCs
+//   trailer: u64 footer_offset | u64 footer_crc | u32 magic "LSGF"
+//
+// The footer is the index: a reader seeks to the 20-byte trailer, reads the
+// CRC-sealed footer, and can then prune the whole segment on min/max
+// timestamp or the node dictionary — or seek straight to the few columns a
+// query asks for, each verified by its own FNV-1a. The node dictionary
+// degrades to an "any node" overflow flag past kMaxNodeDict distinct ids so
+// a pathological segment cannot bloat the index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+
+/// Name + output type of one data column.
+struct SegmentColumn {
+  std::string name;
+  MetricType type = MetricType::kU64;
+};
+
+/// Parsed footer of a sealed segment: everything a query needs to prune the
+/// segment or locate its columns, without touching the body.
+struct SegmentFooter {
+  std::string table;
+  TimeNs min_ts = 0;
+  TimeNs max_ts = 0;
+  std::uint64_t row_count = 0;
+  /// Distinct component ids in this segment, sorted. When node_overflow is
+  /// set the dictionary was abandoned (too many distinct ids) and node
+  /// pruning must treat the segment as "may contain any node".
+  bool node_overflow = false;
+  std::vector<std::uint64_t> nodes;
+  std::vector<std::string> producers;
+  std::vector<SegmentColumn> columns;
+  /// Byte offsets of the implicit columns and each data column's slot run.
+  std::uint64_t ts_offset = 0, node_offset = 0, prod_offset = 0;
+  std::vector<std::uint64_t> col_offsets;
+  std::uint64_t ts_crc = 0, node_crc = 0, prod_crc = 0;
+  std::vector<std::uint64_t> col_crcs;
+
+  /// Index of the data column named @p name, or -1.
+  int FindColumn(const std::string& name) const;
+};
+
+/// In-memory segment under construction; also serves queries over the active
+/// (not yet sealed) segment. Not thread-safe — the owning store serializes.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(std::string table, std::vector<SegmentColumn> columns,
+                 std::size_t capacity);
+
+  /// Map a producer name to its per-segment dictionary index.
+  std::uint16_t InternProducer(const std::string& producer);
+
+  /// Append one row; @p slots must hold columns().size() values.
+  void Append(TimeNs ts, std::uint64_t node, std::uint16_t producer,
+              const std::uint64_t* slots);
+
+  const std::string& table() const { return table_; }
+  const std::vector<SegmentColumn>& columns() const { return columns_; }
+  std::size_t row_count() const { return ts_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return ts_.size() >= capacity_; }
+  bool empty() const { return ts_.empty(); }
+  TimeNs min_ts() const { return min_ts_; }
+  TimeNs max_ts() const { return max_ts_; }
+
+  const std::vector<std::uint64_t>& ts() const { return ts_; }
+  const std::vector<std::uint64_t>& nodes() const { return nodes_; }
+  const std::vector<std::uint64_t>& producers_idx() const { return prod_; }
+  const std::vector<std::uint64_t>& column(std::size_t i) const {
+    return cols_[i];
+  }
+  const std::vector<std::string>& producer_dict() const { return prod_dict_; }
+
+  /// Serialize the whole segment file (header + body + footer + trailer).
+  std::string Serialize() const;
+
+  /// How many distinct node ids the footer dictionary will index before
+  /// degrading to the overflow flag.
+  static constexpr std::size_t kMaxNodeDict = 256;
+
+ private:
+  std::string table_;
+  std::vector<SegmentColumn> columns_;
+  std::size_t capacity_;
+  TimeNs min_ts_ = ~TimeNs{0};
+  TimeNs max_ts_ = 0;
+  std::vector<std::uint64_t> ts_;
+  std::vector<std::uint64_t> nodes_;
+  std::vector<std::uint64_t> prod_;
+  std::vector<std::vector<std::uint64_t>> cols_;
+  std::vector<std::string> prod_dict_;
+  // Interning index over prod_dict_: the append path runs once per stored
+  // row, so the lookup must not scale with the number of producers.
+  std::unordered_map<std::string, std::uint16_t> prod_index_;
+};
+
+/// Seal @p builder to @p path via AtomicWriteFile (tmp + rename; with
+/// @p durable false the fsyncs are the caller's to batch — store_tsdb
+/// queues them on a background syncer drained by Flush).
+Status WriteSegmentFile(const std::string& path, const SegmentBuilder& builder,
+                        bool durable = true);
+
+/// Read and validate a sealed segment's footer (one seek + one small read).
+Status ReadSegmentFooter(const std::string& path, SegmentFooter* out);
+
+/// Read one column's slot run (@p offset from the footer), verifying its
+/// CRC. @p out is resized to the footer's row_count.
+Status ReadSegmentColumn(const std::string& path, const SegmentFooter& footer,
+                         std::uint64_t offset, std::uint64_t crc,
+                         std::vector<std::uint64_t>* out);
+
+}  // namespace ldmsxx

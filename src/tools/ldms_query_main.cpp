@@ -1,0 +1,145 @@
+// ldms_query: query a store_tsdb directory of sealed columnar segments —
+// offline analysis against the same files a running daemon is writing (a
+// reader only ever sees fully-sealed, CRC-verified segments, so pointing
+// this at a live store directory is safe).
+//
+//   ldms_query -d /data/tsdb                       # list tables
+//   ldms_query -d /data/tsdb -t meminfo            # dump all rows
+//   ldms_query -d /data/tsdb -t meminfo -0 5000000 -1 9000000
+//              -n 3,7 -m free,cached               # range x nodes x metrics
+//   ldms_query -d /data/tsdb -t meminfo --rollup   # min/max/avg buckets
+//   ldms_query ... --scan                          # force the full-scan path
+//   ldms_query ... -v                              # index stats to stderr
+//
+// Against a running daemon, the same query goes through the control socket:
+//   ldmsd_controller -S ctl.sock -c "query strgp=tsdb table=meminfo ..."
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "store/tsdb/tsdb_store.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -d <tsdb dir> [-t table] [-0 t0_us] [-1 t1_us]\n"
+      "          [-n node,node,...] [-m metric,metric,...]\n"
+      "          [--rollup] [-g rollup_sec] [--scan] [-v]\n"
+      "  -g must match the granularity the store was written with\n"
+      "     (strgp_add rollup_sec=); mismatched .rollup sidecars are\n"
+      "     skipped as if corrupt. Default 60.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ldmsxx;
+
+  TsdbOptions opts;
+  opts.root_path.clear();
+  TsdbQuery query;
+  bool rollup = false;
+  bool full_scan = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-d" && i + 1 < argc) {
+      opts.root_path = argv[++i];
+    } else if (arg == "-t" && i + 1 < argc) {
+      query.table = argv[++i];
+    } else if (arg == "-0" && i + 1 < argc) {
+      if (auto us = ParseU64(argv[++i])) query.t0 = *us * kNsPerUs;
+      else return Usage(argv[0]);
+    } else if (arg == "-1" && i + 1 < argc) {
+      if (auto us = ParseU64(argv[++i])) query.t1 = *us * kNsPerUs;
+      else return Usage(argv[0]);
+    } else if (arg == "-n" && i + 1 < argc) {
+      for (auto node : Split(argv[++i], ',')) {
+        if (auto id = ParseU64(node)) query.nodes.push_back(*id);
+        else return Usage(argv[0]);
+      }
+    } else if (arg == "-m" && i + 1 < argc) {
+      for (auto metric : Split(argv[++i], ',')) {
+        if (!metric.empty()) query.metrics.emplace_back(metric);
+      }
+    } else if (arg == "-g" && i + 1 < argc) {
+      if (auto sec = ParseU64(argv[++i])) {
+        opts.rollup_granularity = *sec * kNsPerSec;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--rollup") {
+      rollup = true;
+    } else if (arg == "--scan") {
+      full_scan = true;
+    } else if (arg == "-v") {
+      verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.root_path.empty()) return Usage(argv[0]);
+
+  TsdbStore store(opts);
+  if (store.attach_rejects() > 0) {
+    std::fprintf(stderr, "warning: %llu corrupt file(s) skipped\n",
+                 static_cast<unsigned long long>(store.attach_rejects()));
+  }
+
+  if (query.table.empty()) {
+    for (const auto& table : store.Tables()) {
+      std::printf("%s\n", table.c_str());
+    }
+    return 0;
+  }
+
+  if (rollup) {
+    std::vector<TsdbRollupRow> rows;
+    if (Status st = store.QueryRollup(query, &rows); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("#bucket_us\tnode\tmetric\tmin\tmax\tavg\tcount\n");
+    for (const auto& r : rows) {
+      std::printf("%llu\t%llu\t%s\t%g\t%g\t%g\t%llu\n",
+                  static_cast<unsigned long long>(r.bucket / kNsPerUs),
+                  static_cast<unsigned long long>(r.node), r.metric.c_str(),
+                  r.min, r.max, r.avg,
+                  static_cast<unsigned long long>(r.count));
+    }
+    return 0;
+  }
+
+  TsdbQueryResult result;
+  const Status st = full_scan ? store.QueryFullScan(query, &result)
+                              : store.Query(query, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("#ts_us\tnode");
+  for (const auto& column : result.columns) std::printf("\t%s", column.c_str());
+  std::printf("\n");
+  for (const auto& row : result.rows) {
+    std::printf("%llu\t%llu", static_cast<unsigned long long>(row.ts / kNsPerUs),
+                static_cast<unsigned long long>(row.node));
+    for (const double v : row.values) std::printf("\t%g", v);
+    std::printf("\n");
+  }
+  if (verbose) {
+    std::fprintf(stderr,
+                 "segments: considered=%llu pruned=%llu read=%llu "
+                 "bytes_read=%llu rows=%zu\n",
+                 static_cast<unsigned long long>(result.segments_considered),
+                 static_cast<unsigned long long>(result.segments_pruned),
+                 static_cast<unsigned long long>(result.segments_read),
+                 static_cast<unsigned long long>(result.bytes_read),
+                 result.rows.size());
+  }
+  return 0;
+}

@@ -35,7 +35,7 @@ Status EnsureDirectories(const std::string& path) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents,
-                       unsigned mode) {
+                       unsigned mode, bool durable) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                         static_cast<mode_t>(mode));
@@ -59,7 +59,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (durable && ::fsync(fd) != 0) {
     const Status st = ErrnoStatus("fsync " + tmp);
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -75,6 +75,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     ::unlink(tmp.c_str());
     return st;
   }
+  if (!durable) return Status::Ok();
   // Make the rename durable: fsync the containing directory. Failure here is
   // reported (the caller may retry) but the file content is already safe.
   const std::string dir = ParentDir(path);
@@ -83,6 +84,22 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     const int rc = ::fsync(dfd);
     ::close(dfd);
     if (rc != 0) return ErrnoStatus("fsync " + dir);
+  }
+  return Status::Ok();
+}
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync " + path);
+  const std::string dir = ParentDir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    const int drc = ::fsync(dfd);
+    ::close(dfd);
+    if (drc != 0) return ErrnoStatus("fsync " + dir);
   }
   return Status::Ok();
 }

@@ -24,8 +24,18 @@ Status EnsureDirectories(const std::string& path);
 /// the temp file is unlinked and @p path is untouched.
 /// @param mode permission bits for a newly created file (e.g. 0600 for key
 ///        material, 0644 for world-readable state).
+/// @param durable when false, skip both fsyncs: readers still never see a
+///        torn file (tmp + rename), but after a power loss the target may
+///        hold stale or zero-length contents. For callers whose on-disk
+///        format is self-validating and who batch durability themselves
+///        (store_tsdb fsyncs sealed segments from a background thread and
+///        drains the queue on Flush).
 Status AtomicWriteFile(const std::string& path, std::string_view contents,
-                       unsigned mode = 0644);
+                       unsigned mode = 0644, bool durable = true);
+
+/// fsync @p path (and its parent directory) in place; the second half of an
+/// AtomicWriteFile(durable=false) write.
+Status SyncFile(const std::string& path);
 
 /// Read a whole file into @p out. kNotFound when it does not exist.
 Status ReadFileToString(const std::string& path, std::string* out);

@@ -1,0 +1,695 @@
+// Columnar query-path suite (ISSUE 9). Four layers:
+//
+//   1. decomp  — spec-grammar edge cases (empty select lists, duplicate
+//                output columns, overflowing scale factors, unknown ops),
+//                unknown-metric compile failures, and delta/rate/scale
+//                value semantics including counter-reset clamping;
+//   2. segment — seal/read round-trips, footer-index contents, and CRC
+//                rejection of corrupted footers and column bodies;
+//   3. store   — indexed Query vs QueryFullScan equivalence, footer-based
+//                segment pruning, rollup bucket math, and restart-resume
+//                (segments re-attached from disk, corrupt files skipped);
+//   4. daemon  — strgp_add decomp= validation, the `query` control verb,
+//                registry round-trip of decomposition provenance, restore-
+//                from-registry serving queries that span the restart,
+//                announce retry/re-seed on seed-aggregator failover, and
+//                the store_mem max_samples= ring with evictions surfaced
+//                through strgp_status.
+//
+// Everything runs on a SimClock with inline pools, so every scenario is
+// deterministic. See EXPERIMENTS.md ("Columnar query drill").
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/mem_manager.hpp"
+#include "core/metric_set.hpp"
+#include "core/schema.hpp"
+#include "daemon/config.hpp"
+#include "daemon/decomp/decomp.hpp"
+#include "daemon/ldmsd.hpp"
+#include "daemon/plugin_registry.hpp"
+#include "daemon/registry.hpp"
+#include "store/memory_store.hpp"
+#include "store/tsdb/segment.hpp"
+#include "store/tsdb/tsdb_store.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace ldmsxx {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under /tmp (removed lazily by the OS).
+std::string ScratchDir(const std::string& tag) {
+  std::string tmpl = "/tmp/ldmsxx_" + tag + "_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+/// Shared schema + set helpers: "memtest" {active u64, free u64, load d64},
+/// matching the sampler schemas the store suite uses.
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : schema_("memtest") {
+    schema_.AddMetric("active", MetricType::kU64);
+    schema_.AddMetric("free", MetricType::kU64);
+    schema_.AddMetric("load", MetricType::kD64);
+  }
+
+  MetricSetPtr MakeSet(const std::string& node, std::uint64_t component_id) {
+    Status st;
+    MetricSetPtr set = MetricSet::Create(mem_, schema_, node + "/memtest",
+                                         node, component_id, &st);
+    EXPECT_NE(set, nullptr) << st.ToString();
+    return set;
+  }
+
+  static void WriteSample(const MetricSetPtr& set, std::uint64_t active,
+                          std::uint64_t free, double load, TimeNs ts) {
+    set->BeginTransaction();
+    set->SetU64(0, active);
+    set->SetU64(1, free);
+    set->SetD64(2, load);
+    set->EndTransaction(ts);
+  }
+
+  Schema schema_;
+  MemManager mem_{1 << 20};
+};
+
+// --- layer 1: decomposition -------------------------------------------------
+
+TEST(DecompSpecTest, ParseAcceptsFullGrammar) {
+  DecompSpec spec;
+  ASSERT_TRUE(
+      ParseDecompSpec("hot@active:act:rate,free::scale3,load;raw@free", &spec)
+          .ok());
+  ASSERT_EQ(spec.groups.size(), 2u);
+  EXPECT_EQ(spec.groups[0].table, "hot");
+  ASSERT_EQ(spec.groups[0].cols.size(), 3u);
+  EXPECT_EQ(spec.groups[0].cols[0].metric, "active");
+  EXPECT_EQ(spec.groups[0].cols[0].alias, "act");
+  EXPECT_EQ(spec.groups[0].cols[0].op, ColumnOp::kRate);
+  EXPECT_EQ(spec.groups[0].cols[1].alias, "");  // empty alias = metric name
+  EXPECT_EQ(spec.groups[0].cols[1].op, ColumnOp::kScale);
+  EXPECT_EQ(spec.groups[0].cols[1].scale, 3u);
+  EXPECT_EQ(spec.groups[0].cols[2].op, ColumnOp::kCopy);
+  EXPECT_EQ(spec.groups[1].table, "raw");  // second group, own table
+  EXPECT_TRUE(spec.has_derived);
+  EXPECT_EQ(spec.text, "hot@active:act:rate,free::scale3,load;raw@free");
+
+  DecompSpec plain;
+  ASSERT_TRUE(ParseDecompSpec("active,load", &plain).ok());
+  EXPECT_EQ(plain.groups[0].table, "");  // empty = schema name
+  EXPECT_FALSE(plain.has_derived);
+}
+
+TEST(DecompSpecTest, ParseRejectsMalformedSpecs) {
+  const struct {
+    const char* text;
+    const char* message;
+  } kCases[] = {
+      {"", "empty select list"},
+      {"active;;free", "empty row group"},
+      {"hot@", "empty column name"},
+      {"@active", "empty table name"},
+      {"hot@active,,free", "empty column name"},
+      {"hot@:alias", "empty column name"},
+      {"active:a:rate:extra", "too many ':' fields"},
+      {"active::scale", "bad or overflowing scale factor"},
+      {"active::scale99999999999999999999", "bad or overflowing scale factor"},
+      {"active::scale12x", "bad or overflowing scale factor"},
+      {"active::median", "unknown op"},
+      {"active,active", "duplicate output column"},
+      {"active:x,free:x", "duplicate output column"},
+  };
+  for (const auto& c : kCases) {
+    DecompSpec spec;
+    Status st = ParseDecompSpec(c.text, &spec);
+    EXPECT_FALSE(st.ok()) << c.text;
+    EXPECT_NE(st.message().find(c.message), std::string::npos)
+        << c.text << " -> " << st.ToString();
+  }
+  // Duplicates are per-group: the same output name in two groups is fine.
+  DecompSpec ok;
+  EXPECT_TRUE(ParseDecompSpec("a@active;b@active", &ok).ok());
+}
+
+TEST_F(QueryTest, CompileRejectsUnknownMetric) {
+  DecompSpec spec;
+  ASSERT_TRUE(ParseDecompSpec("hot@active,cached", &spec).ok());
+  RowPlan plan;
+  Status st = CompileRowPlan(spec, schema_, /*meta_gn=*/1, &plan);
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+  EXPECT_NE(st.message().find("unknown metric 'cached'"), std::string::npos)
+      << st.ToString();
+
+  // The Decomposer surfaces the same failure on every sample it meets.
+  Decomposer decomposer(spec);
+  MetricSetPtr set = MakeSet("nid1", 1);
+  WriteSample(set, 1, 2, 0.5, kNsPerSec);
+  RowBatch batch;
+  EXPECT_EQ(decomposer.Decompose(*set, &batch).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(decomposer.Decompose(*set, &batch).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(QueryTest, DecomposeDeltaRateScaleSemantics) {
+  DecompSpec spec;
+  ASSERT_TRUE(ParseDecompSpec(
+                  "d@active:a_d:delta,free:f_s:scale3,load;r@active:a_r:rate",
+                  &spec)
+                  .ok());
+  Decomposer decomposer(spec);
+  MetricSetPtr set = MakeSet("nid1", 1);
+
+  // One sample emits one row per group; slots decode via the column type.
+  auto decompose = [&](RowBatch* batch) {
+    batch->Clear();
+    ASSERT_TRUE(decomposer.Decompose(*set, batch).ok());
+    ASSERT_EQ(batch->rows.size(), 2u);
+  };
+  auto value = [](const RowBatch& batch, std::size_t row, std::size_t col) {
+    const RowBatch::Row& r = batch.rows[row];
+    const RowColumn& c = r.plan->groups[r.group].columns[col];
+    return SlotAsDouble(batch.slots[r.slot_offset + col], c.type);
+  };
+
+  RowBatch batch;
+  WriteSample(set, 100, 2, 0.5, 1 * kNsPerSec);
+  decompose(&batch);
+  EXPECT_EQ(batch.rows[0].ts, 1 * kNsPerSec);
+  EXPECT_EQ(batch.rows[0].component_id, 1u);
+  EXPECT_EQ(*batch.rows[0].producer, "nid1");
+  EXPECT_EQ(value(batch, 0, 0), 0.0);  // first sample: no delta history
+  EXPECT_EQ(value(batch, 0, 1), 6.0);  // scale3 applies immediately
+  EXPECT_EQ(value(batch, 0, 2), 0.5);
+  EXPECT_EQ(value(batch, 1, 0), 0.0);  // first sample: no rate history
+
+  WriteSample(set, 150, 4, 0.25, 2 * kNsPerSec);
+  decompose(&batch);
+  EXPECT_EQ(value(batch, 0, 0), 50.0);   // delta
+  EXPECT_EQ(value(batch, 0, 1), 12.0);   // scale
+  EXPECT_EQ(value(batch, 0, 2), 0.25);   // copy
+  EXPECT_EQ(value(batch, 1, 0), 50.0);   // 50 / 1s
+
+  // Counter reset (node reboot): delta and rate clamp to 0, not a huge wrap.
+  WriteSample(set, 10, 6, 0.1, 3 * kNsPerSec);
+  decompose(&batch);
+  EXPECT_EQ(value(batch, 0, 0), 0.0);
+  EXPECT_EQ(value(batch, 1, 0), 0.0);
+}
+
+// --- layer 2: columnar segments ---------------------------------------------
+
+TEST(SegmentTest, SealReadRoundTripAndFooterIndex) {
+  const std::string dir = ScratchDir("seg");
+  const std::string path = dir + "/t.0.seg";
+  SegmentBuilder builder(
+      "t", {{"a", MetricType::kU64}, {"b", MetricType::kD64}}, 8);
+  const std::uint16_t prod = builder.InternProducer("nid0");
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const std::uint64_t slots[2] = {i * 10, SlotFromDouble(0.5 * i)};
+    builder.Append((i + 1) * kNsPerSec, /*node=*/i % 2, prod, slots);
+  }
+  ASSERT_TRUE(WriteSegmentFile(path, builder).ok());
+
+  SegmentFooter footer;
+  ASSERT_TRUE(ReadSegmentFooter(path, &footer).ok());
+  EXPECT_EQ(footer.table, "t");
+  EXPECT_EQ(footer.row_count, 5u);
+  EXPECT_EQ(footer.min_ts, 1 * kNsPerSec);
+  EXPECT_EQ(footer.max_ts, 5 * kNsPerSec);
+  EXPECT_FALSE(footer.node_overflow);
+  EXPECT_EQ(footer.nodes, (std::vector<std::uint64_t>{0, 1}));  // sorted dict
+  EXPECT_EQ(footer.producers, (std::vector<std::string>{"nid0"}));
+  EXPECT_EQ(footer.FindColumn("b"), 1);
+  EXPECT_EQ(footer.FindColumn("missing"), -1);
+
+  std::vector<std::uint64_t> col;
+  ASSERT_TRUE(ReadSegmentColumn(path, footer, footer.col_offsets[0],
+                                footer.col_crcs[0], &col)
+                  .ok());
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_EQ(col[3], 30u);
+  ASSERT_TRUE(ReadSegmentColumn(path, footer, footer.ts_offset, footer.ts_crc,
+                                &col)
+                  .ok());
+  EXPECT_EQ(col[4], 5 * kNsPerSec);
+}
+
+TEST(SegmentTest, CorruptionIsRejectedByCrc) {
+  const std::string dir = ScratchDir("segcrc");
+  SegmentBuilder builder("t", {{"a", MetricType::kU64}}, 8);
+  const std::uint16_t prod = builder.InternProducer("nid0");
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    builder.Append((i + 1) * kNsPerSec, 0, prod, &i);
+  }
+
+  auto corrupt_at = [&](const std::string& path, std::uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const std::uint64_t size = static_cast<std::uint64_t>(f.tellg());
+    ASSERT_LT(offset, size);
+    f.seekp(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(offset));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  };
+
+  // A flipped byte inside the footer fails the footer CRC outright.
+  const std::string footer_path = dir + "/footer.seg";
+  ASSERT_TRUE(WriteSegmentFile(footer_path, builder).ok());
+  SegmentFooter footer;
+  ASSERT_TRUE(ReadSegmentFooter(footer_path, &footer).ok());
+  {
+    const std::uint64_t size = fs::file_size(footer_path);
+    corrupt_at(footer_path, size - 30);  // inside footer (trailer is 20B)
+    SegmentFooter bad;
+    EXPECT_FALSE(ReadSegmentFooter(footer_path, &bad).ok());
+  }
+
+  // A flipped byte in a column body passes the footer but fails the
+  // column's own CRC on read.
+  const std::string body_path = dir + "/body.seg";
+  ASSERT_TRUE(WriteSegmentFile(body_path, builder).ok());
+  ASSERT_TRUE(ReadSegmentFooter(body_path, &footer).ok());
+  corrupt_at(body_path, footer.col_offsets[0] + 3);
+  SegmentFooter reread;
+  ASSERT_TRUE(ReadSegmentFooter(body_path, &reread).ok());
+  std::vector<std::uint64_t> col;
+  EXPECT_FALSE(ReadSegmentColumn(body_path, reread, reread.col_offsets[0],
+                                 reread.col_crcs[0], &col)
+                   .ok());
+
+  // Truncation kills the trailer magic.
+  const std::string trunc_path = dir + "/trunc.seg";
+  ASSERT_TRUE(WriteSegmentFile(trunc_path, builder).ok());
+  fs::resize_file(trunc_path, fs::file_size(trunc_path) / 2);
+  SegmentFooter trunc;
+  EXPECT_FALSE(ReadSegmentFooter(trunc_path, &trunc).ok());
+}
+
+// --- layer 3: the tsdb store ------------------------------------------------
+
+class TsdbStoreTest : public QueryTest {
+ protected:
+  TsdbOptions Options(const std::string& dir) {
+    TsdbOptions opts;
+    opts.root_path = dir + "/tsdb";
+    opts.segment_rows = 8;
+    opts.rollup_granularity = 1 * kNsPerSec;
+    return opts;
+  }
+
+  /// Ingest @p samples ticks for nodes 1 and 2 through the plain StoreSet
+  /// path (identity plan), active=i free=2i load=0.5i, ts = i * 100ms.
+  void Ingest(TsdbStore& store, std::uint64_t first, std::uint64_t count) {
+    MetricSetPtr n1 = MakeSet("nid1", 1);
+    MetricSetPtr n2 = MakeSet("nid2", 2);
+    for (std::uint64_t i = first; i < first + count; ++i) {
+      const TimeNs ts = i * 100 * kNsPerMs;
+      WriteSample(n1, i, 2 * i, 0.5 * static_cast<double>(i), ts);
+      ASSERT_TRUE(store.StoreSet(*n1).ok());
+      WriteSample(n2, i + 1000, 2 * i, 0.5 * static_cast<double>(i), ts);
+      ASSERT_TRUE(store.StoreSet(*n2).ok());
+    }
+  }
+};
+
+TEST_F(TsdbStoreTest, IndexedQueryMatchesFullScanAndPrunes) {
+  const std::string dir = ScratchDir("tsdb");
+  TsdbStore store(Options(dir));
+  Ingest(store, 0, 40);  // 80 rows, sealed into 10 eight-row segments
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_EQ(store.segments_sealed(), 10u);
+
+  TsdbQuery q;
+  q.table = "memtest";
+  q.t0 = 1 * kNsPerSec;
+  q.t1 = 2 * kNsPerSec;
+  q.nodes = {1};
+  q.metrics = {"active"};
+  TsdbQueryResult indexed, scanned;
+  ASSERT_TRUE(store.Query(q, &indexed).ok());
+  ASSERT_TRUE(store.QueryFullScan(q, &scanned).ok());
+
+  // Identical answers: samples i in [10, 20] for node 1 only.
+  ASSERT_EQ(indexed.columns, (std::vector<std::string>{"active"}));
+  ASSERT_EQ(indexed.rows.size(), 11u);
+  ASSERT_EQ(scanned.rows.size(), indexed.rows.size());
+  for (std::size_t i = 0; i < indexed.rows.size(); ++i) {
+    EXPECT_EQ(indexed.rows[i].ts, scanned.rows[i].ts);
+    EXPECT_EQ(indexed.rows[i].node, 1u);
+    ASSERT_EQ(indexed.rows[i].values.size(), 1u);
+    EXPECT_EQ(indexed.rows[i].values[0], scanned.rows[i].values[0]);
+    EXPECT_EQ(indexed.rows[i].values[0], static_cast<double>(10 + i));
+  }
+
+  // The footer index skipped segments outside the window without touching
+  // their bodies, and read only 1 of 3 data columns from the rest.
+  EXPECT_EQ(indexed.segments_considered, 10u);
+  EXPECT_GT(indexed.segments_pruned, 0u);
+  EXPECT_EQ(indexed.segments_pruned + indexed.segments_read,
+            indexed.segments_considered);
+  EXPECT_EQ(scanned.segments_read, 10u);
+  EXPECT_LT(indexed.bytes_read, scanned.bytes_read);
+
+  // A node the dictionary has never seen prunes every segment.
+  q.nodes = {99};
+  TsdbQueryResult none;
+  ASSERT_TRUE(store.Query(q, &none).ok());
+  EXPECT_TRUE(none.rows.empty());
+  EXPECT_EQ(none.segments_read, 0u);
+  EXPECT_EQ(none.segments_pruned, none.segments_considered);
+
+  // Unknown tables and columns fail loudly instead of returning empty.
+  TsdbQuery bad = q;
+  bad.table = "nope";
+  EXPECT_EQ(store.Query(bad, &none).code(), ErrorCode::kNotFound);
+  bad = q;
+  bad.metrics = {"cached"};
+  EXPECT_FALSE(store.Query(bad, &none).ok());
+}
+
+TEST_F(TsdbStoreTest, RollupBucketsFoldMinMaxAvgCount) {
+  const std::string dir = ScratchDir("rollup");
+  TsdbStore store(Options(dir));
+  Ingest(store, 0, 40);
+  ASSERT_TRUE(store.Flush().ok());
+
+  TsdbQuery q;
+  q.table = "memtest";
+  q.nodes = {1};
+  q.metrics = {"active"};
+  std::vector<TsdbRollupRow> rollups;
+  ASSERT_TRUE(store.QueryRollup(q, &rollups).ok());
+  ASSERT_EQ(rollups.size(), 4u);  // 4 seconds of data at 1s granularity
+  for (const auto& r : rollups) {
+    const double base = static_cast<double>(r.bucket / kNsPerSec) * 10.0;
+    EXPECT_EQ(r.node, 1u);
+    EXPECT_EQ(r.metric, "active");
+    EXPECT_EQ(r.count, 10u);  // 100ms cadence
+    EXPECT_EQ(r.min, base);
+    EXPECT_EQ(r.max, base + 9.0);
+    EXPECT_EQ(r.avg, base + 4.5);
+  }
+
+  // Window query returns only overlapping buckets.
+  q.t0 = 2 * kNsPerSec;
+  ASSERT_TRUE(store.QueryRollup(q, &rollups).ok());
+  EXPECT_EQ(rollups.size(), 2u);
+}
+
+TEST_F(TsdbStoreTest, RestartAttachesSegmentsAndSkipsCorruptFiles) {
+  const std::string dir = ScratchDir("attach");
+  const TsdbOptions opts = Options(dir);
+  {
+    TsdbStore store(opts);
+    Ingest(store, 0, 20);
+    ASSERT_TRUE(store.Flush().ok());
+    EXPECT_EQ(store.segments_sealed(), 5u);  // 40 rows / 8 per segment
+  }
+  {
+    // A second store over the same directory resumes where the first left
+    // off: sealed segments and the persisted rollups are re-attached, new
+    // ingest lands in new files, and queries span both eras.
+    TsdbStore store(opts);
+    EXPECT_EQ(store.segments_attached(), 5u);
+    EXPECT_EQ(store.attach_rejects(), 0u);
+    EXPECT_EQ(store.Tables(), (std::vector<std::string>{"memtest"}));
+    Ingest(store, 20, 20);
+    ASSERT_TRUE(store.Flush().ok());
+
+    TsdbQuery q;
+    q.table = "memtest";
+    q.nodes = {1};
+    q.metrics = {"active"};
+    TsdbQueryResult result;
+    ASSERT_TRUE(store.Query(q, &result).ok());
+    ASSERT_EQ(result.rows.size(), 40u);
+    EXPECT_EQ(result.rows.front().values[0], 0.0);
+    EXPECT_EQ(result.rows.back().values[0], 39.0);
+
+    // Rollups loaded from disk merged with the new era's folds: buckets 0-1
+    // came back from the .rollup file, buckets 2-3 folded fresh.
+    std::vector<TsdbRollupRow> rollups;
+    ASSERT_TRUE(store.QueryRollup(q, &rollups).ok());
+    ASSERT_EQ(rollups.size(), 4u);
+    for (const auto& r : rollups) EXPECT_EQ(r.count, 10u);
+  }
+  {
+    // Truncate one sealed segment: the next attach skips it (counted in
+    // attach_rejects) and keeps serving the intact files.
+    std::string victim;
+    for (const auto& entry : fs::directory_iterator(opts.root_path)) {
+      if (entry.path().extension() == ".seg") victim = entry.path().string();
+    }
+    ASSERT_FALSE(victim.empty());
+    fs::resize_file(victim, fs::file_size(victim) / 2);
+    TsdbStore store(opts);
+    EXPECT_EQ(store.segments_attached(), 9u);
+    EXPECT_EQ(store.attach_rejects(), 1u);
+    TsdbQuery q;
+    q.table = "memtest";
+    TsdbQueryResult result;
+    ASSERT_TRUE(store.Query(q, &result).ok());
+    EXPECT_EQ(result.rows.size(), 72u);  // 80 minus the truncated segment
+  }
+}
+
+// --- layer 4: daemon integration --------------------------------------------
+
+TEST(RegistryDecompTest, StoreRecordRoundTripsDecomp) {
+  RegistrySnapshot snap;
+  snap.daemon_name = "agg0";
+  StoreRecord s;
+  s.name = "tsdb";
+  s.plugin = "store_tsdb";
+  s.params = {{"path", "/data/tsdb"}};
+  s.decomp = "hot@active:act:rate,load;raw@free";
+  snap.stores.push_back(s);
+  RegistrySnapshot out;
+  ASSERT_TRUE(ParseRegistry(SerializeRegistry(snap), &out).ok());
+  ASSERT_EQ(out.stores.size(), 1u);
+  EXPECT_EQ(out.stores[0].decomp, s.decomp);
+
+  // Pre-decomp registries (no decomp field) still parse: empty = whole sets.
+  snap.stores[0].decomp.clear();
+  ASSERT_TRUE(ParseRegistry(SerializeRegistry(snap), &out).ok());
+  EXPECT_EQ(out.stores[0].decomp, "");
+}
+
+/// Daemon fixture: SimClock, inline pools, builtin store plugins, registry.
+class DaemonQueryTest : public QueryTest {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinStores();
+    dir_ = ScratchDir("dq");
+  }
+
+  std::unique_ptr<Ldmsd> MakeDaemon(const std::string& name,
+                                    const std::string& listen = "") {
+    LdmsdOptions opts;
+    opts.name = name;
+    if (!listen.empty()) {
+      opts.listen_transport = "local";
+      opts.listen_address = listen;
+    }
+    opts.worker_threads = 0;
+    opts.connection_threads = 0;
+    opts.store_threads = 0;
+    opts.log_level = LogLevel::kOff;
+    opts.clock = &clock_;
+    opts.registry_path = dir_ + "/" + name + ".registry";
+    return std::make_unique<Ldmsd>(opts);
+  }
+
+  std::string dir_;
+  SimClock clock_{0};
+};
+
+TEST_F(DaemonQueryTest, StrgpAddValidatesDecompAtConfigTime) {
+  auto daemon = MakeDaemon("cfg");
+  ConfigProcessor config(*daemon);
+  // Whole-set stores cannot take a decomposition.
+  Status st = config.Execute("strgp_add name=m plugin=store_mem decomp=active");
+  EXPECT_EQ(st.code(), ErrorCode::kUnsupported);
+  // Spec typos fail the command, not the first sample.
+  st = config.Execute("strgp_add name=t plugin=store_tsdb path=" + dir_ +
+                      "/t decomp=active::median");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown op"), std::string::npos);
+  EXPECT_TRUE(daemon->store_policy_names().empty());
+}
+
+TEST_F(DaemonQueryTest, QueryVerbServesAcrossRestart) {
+  const std::string spec = "hot@active:act:delta,load;raw@free";
+  auto ingest = [&](Ldmsd& daemon, std::uint64_t first, std::uint64_t count) {
+    MetricSetPtr set = MakeSet("nid1", 1);
+    for (std::uint64_t i = first; i < first + count; ++i) {
+      WriteSample(set, 100 + i, 2 * i, 0.5, i * 250 * kNsPerMs);
+      daemon.StoreLocalSet(set);
+    }
+  };
+
+  {
+    auto daemon = MakeDaemon("qnode");
+    ASSERT_TRUE(daemon->Start().ok());  // SimClock mode: no threads spawned
+    ConfigProcessor config(*daemon);
+    ASSERT_TRUE(config
+                    .Execute("strgp_add name=tsdb plugin=store_tsdb path=" +
+                             dir_ + "/tsdb segment_rows=4 rollup_sec=1 " +
+                             "decomp=" + spec)
+                    .ok());
+    ingest(*daemon, 0, 10);
+
+    std::string out;
+    ASSERT_TRUE(config.Execute("query strgp=tsdb mode=tables", &out).ok());
+    EXPECT_NE(out.find("hot"), std::string::npos);
+    EXPECT_NE(out.find("raw"), std::string::npos);
+    ASSERT_TRUE(
+        config.Execute("query strgp=tsdb table=hot metrics=act limit=100",
+                       &out)
+            .ok());
+    EXPECT_NE(out.find("columns=act rows=10"), std::string::npos) << out;
+    ASSERT_TRUE(config.Execute("strgp_status name=tsdb", &out).ok());
+    EXPECT_NE(out.find("decomp_failures=0"), std::string::npos) << out;
+
+    // Unknown policies / wrong store types are told apart.
+    EXPECT_EQ(config.Execute("query strgp=ghost table=hot", &out).code(),
+              ErrorCode::kNotFound);
+    daemon->Stop();  // shutdown drain + flush: the partial segment seals
+  }
+
+  // A new daemon restores the policy — including the decomposition — from
+  // the registry alone and serves queries spanning both eras.
+  {
+    // The decomposition is registry provenance: it survived the shutdown.
+    ClusterRegistry registry(dir_ + "/qnode.registry");
+    ASSERT_TRUE(registry.Load().ok());
+    ASSERT_EQ(registry.snapshot().stores.size(), 1u);
+    EXPECT_EQ(registry.snapshot().stores[0].decomp, spec);
+  }
+  auto daemon = MakeDaemon("qnode");
+  ASSERT_TRUE(daemon->Start().ok());
+  ASSERT_TRUE(
+      daemon->RestoreFromRegistry(&PluginRegistry::Instance()).ok());
+  EXPECT_EQ(daemon->store_policy_names(),
+            (std::vector<std::string>{"tsdb"}));
+  auto store = daemon->store_for_policy("tsdb");
+  ASSERT_NE(store, nullptr);
+  auto* tsdb = dynamic_cast<TsdbStore*>(store.get());
+  ASSERT_NE(tsdb, nullptr);
+  EXPECT_GT(tsdb->segments_attached(), 0u);
+
+  ingest(*daemon, 10, 10);
+  ConfigProcessor config(*daemon);
+  std::string out;
+  ASSERT_TRUE(
+      config.Execute("query strgp=tsdb table=hot metrics=act limit=100", &out)
+          .ok());
+  EXPECT_NE(out.find("rows=20"), std::string::npos) << out;
+  // A window straddling the restart boundary (samples 4..15 inclusive).
+  ASSERT_TRUE(config
+                  .Execute("query strgp=tsdb table=hot t0_us=1000000 "
+                           "t1_us=3750000 limit=100",
+                           &out)
+                  .ok());
+  EXPECT_NE(out.find("rows=12"), std::string::npos) << out;
+  ASSERT_TRUE(config.Execute("query strgp=tsdb table=raw mode=rollup", &out)
+                  .ok());
+  EXPECT_NE(out.find("buckets="), std::string::npos);
+  EXPECT_EQ(out.find("buckets=0 "), std::string::npos) << out;
+  daemon->Stop();
+}
+
+TEST_F(DaemonQueryTest, AnnounceRetryReseedsAgainstStandby) {
+  auto node = MakeDaemon("nodeA", "dq_nodeA/listen");
+  ASSERT_TRUE(node->Start().ok());
+  LdmsdOptions standby_opts;
+  standby_opts.name = "standby";
+  standby_opts.listen_transport = "local";
+  standby_opts.listen_address = "dq_standby/listen";
+  standby_opts.worker_threads = 0;
+  standby_opts.connection_threads = 0;
+  standby_opts.store_threads = 0;
+  standby_opts.log_level = LogLevel::kOff;
+  standby_opts.clock = &clock_;
+  standby_opts.accept_advertised_producers = true;
+  Ldmsd standby(standby_opts);
+  ASSERT_TRUE(standby.Start().ok());  // registers the "local" listener
+
+  EXPECT_EQ(node->AnnounceWithRetry({}, 7).code(),
+            ErrorCode::kInvalidArgument);
+
+  // Primary seed is dead: the inline attempt fails, the retry task is armed.
+  Status st = node->AnnounceWithRetry(
+      {{"local", "dq_dead/listen"}, {"local", "dq_standby/listen"}},
+      /*node_id=*/7, /*min_backoff=*/50 * kNsPerMs,
+      /*max_backoff=*/1 * kNsPerSec);
+  EXPECT_EQ(st.code(), ErrorCode::kDisconnected);
+  EXPECT_EQ(node->counters().announce_retries.load(), 0u);
+  EXPECT_FALSE(standby.producer_status("nodeA").known);
+
+  // The first backoff tick rotates to the standby and re-seeds.
+  node->RunUntil(clock_, clock_.Now() + 200 * kNsPerMs);
+  EXPECT_GE(node->counters().announce_retries.load(), 1u);
+  EXPECT_TRUE(standby.producer_status("nodeA").known);
+
+  // Success cancelled the task: the counter stays put from here on.
+  const std::uint64_t settled = node->counters().announce_retries.load();
+  node->RunUntil(clock_, clock_.Now() + 5 * kNsPerSec);
+  EXPECT_EQ(node->counters().announce_retries.load(), settled);
+  node->Stop();
+  standby.Stop();
+}
+
+TEST_F(DaemonQueryTest, MemoryStoreRingCapsAndReportsEvictions) {
+  // Store-level: drop-oldest past the cap, surfaced via rows_evicted().
+  MemoryStore ring(/*max_samples=*/3);
+  MetricSetPtr set = MakeSet("nid1", 1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    WriteSample(set, i, 0, 0.0, (i + 1) * kNsPerSec);
+    ASSERT_TRUE(ring.StoreSet(*set).ok());
+  }
+  const std::vector<MemRow> rows = ring.Rows("memtest");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.front().values[0], 2.0);  // samples 0 and 1 evicted
+  EXPECT_EQ(rows.back().values[0], 4.0);
+  EXPECT_EQ(ring.rows_evicted(), 2u);
+  EXPECT_EQ(ring.max_samples(), 3u);
+
+  // Daemon-level: max_samples= flows through strgp_add, evictions through
+  // strgp_status.
+  auto daemon = MakeDaemon("ring");
+  ASSERT_TRUE(daemon->Start().ok());
+  ConfigProcessor config(*daemon);
+  ASSERT_TRUE(
+      config.Execute("strgp_add name=mem plugin=store_mem max_samples=2")
+          .ok());
+  MetricSetPtr local = MakeSet("nid2", 2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    WriteSample(local, i, 0, 0.0, (i + 1) * kNsPerSec);
+    daemon->StoreLocalSet(local);
+  }
+  std::string out;
+  ASSERT_TRUE(config.Execute("strgp_status name=mem", &out).ok());
+  EXPECT_NE(out.find("evictions=3"), std::string::npos) << out;
+  daemon->Stop();
+}
+
+}  // namespace
+}  // namespace ldmsxx
