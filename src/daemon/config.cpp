@@ -437,17 +437,23 @@ Status ConfigProcessor::CmdQuery(const PluginParams& args,
   if (strgp == args.end()) {
     return {ErrorCode::kInvalidArgument, "query requires strgp="};
   }
-  std::shared_ptr<Store> store = daemon_.store_for_policy(strgp->second);
-  if (store == nullptr) {
-    return {ErrorCode::kNotFound, "no such store policy: " + strgp->second};
-  }
-  auto* tsdb = dynamic_cast<TsdbStore*>(store.get());
-  if (tsdb == nullptr) {
-    return {ErrorCode::kUnsupported,
-            "strgp " + strgp->second + " is not backed by store_tsdb"};
-  }
   std::string mode = "rows";
   if (auto it = args.find("mode"); it != args.end()) mode = it->second;
+  TsdbStore* tsdb = nullptr;
+  std::shared_ptr<Store> store;
+  if (mode != "fanout") {
+    // All other modes run against this daemon's own store; fanout is the
+    // aggregator shape, where the store lives on the tree leaves.
+    store = daemon_.store_for_policy(strgp->second);
+    if (store == nullptr) {
+      return {ErrorCode::kNotFound, "no such store policy: " + strgp->second};
+    }
+    tsdb = dynamic_cast<TsdbStore*>(store.get());
+    if (tsdb == nullptr) {
+      return {ErrorCode::kUnsupported,
+              "strgp " + strgp->second + " is not backed by store_tsdb"};
+    }
+  }
   if (mode == "tables") {
     for (const auto& table : tsdb->Tables()) {
       if (!output->empty()) output->push_back(' ');
@@ -501,6 +507,45 @@ Status ConfigProcessor::CmdQuery(const PluginParams& args,
     }
     return Status::Ok();
   }
+  if (mode == "fanout") {
+    // Tree-sharded fan-out: forward the predicate to every producer peer's
+    // local store and merge the bounded result pages.
+    QueryRequest req;
+    req.strgp = strgp->second;
+    req.table = q.table;
+    req.t0 = q.t0;
+    req.t1 = q.t1;
+    req.nodes = q.nodes;
+    req.metrics = q.metrics;
+    req.limit = static_cast<std::uint32_t>(limit);
+    Ldmsd::FanoutResult fanout;
+    Status st = daemon_.FanoutQuery(req, &fanout);
+    if (!st.ok()) return st;
+    const QueryResponse& merged = fanout.merged;
+    std::string columns;
+    for (const auto& column : merged.columns) {
+      if (!columns.empty()) columns.push_back(',');
+      columns += column;
+    }
+    *output = "columns=" + columns +
+              " rows=" + std::to_string(merged.rows.size()) +
+              " total_rows=" + std::to_string(merged.total_rows) +
+              " truncated=" + std::to_string(merged.truncated) +
+              " leaves_ok=" + std::to_string(fanout.leaves_ok) +
+              " leaves_failed=" + std::to_string(fanout.leaves_failed) +
+              " segments_considered=" +
+              std::to_string(merged.segments_considered) +
+              " segments_pruned=" + std::to_string(merged.segments_pruned) +
+              " segments_read=" + std::to_string(merged.segments_read) +
+              " bytes_read=" + std::to_string(merged.bytes_read) +
+              " bytes_decoded=" + std::to_string(merged.bytes_decoded);
+    for (const auto& row : merged.rows) {
+      *output += " row=" + std::to_string(row.ts / kNsPerUs) + ":" +
+                 std::to_string(row.node);
+      for (const double v : row.values) *output += ":" + std::to_string(v);
+    }
+    return Status::Ok();
+  }
   if (mode != "rows") {
     return {ErrorCode::kInvalidArgument, "bad mode=" + mode};
   }
@@ -517,7 +562,8 @@ Status ConfigProcessor::CmdQuery(const PluginParams& args,
             " segments_considered=" + std::to_string(result.segments_considered) +
             " segments_pruned=" + std::to_string(result.segments_pruned) +
             " segments_read=" + std::to_string(result.segments_read) +
-            " bytes_read=" + std::to_string(result.bytes_read);
+            " bytes_read=" + std::to_string(result.bytes_read) +
+            " bytes_decoded=" + std::to_string(result.bytes_decoded);
   std::size_t emitted = 0;
   for (const auto& row : result.rows) {
     if (emitted++ >= limit) break;

@@ -6,6 +6,7 @@
 
 #include "daemon/plugin_registry.hpp"
 #include "daemon/topology.hpp"
+#include "store/tsdb/tsdb_store.hpp"
 
 namespace ldmsxx {
 namespace {
@@ -850,6 +851,117 @@ std::uint32_t Ldmsd::HandleAssignHandle(const std::string& instance) {
 
 MetricSetPtr Ldmsd::HandleResolveHandle(std::uint32_t handle) {
   return sets_.FindByHandle(handle);
+}
+
+void Ldmsd::HandleQuery(const QueryRequest& req, QueryResponse* resp) {
+  *resp = QueryResponse{};
+  auto store = store_for_policy(req.strgp);
+  if (store == nullptr) {
+    resp->code = static_cast<std::uint8_t>(ErrorCode::kNotFound);
+    resp->error = "no storage policy '" + req.strgp + "'";
+    return;
+  }
+  auto* tsdb = dynamic_cast<TsdbStore*>(store.get());
+  if (tsdb == nullptr) {
+    resp->code = static_cast<std::uint8_t>(ErrorCode::kUnsupported);
+    resp->error = "policy '" + req.strgp + "' is not a queryable store";
+    return;
+  }
+  TsdbQuery q;
+  q.table = req.table;
+  q.t0 = req.t0;
+  q.t1 = req.t1;
+  q.nodes = req.nodes;
+  q.metrics = req.metrics;
+  TsdbQueryResult result;
+  Status st = tsdb->Query(q, &result);
+  if (!st.ok()) {
+    resp->code = static_cast<std::uint8_t>(st.code());
+    resp->error = st.message();
+    return;
+  }
+  resp->columns = std::move(result.columns);
+  resp->total_rows = result.rows.size();
+  resp->segments_considered = result.segments_considered;
+  resp->segments_pruned = result.segments_pruned;
+  resp->segments_read = result.segments_read;
+  resp->bytes_read = result.bytes_read;
+  resp->bytes_decoded = result.bytes_decoded;
+  // Bound the response page: the client's limit, itself clamped by the
+  // server-side ceiling — a fan-out root never receives an unbounded page.
+  std::size_t cap = kMaxQueryRespRows;
+  if (req.limit != 0 && req.limit < cap) cap = req.limit;
+  if (result.rows.size() > cap) {
+    result.rows.resize(cap);
+    resp->truncated = 1;
+  }
+  resp->rows.reserve(result.rows.size());
+  for (auto& row : result.rows) {
+    resp->rows.push_back({row.ts, row.node, std::move(row.values)});
+  }
+}
+
+Status Ldmsd::FanoutQuery(const QueryRequest& req, FanoutResult* out) {
+  *out = FanoutResult{};
+  // Snapshot the producer set under state_mu_; the map is name-ordered, so
+  // the fan-out order (and thus the merged page under a row cap) is
+  // deterministic. Queries then run without daemon-wide locks held.
+  std::vector<std::shared_ptr<Producer>> leaves;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    leaves.reserve(producers_.size());
+    for (const auto& [name, producer] : producers_) leaves.push_back(producer);
+  }
+  QueryResponse& merged = out->merged;
+  for (const auto& leaf : leaves) {
+    QueryResponse resp;
+    Status st;
+    {
+      // Per-leaf serialization with that producer's collect cycle; one dead
+      // leaf costs at most the endpoint's request timeout, not the fan-out.
+      std::lock_guard<std::mutex> lock(leaf->mu);
+      if (leaf->endpoint == nullptr || !leaf->endpoint->connected()) {
+        st = {ErrorCode::kDisconnected, "producer not connected"};
+      } else {
+        st = leaf->endpoint->RemoteQuery(req, &resp);
+      }
+    }
+    if (!st.ok() || resp.code != 0) {
+      ++out->leaves_failed;
+      continue;
+    }
+    ++out->leaves_ok;
+    if (merged.columns.empty()) merged.columns = resp.columns;
+    if (resp.columns != merged.columns) {
+      // Schema drift between leaves: the page would be meaningless.
+      ++out->leaves_failed;
+      --out->leaves_ok;
+      continue;
+    }
+    merged.rows.insert(merged.rows.end(),
+                       std::make_move_iterator(resp.rows.begin()),
+                       std::make_move_iterator(resp.rows.end()));
+    merged.total_rows += resp.total_rows;
+    merged.truncated |= resp.truncated;
+    merged.segments_considered += resp.segments_considered;
+    merged.segments_pruned += resp.segments_pruned;
+    merged.segments_read += resp.segments_read;
+    merged.bytes_read += resp.bytes_read;
+    merged.bytes_decoded += resp.bytes_decoded;
+  }
+  // Global (ts, node) order regardless of which leaf answered first; stable
+  // so equal keys keep leaf order — same input, same page, every run.
+  std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                   [](const QueryResponse::Row& a, const QueryResponse::Row& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.node < b.node;
+                   });
+  std::size_t cap = kMaxQueryRespRows;
+  if (req.limit != 0 && req.limit < cap) cap = req.limit;
+  if (merged.rows.size() > cap) {
+    merged.rows.resize(cap);
+    merged.truncated = 1;
+  }
+  return Status::Ok();
 }
 
 Status Ldmsd::AdvertiseInternal(const std::string& transport,

@@ -261,6 +261,25 @@ class Ldmsd final : public ServiceHandler {
   MetricSetPtr HandleRdmaExpose(const std::string& instance) override;
   std::uint32_t HandleAssignHandle(const std::string& instance) override;
   MetricSetPtr HandleResolveHandle(std::uint32_t handle) override;
+  /// Serve a tree-sharded query against this daemon's local tsdb store (the
+  /// strgp named in the request). Errors are carried in resp->code so the
+  /// root's merge can account the leaf as failed, not the transport.
+  void HandleQuery(const QueryRequest& req, QueryResponse* resp) override;
+
+  /// Result of fanning one query out to every producer peer: the merged,
+  /// (ts, node)-ordered page plus per-leaf accounting. A leaf whose
+  /// transport failed, timed out, or answered a non-zero code counts in
+  /// leaves_failed; its rows are simply absent — partial results are the
+  /// contract, exactly like `dir` over a degraded tree.
+  struct FanoutResult {
+    QueryResponse merged;
+    std::size_t leaves_ok = 0;
+    std::size_t leaves_failed = 0;
+  };
+  /// Forward @p req to every producer's endpoint (the aggregation-tree
+  /// leaves, in deterministic name order) and merge the result pages.
+  /// Returns Ok even when some leaves failed; the accounting says so.
+  Status FanoutQuery(const QueryRequest& req, FanoutResult* out);
 
   // --- introspection ------------------------------------------------------
 

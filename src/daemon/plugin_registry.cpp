@@ -86,7 +86,8 @@ void RegisterBuiltinStores() {
   });
   // Columnar time-series backend with indexed segments and rollups, e.g.
   //   strgp_add plugin=store_tsdb path=/data/tsdb segment_rows=4096
-  //             rollup_sec=60 decomp=hot@cpu_user:user:rate,cpu_idle
+  //             rollup_sec=60 compress=1 scan_threads=4
+  //             decomp=hot@cpu_user:user:rate,cpu_idle
   registry.AddStore("store_tsdb", [](const PluginParams& params) {
     TsdbOptions opts;
     if (auto it = params.find("path"); it != params.end())
@@ -97,6 +98,11 @@ void RegisterBuiltinStores() {
     if (auto it = params.find("rollup_sec"); it != params.end()) {
       if (auto v = ParseU64(it->second))
         opts.rollup_granularity = *v * kNsPerSec;
+    }
+    if (auto it = params.find("compress"); it != params.end())
+      opts.compress = it->second != "0";
+    if (auto it = params.find("scan_threads"); it != params.end()) {
+      if (auto v = ParseU64(it->second)) opts.scan_threads = *v;
     }
     return std::make_shared<TsdbStore>(std::move(opts));
   });

@@ -1,0 +1,259 @@
+#include "store/tsdb/codec.hpp"
+
+#include <cstring>
+
+namespace ldmsxx {
+namespace {
+
+// LEB128-style varint: 7 bits per byte, high bit = continuation. A u64
+// never needs more than 10 bytes.
+void PutVarint(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Multi-byte continuation of GetVarint; @p p sits on the first byte (which
+/// has the high bit set, or the cursor is at @p end). False on truncation
+/// or an over-long encoding (more than 10 bytes / bits past 64).
+bool GetVarintSlow(const std::uint8_t*& p, const std::uint8_t* end,
+                   std::uint64_t* out) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (p < end) {
+    const std::uint8_t b = *p++;
+    if (shift == 63 && (b & 0x7e) != 0) return false;  // bits past 64
+    if (shift > 63) return false;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // ran off the end mid-varint
+}
+
+/// Reads one varint at @p p, advancing it. Small deltas dominate
+/// well-behaved columns, so most varints are one byte; the decode loops are
+/// on the indexed query's critical path, and keeping the cursor in a
+/// register (reference-to-pointer, inlined fast path) rather than behind a
+/// size_t* is worth ~2x on dense delta columns.
+inline bool GetVarint(const std::uint8_t*& p, const std::uint8_t* end,
+                      std::uint64_t* out) {
+  if (p < end) {
+    const std::uint8_t b = *p;
+    if (b < 0x80) {
+      *out = b;
+      ++p;
+      return true;
+    }
+  }
+  return GetVarintSlow(p, end, out);
+}
+
+std::uint64_t Zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t Unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Difference interpreted as signed, in wrapping u64 arithmetic — correct
+/// for counters that reset (huge negative delta) and for u64 values with
+/// the top bit set.
+std::int64_t SignedDelta(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::int64_t>(a - b);
+}
+
+void EncodeRaw(const std::uint64_t* vals, std::size_t n,
+               std::vector<std::uint8_t>* out) {
+  const std::size_t bytes = n * sizeof(std::uint64_t);
+  const std::size_t base = out->size();
+  out->resize(base + bytes);
+  if (bytes > 0) std::memcpy(out->data() + base, vals, bytes);
+}
+
+bool DecodeRaw(const std::uint8_t* bytes, std::size_t len, std::size_t n,
+               std::uint64_t* out) {
+  if (len != n * sizeof(std::uint64_t)) return false;
+  if (len > 0) std::memcpy(out, bytes, len);
+  return true;
+}
+
+void EncodeDelta(const std::uint64_t* vals, std::size_t n,
+                 std::vector<std::uint8_t>* out) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PutVarint(Zigzag(SignedDelta(vals[i], prev)), out);
+    prev = vals[i];
+  }
+}
+
+bool DecodeDelta(const std::uint8_t* bytes, std::size_t len, std::size_t n,
+                 std::uint64_t* out) {
+  const std::uint8_t* p = bytes;
+  const std::uint8_t* const end = bytes + len;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z;
+    if (!GetVarint(p, end, &z)) return false;
+    prev += static_cast<std::uint64_t>(Unzigzag(z));
+    out[i] = prev;
+  }
+  return p == end;
+}
+
+void EncodeDeltaOfDelta(const std::uint64_t* vals, std::size_t n,
+                        std::vector<std::uint8_t>* out) {
+  if (n == 0) return;
+  PutVarint(vals[0], out);
+  std::int64_t prev_delta = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::int64_t delta = SignedDelta(vals[i], vals[i - 1]);
+    PutVarint(Zigzag(delta - prev_delta), out);
+    prev_delta = delta;
+  }
+}
+
+bool DecodeDeltaOfDelta(const std::uint8_t* bytes, std::size_t len,
+                        std::size_t n, std::uint64_t* out) {
+  if (n == 0) return len == 0;
+  const std::uint8_t* p = bytes;
+  const std::uint8_t* const end = bytes + len;
+  std::uint64_t v;
+  if (!GetVarint(p, end, &v)) return false;
+  out[0] = v;
+  std::int64_t delta = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::uint64_t z;
+    if (!GetVarint(p, end, &z)) return false;
+    delta += Unzigzag(z);
+    v += static_cast<std::uint64_t>(delta);
+    out[i] = v;
+  }
+  return p == end;
+}
+
+void EncodeRle(const std::uint64_t* vals, std::size_t n,
+               std::vector<std::uint8_t>* out) {
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t run = 1;
+    while (i + run < n && vals[i + run] == vals[i]) ++run;
+    PutVarint(vals[i], out);
+    PutVarint(run, out);
+    i += run;
+  }
+}
+
+bool DecodeRle(const std::uint8_t* bytes, std::size_t len, std::size_t n,
+               std::uint64_t* out) {
+  const std::uint8_t* p = bytes;
+  const std::uint8_t* const end = bytes + len;
+  std::size_t filled = 0;
+  while (filled < n) {
+    std::uint64_t value, run;
+    if (!GetVarint(p, end, &value) || !GetVarint(p, end, &run)) {
+      return false;
+    }
+    if (run == 0 || run > n - filled) return false;
+    for (std::uint64_t j = 0; j < run; ++j) out[filled + j] = value;
+    filled += static_cast<std::size_t>(run);
+  }
+  return p == end;
+}
+
+// XOR with zero-byte suppression: x = v ^ prev; header byte packs the count
+// of leading zero bytes (high nibble) and significant bytes (low nibble),
+// then the significant bytes follow most-significant first. Similar doubles
+// xor to a value whose sign/exponent bytes are zero and whose trailing
+// mantissa bytes are zero; both ends are dropped. x == 0 is one 0x00 byte.
+void EncodeXor(const std::uint64_t* vals, std::size_t n,
+               std::vector<std::uint8_t>* out) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = vals[i] ^ prev;
+    prev = vals[i];
+    if (x == 0) {
+      out->push_back(0);
+      continue;
+    }
+    unsigned lead = 0;
+    while (((x >> (56 - 8 * lead)) & 0xff) == 0) ++lead;
+    unsigned trail = 0;
+    while (((x >> (8 * trail)) & 0xff) == 0) ++trail;
+    const unsigned sig = 8 - lead - trail;
+    out->push_back(static_cast<std::uint8_t>((lead << 4) | sig));
+    for (unsigned b = 0; b < sig; ++b) {
+      out->push_back(
+          static_cast<std::uint8_t>(x >> (8 * (8 - lead - 1 - b))));
+    }
+  }
+}
+
+bool DecodeXor(const std::uint8_t* bytes, std::size_t len, std::size_t n,
+               std::uint64_t* out) {
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pos >= len) return false;
+    const std::uint8_t header = bytes[pos++];
+    if (header == 0) {
+      out[i] = prev;
+      continue;
+    }
+    const unsigned lead = header >> 4;
+    const unsigned sig = header & 0x0f;
+    if (sig == 0 || lead + sig > 8 || pos + sig > len) return false;
+    std::uint64_t x = 0;
+    for (unsigned b = 0; b < sig; ++b) {
+      x = (x << 8) | bytes[pos++];
+    }
+    x <<= 8 * (8 - lead - sig);
+    prev ^= x;
+    out[i] = prev;
+  }
+  return pos == len;
+}
+
+}  // namespace
+
+void EncodeColumn(ColumnCodec codec, const std::uint64_t* vals, std::size_t n,
+                  std::vector<std::uint8_t>* out) {
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      return EncodeRaw(vals, n, out);
+    case ColumnCodec::kDeltaOfDelta:
+      return EncodeDeltaOfDelta(vals, n, out);
+    case ColumnCodec::kRle:
+      return EncodeRle(vals, n, out);
+    case ColumnCodec::kXor:
+      return EncodeXor(vals, n, out);
+    case ColumnCodec::kDelta:
+      return EncodeDelta(vals, n, out);
+  }
+}
+
+bool DecodeColumn(ColumnCodec codec, const std::uint8_t* bytes,
+                  std::size_t len, std::size_t n, std::uint64_t* out) {
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      return DecodeRaw(bytes, len, n, out);
+    case ColumnCodec::kDeltaOfDelta:
+      return DecodeDeltaOfDelta(bytes, len, n, out);
+    case ColumnCodec::kRle:
+      return DecodeRle(bytes, len, n, out);
+    case ColumnCodec::kXor:
+      return DecodeXor(bytes, len, n, out);
+    case ColumnCodec::kDelta:
+      return DecodeDelta(bytes, len, n, out);
+  }
+  return false;
+}
+
+}  // namespace ldmsxx

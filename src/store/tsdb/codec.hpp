@@ -1,0 +1,53 @@
+// Per-column codecs for segment format v2 (ISSUE 10 tentpole part 1). A
+// sealed segment's columns are all u64 slot runs; what varies is what the
+// slots *mean*, and each meaning has a cheap, effective encoding:
+//
+//   timestamps     — near-constant spacing: delta-of-delta + zigzag varint
+//   node/prod idx  — long runs of repeats: run-length (value, run) varints
+//   double columns — slowly-drifting floats: XOR vs. previous value with
+//                    zero-byte suppression (byte-aligned Gorilla)
+//   int columns    — counters/gauges: delta + zigzag varint
+//
+// Codecs are chosen per column at seal time and recorded in the footer; a
+// codec that fails to beat the raw 8-byte slots is discarded in favour of
+// kRaw, so a pathological column never costs more than format v1 did.
+//
+// Decoders are defensive: they never read past the supplied span, never
+// write more than the requested value count, and report malformed input as
+// failure instead of producing short output — the column CRC (over the
+// encoded bytes) catches corruption first, but a CRC collision must still
+// not crash the reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldmsxx {
+
+enum class ColumnCodec : std::uint8_t {
+  kRaw = 0,           // n × u64, host (little-endian) byte order
+  kDeltaOfDelta = 1,  // varint(first) | zigzag-varint second differences
+  kRle = 2,           // (varint value, varint run) pairs
+  kXor = 3,           // per value: u8 (lead<<4|len) header + significant bytes
+  kDelta = 4,         // zigzag-varint first differences (prev starts at 0)
+};
+
+/// Append the encoding of @p vals under @p codec to @p out (not cleared).
+/// kRaw appends the little-endian slot bytes verbatim.
+void EncodeColumn(ColumnCodec codec, const std::uint64_t* vals, std::size_t n,
+                  std::vector<std::uint8_t>* out);
+
+/// Decode exactly @p n values from @p bytes into @p out. Returns false when
+/// the input is malformed: truncated, over-long, or structurally invalid
+/// (e.g. RLE runs that overshoot @p n). @p out is only valid on success.
+bool DecodeColumn(ColumnCodec codec, const std::uint8_t* bytes,
+                  std::size_t len, std::size_t n, std::uint64_t* out);
+
+/// The codec the seal path tries first for a column holding @p is_double
+/// data slots (the implicit ts/node/prod columns pick their own).
+inline ColumnCodec PreferredDataCodec(bool is_double) {
+  return is_double ? ColumnCodec::kXor : ColumnCodec::kDelta;
+}
+
+}  // namespace ldmsxx

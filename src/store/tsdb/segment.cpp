@@ -10,12 +10,15 @@
 namespace ldmsxx {
 namespace {
 
-constexpr std::uint32_t kSegMagic = 0x3147534c;      // "LSG1"
-constexpr std::uint32_t kTrailerMagic = 0x4647534c;  // "LSGF"
+constexpr std::uint32_t kSegMagicV1 = 0x3147534c;      // "LSG1"
+constexpr std::uint32_t kSegMagicV2 = 0x3247534c;      // "LSG2"
+constexpr std::uint32_t kTrailerMagicV1 = 0x4647534c;  // "LSGF"
+constexpr std::uint32_t kTrailerMagicV2 = 0x4747534c;  // "LSGG"
 constexpr std::size_t kTrailerSize = 8 + 8 + 4;
 
 /// FNV-1a over raw bytes; same function the registry uses for its CRC (a
-/// corruption check, not a cryptographic seal).
+/// corruption check, not a cryptographic seal). Used for the variable-
+/// length footer, which is small.
 std::uint64_t Fnv1a(const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::uint64_t h = 1469598103934665603ull;
@@ -26,15 +29,35 @@ std::uint64_t Fnv1a(const void* data, std::size_t n) {
   return h;
 }
 
-/// FNV-1a folded one u64 lane per step. Column bodies are dense 8-byte slot
+/// FNV-1a folded one u64 lane per step. Raw columns are dense 8-byte slot
 /// arrays, and the byte-serial variant's dependent multiply per byte is the
 /// single largest CPU cost of sealing a segment; folding a word at a time
 /// keeps the same corruption-detection role at 1/8th the multiplies. Used
-/// only for column-body CRCs (writer and reader agree); the variable-length
-/// footer keeps the byte-wise form.
+/// for kRaw column CRCs (v1 and v2 writers and readers agree).
 std::uint64_t Fnv1aWords(const std::uint64_t* p, std::size_t n_words) {
   std::uint64_t h = 1469598103934665603ull;
   for (std::size_t i = 0; i < n_words; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Word-folded FNV-1a over a byte-granular stream: full 8-byte chunks fold
+/// as u64 lanes, the (< 8 byte) tail folds byte-wise. Compressed column
+/// blocks use this — the byte-serial form's dependent-multiply chain costs
+/// more than the varint decode it guards, which would put the CRC, not the
+/// codec, on the query's critical path.
+std::uint64_t Fnv1aBytes(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h ^= word;
+    h *= 1099511628211ull;
+  }
+  for (; i < n; ++i) {
     h ^= p[i];
     h *= 1099511628211ull;
   }
@@ -97,26 +120,46 @@ void SegmentBuilder::Append(TimeNs ts, std::uint64_t node,
   max_ts_ = std::max(max_ts_, ts);
 }
 
-std::string SegmentBuilder::Serialize() const {
+std::string SegmentBuilder::Serialize(bool compress) const {
   ByteWriter w;
-  w.U32(kSegMagic);
+  w.U32(kSegMagicV2);
   w.Str(table_);
   w.U16(static_cast<std::uint16_t>(columns_.size()));
 
   const std::size_t n_cols = 3 + columns_.size();
-  std::vector<std::uint64_t> offsets(n_cols), crcs(n_cols);
-  auto put_column = [&w](const std::vector<std::uint64_t>& col,
-                         std::uint64_t* offset, std::uint64_t* crc) {
-    *offset = w.size();
-    const std::size_t bytes = col.size() * sizeof(std::uint64_t);
-    *crc = Fnv1aWords(col.data(), col.size());
-    w.Raw(col.data(), bytes);
+  std::vector<std::uint64_t> offsets(n_cols), crcs(n_cols), enc_lens(n_cols);
+  std::vector<std::uint8_t> codecs(n_cols);
+  // One scratch encode buffer shared by every column: cleared per column,
+  // capacity retained, so a seal does at most one encode allocation total.
+  std::vector<std::uint8_t> scratch;
+  auto put_column = [&](const std::vector<std::uint64_t>& col,
+                        ColumnCodec want, std::size_t idx) {
+    offsets[idx] = w.size();
+    const std::size_t raw_bytes = col.size() * sizeof(std::uint64_t);
+    if (compress && want != ColumnCodec::kRaw) {
+      scratch.clear();
+      EncodeColumn(want, col.data(), col.size(), &scratch);
+      if (scratch.size() < raw_bytes) {
+        codecs[idx] = static_cast<std::uint8_t>(want);
+        enc_lens[idx] = scratch.size();
+        crcs[idx] = Fnv1aBytes(scratch.data(), scratch.size());
+        w.Raw(scratch.data(), scratch.size());
+        return;
+      }
+    }
+    codecs[idx] = static_cast<std::uint8_t>(ColumnCodec::kRaw);
+    enc_lens[idx] = raw_bytes;
+    crcs[idx] = Fnv1aWords(col.data(), col.size());
+    w.Raw(col.data(), raw_bytes);
   };
-  put_column(ts_, &offsets[0], &crcs[0]);
-  put_column(nodes_, &offsets[1], &crcs[1]);
-  put_column(prod_, &offsets[2], &crcs[2]);
+  put_column(ts_, ColumnCodec::kDeltaOfDelta, SegmentFooter::kTsCol);
+  put_column(nodes_, ColumnCodec::kRle, SegmentFooter::kNodeCol);
+  put_column(prod_, ColumnCodec::kRle, SegmentFooter::kProdCol);
   for (std::size_t i = 0; i < cols_.size(); ++i) {
-    put_column(cols_[i], &offsets[3 + i], &crcs[3 + i]);
+    const bool is_double = columns_[i].type == MetricType::kD64 ||
+                           columns_[i].type == MetricType::kF32;
+    put_column(cols_[i], PreferredDataCodec(is_double),
+               SegmentFooter::DataCol(i));
   }
 
   // Footer: the index. Node dictionary is sorted-unique with an overflow
@@ -143,19 +186,21 @@ std::string SegmentBuilder::Serialize() const {
   }
   for (const std::uint64_t off : offsets) w.U64(off);
   for (const std::uint64_t crc : crcs) w.U64(crc);
+  for (const std::uint8_t codec : codecs) w.U8(codec);
+  for (const std::uint64_t len : enc_lens) w.U64(len);
   const std::size_t footer_end = w.size();
 
   w.U64(footer_offset);
   w.U64(Fnv1a(w.buffer().data() + footer_offset, footer_end - footer_offset));
-  w.U32(kTrailerMagic);
+  w.U32(kTrailerMagicV2);
 
   const auto& buf = w.buffer();
   return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
 }
 
 Status WriteSegmentFile(const std::string& path, const SegmentBuilder& builder,
-                        bool durable) {
-  return AtomicWriteFile(path, builder.Serialize(), 0644, durable);
+                        bool durable, bool compress) {
+  return AtomicWriteFile(path, builder.Serialize(compress), 0644, durable);
 }
 
 Status ReadSegmentFooter(const std::string& path, SegmentFooter* out) {
@@ -179,7 +224,12 @@ Status ReadSegmentFooter(const std::string& path, SegmentFooter* out) {
   ByteReader tr({reinterpret_cast<const std::byte*>(trailer), kTrailerSize});
   const std::uint64_t footer_offset = tr.U64();
   const std::uint64_t footer_crc = tr.U64();
-  if (tr.U32() != kTrailerMagic) {
+  const std::uint32_t trailer_magic = tr.U32();
+  if (trailer_magic == kTrailerMagicV1) {
+    out->version = 1;
+  } else if (trailer_magic == kTrailerMagicV2) {
+    out->version = 2;
+  } else {
     return Corrupt(path, "bad trailer magic");
   }
   const std::size_t footer_end = static_cast<std::size_t>(size) - kTrailerSize;
@@ -214,49 +264,88 @@ Status ReadSegmentFooter(const std::string& path, SegmentFooter* out) {
     col.type = static_cast<MetricType>(r.U8());
     out->columns.push_back(std::move(col));
   }
-  out->ts_offset = r.U64();
-  out->node_offset = r.U64();
-  out->prod_offset = r.U64();
-  out->col_offsets.reserve(n_cols);
-  for (std::uint16_t i = 0; i < n_cols; ++i) out->col_offsets.push_back(r.U64());
-  out->ts_crc = r.U64();
-  out->node_crc = r.U64();
-  out->prod_crc = r.U64();
-  out->col_crcs.reserve(n_cols);
-  for (std::uint16_t i = 0; i < n_cols; ++i) out->col_crcs.push_back(r.U64());
+  const std::size_t total_cols = 3 + static_cast<std::size_t>(n_cols);
+  out->offsets.reserve(total_cols);
+  for (std::size_t i = 0; i < total_cols; ++i) out->offsets.push_back(r.U64());
+  out->crcs.reserve(total_cols);
+  for (std::size_t i = 0; i < total_cols; ++i) out->crcs.push_back(r.U64());
+  if (out->version >= 2) {
+    out->codecs.reserve(total_cols);
+    for (std::size_t i = 0; i < total_cols; ++i) out->codecs.push_back(r.U8());
+    out->enc_lens.reserve(total_cols);
+    for (std::size_t i = 0; i < total_cols; ++i) {
+      out->enc_lens.push_back(r.U64());
+    }
+  } else {
+    // v1: every column is a raw slot run.
+    out->codecs.assign(total_cols,
+                       static_cast<std::uint8_t>(ColumnCodec::kRaw));
+    out->enc_lens.assign(total_cols,
+                         out->row_count * sizeof(std::uint64_t));
+  }
   if (!r.ok() || out->table.empty()) {
     return Corrupt(path, "malformed footer");
   }
-  // Column runs must fit inside the body (before the footer).
-  const std::uint64_t run = out->row_count * sizeof(std::uint64_t);
-  auto bad_run = [&](std::uint64_t off) {
-    return off > footer_offset || run > footer_offset - off;
-  };
-  if (bad_run(out->ts_offset) || bad_run(out->node_offset) ||
-      bad_run(out->prod_offset)) {
-    return Corrupt(path, "column run out of range");
-  }
-  for (const std::uint64_t off : out->col_offsets) {
-    if (bad_run(off)) return Corrupt(path, "column run out of range");
+  // Column blocks must fit inside the body (before the footer), raw blocks
+  // must be exactly the slot run, and codec ids must be ones we know.
+  for (std::size_t i = 0; i < total_cols; ++i) {
+    const std::uint64_t off = out->offsets[i];
+    const std::uint64_t len = out->enc_lens[i];
+    if (off > footer_offset || len > footer_offset - off) {
+      return Corrupt(path, "column run out of range");
+    }
+    if (out->codecs[i] > static_cast<std::uint8_t>(ColumnCodec::kDelta)) {
+      return Corrupt(path, "unknown column codec");
+    }
+    if (out->codecs[i] == static_cast<std::uint8_t>(ColumnCodec::kRaw) &&
+        len != out->row_count * sizeof(std::uint64_t)) {
+      return Corrupt(path, "raw column length mismatch");
+    }
   }
   return Status::Ok();
 }
 
 Status ReadSegmentColumn(const std::string& path, const SegmentFooter& footer,
-                         std::uint64_t offset, std::uint64_t crc,
-                         std::vector<std::uint64_t>* out) {
+                         std::size_t col, std::vector<std::uint64_t>* out,
+                         std::vector<std::uint8_t>* scratch) {
+  if (col >= footer.offsets.size()) {
+    return Corrupt(path, "column index out of range");
+  }
   File file(path);
   if (file.f == nullptr) {
     return {ErrorCode::kNotFound, "segment " + path + ": cannot open"};
   }
+  const std::uint64_t offset = footer.offsets[col];
+  const std::size_t enc_len = static_cast<std::size_t>(footer.enc_lens[col]);
+  const auto codec = static_cast<ColumnCodec>(footer.codecs[col]);
   out->resize(footer.row_count);
-  const std::size_t bytes = footer.row_count * sizeof(std::uint64_t);
-  if (std::fseek(file.f, static_cast<long>(offset), SEEK_SET) != 0 ||
-      std::fread(out->data(), 1, bytes, file.f) != bytes) {
+  if (codec == ColumnCodec::kRaw) {
+    // Raw blocks decode in place: read straight into the slot vector and
+    // verify the word-folded CRC over it.
+    if (enc_len > 0 &&
+        (std::fseek(file.f, static_cast<long>(offset), SEEK_SET) != 0 ||
+         std::fread(out->data(), 1, enc_len, file.f) != enc_len)) {
+      return Corrupt(path, "column read failed");
+    }
+    if (Fnv1aWords(out->data(), footer.row_count) != footer.crcs[col]) {
+      return Corrupt(path, "column checksum mismatch");
+    }
+    return Status::Ok();
+  }
+  std::vector<std::uint8_t> local;
+  std::vector<std::uint8_t>& buf = scratch != nullptr ? *scratch : local;
+  buf.resize(enc_len);
+  if (enc_len > 0 &&
+      (std::fseek(file.f, static_cast<long>(offset), SEEK_SET) != 0 ||
+       std::fread(buf.data(), 1, enc_len, file.f) != enc_len)) {
     return Corrupt(path, "column read failed");
   }
-  if (Fnv1aWords(out->data(), footer.row_count) != crc) {
+  if (Fnv1aBytes(buf.data(), enc_len) != footer.crcs[col]) {
     return Corrupt(path, "column checksum mismatch");
+  }
+  if (!DecodeColumn(codec, buf.data(), enc_len, footer.row_count,
+                    out->data())) {
+    return Corrupt(path, "column decode failed");
   }
   return Status::Ok();
 }

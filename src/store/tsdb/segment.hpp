@@ -1,28 +1,41 @@
-// Time-partitioned columnar segments (ISSUE 9 tentpole part 2). A segment is
-// an append-only batch of rows for one table, stored column-major: every
-// column is a contiguous run of 8-byte slots, so a query that wants 2 of 18
-// metrics reads 2/18ths of the data. Segments are built in memory
-// (preallocated column buffers) and sealed to disk in one AtomicWriteFile —
-// a reader never sees a torn segment.
+// Time-partitioned columnar segments (ISSUE 9 tentpole part 2; compressed
+// format v2 in ISSUE 10). A segment is an append-only batch of rows for one
+// table, stored column-major. Segments are built in memory (preallocated
+// column buffers) and sealed to disk in one AtomicWriteFile — a reader
+// never sees a torn segment.
 //
-// On-disk layout (ByteWriter little-endian):
+// On-disk layout (ByteWriter little-endian), format v2:
 //
-//   header : u32 magic "LSG1" | str table | u16 ncols
-//   body   : ts[rows] u64 | node[rows] u64 | prod_idx[rows] u64 |
-//            ncols x (col[rows] u64)
+//   header : u32 magic "LSG2" | str table | u16 ncols
+//   body   : 3 + ncols encoded column blocks (ts, node, prod_idx, data
+//            columns), each under the codec the footer records for it
 //   footer : str table | u64 min_ts | u64 max_ts | u64 row_count |
 //            u8 node_overflow | u16 nnodes | nnodes x u64 (sorted unique) |
 //            u16 nproducers | nproducers x str |
 //            u16 ncols | ncols x (str name, u8 type) |
-//            (3 + ncols) x u64 column offsets | (3 + ncols) x u64 column CRCs
-//   trailer: u64 footer_offset | u64 footer_crc | u32 magic "LSGF"
+//            (3 + ncols) x u64 column offsets | (3 + ncols) x u64 CRCs |
+//            (3 + ncols) x u8 codec ids | (3 + ncols) x u64 encoded lengths
+//   trailer: u64 footer_offset | u64 footer_crc | u32 magic "LSGG"
+//
+// Format v1 ("LSG1"/"LSGF") is the same without the codec-id/encoded-length
+// footer arrays — every column is a raw u64 slot run. Readers dispatch on
+// the trailer magic, so a store directory can mix v1 and v2 files and a
+// restart re-attaches both seamlessly.
+//
+// Codecs (store/tsdb/codec.hpp) are chosen per column at seal time:
+// delta-of-delta varints for timestamps, RLE for the node and producer-
+// index columns, XOR-with-byte-suppression for double columns, delta
+// varints for integer columns — each falling back to raw whenever it fails
+// to beat the 8-byte slots. Column CRCs cover the *encoded* bytes (word-
+// folded FNV-1a for raw columns, byte-wise for compressed ones), so
+// corruption is rejected before any decode runs.
 //
 // The footer is the index: a reader seeks to the 20-byte trailer, reads the
 // CRC-sealed footer, and can then prune the whole segment on min/max
 // timestamp or the node dictionary — or seek straight to the few columns a
-// query asks for, each verified by its own FNV-1a. The node dictionary
-// degrades to an "any node" overflow flag past kMaxNodeDict distinct ids so
-// a pathological segment cannot bloat the index.
+// query asks for. The node dictionary degrades to an "any node" overflow
+// flag past kMaxNodeDict distinct ids so a pathological segment cannot
+// bloat the index.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +44,7 @@
 #include <vector>
 
 #include "core/value.hpp"
+#include "store/tsdb/codec.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -43,9 +57,17 @@ struct SegmentColumn {
 };
 
 /// Parsed footer of a sealed segment: everything a query needs to prune the
-/// segment or locate its columns, without touching the body.
+/// segment or locate its columns, without touching the body. Per-column
+/// arrays are indexed uniformly: kTsCol, kNodeCol, kProdCol, then
+/// DataCol(i) for data column i.
 struct SegmentFooter {
+  static constexpr std::size_t kTsCol = 0;
+  static constexpr std::size_t kNodeCol = 1;
+  static constexpr std::size_t kProdCol = 2;
+  static constexpr std::size_t DataCol(std::size_t i) { return 3 + i; }
+
   std::string table;
+  std::uint8_t version = 2;
   TimeNs min_ts = 0;
   TimeNs max_ts = 0;
   std::uint64_t row_count = 0;
@@ -56,11 +78,13 @@ struct SegmentFooter {
   std::vector<std::uint64_t> nodes;
   std::vector<std::string> producers;
   std::vector<SegmentColumn> columns;
-  /// Byte offsets of the implicit columns and each data column's slot run.
-  std::uint64_t ts_offset = 0, node_offset = 0, prod_offset = 0;
-  std::vector<std::uint64_t> col_offsets;
-  std::uint64_t ts_crc = 0, node_crc = 0, prod_crc = 0;
-  std::vector<std::uint64_t> col_crcs;
+  /// Per-column byte offset, CRC, codec, and encoded length (3 + ncols
+  /// entries each). v1 footers parse into the same arrays with every codec
+  /// kRaw and every encoded length row_count * 8.
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint64_t> crcs;
+  std::vector<std::uint8_t> codecs;
+  std::vector<std::uint64_t> enc_lens;
 
   /// Index of the data column named @p name, or -1.
   int FindColumn(const std::string& name) const;
@@ -97,8 +121,11 @@ class SegmentBuilder {
   }
   const std::vector<std::string>& producer_dict() const { return prod_dict_; }
 
-  /// Serialize the whole segment file (header + body + footer + trailer).
-  std::string Serialize() const;
+  /// Serialize the whole segment file (header + body + footer + trailer) in
+  /// format v2. With @p compress false every column is written raw (codec
+  /// ids all kRaw) — the ablation/debug path; the layout stays v2 either
+  /// way. One scratch encode buffer is reused across all columns.
+  std::string Serialize(bool compress = true) const;
 
   /// How many distinct node ids the footer dictionary will index before
   /// degrading to the overflow flag.
@@ -124,15 +151,19 @@ class SegmentBuilder {
 /// @p durable false the fsyncs are the caller's to batch — store_tsdb
 /// queues them on a background syncer drained by Flush).
 Status WriteSegmentFile(const std::string& path, const SegmentBuilder& builder,
-                        bool durable = true);
+                        bool durable = true, bool compress = true);
 
 /// Read and validate a sealed segment's footer (one seek + one small read).
+/// Accepts both format v1 and v2; footer->version records which.
 Status ReadSegmentFooter(const std::string& path, SegmentFooter* out);
 
-/// Read one column's slot run (@p offset from the footer), verifying its
-/// CRC. @p out is resized to the footer's row_count.
+/// Read column @p col (uniform index: SegmentFooter::kTsCol / kNodeCol /
+/// kProdCol / DataCol(i)), verify its CRC over the encoded bytes, and
+/// decode it into @p out (resized to row_count). @p scratch, when given,
+/// receives the compressed read buffer — the parallel scan path passes a
+/// per-worker buffer so concurrent decodes never allocate per call.
 Status ReadSegmentColumn(const std::string& path, const SegmentFooter& footer,
-                         std::uint64_t offset, std::uint64_t crc,
-                         std::vector<std::uint64_t>* out);
+                         std::size_t col, std::vector<std::uint64_t>* out,
+                         std::vector<std::uint8_t>* scratch = nullptr);
 
 }  // namespace ldmsxx

@@ -45,6 +45,9 @@ bool SortedIntersect(const std::vector<std::uint64_t>& a,
 }  // namespace
 
 TsdbStore::TsdbStore(TsdbOptions opts) : opts_(std::move(opts)) {
+  if (opts_.scan_threads > 0) {
+    scan_pool_ = std::make_unique<ThreadPool>(opts_.scan_threads, "tsdbscan");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   AttachExistingLocked();
 }
@@ -110,7 +113,38 @@ void TsdbStore::AttachExistingLocked() {
     if (p.extension() == ".seg") segs.push_back(p.string());
     if (p.extension() == ".rollup") rollups.push_back(p.string());
   }
-  std::sort(segs.begin(), segs.end());
+  // Attach in (table, numeric seq) order, not directory or lexicographic
+  // order — "t.10.seg" must follow "t.9.seg" so sealed history replays in
+  // write order regardless of how the filesystem iterates.
+  auto seg_key = [](const std::string& path) {
+    std::string stem = fs::path(path).filename().string();
+    if (stem.size() > 4 && stem.ends_with(".seg")) {
+      stem.resize(stem.size() - 4);
+    }
+    const std::size_t dot = stem.rfind('.');
+    std::uint64_t seq = 0;
+    std::string table = stem;
+    if (dot != std::string::npos && dot + 1 < stem.size()) {
+      bool numeric = true;
+      for (std::size_t i = dot + 1; i < stem.size(); ++i) {
+        if (stem[i] < '0' || stem[i] > '9') {
+          numeric = false;
+          break;
+        }
+        seq = seq * 10 + static_cast<std::uint64_t>(stem[i] - '0');
+      }
+      if (numeric) {
+        table = stem.substr(0, dot);
+      } else {
+        seq = 0;
+      }
+    }
+    return std::make_pair(std::move(table), seq);
+  };
+  std::sort(segs.begin(), segs.end(),
+            [&seg_key](const std::string& a, const std::string& b) {
+              return seg_key(a) < seg_key(b);
+            });
   std::sort(rollups.begin(), rollups.end());
   for (const std::string& path : segs) {
     Sealed sealed;
@@ -260,7 +294,7 @@ Status TsdbStore::SealLocked(Table& t) {
   // torn); the fsyncs run on the background syncer and are awaited by
   // Flush(). A crash before they land leaves a file the CRC checks reject
   // at the next attach — indistinguishable from a crash mid-write.
-  st = WriteSegmentFile(path, *t.active, /*durable=*/false);
+  st = WriteSegmentFile(path, *t.active, /*durable=*/false, opts_.compress);
   if (!st.ok()) return st;
   EnqueueSync(path);
   Sealed sealed;
@@ -450,75 +484,145 @@ Status TsdbStore::ResolveColumns(const Table& t,
   return Status::Ok();
 }
 
-Status TsdbStore::Query(const TsdbQuery& q, TsdbQueryResult* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  *out = TsdbQueryResult{};
-  const Table* t = FindTableLocked(q.table);
-  if (t == nullptr) {
-    return {ErrorCode::kNotFound, "store_tsdb: no table '" + q.table + "'"};
-  }
-  std::vector<std::uint32_t> cols;
-  Status st = ResolveColumns(*t, q.metrics, &cols, &out->columns);
+Status TsdbStore::ScanSealedSegment(
+    const Sealed& seg, const std::vector<std::uint32_t>& cols,
+    const std::vector<MetricType>& types, TimeNs t0, TimeNs t1,
+    const std::vector<std::uint64_t>& node_filter,
+    std::vector<TsdbQueryRow>* rows, std::uint64_t* bytes_read,
+    std::uint64_t* bytes_decoded) const {
+  // Per-worker scratch: a pool worker (or the inline caller) recycles its
+  // decode buffers across every segment it scans in its lifetime.
+  thread_local std::vector<std::uint8_t> enc_scratch;
+  thread_local std::vector<std::uint64_t> ts, nodes;
+  thread_local std::vector<std::vector<std::uint64_t>> data;
+  const SegmentFooter& f = seg.footer;
+  Status st = ReadSegmentColumn(seg.path, f, SegmentFooter::kTsCol, &ts,
+                                &enc_scratch);
   if (!st.ok()) return st;
-  std::vector<std::uint64_t> node_filter(q.nodes);
-  std::sort(node_filter.begin(), node_filter.end());
-
-  for (const Sealed& seg : t->sealed) {
-    ++out->segments_considered;
-    const SegmentFooter& f = seg.footer;
-    if (f.max_ts < q.t0 || f.min_ts > q.t1 ||
-        (!node_filter.empty() && !f.node_overflow &&
-         !SortedIntersect(f.nodes, node_filter))) {
-      ++out->segments_pruned;
+  st = ReadSegmentColumn(seg.path, f, SegmentFooter::kNodeCol, &nodes,
+                         &enc_scratch);
+  if (!st.ok()) return st;
+  if (data.size() < cols.size()) data.resize(cols.size());
+  *bytes_read += f.enc_lens[SegmentFooter::kTsCol] +
+                 f.enc_lens[SegmentFooter::kNodeCol];
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    st = ReadSegmentColumn(seg.path, f, SegmentFooter::DataCol(cols[c]),
+                           &data[c], &enc_scratch);
+    if (!st.ok()) return st;
+    *bytes_read += f.enc_lens[SegmentFooter::DataCol(cols[c])];
+  }
+  *bytes_decoded += (2 + cols.size()) * f.row_count * sizeof(std::uint64_t);
+  for (std::size_t r = 0; r < f.row_count; ++r) {
+    if (ts[r] < t0 || ts[r] > t1) continue;
+    if (!node_filter.empty() && !SortedContains(node_filter, nodes[r])) {
       continue;
     }
-    ++out->segments_read;
-    std::vector<std::uint64_t> ts, nodes;
-    st = ReadSegmentColumn(seg.path, f, f.ts_offset, f.ts_crc, &ts);
-    if (!st.ok()) return st;
-    st = ReadSegmentColumn(seg.path, f, f.node_offset, f.node_crc, &nodes);
-    if (!st.ok()) return st;
-    std::vector<std::vector<std::uint64_t>> data(cols.size());
+    TsdbQueryRow row;
+    row.ts = ts[r];
+    row.node = nodes[r];
+    row.values.reserve(cols.size());
     for (std::size_t c = 0; c < cols.size(); ++c) {
-      st = ReadSegmentColumn(seg.path, f, f.col_offsets[cols[c]],
-                             f.col_crcs[cols[c]], &data[c]);
-      if (!st.ok()) return st;
+      row.values.push_back(SlotAsDouble(data[c][r], types[c]));
     }
-    out->bytes_read += (2 + cols.size()) * f.row_count * sizeof(std::uint64_t);
-    for (std::size_t r = 0; r < f.row_count; ++r) {
-      if (ts[r] < q.t0 || ts[r] > q.t1) continue;
-      if (!node_filter.empty() && !SortedContains(node_filter, nodes[r])) {
+    rows->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status TsdbStore::Query(const TsdbQuery& q, TsdbQueryResult* out) const {
+  *out = TsdbQueryResult{};
+  std::vector<std::uint32_t> cols;
+  std::vector<MetricType> types;
+  std::vector<std::uint64_t> node_filter(q.nodes);
+  std::sort(node_filter.begin(), node_filter.end());
+  std::vector<Sealed> survivors;
+  std::vector<TsdbQueryRow> active_rows;
+  {
+    // Under mu_: prune on footers, snapshot the surviving sealed entries
+    // (path + footer copies — sealed files are immutable), and scan the
+    // active in-memory segment. Disk reads happen after the lock drops, so
+    // a long scan never stalls ingest.
+    std::lock_guard<std::mutex> lock(mu_);
+    const Table* t = FindTableLocked(q.table);
+    if (t == nullptr) {
+      return {ErrorCode::kNotFound, "store_tsdb: no table '" + q.table + "'"};
+    }
+    Status st = ResolveColumns(*t, q.metrics, &cols, &out->columns);
+    if (!st.ok()) return st;
+    types.reserve(cols.size());
+    for (const std::uint32_t c : cols) types.push_back(t->columns[c].type);
+    for (const Sealed& seg : t->sealed) {
+      ++out->segments_considered;
+      const SegmentFooter& f = seg.footer;
+      if (f.max_ts < q.t0 || f.min_ts > q.t1 ||
+          (!node_filter.empty() && !f.node_overflow &&
+           !SortedIntersect(f.nodes, node_filter))) {
+        ++out->segments_pruned;
         continue;
       }
-      TsdbQueryRow row;
-      row.ts = ts[r];
-      row.node = nodes[r];
-      row.values.reserve(cols.size());
-      for (std::size_t c = 0; c < cols.size(); ++c) {
-        row.values.push_back(
-            SlotAsDouble(data[c][r], t->columns[cols[c]].type));
+      survivors.push_back(seg);
+    }
+    if (t->active != nullptr) {
+      const SegmentBuilder& seg = *t->active;
+      for (std::size_t r = 0; r < seg.row_count(); ++r) {
+        const TimeNs ts = seg.ts()[r];
+        const std::uint64_t node = seg.nodes()[r];
+        if (ts < q.t0 || ts > q.t1) continue;
+        if (!node_filter.empty() && !SortedContains(node_filter, node)) {
+          continue;
+        }
+        TsdbQueryRow row;
+        row.ts = ts;
+        row.node = node;
+        row.values.reserve(cols.size());
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+          row.values.push_back(SlotAsDouble(seg.column(cols[c])[r], types[c]));
+        }
+        active_rows.push_back(std::move(row));
       }
-      out->rows.push_back(std::move(row));
     }
   }
-  if (t->active != nullptr) {
-    const SegmentBuilder& seg = *t->active;
-    for (std::size_t r = 0; r < seg.row_count(); ++r) {
-      const TimeNs ts = seg.ts()[r];
-      const std::uint64_t node = seg.nodes()[r];
-      if (ts < q.t0 || ts > q.t1) continue;
-      if (!node_filter.empty() && !SortedContains(node_filter, node)) continue;
-      TsdbQueryRow row;
-      row.ts = ts;
-      row.node = node;
-      row.values.reserve(cols.size());
-      for (std::size_t c = 0; c < cols.size(); ++c) {
-        row.values.push_back(
-            SlotAsDouble(seg.column(cols[c])[r], t->columns[cols[c]].type));
-      }
-      out->rows.push_back(std::move(row));
+  out->segments_read = survivors.size();
+
+  // Decode + filter the survivors — on the scan pool when configured, with
+  // one result slot per segment so the merge is in seq order no matter
+  // which worker finishes first (identical output at any thread count).
+  const std::size_t n = survivors.size();
+  std::vector<std::vector<TsdbQueryRow>> seg_rows(n);
+  std::vector<Status> seg_status(n);
+  std::vector<std::uint64_t> seg_bytes(n, 0), seg_decoded(n, 0);
+  auto scan_one = [&](std::size_t i) {
+    seg_status[i] =
+        ScanSealedSegment(survivors[i], cols, types, q.t0, q.t1, node_filter,
+                          &seg_rows[i], &seg_bytes[i], &seg_decoded[i]);
+  };
+  if (scan_pool_ != nullptr && n > 1) {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      scan_pool_->Submit([&, i] {
+        scan_one(i);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      });
     }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) scan_one(i);
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seg_status[i].ok()) return seg_status[i];
+    out->bytes_read += seg_bytes[i];
+    out->bytes_decoded += seg_decoded[i];
+    out->rows.insert(out->rows.end(),
+                     std::make_move_iterator(seg_rows[i].begin()),
+                     std::make_move_iterator(seg_rows[i].end()));
+  }
+  out->rows.insert(out->rows.end(),
+                   std::make_move_iterator(active_rows.begin()),
+                   std::make_move_iterator(active_rows.end()));
   return Status::Ok();
 }
 
@@ -543,19 +647,19 @@ Status TsdbStore::QueryFullScan(const TsdbQuery& q,
     // The honest row-store comparison: reconstruct every row by reading
     // every column, then filter row-wise.
     std::vector<std::uint64_t> ts, nodes, prod;
-    st = ReadSegmentColumn(seg.path, f, f.ts_offset, f.ts_crc, &ts);
+    st = ReadSegmentColumn(seg.path, f, SegmentFooter::kTsCol, &ts);
     if (!st.ok()) return st;
-    st = ReadSegmentColumn(seg.path, f, f.node_offset, f.node_crc, &nodes);
+    st = ReadSegmentColumn(seg.path, f, SegmentFooter::kNodeCol, &nodes);
     if (!st.ok()) return st;
-    st = ReadSegmentColumn(seg.path, f, f.prod_offset, f.prod_crc, &prod);
+    st = ReadSegmentColumn(seg.path, f, SegmentFooter::kProdCol, &prod);
     if (!st.ok()) return st;
     std::vector<std::vector<std::uint64_t>> data(t->columns.size());
     for (std::size_t c = 0; c < t->columns.size(); ++c) {
-      st = ReadSegmentColumn(seg.path, f, f.col_offsets[c], f.col_crcs[c],
-                             &data[c]);
+      st = ReadSegmentColumn(seg.path, f, SegmentFooter::DataCol(c), &data[c]);
       if (!st.ok()) return st;
     }
-    out->bytes_read +=
+    for (const std::uint64_t len : f.enc_lens) out->bytes_read += len;
+    out->bytes_decoded +=
         (3 + t->columns.size()) * f.row_count * sizeof(std::uint64_t);
     for (std::size_t r = 0; r < f.row_count; ++r) {
       if (ts[r] < q.t0 || ts[r] > q.t1) continue;

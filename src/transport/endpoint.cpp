@@ -29,6 +29,14 @@ void Endpoint::UpdateAsync(const std::string& instance, AsyncHandler handler) {
   handler(std::move(st), std::move(data));
 }
 
+Status Endpoint::RemoteQuery(const QueryRequest& req, QueryResponse* resp) {
+  (void)req;
+  *resp = QueryResponse{};
+  resp->code = static_cast<std::uint8_t>(ErrorCode::kUnsupported);
+  resp->error = "transport does not carry query frames";
+  return {ErrorCode::kUnsupported, "transport does not carry query frames"};
+}
+
 Status Endpoint::LookupEx(const std::string& instance,
                           std::vector<std::byte>* metadata,
                           LookupExtra* extra) {

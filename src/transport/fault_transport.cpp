@@ -163,6 +163,18 @@ class FaultEndpoint final : public Endpoint {
     });
   }
 
+  // Fan-out query round-trip. The response decodes into a struct, not a
+  // byte buffer, so truncate/corrupt are inapplicable (Draw degrades them
+  // to no-fault); disconnect/stall/delay behave exactly as for updates.
+  Status RemoteQuery(const QueryRequest& req, QueryResponse* resp) override {
+    *resp = QueryResponse{};
+    Status st = Intercept(FaultOp::kQuery, nullptr, [&] {
+      return inner_->RemoteQuery(req, resp);
+    });
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
   void CorkWrites() override { inner_->CorkWrites(); }
   void UncorkWrites() override { inner_->UncorkWrites(); }
 

@@ -47,8 +47,9 @@ enum class FaultOp : std::uint8_t {
   kLookup,
   kUpdate,
   kAdvertise,
+  kQuery,  // fan-out RemoteQuery round-trips
 };
-constexpr std::size_t kFaultOpCount = 5;
+constexpr std::size_t kFaultOpCount = 6;
 
 /// How many of each fault the schedule has actually injected; chaos tests
 /// assert against these.

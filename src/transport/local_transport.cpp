@@ -211,6 +211,22 @@ class LocalEndpoint final : public Endpoint {
     });
   }
 
+  Status RemoteQuery(const QueryRequest& req, QueryResponse* resp) override {
+    *resp = QueryResponse{};
+    if (closed_) return {ErrorCode::kDisconnected, "endpoint closed"};
+    Status st = node_->WithHandler([&](ServiceHandler* h, TransportStats* srv) {
+      const std::uint64_t t0 = NowSteadyNs();
+      h->HandleQuery(req, resp);
+      ChargeServer(srv, NowSteadyNs() - t0);
+      // Model the frames the wire transport would have exchanged.
+      Account(kFrameHeaderSize + EncodeQueryRequest(req).size(),
+              kFrameHeaderSize + EncodeQueryResponse(*resp).size(), srv);
+      return Status::Ok();
+    });
+    if (!st.ok()) stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+
  private:
   void ChargeServer(TransportStats* srv, std::uint64_t ns) {
     if (srv != nullptr)

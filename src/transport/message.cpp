@@ -206,6 +206,109 @@ std::vector<std::byte> EncodeUpdateBatchResponse(
   return w.Take();
 }
 
+std::vector<std::byte> EncodeQueryRequest(const QueryRequest& msg) {
+  ByteWriter w;
+  w.Str(msg.strgp);
+  w.Str(msg.table);
+  w.U64(msg.t0);
+  w.U64(msg.t1);
+  w.U32(static_cast<std::uint32_t>(msg.nodes.size()));
+  for (const std::uint64_t n : msg.nodes) w.U64(n);
+  w.U32(static_cast<std::uint32_t>(msg.metrics.size()));
+  for (const auto& m : msg.metrics) w.Str(m);
+  w.U32(msg.limit);
+  // Trailing version byte; v0 decoders stop at limit and ignore it.
+  w.U8(msg.version);
+  return w.Take();
+}
+
+bool DecodeQueryRequest(std::span<const std::byte> payload, QueryRequest* out) {
+  ByteReader r(payload);
+  out->strgp = r.Str();
+  out->table = r.Str();
+  out->t0 = r.U64();
+  out->t1 = r.U64();
+  const std::uint32_t nnodes = r.U32();
+  if (static_cast<std::size_t>(nnodes) > r.remaining() / 8) return false;
+  out->nodes.clear();
+  out->nodes.reserve(nnodes);
+  for (std::uint32_t i = 0; i < nnodes && r.ok(); ++i) {
+    out->nodes.push_back(r.U64());
+  }
+  const std::uint32_t nmetrics = r.U32();
+  // Each metric name costs at least its 2-byte length prefix.
+  if (static_cast<std::size_t>(nmetrics) > r.remaining() / 2) return false;
+  out->metrics.clear();
+  out->metrics.reserve(nmetrics);
+  for (std::uint32_t i = 0; i < nmetrics && r.ok(); ++i) {
+    out->metrics.push_back(r.Str());
+  }
+  out->limit = r.U32();
+  out->version = r.ok() && r.remaining() >= 1 ? r.U8() : 0;
+  return r.ok();
+}
+
+std::vector<std::byte> EncodeQueryResponse(const QueryResponse& msg) {
+  ByteWriter w;
+  w.U8(msg.code);
+  w.Str(msg.error);
+  w.U16(static_cast<std::uint16_t>(msg.columns.size()));
+  for (const auto& c : msg.columns) w.Str(c);
+  w.U32(static_cast<std::uint32_t>(msg.rows.size()));
+  for (const auto& row : msg.rows) {
+    w.U64(row.ts);
+    w.U64(row.node);
+    for (const double v : row.values) w.D64(v);
+  }
+  w.U64(msg.total_rows);
+  w.U8(msg.truncated);
+  w.U64(msg.segments_considered);
+  w.U64(msg.segments_pruned);
+  w.U64(msg.segments_read);
+  w.U64(msg.bytes_read);
+  w.U64(msg.bytes_decoded);
+  // Trailing version byte; v0 decoders stop at the counters and ignore it.
+  w.U8(msg.version);
+  return w.Take();
+}
+
+bool DecodeQueryResponse(std::span<const std::byte> payload,
+                         QueryResponse* out) {
+  ByteReader r(payload);
+  out->code = r.U8();
+  out->error = r.Str();
+  const std::uint16_t ncols = r.U16();
+  if (static_cast<std::size_t>(ncols) > r.remaining() / 2) return false;
+  out->columns.clear();
+  out->columns.reserve(ncols);
+  for (std::uint16_t i = 0; i < ncols && r.ok(); ++i) {
+    out->columns.push_back(r.Str());
+  }
+  const std::uint32_t nrows = r.U32();
+  // Each row is exactly 16 + 8 * ncols bytes.
+  const std::size_t row_bytes = 16 + 8 * static_cast<std::size_t>(ncols);
+  if (static_cast<std::size_t>(nrows) > r.remaining() / row_bytes) return false;
+  out->rows.clear();
+  out->rows.reserve(nrows);
+  for (std::uint32_t i = 0; i < nrows && r.ok(); ++i) {
+    QueryResponse::Row row;
+    row.ts = r.U64();
+    row.node = r.U64();
+    row.values.reserve(ncols);
+    for (std::uint16_t c = 0; c < ncols; ++c) row.values.push_back(r.D64());
+    out->rows.push_back(std::move(row));
+  }
+  out->total_rows = r.U64();
+  out->truncated = r.U8();
+  out->segments_considered = r.U64();
+  out->segments_pruned = r.U64();
+  out->segments_read = r.U64();
+  out->bytes_read = r.U64();
+  out->bytes_decoded = r.U64();
+  out->version = r.ok() && r.remaining() >= 1 ? r.U8() : 0;
+  return r.ok();
+}
+
 bool DecodeUpdateBatchResponse(std::span<const std::byte> payload,
                                UpdateBatchResponse* out) {
   ByteReader r(payload);

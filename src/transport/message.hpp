@@ -28,6 +28,8 @@ enum class MsgType : std::uint8_t {
   kAdvertise,  // sampler -> aggregator: "connect back to me"
   kUpdateBatchReq,   // aggregator -> producer: (handle, last_dgn) pairs
   kUpdateBatchResp,  // producer -> aggregator: data / unchanged / error entries
+  kQueryReq,   // aggregator -> leaf: run a tsdb predicate on your local store
+  kQueryResp,  // leaf -> aggregator: bounded result page + scan counters
 };
 
 /// Protocol revision advertised in the trailing bytes of a lookup response.
@@ -141,6 +143,61 @@ struct UpdateBatchResponse {
   std::vector<Entry> entries;
 };
 
+/// Tree-sharded query fan-out (ISSUE 10): the root aggregator forwards a
+/// tsdb predicate to each leaf, which runs it against its local store and
+/// answers with a bounded page of rows. Wire form:
+///   str strgp | str table | u64 t0 | u64 t1 |
+///   u32 nnodes | nnodes x u64 | u32 nmetrics | nmetrics x str |
+///   u32 limit | [u8 version]
+/// The trailing version byte follows the lookup-response idiom: old
+/// decoders stop at limit and ignore it; its absence decodes as version 0.
+struct QueryRequest {
+  std::string strgp;  ///< storage policy name the store is registered under
+  std::string table;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = ~std::uint64_t{0};
+  std::vector<std::uint64_t> nodes;   ///< empty = all nodes
+  std::vector<std::string> metrics;   ///< empty = all columns
+  /// Row cap for the response page; 0 = the server's default cap. The server
+  /// never exceeds its own kMaxQueryRespRows regardless.
+  std::uint32_t limit = 0;
+  std::uint8_t version = 0;
+};
+
+/// Hard server-side ceiling on rows in one kQueryResp page; a fan-out over
+/// many leaves must stay bounded no matter what limit the client asked for.
+constexpr std::uint32_t kMaxQueryRespRows = 65536;
+
+/// Query answer: one page of rows plus the leaf's scan counters, so the
+/// root can aggregate pruning/compression effectiveness across the tree.
+/// Wire form:
+///   u8 code | str error | u16 ncols | ncols x str |
+///   u32 nrows | nrows x (u64 ts, u64 node, ncols x f64) |
+///   u64 total_rows | u8 truncated |
+///   u64 segments_considered | u64 segments_pruned | u64 segments_read |
+///   u64 bytes_read | u64 bytes_decoded | [u8 version]
+struct QueryResponse {
+  struct Row {
+    std::uint64_t ts = 0;
+    std::uint64_t node = 0;
+    std::vector<double> values;  ///< one per column
+  };
+  std::uint8_t code = 0;  // ErrorCode as u8; non-zero => rows empty
+  std::string error;
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  /// Rows the predicate matched on this leaf (>= rows.size(); they differ
+  /// exactly when truncated is set).
+  std::uint64_t total_rows = 0;
+  std::uint8_t truncated = 0;
+  std::uint64_t segments_considered = 0;
+  std::uint64_t segments_pruned = 0;
+  std::uint64_t segments_read = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_decoded = 0;
+  std::uint8_t version = 0;
+};
+
 struct AdvertiseMsg {
   std::string producer;
   std::string dialback_address;  // where the aggregator should connect
@@ -190,5 +247,12 @@ bool DecodeUpdateBatchRequest(std::span<const std::byte> payload,
 std::vector<std::byte> EncodeUpdateBatchResponse(const UpdateBatchResponse& msg);
 bool DecodeUpdateBatchResponse(std::span<const std::byte> payload,
                                UpdateBatchResponse* out);
+
+std::vector<std::byte> EncodeQueryRequest(const QueryRequest& msg);
+bool DecodeQueryRequest(std::span<const std::byte> payload, QueryRequest* out);
+
+std::vector<std::byte> EncodeQueryResponse(const QueryResponse& msg);
+bool DecodeQueryResponse(std::span<const std::byte> payload,
+                         QueryResponse* out);
 
 }  // namespace ldmsxx

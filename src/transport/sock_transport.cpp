@@ -460,6 +460,20 @@ class SockListener final : public Listener {
         }
         break;
       }
+      case MsgType::kQueryReq: {
+        QueryRequest req;
+        QueryResponse resp;
+        if (!DecodeQueryRequest(payload, &req)) {
+          resp.code = static_cast<std::uint8_t>(ErrorCode::kInvalidArgument);
+          resp.error = "malformed query request";
+        } else {
+          handler_->HandleQuery(req, &resp);
+        }
+        BeginFrame(out, MsgType::kQueryResp, hdr.request_id);
+        const auto body = EncodeQueryResponse(resp);
+        out.insert(out.end(), body.begin(), body.end());
+        break;
+      }
       case MsgType::kAdvertise: {
         AdvertiseMsg msg;
         if (DecodeAdvertise(payload, &msg)) handler_->HandleAdvertise(msg);
@@ -736,6 +750,28 @@ class SockEndpoint final : public Endpoint {
           }
           handler(Status::Ok(), std::move(resp.data));
         });
+  }
+
+  Status RemoteQuery(const QueryRequest& req, QueryResponse* resp) override {
+    *resp = QueryResponse{};
+    std::vector<std::byte> payload;
+    Status st = WaitFor(
+        [&](AsyncHandler done) {
+          SubmitRequest(MsgType::kQueryReq, EncodeQueryRequest(req),
+                        MsgType::kQueryResp, std::move(done));
+        },
+        &payload);
+    if (!st.ok()) return st;
+    if (!DecodeQueryResponse(payload, resp)) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kInternal, "bad query response"};
+    }
+    if (resp->code != 0) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return {static_cast<ErrorCode>(resp->code),
+              resp->error.empty() ? "query failed" : resp->error};
+    }
+    return Status::Ok();
   }
 
   void CorkWrites() override {

@@ -97,6 +97,16 @@ class ServiceHandler {
     (void)handle;
     return nullptr;
   }
+
+  /// Run a tsdb predicate against this daemon's local store (tree-sharded
+  /// query fan-out). The default keeps legacy handlers honest: the whole
+  /// request fails with kUnsupported, which a fanning-out root counts as a
+  /// failed leaf rather than a transport error.
+  virtual void HandleQuery(const QueryRequest& req, QueryResponse* resp) {
+    (void)req;
+    resp->code = static_cast<std::uint8_t>(ErrorCode::kUnsupported);
+    resp->error = "query not supported by this peer";
+  }
 };
 
 /// Default per-request deadline for transports that enforce one. Generous:
@@ -194,6 +204,11 @@ class Endpoint {
 
   /// Fire-and-forget advertise (producer-initiated connection setup).
   virtual Status Advertise(const AdvertiseMsg& msg) = 0;
+
+  /// Forward a tsdb query to the peer and wait for its result page. The
+  /// base implementation reports kUnsupported — only transports that carry
+  /// kQueryReq frames (sock, local) override it.
+  virtual Status RemoteQuery(const QueryRequest& req, QueryResponse* resp);
 
   /// Write corking, used by UpdateAll: between Cork and Uncork a wire
   /// transport may buffer outgoing request frames and flush them as one
